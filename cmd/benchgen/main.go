@@ -1,0 +1,75 @@
+// Command benchgen writes the synthetic GSRC/MCNC-statistics benchmarks to
+// disk in the GSRC bookshelf format (.blocks/.nets/.pl).
+//
+// Usage:
+//
+//	benchgen -out bench/                    # all builtin benchmarks
+//	benchgen -out bench/ -name n30 -aspect 2
+//	benchgen -out bench/ -name custom -modules 40 -nets 300 -pads 100 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sdpfloor/internal/gsrc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgen: ")
+
+	var (
+		out        = flag.String("out", ".", "output directory")
+		name       = flag.String("name", "", "benchmark to generate (default: all builtins)")
+		aspect     = flag.Float64("aspect", 1, "outline height:width ratio")
+		whitespace = flag.Float64("whitespace", 0.15, "outline whitespace fraction")
+		modules    = flag.Int("modules", 0, "custom: module count")
+		nets       = flag.Int("nets", 0, "custom: net count")
+		pads       = flag.Int("pads", 0, "custom: pad count")
+		seed       = flag.Int64("seed", 1, "custom: generator seed")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	emit := func(d *gsrc.Design) {
+		if err := gsrc.WriteDesign(*out, d); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: outline %.1f x %.1f\n", d.Name, d.Outline.W(), d.Outline.H())
+		fmt.Print(d.Netlist.ComputeStats())
+	}
+
+	switch {
+	case *modules > 0:
+		if *name == "" {
+			log.Fatal("custom benchmarks need -name")
+		}
+		d, err := gsrc.Generate(gsrc.Spec{
+			Name: *name, Modules: *modules, Nets: *nets, Pads: *pads, Seed: *seed,
+		}, *aspect, *whitespace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(d)
+	case *name != "":
+		d, err := gsrc.Builtin(*name, *aspect, *whitespace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(d)
+	default:
+		for _, n := range gsrc.BuiltinNames {
+			d, err := gsrc.Builtin(n, *aspect, *whitespace)
+			if err != nil {
+				log.Fatal(err)
+			}
+			emit(d)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -id table2          # one experiment to stdout
+//	experiments -all -out results/  # everything, one file per experiment
+//	SDPFLOOR_FULL=1 experiments -id table2   # paper-scale (n100/n200; hours)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sdpfloor/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		id   = flag.String("id", "", "experiment id: "+strings.Join(experiments.IDs(), ", "))
+		all  = flag.Bool("all", false, "run every experiment")
+		out  = flag.String("out", "", "output directory (default stdout)")
+		full = flag.Bool("full", false, "paper-scale mode (same as SDPFLOOR_FULL=1)")
+	)
+	flag.Parse()
+
+	mode := experiments.ModeFromEnv()
+	if *full {
+		mode.Full = true
+	}
+
+	run := func(eid string) {
+		w := os.Stdout
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			f, err := os.Create(filepath.Join(*out, eid+".csv"))
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		start := time.Now()
+		if err := experiments.Run(eid, w, mode); err != nil {
+			log.Fatalf("%s: %v", eid, err)
+		}
+		fmt.Fprintf(os.Stderr, "%s done in %s\n", eid, time.Since(start).Round(time.Millisecond))
+		if *out != "" {
+			if err := experiments.PlotCSV(eid, filepath.Join(*out, eid+".csv"), *out); err != nil {
+				log.Printf("%s: svg plot: %v", eid, err)
+			}
+		}
+	}
+
+	switch {
+	case *all:
+		for _, eid := range experiments.IDs() {
+			run(eid)
+		}
+	case *id != "":
+		run(*id)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,74 @@
+// Command floorplot renders a benchmark's floorplan — as produced by each of
+// the global floorplanning methods — to SVG files for visual comparison.
+//
+// Usage:
+//
+//	floorplot -bench n10 -out plots/              # all methods
+//	floorplot -bench n30 -method sdp -out plots/  # one method
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"sdpfloor"
+	"sdpfloor/internal/svg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("floorplot: ")
+
+	var (
+		bench      = flag.String("bench", "n10", "builtin benchmark name")
+		method     = flag.String("method", "", "single method (default: all)")
+		aspect     = flag.Float64("aspect", 1, "outline height:width ratio")
+		whitespace = flag.Float64("whitespace", 0.15, "outline whitespace fraction")
+		out        = flag.String("out", ".", "output directory")
+		seed       = flag.Int64("seed", 1, "seed for stochastic methods")
+	)
+	flag.Parse()
+
+	d, err := sdpfloor.LoadBenchmark(*bench, *aspect, *whitespace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	methods := sdpfloor.Methods
+	if *method != "" {
+		methods = []sdpfloor.Method{sdpfloor.Method(*method)}
+	}
+	names := make([]string, d.Netlist.N())
+	for i, m := range d.Netlist.Modules {
+		names[i] = m.Name
+	}
+	pads := make([]sdpfloor.Point, len(d.Netlist.Pads))
+	for i, p := range d.Netlist.Pads {
+		pads[i] = p.Pos
+	}
+
+	for _, m := range methods {
+		fp, err := sdpfloor.Place(d.Netlist, sdpfloor.Config{
+			Outline: d.Outline, Method: m, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", m, err)
+		}
+		path := filepath.Join(*out, fmt.Sprintf("%s-%s.svg", *bench, m))
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := svg.Floorplan(f, d.Outline, fp.Rects, names, pads); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("%-9s HPWL %10.1f feasible=%-5v -> %s\n", m, fp.HPWL, fp.Feasible, path)
+	}
+}

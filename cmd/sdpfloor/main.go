@@ -1,0 +1,147 @@
+// Command sdpfloor runs the SDP convex-iteration global floorplanner (or one
+// of the baselines) on a benchmark and reports the legalized result.
+//
+// Usage:
+//
+//	sdpfloor -bench n10                 # builtin synthetic benchmark
+//	sdpfloor -dir bench/ -design n10    # GSRC .blocks/.nets/.pl on disk
+//	sdpfloor -bench n30 -method ar -aspect 2 -svg out.svg -v
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sdpfloor"
+	"sdpfloor/internal/gsrc"
+	"sdpfloor/internal/svg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sdpfloor: ")
+
+	var (
+		bench      = flag.String("bench", "", "builtin benchmark name (n10, n30, n50, n100, n200, ami33, ami49)")
+		dir        = flag.String("dir", "", "directory with <design>.blocks/.nets/.pl files")
+		design     = flag.String("design", "", "design name inside -dir")
+		method     = flag.String("method", "sdp", "global method: sdp, sdp-hier, ar, pp, qp, sa, analytic")
+		aspect     = flag.Float64("aspect", 1, "outline height:width ratio")
+		whitespace = flag.Float64("whitespace", 0.15, "outline whitespace fraction")
+		seed       = flag.Int64("seed", 1, "seed for stochastic methods")
+		basic      = flag.Bool("basic", false, "disable the Section IV-B enhancements (sdp only)")
+		socp       = flag.Bool("socp", false, "legalize with the exact SOCP shape optimization (slow; small designs)")
+		jsonOut    = flag.String("json", "", "write the result (rects, centers, HPWL) as JSON to this path")
+		svgOut     = flag.String("svg", "", "write the legalized floorplan as SVG to this path")
+		verbose    = flag.Bool("v", false, "log solver progress")
+	)
+	flag.Parse()
+
+	var d *sdpfloor.Design
+	var err error
+	switch {
+	case *bench != "":
+		d, err = sdpfloor.LoadBenchmark(*bench, *aspect, *whitespace)
+	case *dir != "" && *design != "":
+		d, err = gsrc.ReadDesign(*dir, *design)
+		if err == nil && d.Outline.W() <= 0 {
+			d.Outline = sdpfloor.OutlineFor(d.Netlist, *aspect, *whitespace)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := sdpfloor.Config{
+		Outline:          d.Outline,
+		Method:           sdpfloor.Method(*method),
+		Seed:             *seed,
+		SkipEnhancements: *basic,
+	}
+	if *verbose {
+		cfg.Global.Logf = log.Printf
+	}
+	fp, err := sdpfloor.Place(d.Netlist, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *socp {
+		leg, err := sdpfloor.LegalizeSOCP(d.Netlist, fp.Global, d.Outline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fp.Rects, fp.Centers, fp.HPWL, fp.Feasible = leg.Rects, leg.Centers, leg.HPWL, leg.Feasible
+	}
+
+	fmt.Printf("design   : %s (%d modules, %d nets, %d pads)\n",
+		d.Name, d.Netlist.N(), len(d.Netlist.Nets), len(d.Netlist.Pads))
+	fmt.Printf("outline  : %.1f x %.1f (aspect 1:%g, whitespace %.0f%%)\n",
+		d.Outline.W(), d.Outline.H(), *aspect, *whitespace*100)
+	fmt.Printf("method   : %s\n", *method)
+	fmt.Printf("HPWL     : %.1f\n", fp.HPWL)
+	fmt.Printf("feasible : %v\n", fp.Feasible)
+	if gr := fp.GlobalResult; gr != nil {
+		fmt.Printf("convex-iteration: %d iterations, final alpha %g, rank-2 %v, <W,Z> %.3g\n",
+			gr.Iterations, gr.AlphaFinal, gr.RankOK, gr.WZ)
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		type rectJSON struct {
+			Name string  `json:"name"`
+			MinX float64 `json:"minX"`
+			MinY float64 `json:"minY"`
+			MaxX float64 `json:"maxX"`
+			MaxY float64 `json:"maxY"`
+		}
+		out := struct {
+			Design   string     `json:"design"`
+			Method   string     `json:"method"`
+			HPWL     float64    `json:"hpwl"`
+			Feasible bool       `json:"feasible"`
+			Rects    []rectJSON `json:"rects"`
+		}{Design: d.Name, Method: *method, HPWL: fp.HPWL, Feasible: fp.Feasible}
+		for i, r := range fp.Rects {
+			out.Rects = append(out.Rects, rectJSON{
+				Name: d.Netlist.Modules[i].Name,
+				MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY,
+			})
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("json     : %s\n", *jsonOut)
+	}
+
+	if *svgOut != "" {
+		f, err := os.Create(*svgOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		names := make([]string, d.Netlist.N())
+		for i, m := range d.Netlist.Modules {
+			names[i] = m.Name
+		}
+		pads := make([]sdpfloor.Point, len(d.Netlist.Pads))
+		for i, p := range d.Netlist.Pads {
+			pads[i] = p.Pos
+		}
+		if err := svg.Floorplan(f, d.Outline, fp.Rects, names, pads); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("svg      : %s\n", *svgOut)
+	}
+}

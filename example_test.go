@@ -1,0 +1,81 @@
+package sdpfloor_test
+
+import (
+	"fmt"
+	"strings"
+
+	"sdpfloor"
+)
+
+// ExamplePlace runs the full pipeline — SDP convex-iteration global
+// floorplanning followed by legalization — on a tiny hand-built design.
+func ExamplePlace() {
+	nl := &sdpfloor.Netlist{
+		Modules: []sdpfloor.Module{
+			{Name: "a", MinArea: 4, MaxAspect: 2},
+			{Name: "b", MinArea: 4, MaxAspect: 2},
+		},
+		Pads: []sdpfloor.Pad{
+			{Name: "west", Pos: sdpfloor.Point{X: 0, Y: 2}},
+			{Name: "east", Pos: sdpfloor.Point{X: 8, Y: 2}},
+		},
+		Nets: []sdpfloor.Net{
+			{Name: "ab", Weight: 2, Modules: []int{0, 1}},
+			{Name: "wa", Weight: 1, Modules: []int{0}, Pads: []int{0}},
+			{Name: "be", Weight: 1, Modules: []int{1}, Pads: []int{1}},
+		},
+	}
+	fp, err := sdpfloor.Place(nl, sdpfloor.Config{
+		Outline: sdpfloor.Rect{MinX: 0, MinY: 0, MaxX: 8, MaxY: 4},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// The pads order the two modules west-to-east.
+	fmt.Println("feasible:", fp.Feasible)
+	fmt.Println("a left of b:", fp.Centers[0].X < fp.Centers[1].X)
+	// Output:
+	// feasible: true
+	// a left of b: true
+}
+
+// ExampleOutlineFor derives a fixed outline from a netlist's total area.
+func ExampleOutlineFor() {
+	nl := &sdpfloor.Netlist{
+		Modules: []sdpfloor.Module{
+			{Name: "a", MinArea: 50, MaxAspect: 3},
+			{Name: "b", MinArea: 50, MaxAspect: 3},
+		},
+		Nets: []sdpfloor.Net{{Name: "n", Weight: 1, Modules: []int{0, 1}}},
+	}
+	out := sdpfloor.OutlineFor(nl, 2, 0.15) // height:width = 2, 15% whitespace
+	fmt.Printf("area %.0f, H/W %.0f\n", out.Area(), out.H()/out.W())
+	// Output:
+	// area 115, H/W 2
+}
+
+// ExampleReadNetlistJSON loads a design from the JSON schema.
+func ExampleReadNetlistJSON() {
+	const design = `{
+	  "modules": [
+	    {"name": "core", "minArea": 9},
+	    {"name": "mem",  "minArea": 6, "maxAspect": 2}
+	  ],
+	  "pads": [{"name": "clk", "pos": [0, 0]}],
+	  "nets": [
+	    {"name": "bus", "weight": 2, "modules": ["core", "mem"]},
+	    {"name": "ck",  "modules": ["core"], "pads": ["clk"]}
+	  ]
+	}`
+	nl, err := sdpfloor.ReadNetlistJSON(strings.NewReader(design))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(len(nl.Modules), "modules,", len(nl.Nets), "nets")
+	fmt.Println("total area:", nl.TotalArea())
+	// Output:
+	// 2 modules, 2 nets
+	// total area: 15
+}

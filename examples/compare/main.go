@@ -1,0 +1,47 @@
+// compare: run all six global floorplanning methods on one benchmark and
+// print a Table-II-style comparison (HPWL after the shared legalization,
+// Δ% relative to the SDP method).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"sdpfloor"
+)
+
+func main() {
+	bench := "n10"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	d, err := sdpfloor.LoadBenchmark(bench, 1, 0.15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchmark %s: %d modules, %d nets, %d pads, outline %.1f x %.1f\n\n",
+		d.Name, d.Netlist.N(), len(d.Netlist.Nets), len(d.Netlist.Pads),
+		d.Outline.W(), d.Outline.H())
+
+	fmt.Println("method     HPWL         Δ vs sdp   feasible  time")
+	var ours float64
+	for _, m := range sdpfloor.Methods {
+		start := time.Now()
+		fp, err := sdpfloor.Place(d.Netlist, sdpfloor.Config{
+			Outline: d.Outline, Method: m, Seed: 1,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", m, err)
+		}
+		delta := "    —"
+		if m == sdpfloor.MethodSDP {
+			ours = fp.HPWL
+		} else if ours > 0 {
+			delta = fmt.Sprintf("%+6.1f%%", (fp.HPWL-ours)/ours*100)
+		}
+		fmt.Printf("%-9s  %-11.1f  %8s   %-8v  %s\n",
+			m, fp.HPWL, delta, fp.Feasible, time.Since(start).Round(time.Millisecond))
+	}
+}

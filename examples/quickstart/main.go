@@ -1,0 +1,56 @@
+// Quickstart: build a small netlist by hand, run the SDP convex-iteration
+// global floorplanner plus legalization, and print the resulting floorplan.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdpfloor"
+)
+
+func main() {
+	// A toy SoC: CPU, two caches, a DSP, and an I/O controller. Areas are
+	// the minimum-area constraints sᵢ; shapes are decided by the legalizer
+	// within each module's aspect-ratio bound.
+	nl := &sdpfloor.Netlist{
+		Modules: []sdpfloor.Module{
+			{Name: "cpu", MinArea: 16, MaxAspect: 2},
+			{Name: "l1i", MinArea: 4, MaxAspect: 3},
+			{Name: "l1d", MinArea: 4, MaxAspect: 3},
+			{Name: "dsp", MinArea: 9, MaxAspect: 2},
+			{Name: "ioc", MinArea: 6, MaxAspect: 3},
+		},
+		Pads: []sdpfloor.Pad{
+			{Name: "pin_w", Pos: sdpfloor.Point{X: 0, Y: 4}},
+			{Name: "pin_e", Pos: sdpfloor.Point{X: 8, Y: 4}},
+		},
+		Nets: []sdpfloor.Net{
+			{Name: "ifetch", Weight: 4, Modules: []int{0, 1}},
+			{Name: "dmem", Weight: 4, Modules: []int{0, 2}},
+			{Name: "accel", Weight: 2, Modules: []int{0, 3}},
+			{Name: "dma", Weight: 1, Modules: []int{2, 3, 4}}, // hyper-edge
+			{Name: "io_w", Weight: 2, Modules: []int{4}, Pads: []int{0}},
+			{Name: "io_e", Weight: 1, Modules: []int{3}, Pads: []int{1}},
+		},
+	}
+
+	// The pads above sit on the boundary of this 8×8 outline
+	// (39 area units of modules in 64 → generous whitespace).
+	outline := sdpfloor.Rect{MinX: 0, MinY: 0, MaxX: 8, MaxY: 8}
+
+	fp, err := sdpfloor.Place(nl, sdpfloor.Config{Outline: outline})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("HPWL %.2f, feasible %v\n", fp.HPWL, fp.Feasible)
+	gr := fp.GlobalResult
+	fmt.Printf("convex iteration: %d iterations, rank-2 reached: %v (⟨W,Z⟩ = %.2g)\n\n",
+		gr.Iterations, gr.RankOK, gr.WZ)
+	fmt.Println("module  x-range        y-range        w x h")
+	for i, r := range fp.Rects {
+		fmt.Printf("%-6s  [%5.2f,%5.2f]  [%5.2f,%5.2f]  %.2f x %.2f\n",
+			nl.Modules[i].Name, r.MinX, r.MaxX, r.MinY, r.MaxY, r.W(), r.H())
+	}
+}

@@ -1,0 +1,3 @@
+module sdpfloor
+
+go 1.22

@@ -1,0 +1,189 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sdpfloor/internal/geom"
+)
+
+func identityPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+func TestBTreeChainPacksRow(t *testing.T) {
+	tr := NewBTreeChain(3)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w := []float64{1, 2, 3}
+	h := []float64{1, 1, 1}
+	p := tr.Pack(identityPerm(3), w, h)
+	if p.Width != 6 || p.Height != 1 {
+		t.Fatalf("bbox %g x %g, want 6 x 1", p.Width, p.Height)
+	}
+	if p.X[0] != 0 || p.X[1] != 1 || p.X[2] != 3 {
+		t.Fatalf("x = %v", p.X)
+	}
+}
+
+func TestBTreeRightChildStacks(t *testing.T) {
+	// Root 0 with right child 1: same x, above.
+	tr := &BTree{Par: []int{-1, 0}, Left: []int{-1, -1}, Right: []int{1, -1}, Root: 0}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w := []float64{2, 1}
+	h := []float64{1, 1}
+	p := tr.Pack(identityPerm(2), w, h)
+	if p.X[1] != 0 || p.Y[1] != 1 {
+		t.Fatalf("right child at (%g, %g), want (0, 1)", p.X[1], p.Y[1])
+	}
+	if p.Width != 2 || p.Height != 2 {
+		t.Fatalf("bbox %g x %g", p.Width, p.Height)
+	}
+}
+
+func TestBTreeContourDrop(t *testing.T) {
+	// Wide root, tall left child, then the left child's left child sits on
+	// the floor again (contour drops past the root's extent).
+	//  slots: 0 root (w=2,h=2), 1 = left of 0 (w=1,h=3), 2 = left of 1 (w=2,h=1)
+	tr := &BTree{
+		Par:   []int{-1, 0, 1},
+		Left:  []int{1, 2, -1},
+		Right: []int{-1, -1, -1},
+		Root:  0,
+	}
+	w := []float64{2, 1, 2}
+	h := []float64{2, 3, 1}
+	p := tr.Pack(identityPerm(3), w, h)
+	if p.Y[2] != 0 {
+		t.Fatalf("module 2 should rest on the floor, got y=%g", p.Y[2])
+	}
+	if p.X[2] != 3 {
+		t.Fatalf("module 2 x = %g, want 3", p.X[2])
+	}
+}
+
+func TestBTreePackNoOverlapProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		tr := NewBTreeChain(n)
+		// Random restructure: a few leaf moves.
+		for k := 0; k < 3*n; k++ {
+			tr.moveLeaf(rng)
+		}
+		if err := tr.Validate(); err != nil {
+			return false
+		}
+		perm := rng.Perm(n)
+		w := make([]float64, n)
+		h := make([]float64, n)
+		for i := range w {
+			w[i] = 0.5 + rng.Float64()*2
+			h[i] = 0.5 + rng.Float64()*2
+		}
+		p := tr.Pack(perm, w, h)
+		rects := p.Rects(w, h)
+		for i := 0; i < n; i++ {
+			if p.X[i] < -1e-12 || p.Y[i] < -1e-12 {
+				return false
+			}
+			if p.X[i]+w[i] > p.Width+1e-9 || p.Y[i]+h[i] > p.Height+1e-9 {
+				return false
+			}
+			for j := i + 1; j < n; j++ {
+				if rects[i].Intersects(rects[j], 1e-9) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeMoveLeafPreservesValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := NewBTreeChain(8)
+	for k := 0; k < 200; k++ {
+		undo := tr.moveLeaf(rng)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("invalid after move %d: %v", k, err)
+		}
+		if undo != nil && k%2 == 0 {
+			undo()
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("invalid after undo %d: %v", k, err)
+			}
+		}
+	}
+}
+
+func TestSolveBTreeProducesLegalFloorplan(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	nl := saTestNetlist(8, rng)
+	side := math.Sqrt(nl.TotalArea() * 1.3)
+	out := geom.Rect{MinX: 0, MinY: 0, MaxX: side, MaxY: side}
+	res, err := SolveBTree(nl, Options{Outline: out, Seed: 7, MovesPerTemp: 60, CoolingRate: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("B*-tree annealer did not fit 30%% whitespace: %g x %g in %g",
+			res.Width, res.Height, out.W())
+	}
+	for i := range res.Rects {
+		for j := i + 1; j < len(res.Rects); j++ {
+			if res.Rects[i].Intersects(res.Rects[j], 1e-9) {
+				t.Fatalf("modules %d,%d overlap", i, j)
+			}
+		}
+		if math.Abs(res.Rects[i].Area()-nl.Modules[i].MinArea) > 1e-6*nl.Modules[i].MinArea {
+			t.Fatalf("module %d area %g", i, res.Rects[i].Area())
+		}
+	}
+	if res.HPWL <= 0 {
+		t.Fatal("HPWL must be positive")
+	}
+}
+
+func TestSolveBTreeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	nl := saTestNetlist(6, rng)
+	out := geom.Rect{MinX: 0, MinY: 0, MaxX: 6, MaxY: 6}
+	opt := Options{Outline: out, Seed: 11, MovesPerTemp: 20, CoolingRate: 0.8}
+	r1, err := SolveBTree(nl, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := SolveBTree(nl, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.HPWL != r2.HPWL {
+		t.Fatalf("nondeterministic: %g vs %g", r1.HPWL, r2.HPWL)
+	}
+}
+
+func TestBTreeValidateRejectsBroken(t *testing.T) {
+	tr := NewBTreeChain(3)
+	tr.Par[2] = 0 // inconsistent parent
+	if tr.Validate() == nil {
+		t.Fatal("expected inconsistency error")
+	}
+	tr2 := NewBTreeChain(2)
+	tr2.Left[1] = 0 // cycle
+	if tr2.Validate() == nil {
+		t.Fatal("expected cycle error")
+	}
+}

@@ -1,0 +1,196 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"sdpfloor/internal/geom"
+	"sdpfloor/internal/netlist"
+)
+
+func padsNL(n int) *netlist.Netlist {
+	nl := &netlist.Netlist{}
+	for i := 0; i < n; i++ {
+		nl.Modules = append(nl.Modules, netlist.Module{Name: "m", MinArea: 1, MaxAspect: 3})
+	}
+	for i := 0; i+1 < n; i++ {
+		nl.Nets = append(nl.Nets, netlist.Net{Name: "n", Weight: 1, Modules: []int{i, i + 1}})
+	}
+	nl.Pads = []netlist.Pad{
+		{Name: "pl", Pos: geom.Point{X: -5, Y: 0}},
+		{Name: "pr", Pos: geom.Point{X: 5, Y: 0}},
+	}
+	nl.Nets = append(nl.Nets,
+		netlist.Net{Name: "pl", Weight: 2, Modules: []int{0}, Pads: []int{0}},
+		netlist.Net{Name: "pr", Weight: 2, Modules: []int{n - 1}, Pads: []int{1}},
+	)
+	return nl
+}
+
+func TestRadii(t *testing.T) {
+	nl := padsNL(2)
+	r := Radii(nl)
+	want := math.Sqrt(1 / math.Pi)
+	if math.Abs(r[0]-want) > 1e-12 {
+		t.Fatalf("radius = %g, want %g", r[0], want)
+	}
+}
+
+func TestQPWithPadsSpreadsModules(t *testing.T) {
+	nl := padsNL(3)
+	res, err := SolveQP(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Anchored chain: strictly increasing x, symmetric about 0.
+	if !(res.Centers[0].X < res.Centers[1].X && res.Centers[1].X < res.Centers[2].X) {
+		t.Fatalf("QP chain not ordered: %v", res.Centers)
+	}
+	if math.Abs(res.Centers[1].X) > 1e-6 {
+		t.Fatalf("middle module should be at 0, got %v", res.Centers[1])
+	}
+}
+
+func TestQPWithoutPadsCollapses(t *testing.T) {
+	// The trivial global optimum the paper criticizes: all modules coincide.
+	nl := padsNL(3)
+	nl.Pads = nil
+	nl.Nets = nl.Nets[:2] // drop pad nets
+	res, err := SolveQP(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 3; i++ {
+		if res.Centers[i].Dist(res.Centers[0]) > 1e-6 {
+			t.Fatalf("expected collapapsed solution, got %v", res.Centers)
+		}
+	}
+	if res.Objective > 1e-9 {
+		t.Fatalf("collapsed objective should be ~0, got %g", res.Objective)
+	}
+}
+
+func TestARKeepsModulesApart(t *testing.T) {
+	nl := padsNL(3)
+	res, err := SolveAR(nl, AROptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AR's repeller keeps every pair at positive distance.
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if res.Centers[i].Dist(res.Centers[j]) < 1e-3 {
+				t.Fatalf("modules %d,%d collapsed: %v", i, j, res.Centers)
+			}
+		}
+	}
+}
+
+func TestAROptimalDistanceMatchesTheory(t *testing.T) {
+	// For two modules, the AR stationary point is at d* = √(t/A)
+	// (d here is the squared distance). Section III-A / Fig. 2.
+	nl := &netlist.Netlist{
+		Modules: []netlist.Module{
+			{Name: "a", MinArea: 1, MaxAspect: 1},
+			{Name: "b", MinArea: 1, MaxAspect: 1},
+		},
+		Nets: []netlist.Net{{Name: "n", Weight: 4, Modules: []int{0, 1}}},
+	}
+	sigma := 1.0
+	res, err := SolveAR(nl, AROptions{Sigma: sigma, Seed: 3, Starts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Radii(nl)
+	tij := sigma * (r[0] + r[1]) * (r[0] + r[1])
+	wantDsq := math.Sqrt(tij / 4) // A_ij = 4
+	gotDsq := res.Centers[0].DistSq(res.Centers[1])
+	if math.Abs(gotDsq-wantDsq) > 1e-3*(1+wantDsq) {
+		t.Fatalf("AR stationary squared distance %g, want %g", gotDsq, wantDsq)
+	}
+}
+
+func TestPPOptimalDistanceMatchesTheory(t *testing.T) {
+	// For two non-overlapping modules the PP stationary point satisfies
+	// A = (rᵢ+rⱼ)/d² → d* = √(sum/A). Areas must be large enough that
+	// (rᵢrⱼ)² > 1, otherwise the "strong" push inside the overlap region is
+	// weaker than the outside push and the model's global optimum overlaps —
+	// exactly the pathology Section III-B describes.
+	nl := &netlist.Netlist{
+		Modules: []netlist.Module{
+			{Name: "a", MinArea: 8, MaxAspect: 1},
+			{Name: "b", MinArea: 8, MaxAspect: 1},
+		},
+		// A must also satisfy A ≤ 1/(rᵢ+rⱼ) so the stationary point
+		// √(sum/A) lies in the non-overlap branch rather than at the kink.
+		Nets: []netlist.Net{{Name: "n", Weight: 0.2, Modules: []int{0, 1}}},
+	}
+	res, err := SolvePP(nl, PPOptions{Seed: 5, Starts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Radii(nl)
+	sum := r[0] + r[1]
+	want := math.Sqrt(sum / 0.2)
+	got := res.Centers[0].Dist(res.Centers[1])
+	if math.Abs(got-want) > 1e-3*(1+want) {
+		t.Fatalf("PP stationary distance %g, want %g", got, want)
+	}
+}
+
+func TestPPKeepsModulesApart(t *testing.T) {
+	nl := padsNL(4)
+	res, err := SolvePP(nl, PPOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if res.Centers[i].Dist(res.Centers[j]) < 1e-3 {
+				t.Fatalf("modules %d,%d collapsed", i, j)
+			}
+		}
+	}
+}
+
+func TestARGradientMatchesFiniteDifference(t *testing.T) {
+	nl := padsNL(3)
+	obj := ARObjective(nl, 1)
+	checkGradient(t, obj, []float64{0.3, -0.2, 1.1, 0.4, -0.8, 0.9}, 1e-5, 1e-4)
+}
+
+func TestPPGradientMatchesFiniteDifference(t *testing.T) {
+	nl := padsNL(3)
+	obj := PPObjective(nl)
+	checkGradient(t, obj, []float64{0.3, -0.2, 1.4, 0.4, -0.8, 0.9}, 1e-6, 1e-3)
+}
+
+func checkGradient(t *testing.T, obj func(x, g []float64) float64, x []float64, h, tol float64) {
+	t.Helper()
+	g := make([]float64, len(x))
+	obj(x, g)
+	tmp := make([]float64, len(x))
+	for i := range x {
+		xp := append([]float64(nil), x...)
+		xm := append([]float64(nil), x...)
+		xp[i] += h
+		xm[i] -= h
+		fd := (obj(xp, tmp) - obj(xm, tmp)) / (2 * h)
+		if math.Abs(fd-g[i]) > tol*(1+math.Abs(fd)) {
+			t.Fatalf("gradient[%d] = %g, finite difference %g", i, g[i], fd)
+		}
+	}
+}
+
+func TestSolveEmptyNetlists(t *testing.T) {
+	empty := &netlist.Netlist{}
+	if _, err := SolveQP(empty); err == nil {
+		t.Fatal("QP should reject empty netlist")
+	}
+	if _, err := SolveAR(empty, AROptions{}); err == nil {
+		t.Fatal("AR should reject empty netlist")
+	}
+	if _, err := SolvePP(empty, PPOptions{}); err == nil {
+		t.Fatal("PP should reject empty netlist")
+	}
+}

@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"sdpfloor/internal/core"
+	"testing"
+
+	"sdpfloor/internal/geom"
+	"sdpfloor/internal/gsrc"
+	"sdpfloor/internal/legalize"
+	"sdpfloor/internal/netlist"
+)
+
+// communityNL builds g groups of size sz with dense intra-group nets and a
+// single weak inter-group chain — the clustering should recover the groups.
+func communityNL(g, sz int) *netlist.Netlist {
+	nl := &netlist.Netlist{}
+	for i := 0; i < g*sz; i++ {
+		nl.Modules = append(nl.Modules, netlist.Module{Name: "m", MinArea: 1, MaxAspect: 3})
+	}
+	for grp := 0; grp < g; grp++ {
+		base := grp * sz
+		for a := 0; a < sz; a++ {
+			for b := a + 1; b < sz; b++ {
+				nl.Nets = append(nl.Nets, netlist.Net{
+					Name: "in", Weight: 5, Modules: []int{base + a, base + b},
+				})
+			}
+		}
+		if grp+1 < g {
+			nl.Nets = append(nl.Nets, netlist.Net{
+				Name: "x", Weight: 0.2, Modules: []int{base, base + sz},
+			})
+		}
+	}
+	return nl
+}
+
+func TestClusterRecoversCommunities(t *testing.T) {
+	nl := communityNL(3, 4)
+	cl, err := Cluster(nl, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.K != 3 {
+		t.Fatalf("K = %d, want 3", cl.K)
+	}
+	// All members of a group share a cluster.
+	for grp := 0; grp < 3; grp++ {
+		want := cl.Assign[grp*4]
+		for i := 1; i < 4; i++ {
+			if cl.Assign[grp*4+i] != want {
+				t.Fatalf("group %d split: %v", grp, cl.Assign)
+			}
+		}
+	}
+}
+
+func TestClusterRespectsAreaCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	nl := &netlist.Netlist{}
+	for i := 0; i < 20; i++ {
+		nl.Modules = append(nl.Modules, netlist.Module{Name: "m", MinArea: 1 + rng.Float64()*3, MaxAspect: 3})
+	}
+	for i := 0; i < 60; i++ {
+		a, b := rng.Intn(20), rng.Intn(20)
+		if a != b {
+			nl.Nets = append(nl.Nets, netlist.Net{Name: "n", Weight: 1 + rng.Float64(), Modules: []int{a, b}})
+		}
+	}
+	cl, err := Cluster(nl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap2 := 2 * nl.TotalArea() / 4
+	areas := make([]float64, cl.K)
+	for m, c := range cl.Assign {
+		areas[c] += nl.Modules[m].MinArea
+	}
+	for c, a := range areas {
+		// The fallback merge of disconnected clusters may exceed the cap,
+		// but connected merges may not; allow a modest margin.
+		if a > cap2*1.5 {
+			t.Fatalf("cluster %d area %g far beyond cap %g", c, a, cap2)
+		}
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	nl := communityNL(2, 2)
+	if _, err := Cluster(nl, 0); err == nil {
+		t.Fatal("expected k=0 error")
+	}
+	if _, err := Cluster(nl, 100); err == nil {
+		t.Fatal("expected k>n error")
+	}
+}
+
+func TestCoarsenStructure(t *testing.T) {
+	nl := communityNL(2, 3)
+	nl.Pads = []netlist.Pad{{Name: "p", Pos: geom.Point{X: 0, Y: 0}}}
+	nl.Nets = append(nl.Nets, netlist.Net{Name: "pn", Weight: 1, Modules: []int{0}, Pads: []int{0}})
+	cl, err := Cluster(nl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse := Coarsen(nl, cl, 1.1)
+	if coarse.N() != 2 {
+		t.Fatalf("coarse modules = %d, want 2", coarse.N())
+	}
+	// Total coarse area = 1.1 × total fine area.
+	if math.Abs(coarse.TotalArea()-1.1*nl.TotalArea()) > 1e-9 {
+		t.Fatalf("coarse area %g, want %g", coarse.TotalArea(), 1.1*nl.TotalArea())
+	}
+	// Intra-cluster nets vanish; the inter-group chain and pad net survive.
+	interFound, padFound := false, false
+	for _, e := range coarse.Nets {
+		if len(e.Modules) == 2 {
+			interFound = true
+		}
+		if len(e.Pads) == 1 {
+			padFound = true
+		}
+		if len(e.Modules)+len(e.Pads) < 2 {
+			t.Fatalf("degenerate coarse net %+v", e)
+		}
+	}
+	if !interFound || !padFound {
+		t.Fatalf("coarse netlist lost structure: inter=%v pad=%v", interFound, padFound)
+	}
+	if err := coarse.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchicalSolveEndToEnd(t *testing.T) {
+	d, err := gsrc.Builtin("n30", 1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(d.Netlist, Options{
+		Outline:           d.Outline,
+		TargetClusterSize: 6,
+		Top:               fastCoreOptions(),
+		Refine:            fastCoreOptions(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != d.Netlist.N() {
+		t.Fatalf("center count %d", len(res.Centers))
+	}
+	if res.RefineSolves == 0 {
+		t.Fatal("no refinement solves ran")
+	}
+	// Every center within the chip outline.
+	for i, c := range res.Centers {
+		if !d.Outline.Contains(c) {
+			t.Fatalf("module %d at %v escapes the outline", i, c)
+		}
+	}
+	// The result legalizes.
+	leg, err := legalize.Legalize(d.Netlist, res.Centers, legalize.Options{Outline: d.Outline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leg.HPWL <= 0 {
+		t.Fatal("legalized HPWL must be positive")
+	}
+	// Members of the same cluster stay near their cluster center.
+	for c, ms := range res.Clustering.Members() {
+		for _, m := range ms {
+			if res.Centers[m].Dist(res.ClusterCenters[c]) > d.Outline.W() {
+				t.Fatalf("module %d strayed from cluster %d", m, c)
+			}
+		}
+	}
+}
+
+func TestHierarchicalSolveErrors(t *testing.T) {
+	if _, err := Solve(&netlist.Netlist{}, Options{Outline: geom.Rect{MaxX: 1, MaxY: 1}}); err == nil {
+		t.Fatal("expected empty netlist error")
+	}
+	nl := communityNL(2, 2)
+	if _, err := Solve(nl, Options{}); err == nil {
+		t.Fatal("expected outline error")
+	}
+}
+
+func fastCoreOptions() (o core.Options) {
+	o.MaxIter = 6
+	o.AlphaMaxDoublings = 4
+	return o
+}

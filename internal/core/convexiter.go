@@ -1,0 +1,377 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"sdpfloor/internal/geom"
+	"sdpfloor/internal/linalg"
+	"sdpfloor/internal/netlist"
+	"sdpfloor/internal/sdp"
+)
+
+// IterRecord traces one convex iteration (used by the Fig. 5 experiments).
+type IterRecord struct {
+	Alpha     float64
+	Iter      int           // iteration index within the current α
+	Objective float64       // ⟨B⁰, G⟩ — the unadapted squared-distance objective
+	WZ        float64       // ⟨W, Z⟩ = sum of the n smallest eigenvalues of Z
+	SolveTime time.Duration // sub-problem-1 wall time
+	NumCons   int           // constraints in the working set
+}
+
+// Result is the outcome of a convex-iteration run.
+type Result struct {
+	Centers    []geom.Point
+	Z          *linalg.Dense
+	Rank       int     // numerical rank of the final Z
+	Objective  float64 // ⟨B⁰, G⟩ at the final iterate
+	WZ         float64 // ⟨W, Z⟩ at termination
+	AlphaFinal float64
+	Iterations int // total convex iterations across all α
+	RankOK     bool
+	History    []IterRecord
+}
+
+// Solve runs Algorithm 1 on the netlist: the convex iteration over
+// sub-problem 1 (SDP, Eq. 18) and sub-problem 2 (closed form, Eq. 19), with
+// the rank penalty α doubled until ⟨W, Z⟩ vanishes.
+func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	opt.setDefaults()
+	n := nl.N()
+	if n == 0 {
+		return nil, errors.New("core: empty netlist")
+	}
+	bld := newBuilder(nl, &opt)
+	b0 := netlist.BuildB(bld.baseA)
+
+	// Working set for the distance constraints.
+	var pairs []pair
+	if opt.LazyConstraints {
+		pairs = bld.seedPairs()
+	} else {
+		pairs = bld.allPairs()
+	}
+	havePairs := make(map[pair]bool, len(pairs))
+	for _, p := range pairs {
+		havePairs[p] = true
+	}
+
+	res := &Result{}
+	w := linalg.Identity(bld.dim) // W⁰ = I: trace heuristic (Algorithm 1 line 3)
+	var z *linalg.Dense
+	var centers []geom.Point
+	var warm *sdp.Solution
+
+	alpha := opt.Alpha0
+	if alpha == 0 {
+		// Auto-scale: the rank penalty competes with ⟨B, G⟩, whose scale is
+		// set by the B diagonal and the layout extent; a penalty around the
+		// mean weighted degree engages from the first round. Experiments
+		// that sweep the paper's raw α values pass Alpha0 explicitly.
+		alpha = maxf(0.5, meanDiagonal(netlist.BuildB(bld.baseA))/4)
+	}
+	for outer := 0; outer < opt.AlphaMaxDoublings; outer++ {
+		var zPrev, wPrev *linalg.Dense
+		var lastWZ float64
+		for t := 1; t <= opt.MaxIter; t++ {
+			if opt.Context != nil {
+				if err := opt.Context.Err(); err != nil {
+					return nil, fmt.Errorf("core: cancelled after %d convex iterations (alpha=%g): %w",
+						res.Iterations, alpha, err)
+				}
+			}
+			res.Iterations++
+			// Adaptive B (Eq. 20 / hyper-edge variant).
+			at := adaptiveA(nl, centers, opt.Manhattan, opt.HyperEdge)
+			bt := netlist.BuildB(at)
+			c := bld.objectiveC(bt, w, alpha)
+
+			start := time.Now()
+			var err error
+			z, warm, pairs, havePairs, err = bld.solveSub1(c, pairs, havePairs, warm)
+			if err != nil {
+				return nil, fmt.Errorf("core: sub-problem 1 failed (alpha=%g, iter=%d): %w", alpha, t, err)
+			}
+			elapsed := time.Since(start)
+
+			// Sub-problem 2: closed-form direction matrix.
+			var wz float64
+			w, wz, err = DirectionMatrix(z, n)
+			if err != nil {
+				return nil, fmt.Errorf("core: sub-problem 2 failed: %w", err)
+			}
+			lastWZ = wz
+			centers = ExtractCenters(z)
+
+			obj := objectiveValue(b0, z, n)
+			res.History = append(res.History, IterRecord{
+				Alpha: alpha, Iter: t, Objective: obj, WZ: wz,
+				SolveTime: elapsed, NumCons: len(pairs),
+			})
+			if opt.Logf != nil {
+				opt.Logf("core: alpha=%g iter=%d obj=%.6g <W,Z>=%.3g cons=%d time=%s",
+					alpha, t, obj, wz, len(pairs), elapsed.Round(time.Millisecond))
+			}
+
+			// Early exit: rank constraint already met — nothing more to gain
+			// from this α.
+			if wz < opt.RankEpsilon*maxf(1, z.Trace()) {
+				break
+			}
+			// Convergence of the two sub-problems (Algorithm 1 line 10).
+			if zPrev != nil {
+				dz := diffNorm(z, zPrev)
+				dw := diffNorm(w, wPrev)
+				scaleZ := 1 + z.FrobNorm()
+				if (dz+dw)/scaleZ < opt.Epsilon {
+					break
+				}
+			}
+			zPrev, wPrev = z.Clone(), w.Clone()
+		}
+
+		trZ := z.Trace()
+		res.AlphaFinal = alpha
+		if lastWZ < opt.RankEpsilon*maxf(1, trZ) {
+			res.RankOK = true
+			break
+		}
+		// Escalate faster when the rank violation is still large: pure
+		// doubling (Algorithm 1 line 11) wastes rounds when α starts far
+		// too small.
+		ratio := lastWZ / maxf(1, trZ)
+		switch {
+		case ratio > 0.1:
+			alpha *= 8
+		case ratio > 0.01:
+			alpha *= 4
+		default:
+			alpha *= 2
+		}
+		if opt.Logf != nil {
+			opt.Logf("core: rank not reached (<W,Z>=%.3g, trZ=%.3g); alpha -> %g", lastWZ, trZ, alpha)
+		}
+	}
+
+	res.Z = z
+	res.Centers = ExtractCenters(z)
+	res.Objective = objectiveValue(b0, z, n)
+	res.WZ = sumSmallestEigen(z, n)
+	eg, err := linalg.NewSymEig(z)
+	if err == nil {
+		res.Rank = eg.NumericalRank(1e-6)
+	}
+	return res, nil
+}
+
+// solveSub1 solves sub-problem 1 for the current objective, growing the lazy
+// working set until no distance constraint is violated and dropping pairs
+// that have stayed slack for several consecutive solves (they re-enter via
+// the violation scan if they ever matter again).
+func (b *builder) solveSub1(c *linalg.Dense, pairs []pair, have map[pair]bool,
+	warm *sdp.Solution) (*linalg.Dense, *sdp.Solution, []pair, map[pair]bool, error) {
+
+	for round := 0; ; round++ {
+		prob := b.buildProblem(c, pairs)
+		sol, err := b.solveProblem(prob, warm)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		if sol.Status == sdp.StatusNumericalFailure {
+			return nil, nil, nil, nil, fmt.Errorf("sdp solver: %v (gap %.2g)", sol.Status, sol.Gap)
+		}
+		z := sol.X[0].Clone()
+		z.Symmetrize()
+		if !b.opt.LazyConstraints || round >= b.opt.LazyMaxRounds {
+			return z, sol, pairs, have, nil
+		}
+		viol := b.violatedPairs(z, have, 4*b.n)
+		if len(viol) == 0 {
+			pairs, have = b.dropSlackPairs(z, pairs, have)
+			return z, sol, pairs, have, nil
+		}
+		for _, p := range viol {
+			have[p] = true
+			delete(b.slackCount, p)
+		}
+		pairs = append(pairs, viol...)
+		if b.opt.Logf != nil {
+			b.opt.Logf("core: lazy round %d added %d violated pairs (total %d)", round, len(viol), len(pairs))
+		}
+		warm = sol // reuse the PSD block as a warm start where supported
+	}
+}
+
+// dropSlackPairs removes working-set pairs whose constraint has been far
+// from active for three consecutive convex iterations. The hysteresis
+// prevents oscillation; dropped pairs that tighten again are re-added by the
+// violation scan, so the final solution remains feasible for every pair.
+func (b *builder) dropSlackPairs(z *linalg.Dense, pairs []pair, have map[pair]bool) ([]pair, map[pair]bool) {
+	if b.slackCount == nil {
+		b.slackCount = make(map[pair]int)
+	}
+	kept := pairs[:0]
+	for _, p := range pairs {
+		slack := b.pairSlack(z, p)
+		if slack > 0.5*b.bound(p) {
+			b.slackCount[p]++
+		} else {
+			b.slackCount[p] = 0
+		}
+		if b.slackCount[p] >= 3 {
+			delete(have, p)
+			delete(b.slackCount, p)
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return kept, have
+}
+
+func (b *builder) solveProblem(prob *sdp.Problem, warm *sdp.Solution) (*sdp.Solution, error) {
+	switch b.opt.Solver {
+	case SolverADMM:
+		opt := sdp.ADMMOptions{Tol: b.opt.SolverTol, MaxIter: b.opt.SolverMaxIter}
+		if warm != nil && warm.X != nil && warm.X[0].Rows == b.dim {
+			opt.X0 = []*linalg.Dense{warm.X[0]}
+		}
+		return sdp.SolveADMM(prob, opt)
+	default:
+		return sdp.SolveIPM(prob, sdp.IPMOptions{Tol: b.opt.SolverTol, MaxIter: b.opt.SolverMaxIter})
+	}
+}
+
+// DirectionMatrix solves sub-problem 2 (Eq. 19) in closed form: by the
+// Ky Fan theorem the minimizer of ⟨W, Z⟩ over {0 ⪯ W ⪯ I, tr W = n} is
+// W = UUᵀ with U the eigenvectors of the n smallest eigenvalues of Z, and
+// the optimal value is the sum of those eigenvalues. Returns (W, ⟨W,Z⟩).
+func DirectionMatrix(z *linalg.Dense, n int) (*linalg.Dense, float64, error) {
+	eg, err := linalg.NewSymEig(z)
+	if err != nil {
+		return nil, 0, err
+	}
+	dim := z.Rows
+	if n > dim {
+		n = dim
+	}
+	w := linalg.NewDense(dim, dim)
+	wz := 0.0
+	for col := 0; col < n; col++ { // eigenvalues ascending: first n are smallest
+		wz += eg.Values[col]
+		for r := 0; r < dim; r++ {
+			vr := eg.V.At(r, col)
+			if vr == 0 {
+				continue
+			}
+			for c2 := 0; c2 < dim; c2++ {
+				w.Data[r*dim+c2] += vr * eg.V.At(c2, col)
+			}
+		}
+	}
+	w.Symmetrize()
+	return w, wz, nil
+}
+
+// ExtractCenters reads the X block of Z (Algorithm 1 line 13 returns
+// Z[2:, :2]): xᵢ = (Z₀,₂₊ᵢ, Z₁,₂₊ᵢ).
+func ExtractCenters(z *linalg.Dense) []geom.Point {
+	n := z.Rows - 2
+	out := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		out[i] = geom.Point{X: z.At(0, 2+i), Y: z.At(1, 2+i)}
+	}
+	return out
+}
+
+// ExtractBestRank2 factors the G block to its best rank-2 approximation and
+// returns the implied centers. Valid only for instances without pads or
+// PPM constraints (the factorization is determined up to a rigid motion).
+func ExtractBestRank2(z *linalg.Dense) ([]geom.Point, error) {
+	n := z.Rows - 2
+	g := z.Submatrix(2, 2, n, n)
+	eg, err := linalg.NewSymEig(g)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]geom.Point, n)
+	// Two largest eigenpairs (ascending order → last two columns).
+	for axis := 0; axis < 2; axis++ {
+		col := n - 1 - axis
+		if col < 0 {
+			break
+		}
+		l := eg.Values[col]
+		if l < 0 {
+			l = 0
+		}
+		s := sqrtf(l)
+		for i := 0; i < n; i++ {
+			v := s * eg.V.At(i, col)
+			if axis == 0 {
+				out[i].X = v
+			} else {
+				out[i].Y = v
+			}
+		}
+	}
+	return out, nil
+}
+
+// objectiveValue returns ⟨B⁰, G⟩ for the G block of z.
+func objectiveValue(b0, z *linalg.Dense, n int) float64 {
+	s := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s += b0.At(i, j) * z.At(2+i, 2+j)
+		}
+	}
+	return s
+}
+
+// sumSmallestEigen returns the sum of the n smallest eigenvalues of z — the
+// optimal ⟨W, Z⟩ of sub-problem 2, i.e. the rank-constraint violation.
+func sumSmallestEigen(z *linalg.Dense, n int) float64 {
+	eg, err := linalg.NewSymEig(z)
+	if err != nil {
+		return 0
+	}
+	s := 0.0
+	for i := 0; i < n && i < len(eg.Values); i++ {
+		s += eg.Values[i]
+	}
+	return s
+}
+
+func diffNorm(a, b *linalg.Dense) float64 {
+	d := a.Clone()
+	d.AddScaled(-1, b)
+	return d.FrobNorm()
+}
+
+// meanDiagonal returns the average diagonal entry of a square matrix.
+func meanDiagonal(m *linalg.Dense) float64 {
+	if m.Rows == 0 {
+		return 0
+	}
+	return m.Trace() / float64(m.Rows)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func sqrtf(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"sdpfloor/internal/cluster"
+	"sdpfloor/internal/core"
+	"sdpfloor/internal/gsrc"
+	"sdpfloor/internal/legalize"
+)
+
+// Ablations runs the design-choice studies of DESIGN.md §5 (also available
+// as Benchmark* targets) and prints one CSV row per configuration:
+// lazy working set vs full constraint set, IPM vs ADMM, net models, and
+// flat vs hierarchical.
+func Ablations(w io.Writer, mode Mode) error {
+	bench := "n10"
+	if !mode.Quick {
+		bench = "n30"
+	}
+	d, err := gsrc.Builtin(bench, 1, 0.15)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# Ablations on %s (see DESIGN.md §5)\n", bench)
+	fmt.Fprintln(w, "study,config,seconds,objective,hpwl")
+
+	budget := core.Options{MaxIter: 8, AlphaMaxDoublings: 5, Outline: &d.Outline}
+	if mode.Full {
+		budget.MaxIter = 15
+		budget.AlphaMaxDoublings = 8
+	}
+
+	run := func(study, config string, opt core.Options) error {
+		start := time.Now()
+		res, err := core.Solve(d.Netlist, opt)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", study, config, err)
+		}
+		leg, err := legalize.Legalize(d.Netlist, res.Centers, legalize.Options{Outline: d.Outline})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s,%s,%.2f,%.0f,%.0f\n",
+			study, config, time.Since(start).Seconds(), res.Objective, leg.HPWL)
+		return nil
+	}
+
+	// Lazy working set vs full constraint set.
+	full := budget
+	if err := run("constraints", "full", full); err != nil {
+		return err
+	}
+	lazy := budget
+	lazy.LazyConstraints = true
+	if err := run("constraints", "lazy", lazy); err != nil {
+		return err
+	}
+
+	// Sub-problem-1 solver.
+	ipm := budget
+	ipm.MaxIter = 1
+	ipm.AlphaMaxDoublings = 1
+	ipm.Alpha0 = 8
+	ipm.LazyConstraints = true
+	if err := run("solver", "ipm", ipm); err != nil {
+		return err
+	}
+	admm := ipm
+	admm.Solver = core.SolverADMM
+	admm.SolverMaxIter = 4000
+	if err := run("solver", "admm", admm); err != nil {
+		return err
+	}
+
+	// Net models (Eq. 20 stack).
+	for _, v := range []struct {
+		name string
+		set  func(o *core.Options)
+	}{
+		{"clique", func(o *core.Options) {}},
+		{"manhattan", func(o *core.Options) { o.Manhattan = true }},
+		{"hyperedge", func(o *core.Options) { o.Manhattan = true; o.HyperEdge = true }},
+	} {
+		opt := budget
+		opt.LazyConstraints = true
+		v.set(&opt)
+		if err := run("netmodel", v.name, opt); err != nil {
+			return err
+		}
+	}
+
+	// Flat vs hierarchical.
+	flat := budget.WithAllEnhancements()
+	flat.LazyConstraints = true
+	if err := run("hierarchy", "flat", flat); err != nil {
+		return err
+	}
+	start := time.Now()
+	h, err := cluster.Solve(d.Netlist, cluster.Options{
+		Outline: d.Outline, Top: budget, Refine: budget,
+	})
+	if err != nil {
+		return err
+	}
+	leg, err := legalize.Legalize(d.Netlist, h.Centers, legalize.Options{Outline: d.Outline})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "hierarchy,two-level,%.2f,,%.0f\n", time.Since(start).Seconds(), leg.HPWL)
+	return nil
+}

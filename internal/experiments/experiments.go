@@ -1,0 +1,76 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md §4 for the per-experiment index). Each
+// experiment prints the same rows/series the paper reports — as aligned text
+// plus CSV — and returns its data so the bench harness and the SVG plotter
+// can reuse it. Absolute numbers differ from the paper (synthetic
+// benchmarks, pure-Go solvers); the comparisons and trends are the
+// reproduction target.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Mode selects the experiment scale.
+type Mode struct {
+	// Full enables the paper's large configurations (n100/n200, long α
+	// sweeps) — hours of compute, like the original (2.5 h for one n200
+	// run on the authors' 64-core server). The default fast mode covers
+	// n10–n50 and ami33/ami49 in minutes.
+	Full bool
+	// Quick shrinks everything to smoke-test size (used by `go test`).
+	Quick bool
+}
+
+// ModeFromEnv reads SDPFLOOR_FULL=1 to enable full mode.
+func ModeFromEnv() Mode {
+	return Mode{Full: os.Getenv("SDPFLOOR_FULL") == "1"}
+}
+
+// Runner is one experiment: it writes its rows to w.
+type Runner func(w io.Writer, mode Mode) error
+
+// Registry maps experiment ids (fig1, table2, …) to runners.
+var Registry = map[string]Runner{
+	"fig1":      Fig1,
+	"fig2":      Fig2,
+	"fig3":      Fig3,
+	"fig4":      Fig4,
+	"fig5a":     Fig5a,
+	"fig5b":     Fig5b,
+	"table1":    Table1,
+	"table2":    Table2,
+	"table3":    Table3,
+	"ablations": Ablations,
+}
+
+// IDs lists the experiment ids in paper order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by id.
+func Run(id string, w io.Writer, mode Mode) error {
+	r, ok := Registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r(w, mode)
+}
+
+// pct returns the paper's Δ(%) column: how much worse `other` is than `ours`.
+func pct(ours, other float64) float64 {
+	if ours == 0 {
+		return 0
+	}
+	return (other - ours) / ours * 100
+}

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"sdpfloor/internal/baseline"
+	"sdpfloor/internal/core"
+	"sdpfloor/internal/geom"
+	"sdpfloor/internal/linalg"
+	"sdpfloor/internal/netlist"
+)
+
+// twoModuleNL builds the two-module instance used by the model studies
+// (Figs. 1–2, Table I): unit parameters as in the paper's plots.
+func twoModuleNL(weight float64) *netlist.Netlist {
+	return &netlist.Netlist{
+		Modules: []netlist.Module{
+			{Name: "p_i", MinArea: math.Pi, MaxAspect: 1}, // radius 1 under r=√(s/π)
+			{Name: "p_j", MinArea: math.Pi, MaxAspect: 1},
+		},
+		Nets: []netlist.Net{{Name: "n", Weight: weight, Modules: []int{0, 1}}},
+	}
+}
+
+// Fig1 reproduces the xᵢ → f_ij slices of the AR model (convex, Fig. 1a)
+// and the PP model (non-convex, Fig. 1b) with all other variables and
+// parameters set to 1, and verifies the convexity claims numerically along
+// the slice.
+func Fig1(w io.Writer, mode Mode) error {
+	fmt.Fprintln(w, "# Fig.1 — model slices f_ij(x_i), all other variables = 1")
+	fmt.Fprintln(w, "# AR (full Eq.3, piecewise): d = squared distance; the constant branch below")
+	fmt.Fprintln(w, "#   T_ij is what makes the slice convex")
+	fmt.Fprintln(w, "# PP (Eq.4): d = Euclidean distance; non-convex across x_i = x_j")
+	fmt.Fprintln(w, "x_i,f_AR,f_PP")
+	var arVals, ppVals []float64
+	xs := sampleRange(-3, 5, 81)
+	for _, x := range xs {
+		// Other module fixed at (1, 1); ours at (x, 1) — the paper's slice.
+		dsq := (x - 1) * (x - 1)
+		a := baseline.ARPairValue(1, 1, dsq)
+		p := baseline.PPPairValue(1, 1, 1, math.Abs(x-1))
+		arVals = append(arVals, a)
+		ppVals = append(ppVals, p)
+		fmt.Fprintf(w, "%.4f,%.6f,%.6f\n", x, a, p)
+	}
+	fmt.Fprintf(w, "# AR slice convex: %v (paper: yes)\n", isConvexSeries(xs, arVals))
+	fmt.Fprintf(w, "# PP slice convex: %v (paper: no — convex only on each side of x_j)\n",
+		isConvexSeries(xs, ppVals))
+	return nil
+}
+
+// Fig2 reproduces the optimum-distance study: for the AR and PP models the
+// stationary distance between two circles depends on A_ij — small A_ij
+// pushes the circles far apart (Fig. 2b), while our distance constraint
+// keeps the optimum at tangency regardless of A_ij (Fig. 2a).
+func Fig2(w io.Writer, mode Mode) error {
+	fmt.Fprintln(w, "# Fig.2 — optimal center distance vs connection weight A_ij,")
+	fmt.Fprintln(w, "# normalized by each model's own tangency distance (1.0 = circles tangent,")
+	fmt.Fprintln(w, "# the desired optimum of Fig. 2a)")
+	fmt.Fprintln(w, "A_ij,AR_ratio,PP_ratio,SDP_ratio")
+	weights := []float64{0.05, 0.1, 0.25, 0.5, 1, 2, 4, 8, 16}
+	for _, a := range weights {
+		nl := twoModuleNL(a)
+		radii := baseline.Radii(nl) // AR/PP convention: r = √(s/π) = 1 here
+		sum := radii[0] + radii[1]
+		// AR stationary point: d_sq* = sqrt(t/A) with t = σ(r_i+r_j)².
+		arD := math.Sqrt(math.Sqrt(sum * sum / a))
+		// PP stationary point: d* = max(kink, sqrt(sum/A)) — see Eq. 4.
+		ppD := math.Max(sum, math.Sqrt(sum/a))
+		// Our model: the distance constraint holds with equality whenever
+		// the attraction is active: D_ij = (r_i+r_j)², independent of A_ij.
+		// The SDP radius convention is r = √(s/4), so normalize by its own
+		// tangency distance.
+		sdpTangent := 2 * math.Sqrt(nl.Modules[0].MinArea/4)
+		sdpD := sdpPairDistance(nl)
+		fmt.Fprintf(w, "%.2f,%.4f,%.4f,%.4f\n", a, arD/sum, ppD/sum, sdpD/sdpTangent)
+	}
+	fmt.Fprintln(w, "# AR/PP optima drift with A_ij; the SDP distance stays at the constraint (ratio 1)")
+	return nil
+}
+
+// sdpPairDistance solves the two-module SDP and returns the model's center
+// distance √D₀₁ read from the G block — the quantity the distance
+// constraint controls (equal to the 2-D center distance once rank 2 is
+// reached).
+func sdpPairDistance(nl *netlist.Netlist) float64 {
+	// Anchor with two pads so the layout is translation-determined.
+	nl.Pads = []netlist.Pad{
+		{Name: "pl", Pos: geom.Point{X: -4, Y: 0}},
+		{Name: "pr", Pos: geom.Point{X: 4, Y: 0}},
+	}
+	nl.Nets = append(nl.Nets,
+		netlist.Net{Name: "al", Weight: 0.05, Modules: []int{0}, Pads: []int{0}},
+		netlist.Net{Name: "ar", Weight: 0.05, Modules: []int{1}, Pads: []int{1}},
+	)
+	res, err := core.Solve(nl, core.Options{MaxIter: 15})
+	if err != nil {
+		return math.NaN()
+	}
+	d01 := res.Z.At(2, 2) + res.Z.At(3, 3) - 2*res.Z.At(2, 3)
+	return math.Sqrt(math.Max(d01, 0))
+}
+
+// Fig3 tabulates the adaptive distance constraint geometry of Eqs. 25–26:
+// the forbidden-zone bound as a function of the aspect bound k and the
+// connection strength blend k_ij.
+func Fig3(w io.Writer, mode Mode) error {
+	fmt.Fprintln(w, "# Fig.3 — adaptive distance constraint (Eqs. 25-26)")
+	fmt.Fprintln(w, "# two modules, s_i = s_j = 4; radii inflated to sqrt(k*s/4)")
+	fmt.Fprintln(w, "k,A_frac,k_ij,bound_dist")
+	for _, k := range []float64{1, 2, 3} {
+		for _, frac := range []float64{0, 0.25, 0.5, 1} {
+			// A_frac = A_ij / Σ_l A_il.
+			a := linalg.NewDense(2, 2)
+			a.Set(0, 1, frac)
+			a.Set(1, 0, frac)
+			deg := []float64{1, 1} // normalize so A_ij/deg = frac
+			radii := []float64{math.Sqrt(k * 4 / 4), math.Sqrt(k * 4 / 4)}
+			aspect := []float64{k, k}
+			b := distanceBoundForTest(0, 1, radii, aspect, a, deg)
+			kij := frac*(k-1) + 1
+			fmt.Fprintf(w, "%.0f,%.2f,%.3f,%.4f\n", k, frac, kij, math.Sqrt(b))
+		}
+	}
+	fmt.Fprintln(w, "# k=1 reduces to the basic constraint (Eq. 11); larger A_frac admits closer packing")
+	return nil
+}
+
+// distanceBoundForTest re-exposes core's Eq. 26 computation via the public
+// surface available to this package (duplicated formula kept in sync by the
+// core package's own unit tests).
+func distanceBoundForTest(i, j int, radii, aspect []float64, a *linalg.Dense, deg []float64) float64 {
+	kij := a.At(i, j)/deg[i]*(aspect[i]-1) + 1
+	kji := a.At(j, i)/deg[j]*(aspect[j]-1) + 1
+	b1 := radii[j] - radii[i] + 2*radii[i]/kij
+	b2 := radii[i] - radii[j] + 2*radii[j]/kji
+	return math.Max(b1*b1, b2*b2)
+}
+
+// Table1 demonstrates the qualitative comparison of Table I numerically:
+// QP and AR collapse to trivial optima without anchors, PP is non-convex,
+// and the SDP model controls the pairwise distance directly.
+func Table1(w io.Writer, mode Mode) error {
+	fmt.Fprintln(w, "# Table I — numeric demonstrations of the qualitative comparison")
+
+	// QP without pads: the global optimum is all modules coincident.
+	nl := chain(4)
+	qp, err := baseline.SolveQP(nl)
+	if err != nil {
+		return err
+	}
+	maxD := 0.0
+	for i := range qp.Centers {
+		for j := i + 1; j < len(qp.Centers); j++ {
+			maxD = math.Max(maxD, qp.Centers[i].Dist(qp.Centers[j]))
+		}
+	}
+	fmt.Fprintf(w, "QP trivial optimum: max pairwise distance %.2e (collapsed=%v; paper: trivial)\n",
+		maxD, maxD < 1e-6)
+
+	// AR without the line-search safeguard: the convex model's global
+	// optimum is also collapse (f → −n as d → 0 only in the truncated
+	// branch; with the practical branch the stationary distance shrinks
+	// with growing A_ij).
+	nlHeavy := twoModuleNL(100)
+	arRes, err := baseline.SolveAR(nlHeavy, baseline.AROptions{Seed: 1})
+	if err != nil {
+		return err
+	}
+	dHeavy := arRes.Centers[0].Dist(arRes.Centers[1])
+	fmt.Fprintf(w, "AR area control: optimum distance %.3f for A=100 (< tangency 2; paper: partial control)\n", dHeavy)
+
+	// PP non-convexity: midpoint test along the Fig. 1b slice.
+	nl2 := twoModuleNL(1)
+	pp := baseline.PPObjective(nl2)
+	g := make([]float64, 4)
+	f := func(x float64) float64 { return pp([]float64{x, 1, 1, 1}, g) }
+	a, b, m := f(0.0), f(2.0), f(1.0+1e-9)
+	fmt.Fprintf(w, "PP convexity: f(0)=%.3f f(2)=%.3f f(mid)=%.3f — midpoint above chord: %v (paper: non-convex)\n",
+		a, b, m, m > (a+b)/2)
+
+	// Our controllable constraint: solved distance equals the bound.
+	nlSDP := twoModuleNL(8)
+	bound := 2 * math.Sqrt(nlSDP.Modules[0].MinArea/4) // r_i + r_j with r = √(s/4)
+	d := sdpPairDistance(nlSDP)
+	fmt.Fprintf(w, "SDP distance control: solved distance %.4f vs constraint %.4f (paper: controllable)\n", d, bound)
+	fmt.Fprintln(w, "#")
+	fmt.Fprintln(w, "# method  convex  non-trivial-opt  area-constraint")
+	fmt.Fprintln(w, "# QP      yes     no (collapses)   none")
+	fmt.Fprintln(w, "# AR      yes     no (collapses)   partial (drifts with A_ij)")
+	fmt.Fprintln(w, "# PP      no      yes              partial (drifts with A_ij)")
+	fmt.Fprintln(w, "# ours    yes     yes              controllable (hard constraint)")
+	return nil
+}
+
+func chain(n int) *netlist.Netlist {
+	nl := &netlist.Netlist{}
+	for i := 0; i < n; i++ {
+		nl.Modules = append(nl.Modules, netlist.Module{Name: fmt.Sprintf("m%d", i), MinArea: 1, MaxAspect: 3})
+	}
+	for i := 0; i+1 < n; i++ {
+		nl.Nets = append(nl.Nets, netlist.Net{Name: fmt.Sprintf("e%d", i), Weight: 1, Modules: []int{i, i + 1}})
+	}
+	return nl
+}
+
+func sampleRange(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+// isConvexSeries checks discrete convexity (second differences ≥ −tol).
+func isConvexSeries(xs, ys []float64) bool {
+	for i := 1; i+1 < len(ys); i++ {
+		h1 := xs[i] - xs[i-1]
+		h2 := xs[i+1] - xs[i]
+		second := (ys[i+1]-ys[i])/h2 - (ys[i]-ys[i-1])/h1
+		if second < -1e-6*(1+math.Abs(ys[i])) {
+			return false
+		}
+	}
+	return true
+}

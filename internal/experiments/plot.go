@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"sdpfloor/internal/svg"
+)
+
+// PlotCSV renders a figure experiment's CSV output as SVG line charts
+// (fig4, fig5a, fig5b; other ids and tables are a no-op). Charts are
+// written into outDir next to the CSV.
+func PlotCSV(id, csvPath, outDir string) error {
+	rows, err := readCSVRows(csvPath)
+	if err != nil {
+		return err
+	}
+	switch id {
+	case "fig4":
+		return plotFig4(rows, outDir)
+	case "fig5a":
+		return plotFig5a(rows, outDir)
+	case "fig5b":
+		return plotFig5b(rows, csvPath, outDir)
+	default:
+		return nil
+	}
+}
+
+// readCSVRows returns the non-comment, non-header rows as string fields.
+func readCSVRows(path string) ([][]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if _, err := strconv.ParseFloat(fields[len(fields)-1], 64); err != nil {
+			// Header or boolean-tailed row — keep rows whose numeric columns
+			// parse later; headers are filtered by the per-figure parsers.
+			if fields[len(fields)-1] != "true" && fields[len(fields)-1] != "false" {
+				continue
+			}
+		}
+		rows = append(rows, fields)
+	}
+	return rows, nil
+}
+
+func plotFig4(rows [][]string, outDir string) error {
+	// benchmark,variant,alpha,hpwl,rank_ok,feasible → chart per benchmark.
+	type key struct{ bench, variant string }
+	series := map[key]*svg.Series{}
+	benches := map[string]bool{}
+	for _, f := range rows {
+		if len(f) < 6 || f[3] == "" {
+			continue // legalization failure: missing point, as in the paper
+		}
+		alpha, err1 := strconv.ParseFloat(f[2], 64)
+		hpwl, err2 := strconv.ParseFloat(f[3], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		k := key{f[0], f[1]}
+		if series[k] == nil {
+			series[k] = &svg.Series{Label: f[1]}
+		}
+		series[k].X = append(series[k].X, log2(alpha))
+		series[k].Y = append(series[k].Y, hpwl)
+		benches[f[0]] = true
+	}
+	for bench := range benches {
+		var ss []svg.Series
+		for _, variant := range []string{"basic", "+nonsquare", "+manhattan", "+hyperedge"} {
+			if s := series[key{bench, variant}]; s != nil {
+				ss = append(ss, *s)
+			}
+		}
+		if err := writeChart(filepath.Join(outDir, "fig4-"+bench+".svg"),
+			"Fig.4 "+bench+": alpha vs legalized HPWL", "log2(alpha)", "HPWL", ss); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func plotFig5a(rows [][]string, outDir string) error {
+	// benchmark,alpha,iter,objective,wz → chart per benchmark, series per α.
+	type key struct{ bench, alpha string }
+	series := map[key]*svg.Series{}
+	benches := map[string]bool{}
+	var order []key
+	for _, f := range rows {
+		if len(f) < 5 {
+			continue
+		}
+		iter, err1 := strconv.ParseFloat(f[2], 64)
+		obj, err2 := strconv.ParseFloat(f[3], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		k := key{f[0], f[1]}
+		if series[k] == nil {
+			series[k] = &svg.Series{Label: "alpha=" + f[1]}
+			order = append(order, k)
+		}
+		series[k].X = append(series[k].X, iter)
+		series[k].Y = append(series[k].Y, obj)
+		benches[f[0]] = true
+	}
+	for bench := range benches {
+		var ss []svg.Series
+		for _, k := range order {
+			if k.bench == bench {
+				ss = append(ss, *series[k])
+			}
+		}
+		if err := writeChart(filepath.Join(outDir, "fig5a-"+bench+".svg"),
+			"Fig.5(a) "+bench+": objective vs iteration", "iteration", "objective", ss); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func plotFig5b(rows [][]string, csvPath, outDir string) error {
+	s := svg.Series{Label: "measured"}
+	for _, f := range rows {
+		if len(f) != 2 {
+			continue
+		}
+		n, err1 := strconv.ParseFloat(f[0], 64)
+		sec, err2 := strconv.ParseFloat(f[1], 64)
+		if err1 != nil || err2 != nil || sec <= 0 {
+			continue
+		}
+		s.X = append(s.X, log2(n))
+		s.Y = append(s.Y, log2(sec))
+	}
+	if len(s.X) == 0 {
+		return fmt.Errorf("no fig5b rows in %s", csvPath)
+	}
+	// n⁴ reference through the first point (the paper's dashed line).
+	ref := svg.Series{Label: "n^4 reference"}
+	for i := range s.X {
+		ref.X = append(ref.X, s.X[i])
+		ref.Y = append(ref.Y, s.Y[0]+4*(s.X[i]-s.X[0]))
+	}
+	return writeChart(filepath.Join(outDir, "fig5b.svg"),
+		"Fig.5(b) runtime per iteration vs n (log-log)", "log2(n)", "log2(seconds)",
+		[]svg.Series{s, ref})
+}
+
+func writeChart(path, title, xl, yl string, ss []svg.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := svg.LineChart(f, title, xl, yl, ss); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+func log2(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Log2(v)
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlotCSVFig4(t *testing.T) {
+	dir := t.TempDir()
+	csv := `# Fig.4
+benchmark,variant,alpha,hpwl,rank_ok,feasible
+n10,basic,2,3600,true,true
+n10,basic,8,3500,true,true
+n10,+nonsquare,2,3450,true,true
+n10,+nonsquare,8,,true,false
+`
+	p := writeTemp(t, dir, "fig4.csv", csv)
+	if err := PlotCSV("fig4", p, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig4-n10.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, "<polyline") || !strings.Contains(s, ">basic</text>") {
+		t.Fatalf("fig4 chart incomplete:\n%s", s[:200])
+	}
+	// The failed cell must be a missing point: +nonsquare has one point.
+	if strings.Count(s, "<polyline") != 2 {
+		t.Fatalf("expected 2 series, got %d", strings.Count(s, "<polyline"))
+	}
+}
+
+func TestPlotCSVFig5a(t *testing.T) {
+	dir := t.TempDir()
+	csv := `benchmark,alpha,iter,objective,wz
+n10,4,1,100,5
+n10,4,2,90,4
+n10,1024,1,100,3
+n10,1024,2,120,1
+`
+	p := writeTemp(t, dir, "fig5a.csv", csv)
+	if err := PlotCSV("fig5a", p, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig5a-n10.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "alpha=1024") {
+		t.Fatal("legend missing alpha series")
+	}
+}
+
+func TestPlotCSVFig5b(t *testing.T) {
+	dir := t.TempDir()
+	csv := "n,seconds\n10,0.01\n20,0.2\n30,1.1\n"
+	p := writeTemp(t, dir, "fig5b.csv", csv)
+	if err := PlotCSV("fig5b", p, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig5b.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "n^4 reference") {
+		t.Fatal("reference line missing")
+	}
+}
+
+func TestPlotCSVTableNoOp(t *testing.T) {
+	dir := t.TempDir()
+	p := writeTemp(t, dir, "table2.csv", "a,b\n1,2\n")
+	if err := PlotCSV("table2", p, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("table plot should be a no-op; dir has %d entries", len(entries))
+	}
+}
+
+func TestPlotCSVMissingFile(t *testing.T) {
+	if err := PlotCSV("fig4", "/does/not/exist.csv", t.TempDir()); err == nil {
+		t.Fatal("expected error for missing CSV")
+	}
+}

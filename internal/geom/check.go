@@ -1,0 +1,52 @@
+package geom
+
+import "fmt"
+
+// CheckLayout validates a legalized floorplan: every rectangle inside the
+// outline (within tol) and no two rectangles overlapping (beyond tol).
+// Returns nil when legal, or an error naming the first violation.
+func CheckLayout(rects []Rect, outline Rect, tol float64) error {
+	for i, r := range rects {
+		if !outline.ContainsRect(r, tol) {
+			return fmt.Errorf("geom: rect %d %+v escapes outline %+v", i, r, outline)
+		}
+	}
+	for i := range rects {
+		for j := i + 1; j < len(rects); j++ {
+			if rects[i].Intersects(rects[j], tol) {
+				return fmt.Errorf("geom: rects %d and %d overlap by %.3g area",
+					i, j, rects[i].Overlap(rects[j]))
+			}
+		}
+	}
+	return nil
+}
+
+// LayoutStats summarizes a floorplan for reporting.
+type LayoutStats struct {
+	Area       float64 // Σ rect areas
+	Utilized   float64 // Area / outline area
+	MaxOverlap float64 // largest pairwise overlap area (0 when legal)
+	BBox       Rect    // bounding box of the rectangles
+}
+
+// Stats computes LayoutStats for the rectangles against the outline.
+func Stats(rects []Rect, outline Rect) LayoutStats {
+	st := LayoutStats{}
+	var bb BBox
+	for i, r := range rects {
+		st.Area += r.Area()
+		bb.Extend(Point{X: r.MinX, Y: r.MinY})
+		bb.Extend(Point{X: r.MaxX, Y: r.MaxY})
+		for j := i + 1; j < len(rects); j++ {
+			if ov := r.Overlap(rects[j]); ov > st.MaxOverlap {
+				st.MaxOverlap = ov
+			}
+		}
+	}
+	if outline.Area() > 0 {
+		st.Utilized = st.Area / outline.Area()
+	}
+	st.BBox = bb.Rect()
+	return st
+}

@@ -1,0 +1,57 @@
+package gsrc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseBlocks checks the .blocks parser never panics and either errors
+// or produces modules with sane fields on arbitrary input.
+func FuzzParseBlocks(f *testing.F) {
+	f.Add("sb0 softrectangular 4 0.333 3.0\np0 terminal\n")
+	f.Add("bk1 hardrectilinear 4 (0, 0) (0, 133) (336, 133) (336, 0)\n")
+	f.Add("UCSC blocks 1.0\nNumTerminals : 2\n")
+	f.Add("x softrectangular nan inf -1\n")
+	f.Add("x hardrectilinear 4 (((((\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		var d Design
+		d.Netlist = newEmptyNetlist()
+		if err := parseBlocks(strings.NewReader(in), &d); err != nil {
+			return
+		}
+		for _, m := range d.Netlist.Modules {
+			if m.Name == "" {
+				t.Fatalf("parsed module without a name from %q", in)
+			}
+		}
+	})
+}
+
+// FuzzParseNets checks the .nets parser never panics.
+func FuzzParseNets(f *testing.F) {
+	f.Add("NetDegree : 2\nsb0 B\nsb1 B\n")
+	f.Add("NetDegree : 0\n")
+	f.Add("junk\nNetDegree : 2\nsb0 B\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		var d Design
+		d.Netlist = newEmptyNetlist()
+		d.Netlist.Modules = append(d.Netlist.Modules,
+			netlistModule("sb0"), netlistModule("sb1"))
+		_ = parseNets(strings.NewReader(in), &d) // must not panic
+	})
+}
+
+// FuzzParsePl checks the .pl parser never panics and keeps positions finite
+// strings it managed to parse.
+func FuzzParsePl(f *testing.F) {
+	f.Add("p0 1.5 2.5\nsb0 0 0 FIXED\n# outline 0 0 5 5\n")
+	f.Add("# outline a b c d\n")
+	f.Add("p0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		var d Design
+		d.Netlist = newEmptyNetlist()
+		d.Netlist.Modules = append(d.Netlist.Modules, netlistModule("sb0"))
+		d.Netlist.Pads = append(d.Netlist.Pads, netlistPad("p0"))
+		_ = parsePl(strings.NewReader(in), &d) // must not panic
+	})
+}

@@ -1,0 +1,290 @@
+package gsrc
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sdpfloor/internal/geom"
+)
+
+func TestGenerateMatchesSpecStatistics(t *testing.T) {
+	for _, name := range BuiltinNames {
+		spec := BuiltinSpecs[name]
+		d, err := Builtin(name, 1, 0.15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nl := d.Netlist
+		if len(nl.Modules) != spec.Modules {
+			t.Fatalf("%s: %d modules, want %d", name, len(nl.Modules), spec.Modules)
+		}
+		// The generator may append a few repair nets for isolated modules.
+		if len(nl.Nets) < spec.Nets || len(nl.Nets) > spec.Nets+spec.Modules/4+2 {
+			t.Fatalf("%s: %d nets, want ≈%d", name, len(nl.Nets), spec.Nets)
+		}
+		if len(nl.Pads) != spec.Pads {
+			t.Fatalf("%s: %d pads, want %d", name, len(nl.Pads), spec.Pads)
+		}
+		if err := nl.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Builtin("n30", 1, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Builtin("n30", 1, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Netlist.TotalArea() != b.Netlist.TotalArea() {
+		t.Fatal("generator is not deterministic")
+	}
+	for i := range a.Netlist.Nets {
+		if len(a.Netlist.Nets[i].Modules) != len(b.Netlist.Nets[i].Modules) {
+			t.Fatal("net structure differs across runs")
+		}
+	}
+}
+
+func TestGenerateAspectChangesOutlineNotLogic(t *testing.T) {
+	sq, err := Builtin("n10", 1, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tall, err := Builtin("n10", 2, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same areas and nets.
+	for i := range sq.Netlist.Modules {
+		if sq.Netlist.Modules[i].MinArea != tall.Netlist.Modules[i].MinArea {
+			t.Fatal("areas differ across aspect ratios")
+		}
+	}
+	// Outline ratio ≈ 2.
+	r := tall.Outline.H() / tall.Outline.W()
+	if math.Abs(r-2) > 1e-9 {
+		t.Fatalf("outline ratio = %g, want 2", r)
+	}
+	if math.Abs(sq.Outline.H()/sq.Outline.W()-1) > 1e-9 {
+		t.Fatal("square outline not square")
+	}
+	// Outline area covers the modules plus whitespace.
+	wantArea := sq.Netlist.TotalArea() * 1.15
+	if math.Abs(sq.Outline.Area()-wantArea) > 1e-6*wantArea {
+		t.Fatalf("outline area %g, want %g", sq.Outline.Area(), wantArea)
+	}
+}
+
+func TestPadsOnPerimeter(t *testing.T) {
+	d, err := Builtin("n10", 1, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range d.Netlist.Pads {
+		onX := p.Pos.X == d.Outline.MinX || p.Pos.X == d.Outline.MaxX
+		onY := p.Pos.Y == d.Outline.MinY || p.Pos.Y == d.Outline.MaxY
+		inside := d.Outline.Contains(p.Pos)
+		if !inside || (!onX && !onY) {
+			t.Fatalf("pad %s at %v is not on the outline boundary", p.Name, p.Pos)
+		}
+	}
+}
+
+func TestPerimeterPoint(t *testing.T) {
+	r := geom.Rect{MinX: 0, MinY: 0, MaxX: 4, MaxY: 2}
+	cases := []struct {
+		t    float64
+		want geom.Point
+	}{
+		{0, geom.Point{X: 0, Y: 0}},
+		{4.0 / 12, geom.Point{X: 4, Y: 0}},
+		{6.0 / 12, geom.Point{X: 4, Y: 2}},
+		{10.0 / 12, geom.Point{X: 0, Y: 2}},
+	}
+	for _, c := range cases {
+		got := perimeterPoint(r, c.t)
+		if got.Dist(c.want) > 1e-9 {
+			t.Fatalf("perimeterPoint(%g) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Builtin("n10", 1, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDesign(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDesign(dir, "n10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Netlist.Modules) != len(d.Netlist.Modules) {
+		t.Fatalf("modules: %d vs %d", len(got.Netlist.Modules), len(d.Netlist.Modules))
+	}
+	for i := range d.Netlist.Modules {
+		w, g := d.Netlist.Modules[i], got.Netlist.Modules[i]
+		if w.Name != g.Name || math.Abs(w.MinArea-g.MinArea) > 1e-4 || math.Abs(w.MaxAspect-g.MaxAspect) > 1e-4 {
+			t.Fatalf("module %d round-trip mismatch: %+v vs %+v", i, w, g)
+		}
+	}
+	if len(got.Netlist.Nets) != len(d.Netlist.Nets) {
+		t.Fatalf("nets: %d vs %d", len(got.Netlist.Nets), len(d.Netlist.Nets))
+	}
+	for i := range d.Netlist.Nets {
+		if len(got.Netlist.Nets[i].Modules) != len(d.Netlist.Nets[i].Modules) ||
+			len(got.Netlist.Nets[i].Pads) != len(d.Netlist.Nets[i].Pads) {
+			t.Fatalf("net %d round-trip mismatch", i)
+		}
+	}
+	for i := range d.Netlist.Pads {
+		if got.Netlist.Pads[i].Pos.Dist(d.Netlist.Pads[i].Pos) > 1e-4 {
+			t.Fatalf("pad %d moved in round trip", i)
+		}
+	}
+	if got.Outline.W() == 0 || math.Abs(got.Outline.Area()-d.Outline.Area()) > 1e-3*d.Outline.Area() {
+		t.Fatalf("outline lost: %+v vs %+v", got.Outline, d.Outline)
+	}
+}
+
+func TestParseHardRectilinear(t *testing.T) {
+	blocks := `UCSC blocks 1.0
+NumSoftRectangularBlocks : 0
+NumHardRectilinearBlocks : 2
+NumTerminals : 1
+
+bk1 hardrectilinear 4 (0, 0) (0, 133) (336, 133) (336, 0)
+bk2 hardrectilinear 4 (0, 0) (0, 100) (100, 100) (100, 0)
+
+P1 terminal
+`
+	var d Design
+	d.Netlist = newEmptyNetlist()
+	if err := parseBlocks(strings.NewReader(blocks), &d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Netlist.Modules) != 2 || len(d.Netlist.Pads) != 1 {
+		t.Fatalf("parsed %d modules, %d pads", len(d.Netlist.Modules), len(d.Netlist.Pads))
+	}
+	if math.Abs(d.Netlist.Modules[0].MinArea-336*133) > 1e-9 {
+		t.Fatalf("area = %g", d.Netlist.Modules[0].MinArea)
+	}
+	wantAR := 336.0 / 133
+	if math.Abs(d.Netlist.Modules[0].MaxAspect-wantAR) > 1e-9 {
+		t.Fatalf("aspect = %g, want %g", d.Netlist.Modules[0].MaxAspect, wantAR)
+	}
+	if d.Netlist.Modules[1].MaxAspect != 1 {
+		t.Fatalf("square hard block aspect = %g", d.Netlist.Modules[1].MaxAspect)
+	}
+}
+
+func TestParseNetsRejectsUnknownPin(t *testing.T) {
+	var d Design
+	d.Netlist = newEmptyNetlist()
+	nets := "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\nNetDegree : 2\nnope B\nalso B\n"
+	if err := parseNets(strings.NewReader(nets), &d); err == nil {
+		t.Fatal("expected unknown pin error")
+	}
+}
+
+func TestBuiltinUnknown(t *testing.T) {
+	if _, err := Builtin("n9999", 1, 0.15); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
+
+func TestGenerateRejectsTinySpec(t *testing.T) {
+	if _, err := Generate(Spec{Name: "x", Modules: 1, Nets: 1}, 1, 0.15); err == nil {
+		t.Fatal("expected error for single module")
+	}
+}
+
+func TestParseBlocksMalformedInputs(t *testing.T) {
+	cases := map[string]string{
+		"bad soft numbers": "bk softrectangular x 0.3 3\n",
+		"short soft":       "bk softrectangular 4\n",
+		"bad corners":      "bk hardrectilinear 4 (0,0 (0,1)\n",
+		"no corners":       "bk hardrectilinear 4\n",
+		"bad corner pair":  "bk hardrectilinear 4 (0;0) (1,1)\n",
+	}
+	for name, in := range cases {
+		var d Design
+		d.Netlist = newEmptyNetlist()
+		if err := parseBlocks(strings.NewReader(in), &d); err == nil {
+			t.Fatalf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestParseBlocksIgnoresNoise(t *testing.T) {
+	in := "UCSC blocks 1.0\n# comment\n\nNumSoftRectangularBlocks : 1\nshortline\n" +
+		"bk softrectangular 4 0.5 2\n"
+	var d Design
+	d.Netlist = newEmptyNetlist()
+	if err := parseBlocks(strings.NewReader(in), &d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Netlist.Modules) != 1 {
+		t.Fatalf("modules = %d", len(d.Netlist.Modules))
+	}
+	// Aspect bound is max(maxAR, 1/minAR) = max(2, 2) = 2.
+	if d.Netlist.Modules[0].MaxAspect != 2 {
+		t.Fatalf("aspect = %g", d.Netlist.Modules[0].MaxAspect)
+	}
+}
+
+func TestReadDesignMissingFiles(t *testing.T) {
+	if _, err := ReadDesign(t.TempDir(), "nothere"); err == nil {
+		t.Fatal("expected error for missing files")
+	}
+}
+
+func TestParsePlReadsOutlineAndFixed(t *testing.T) {
+	var d Design
+	d.Netlist = newEmptyNetlist()
+	d.Netlist.Modules = append(d.Netlist.Modules, netlistModule("sb0"))
+	d.Netlist.Pads = append(d.Netlist.Pads, netlistPad("p0"))
+	pl := "UCLA pl 1.0\n# outline 0 0 10 20\n\nsb0 3 4 FIXED\np0 0 10\nnoise\n"
+	if err := parsePl(strings.NewReader(pl), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Outline.W() != 10 || d.Outline.H() != 20 {
+		t.Fatalf("outline = %+v", d.Outline)
+	}
+	if !d.Netlist.Modules[0].Fixed || d.Netlist.Modules[0].FixedPos != (geom.Point{X: 3, Y: 4}) {
+		t.Fatalf("fixed module lost: %+v", d.Netlist.Modules[0])
+	}
+	if d.Netlist.Pads[0].Pos != (geom.Point{X: 0, Y: 10}) {
+		t.Fatalf("pad position lost: %+v", d.Netlist.Pads[0])
+	}
+}
+
+func TestWriteReadRoundTripWithFixedModule(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Builtin("n10", 1, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Netlist.Modules[3].Fixed = true
+	d.Netlist.Modules[3].FixedPos = geom.Point{X: 7, Y: 9}
+	if err := WriteDesign(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDesign(dir, "n10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got.Netlist.Modules[3]
+	if !m.Fixed || m.FixedPos.Dist(geom.Point{X: 7, Y: 9}) > 1e-4 {
+		t.Fatalf("PPM lost in round trip: %+v", m)
+	}
+}

@@ -1,0 +1,288 @@
+package legalize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sdpfloor/internal/geom"
+	"sdpfloor/internal/netlist"
+)
+
+func gridNL(n int, rng *rand.Rand) *netlist.Netlist {
+	nl := &netlist.Netlist{}
+	for i := 0; i < n; i++ {
+		nl.Modules = append(nl.Modules, netlist.Module{
+			Name: "m", MinArea: 1 + 2*rng.Float64(), MaxAspect: 3,
+		})
+	}
+	for i := 0; i < 2*n; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		nl.Nets = append(nl.Nets, netlist.Net{Name: "n", Weight: 1, Modules: []int{a, b}})
+	}
+	return nl
+}
+
+// spreadCenters places modules on a jittered grid inside the outline.
+func spreadCenters(n int, out geom.Rect, rng *rand.Rand) []geom.Point {
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	cs := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		r, c := i/cols, i%cols
+		cs[i] = geom.Point{
+			X: out.MinX + (float64(c)+0.5)*out.W()/float64(cols) + 0.05*rng.NormFloat64(),
+			Y: out.MinY + (float64(r)+0.5)*out.H()/float64(cols) + 0.05*rng.NormFloat64(),
+		}
+	}
+	return cs
+}
+
+func TestLegalizeProducesLegalFloorplan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	nl := gridNL(9, rng)
+	side := math.Sqrt(nl.TotalArea() * 1.3)
+	out := geom.Rect{MinX: 0, MinY: 0, MaxX: side, MaxY: side}
+	res, err := Legalize(nl, spreadCenters(9, out, rng), Options{Outline: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("legalization failed: packed %g x %g, outline %g x %g",
+			res.PackedW, res.PackedH, out.W(), out.H())
+	}
+	for i := range res.Rects {
+		if !out.ContainsRect(res.Rects[i], 1e-6) {
+			t.Fatalf("module %d outside outline: %+v", i, res.Rects[i])
+		}
+		// Area preserved.
+		if math.Abs(res.Rects[i].Area()-nl.Modules[i].MinArea) > 1e-6*nl.Modules[i].MinArea {
+			t.Fatalf("module %d area %g, want %g", i, res.Rects[i].Area(), nl.Modules[i].MinArea)
+		}
+		// Aspect bounds.
+		ar := res.Rects[i].W() / res.Rects[i].H()
+		if ar > 3+1e-6 || ar < 1.0/3-1e-6 {
+			t.Fatalf("module %d aspect %g", i, ar)
+		}
+		for j := i + 1; j < len(res.Rects); j++ {
+			if res.Rects[i].Intersects(res.Rects[j], 1e-9) {
+				t.Fatalf("modules %d and %d overlap", i, j)
+			}
+		}
+	}
+	if res.HPWL <= 0 {
+		t.Fatal("HPWL should be positive")
+	}
+}
+
+func TestLegalizeManyRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(10)
+		nl := gridNL(n, rng)
+		side := math.Sqrt(nl.TotalArea() * 1.4)
+		out := geom.Rect{MinX: 0, MinY: 0, MaxX: side, MaxY: side}
+		res, err := Legalize(nl, spreadCenters(n, out, rng), Options{Outline: out})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Overlap-free always (packing guarantee), feasibility at 40%
+		// whitespace expected.
+		for i := range res.Rects {
+			for j := i + 1; j < len(res.Rects); j++ {
+				if res.Rects[i].Intersects(res.Rects[j], 1e-9) {
+					t.Fatalf("trial %d: modules %d,%d overlap", trial, i, j)
+				}
+			}
+		}
+		if !res.Feasible {
+			t.Fatalf("trial %d: infeasible at 40%% whitespace (packed %g x %g in %g)",
+				trial, res.PackedW, res.PackedH, side)
+		}
+	}
+}
+
+func TestLegalizeRespectsRelativeOrder(t *testing.T) {
+	// Two modules left/right: legalized result must preserve the order.
+	nl := &netlist.Netlist{
+		Modules: []netlist.Module{
+			{Name: "a", MinArea: 1, MaxAspect: 3},
+			{Name: "b", MinArea: 1, MaxAspect: 3},
+		},
+		Nets: []netlist.Net{{Name: "n", Weight: 1, Modules: []int{0, 1}}},
+	}
+	out := geom.Rect{MinX: 0, MinY: 0, MaxX: 3, MaxY: 3}
+	centers := []geom.Point{{X: 0.5, Y: 1.5}, {X: 2.5, Y: 1.5}}
+	res, err := Legalize(nl, centers, Options{Outline: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.Centers[0].X < res.Centers[1].X) {
+		t.Fatalf("order flipped: %v", res.Centers)
+	}
+	if !res.Feasible {
+		t.Fatal("trivial instance should be feasible")
+	}
+}
+
+func TestLegalizeTightOutlineCanFail(t *testing.T) {
+	// An outline with zero whitespace and incompatible aspect bounds can be
+	// infeasible — the failure mode of Fig. 4's missing points. Feasible
+	// must then be false, never a silently-overlapping layout.
+	nl := &netlist.Netlist{
+		Modules: []netlist.Module{
+			{Name: "a", MinArea: 4, MaxAspect: 1},
+			{Name: "b", MinArea: 4, MaxAspect: 1},
+		},
+		Nets: []netlist.Net{{Name: "n", Weight: 1, Modules: []int{0, 1}}},
+	}
+	out := geom.Rect{MinX: 0, MinY: 0, MaxX: 2.5, MaxY: 2.5}
+	centers := []geom.Point{{X: 1, Y: 1.2}, {X: 1.5, Y: 1.3}}
+	res, err := Legalize(nl, centers, Options{Outline: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatalf("two 2x2 squares cannot fit a 2.5x2.5 outline: %+v", res.Rects)
+	}
+}
+
+func TestBuildGraphsCoversAllPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 12
+	centers := make([]geom.Point, n)
+	for i := range centers {
+		centers[i] = geom.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+	}
+	g := buildGraphs(centers, geom.Rect{MaxX: 10, MaxY: 10})
+	if len(g.h)+len(g.v) != n*(n-1)/2 {
+		t.Fatalf("pair coverage %d+%d != %d", len(g.h), len(g.v), n*(n-1)/2)
+	}
+	// All edges oriented consistently with the centers.
+	for _, e := range g.h {
+		if centers[e[0]].X > centers[e[1]].X {
+			t.Fatal("H edge points backwards")
+		}
+	}
+	for _, e := range g.v {
+		if centers[e[0]].Y > centers[e[1]].Y {
+			t.Fatal("V edge points backwards")
+		}
+	}
+}
+
+func TestBuildGraphsRespectsOutlineAspect(t *testing.T) {
+	// A wide outline should classify a diagonal pair as horizontal.
+	centers := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}
+	wide := buildGraphs(centers, geom.Rect{MaxX: 10, MaxY: 1})
+	if len(wide.h) != 0 || len(wide.v) != 1 {
+		// dx·H = 1·1, dy·W = 1·10 → vertical separation preferred in a wide die.
+		t.Fatalf("wide die should prefer vertical separation: h=%d v=%d", len(wide.h), len(wide.v))
+	}
+	tall := buildGraphs(centers, geom.Rect{MaxX: 1, MaxY: 10})
+	if len(tall.h) != 1 || len(tall.v) != 0 {
+		t.Fatalf("tall die should prefer horizontal separation: h=%d v=%d", len(tall.h), len(tall.v))
+	}
+}
+
+func TestLegalizeErrors(t *testing.T) {
+	nl := gridNL(3, rand.New(rand.NewSource(1)))
+	if _, err := Legalize(nl, make([]geom.Point, 2), Options{Outline: geom.Rect{MaxX: 5, MaxY: 5}}); err == nil {
+		t.Fatal("expected center count error")
+	}
+	if _, err := Legalize(nl, make([]geom.Point, 3), Options{}); err == nil {
+		t.Fatal("expected outline error")
+	}
+	if _, err := Legalize(&netlist.Netlist{}, nil, Options{Outline: geom.Rect{MaxX: 1, MaxY: 1}}); err == nil {
+		t.Fatal("expected empty netlist error")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median wrong")
+	}
+	if median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median wrong")
+	}
+}
+
+func TestLegalizePreservesConstraintGraphOrder(t *testing.T) {
+	// After legalization, every H edge (i→j) keeps i strictly left of j and
+	// every V edge keeps i below j — the invariant the paper's constraint
+	// graphs encode.
+	rng := rand.New(rand.NewSource(21))
+	nl := gridNL(10, rng)
+	side := math.Sqrt(nl.TotalArea() * 1.4)
+	out := geom.Rect{MinX: 0, MinY: 0, MaxX: side, MaxY: side}
+	centers := spreadCenters(10, out, rng)
+	g := buildGraphs(centers, out)
+	res, err := Legalize(nl, centers, Options{Outline: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Skip("instance infeasible at this whitespace; order check not applicable")
+	}
+	for _, e := range g.h {
+		i, j := e[0], e[1]
+		if res.Rects[i].MaxX > res.Rects[j].MinX+1e-9 {
+			t.Fatalf("H edge (%d→%d) violated: %g > %g", i, j, res.Rects[i].MaxX, res.Rects[j].MinX)
+		}
+	}
+	for _, e := range g.v {
+		i, j := e[0], e[1]
+		if res.Rects[i].MaxY > res.Rects[j].MinY+1e-9 {
+			t.Fatalf("V edge (%d→%d) violated", i, j)
+		}
+	}
+}
+
+func TestLegalizeSingleModule(t *testing.T) {
+	nl := &netlist.Netlist{
+		Modules: []netlist.Module{{Name: "solo", MinArea: 4, MaxAspect: 2}},
+		Pads:    []netlist.Pad{{Name: "p", Pos: geom.Point{X: 0, Y: 0}}},
+		Nets:    []netlist.Net{{Name: "n", Weight: 1, Modules: []int{0}, Pads: []int{0}}},
+	}
+	out := geom.Rect{MinX: 0, MinY: 0, MaxX: 5, MaxY: 5}
+	res, err := Legalize(nl, []geom.Point{{X: 2.5, Y: 2.5}}, Options{Outline: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("single module must be feasible")
+	}
+	if math.Abs(res.Rects[0].Area()-4) > 1e-9 {
+		t.Fatalf("area %g", res.Rects[0].Area())
+	}
+}
+
+func TestLegalizeHugeWhitespaceKeepsGlobalShape(t *testing.T) {
+	// With lots of room, legalized centers should stay close to the global
+	// plan (relative distances preserved up to packing granularity).
+	nl := &netlist.Netlist{
+		Modules: []netlist.Module{
+			{Name: "a", MinArea: 1, MaxAspect: 2},
+			{Name: "b", MinArea: 1, MaxAspect: 2},
+			{Name: "c", MinArea: 1, MaxAspect: 2},
+		},
+		Nets: []netlist.Net{
+			{Name: "ab", Weight: 1, Modules: []int{0, 1}},
+			{Name: "bc", Weight: 1, Modules: []int{1, 2}},
+		},
+	}
+	out := geom.Rect{MinX: 0, MinY: 0, MaxX: 20, MaxY: 20}
+	centers := []geom.Point{{X: 4, Y: 10}, {X: 10, Y: 10}, {X: 16, Y: 10}}
+	res, err := Legalize(nl, centers, Options{Outline: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("trivially feasible instance failed")
+	}
+	if !(res.Centers[0].X < res.Centers[1].X && res.Centers[1].X < res.Centers[2].X) {
+		t.Fatalf("chain order lost: %v", res.Centers)
+	}
+}

@@ -1,0 +1,192 @@
+package legalize
+
+import (
+	"fmt"
+	"math"
+
+	"sdpfloor/internal/geom"
+	"sdpfloor/internal/linalg"
+	"sdpfloor/internal/netlist"
+	"sdpfloor/internal/sdp"
+)
+
+// SOCPShapes is the paper's legalization formulation solved exactly: given
+// the constraint graphs derived from the global centers, the joint shape and
+// position optimization
+//
+//	min  Σ_e weight·(Ux_e − Lx_e + Uy_e − Ly_e)         (HPWL)
+//	s.t. x_j − x_i ≥ (w_i + w_j)/2       for H edges (i, j)
+//	     y_j − y_i ≥ (h_i + h_j)/2       for V edges
+//	     module inside the outline;  w_i ∈ [√(s/k), √(sk)]
+//	     w_i·h_i ≥ s_i                    (minimum area)
+//	     Lx_e ≤ pin ≤ Ux_e               for every pin of every net
+//
+// is a second-order cone program: the hyperbolic constraint w·h ≥ s is the
+// rotated cone [[w, √s], [√s, h]] ⪰ 0, a 2×2 PSD block per module. The
+// paper hands this to MOSEK; here it runs on the same interior-point solver
+// as the floorplanning sub-problems, followed by the compaction pass for
+// exactly-legal coordinates. Cost grows with #pins (the Schur complement is
+// dense), so this path suits small-to-medium designs; Legalize's default
+// penalty/L-BFGS pipeline approximates the same program at a fraction of
+// the cost.
+func SOCPShapes(nl *netlist.Netlist, centers []geom.Point, opt Options) (*Result, error) {
+	n := nl.N()
+	if n == 0 || len(centers) != n {
+		return nil, fmt.Errorf("legalize: SOCPShapes needs %d centers, got %d", n, len(centers))
+	}
+	if opt.Outline.W() <= 0 || opt.Outline.H() <= 0 {
+		return nil, ErrNoOutline
+	}
+	opt.setDefaults()
+	graphs := buildGraphs(centers, opt.Outline)
+	out := opt.Outline
+	W, H := out.W(), out.H()
+
+	// Variable layout. PSD blocks: per module [[w, t],[t, h]].
+	// LP block: x_i, y_i (center coordinates shifted to outline-local),
+	// then per net Lx, Ux, Ly, Uy, then one slack per inequality.
+	numNets := len(nl.Nets)
+	xOf := func(i int) int { return 2 * i }
+	yOf := func(i int) int { return 2*i + 1 }
+	netBase := 2 * n
+	lxOf := func(e int) int { return netBase + 4*e }
+	uxOf := func(e int) int { return netBase + 4*e + 1 }
+	lyOf := func(e int) int { return netBase + 4*e + 2 }
+	uyOf := func(e int) int { return netBase + 4*e + 3 }
+	nVars := netBase + 4*numNets
+
+	var cons []sdp.Constraint
+	slack := nVars // slacks appended after the structural variables
+	addIneq := func(psd []sdp.Entry, psdBlock int, lp []sdp.LPEntry, rhs float64) {
+		c := sdp.Constraint{LP: append(lp, sdp.LPEntry{I: slack, V: -1}), B: rhs}
+		if psd != nil {
+			c.PSD = make([][]sdp.Entry, psdBlock+1)
+			c.PSD[psdBlock] = psd
+		}
+		cons = append(cons, c)
+		slack++
+	}
+	addEq := func(psd []sdp.Entry, psdBlock int, rhs float64) {
+		c := sdp.Constraint{B: rhs}
+		c.PSD = make([][]sdp.Entry, psdBlock+1)
+		c.PSD[psdBlock] = psd
+		cons = append(cons, c)
+	}
+
+	dims := make([]int, n)
+	cMats := make([]*linalg.Dense, n)
+	for i := 0; i < n; i++ {
+		dims[i] = 2
+		cMats[i] = linalg.NewDense(2, 2)
+	}
+	minW := make([]float64, n)
+	maxW := make([]float64, n)
+	for i, m := range nl.Modules {
+		minW[i] = math.Sqrt(m.MinArea / m.MaxAspect)
+		maxW[i] = math.Sqrt(m.MinArea * m.MaxAspect)
+		// Pin the off-diagonal to √s: w·h ≥ s by the PSD condition.
+		addEq([]sdp.Entry{{I: 0, J: 1, V: 0.5}}, i, math.Sqrt(m.MinArea))
+		// Width box.
+		addIneq([]sdp.Entry{{I: 0, J: 0, V: 1}}, i, nil, minW[i])
+		addIneq([]sdp.Entry{{I: 0, J: 0, V: -1}}, i, nil, -maxW[i])
+		// Height box (the aspect bound in the other direction).
+		minH := math.Sqrt(m.MinArea / m.MaxAspect)
+		maxH := math.Sqrt(m.MinArea * m.MaxAspect)
+		addIneq([]sdp.Entry{{I: 1, J: 1, V: 1}}, i, nil, minH)
+		addIneq([]sdp.Entry{{I: 1, J: 1, V: -1}}, i, nil, -maxH)
+		// Outline: x − w/2 ≥ 0 and x + w/2 ≤ W (LP x is outline-local).
+		addIneq([]sdp.Entry{{I: 0, J: 0, V: -0.5}}, i, []sdp.LPEntry{{I: xOf(i), V: 1}}, 0)
+		addIneq([]sdp.Entry{{I: 0, J: 0, V: -0.5}}, i, []sdp.LPEntry{{I: xOf(i), V: -1}}, -W)
+		addIneq([]sdp.Entry{{I: 1, J: 1, V: -0.5}}, i, []sdp.LPEntry{{I: yOf(i), V: 1}}, 0)
+		addIneq([]sdp.Entry{{I: 1, J: 1, V: -0.5}}, i, []sdp.LPEntry{{I: yOf(i), V: -1}}, -H)
+	}
+	// Separations. For an H edge (i, j): x_j − x_i − w_i/2 − w_j/2 ≥ 0.
+	for _, e := range graphs.h {
+		i, j := e[0], e[1]
+		c := sdp.Constraint{
+			PSD: make([][]sdp.Entry, max2(i, j)+1),
+			LP: []sdp.LPEntry{
+				{I: xOf(j), V: 1}, {I: xOf(i), V: -1}, {I: slack, V: -1},
+			},
+		}
+		c.PSD[i] = append(c.PSD[i], sdp.Entry{I: 0, J: 0, V: -0.5})
+		c.PSD[j] = append(c.PSD[j], sdp.Entry{I: 0, J: 0, V: -0.5})
+		cons = append(cons, c)
+		slack++
+	}
+	for _, e := range graphs.v {
+		i, j := e[0], e[1]
+		c := sdp.Constraint{
+			PSD: make([][]sdp.Entry, max2(i, j)+1),
+			LP: []sdp.LPEntry{
+				{I: yOf(j), V: 1}, {I: yOf(i), V: -1}, {I: slack, V: -1},
+			},
+		}
+		c.PSD[i] = append(c.PSD[i], sdp.Entry{I: 1, J: 1, V: -0.5})
+		c.PSD[j] = append(c.PSD[j], sdp.Entry{I: 1, J: 1, V: -0.5})
+		cons = append(cons, c)
+		slack++
+	}
+	// Net bounding boxes.
+	for e, net := range nl.Nets {
+		for _, m := range net.Modules {
+			addIneq(nil, 0, []sdp.LPEntry{{I: uxOf(e), V: 1}, {I: xOf(m), V: -1}}, 0)
+			addIneq(nil, 0, []sdp.LPEntry{{I: xOf(m), V: 1}, {I: lxOf(e), V: -1}}, 0)
+			addIneq(nil, 0, []sdp.LPEntry{{I: uyOf(e), V: 1}, {I: yOf(m), V: -1}}, 0)
+			addIneq(nil, 0, []sdp.LPEntry{{I: yOf(m), V: 1}, {I: lyOf(e), V: -1}}, 0)
+		}
+		for _, p := range net.Pads {
+			px := nl.Pads[p].Pos.X - out.MinX
+			py := nl.Pads[p].Pos.Y - out.MinY
+			addIneq(nil, 0, []sdp.LPEntry{{I: uxOf(e), V: 1}}, px)
+			addIneq(nil, 0, []sdp.LPEntry{{I: lxOf(e), V: -1}}, -px)
+			addIneq(nil, 0, []sdp.LPEntry{{I: uyOf(e), V: 1}}, py)
+			addIneq(nil, 0, []sdp.LPEntry{{I: lyOf(e), V: -1}}, -py)
+		}
+	}
+
+	clp := make([]float64, slack)
+	for e, net := range nl.Nets {
+		clp[uxOf(e)] += net.Weight
+		clp[lxOf(e)] -= net.Weight
+		clp[uyOf(e)] += net.Weight
+		clp[lyOf(e)] -= net.Weight
+	}
+	prob := &sdp.Problem{
+		PSDDims: dims,
+		LPDim:   slack,
+		C:       cMats,
+		CLP:     clp,
+		Cons:    cons,
+	}
+	sol, err := sdp.SolveIPM(prob, sdp.IPMOptions{Tol: 1e-6, MaxIter: 80})
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status == sdp.StatusNumericalFailure {
+		return nil, fmt.Errorf("legalize: SOCP solve failed (%v)", sol.Status)
+	}
+
+	// Extract shapes and positions, then run the exact-legality compaction
+	// with them (the IPM satisfies constraints only to tolerance).
+	sh := newShaper(nl, graphs, opt)
+	sh.orig = append([]geom.Point(nil), centers...)
+	sh.desired = make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		sh.w[i] = clampF(sol.X[i].At(0, 0), minW[i], maxW[i])
+		sh.h[i] = nl.Modules[i].MinArea / sh.w[i]
+		sh.desired[i] = geom.Point{
+			X: out.MinX + sol.XLP[xOf(i)],
+			Y: out.MinY + sol.XLP[yOf(i)],
+		}
+	}
+	sh.repairShapes() // safety: the solved shapes should already fit
+	return sh.compact(), nil
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

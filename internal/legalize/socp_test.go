@@ -1,0 +1,84 @@
+package legalize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sdpfloor/internal/geom"
+	"sdpfloor/internal/netlist"
+)
+
+func TestSOCPShapesLegalAndTight(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	nl := gridNL(6, rng)
+	side := math.Sqrt(nl.TotalArea() * 1.4)
+	out := geom.Rect{MinX: 0, MinY: 0, MaxX: side, MaxY: side}
+	centers := spreadCenters(6, out, rng)
+	res, err := SOCPShapes(nl, centers, Options{Outline: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("SOCP legalization infeasible: packed %g x %g in %g", res.PackedW, res.PackedH, side)
+	}
+	for i := range res.Rects {
+		if !out.ContainsRect(res.Rects[i], 1e-6) {
+			t.Fatalf("module %d outside outline", i)
+		}
+		if math.Abs(res.Rects[i].Area()-nl.Modules[i].MinArea) > 1e-5*nl.Modules[i].MinArea {
+			t.Fatalf("module %d area %g, want %g", i, res.Rects[i].Area(), nl.Modules[i].MinArea)
+		}
+		ar := res.Rects[i].W() / res.Rects[i].H()
+		k := nl.Modules[i].MaxAspect
+		if ar > k*(1+1e-5) || ar < 1/k*(1-1e-5) {
+			t.Fatalf("module %d aspect %g outside bounds", i, ar)
+		}
+		for j := i + 1; j < len(res.Rects); j++ {
+			if res.Rects[i].Intersects(res.Rects[j], 1e-9) {
+				t.Fatalf("modules %d,%d overlap", i, j)
+			}
+		}
+	}
+	if res.HPWL <= 0 {
+		t.Fatal("HPWL must be positive")
+	}
+}
+
+func TestSOCPShapesComparableToDefaultPipeline(t *testing.T) {
+	// The exact SOCP should be at least competitive with the penalty/L-BFGS
+	// approximation on small instances (same constraint graphs, same
+	// compaction).
+	rng := rand.New(rand.NewSource(5))
+	nl := gridNL(5, rng)
+	side := math.Sqrt(nl.TotalArea() * 1.5)
+	out := geom.Rect{MinX: 0, MinY: 0, MaxX: side, MaxY: side}
+	centers := spreadCenters(5, out, rng)
+	socp, err := SOCPShapes(nl, centers, Options{Outline: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := Legalize(nl, centers, Options{Outline: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !socp.Feasible || !def.Feasible {
+		t.Fatalf("feasibility: socp=%v default=%v", socp.Feasible, def.Feasible)
+	}
+	if socp.HPWL > def.HPWL*1.25 {
+		t.Fatalf("SOCP HPWL %g much worse than default %g", socp.HPWL, def.HPWL)
+	}
+}
+
+func TestSOCPShapesErrors(t *testing.T) {
+	nl := gridNL(3, rand.New(rand.NewSource(1)))
+	if _, err := SOCPShapes(nl, make([]geom.Point, 2), Options{Outline: geom.Rect{MaxX: 5, MaxY: 5}}); err == nil {
+		t.Fatal("expected center count error")
+	}
+	if _, err := SOCPShapes(nl, make([]geom.Point, 3), Options{}); err == nil {
+		t.Fatal("expected outline error")
+	}
+	if _, err := SOCPShapes(&netlist.Netlist{}, nil, Options{Outline: geom.Rect{MaxX: 1, MaxY: 1}}); err == nil {
+		t.Fatal("expected empty netlist error")
+	}
+}

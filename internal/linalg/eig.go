@@ -1,0 +1,320 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrNoConvergence is returned when an iterative factorization fails to
+// converge within its iteration budget.
+var ErrNoConvergence = errors.New("linalg: eigendecomposition did not converge")
+
+// SymEig holds the eigendecomposition of a real symmetric matrix:
+// A = V diag(Values) Vᵀ, with eigenvalues sorted ascending and the columns of
+// V the corresponding orthonormal eigenvectors.
+type SymEig struct {
+	Values []float64
+	V      *Dense // column j is the eigenvector for Values[j]
+}
+
+// NewSymEig computes the full eigendecomposition of the symmetric matrix a
+// using Householder tridiagonalization followed by the implicit-shift QL
+// algorithm. Only the lower triangle of a is referenced (the matrix is
+// symmetrized internally). Complexity O(n³).
+func NewSymEig(a *Dense) (*SymEig, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: SymEig of non-square matrix")
+	}
+	n := a.Rows
+	if n == 0 {
+		return &SymEig{Values: nil, V: NewDense(0, 0)}, nil
+	}
+	v := a.Clone()
+	v.Symmetrize()
+	d := make([]float64, n)
+	e := make([]float64, n)
+	tred2(v, d, e)
+	if err := tql2(v, d, e); err != nil {
+		return nil, err
+	}
+	sortEig(v, d)
+	return &SymEig{Values: d, V: v}, nil
+}
+
+// tred2 reduces the symmetric matrix stored in v to tridiagonal form using
+// Householder transformations, accumulating the orthogonal transform in v.
+// On return d holds the diagonal and e the subdiagonal (e[0] == 0).
+// This is the classic Bowdler–Martin–Reinsch–Wilkinson procedure.
+func tred2(v *Dense, d, e []float64) {
+	n := v.Rows
+	for j := 0; j < n; j++ {
+		d[j] = v.At(n-1, j)
+	}
+	for i := n - 1; i > 0; i-- {
+		scale, h := 0.0, 0.0
+		for k := 0; k < i; k++ {
+			scale += math.Abs(d[k])
+		}
+		if scale == 0 {
+			e[i] = d[i-1]
+			for j := 0; j < i; j++ {
+				d[j] = v.At(i-1, j)
+				v.Set(i, j, 0)
+				v.Set(j, i, 0)
+			}
+		} else {
+			for k := 0; k < i; k++ {
+				d[k] /= scale
+				h += d[k] * d[k]
+			}
+			f := d[i-1]
+			g := math.Sqrt(h)
+			if f > 0 {
+				g = -g
+			}
+			e[i] = scale * g
+			h -= f * g
+			d[i-1] = f - g
+			for j := 0; j < i; j++ {
+				e[j] = 0
+			}
+			for j := 0; j < i; j++ {
+				f = d[j]
+				v.Set(j, i, f)
+				g = e[j] + v.At(j, j)*f
+				for k := j + 1; k <= i-1; k++ {
+					g += v.At(k, j) * d[k]
+					e[k] += v.At(k, j) * f
+				}
+				e[j] = g
+			}
+			f = 0
+			for j := 0; j < i; j++ {
+				e[j] /= h
+				f += e[j] * d[j]
+			}
+			hh := f / (h + h)
+			for j := 0; j < i; j++ {
+				e[j] -= hh * d[j]
+			}
+			for j := 0; j < i; j++ {
+				f = d[j]
+				g = e[j]
+				for k := j; k <= i-1; k++ {
+					v.Add(k, j, -(f*e[k] + g*d[k]))
+				}
+				d[j] = v.At(i-1, j)
+				v.Set(i, j, 0)
+			}
+		}
+		d[i] = h
+	}
+	// Accumulate transformations.
+	for i := 0; i < n-1; i++ {
+		v.Set(n-1, i, v.At(i, i))
+		v.Set(i, i, 1)
+		h := d[i+1]
+		if h != 0 {
+			for k := 0; k <= i; k++ {
+				d[k] = v.At(k, i+1) / h
+			}
+			for j := 0; j <= i; j++ {
+				g := 0.0
+				for k := 0; k <= i; k++ {
+					g += v.At(k, i+1) * v.At(k, j)
+				}
+				for k := 0; k <= i; k++ {
+					v.Add(k, j, -g*d[k])
+				}
+			}
+		}
+		for k := 0; k <= i; k++ {
+			v.Set(k, i+1, 0)
+		}
+	}
+	for j := 0; j < n; j++ {
+		d[j] = v.At(n-1, j)
+		v.Set(n-1, j, 0)
+	}
+	v.Set(n-1, n-1, 1)
+	e[0] = 0
+}
+
+// tql2 diagonalizes the symmetric tridiagonal matrix (d, e) with the
+// implicit-shift QL algorithm, applying the rotations to the columns of v.
+func tql2(v *Dense, d, e []float64) error {
+	n := v.Rows
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+
+	f, tst1 := 0.0, 0.0
+	const eps = 1.0 / (1 << 52)
+	for l := 0; l < n; l++ {
+		if t := math.Abs(d[l]) + math.Abs(e[l]); t > tst1 {
+			tst1 = t
+		}
+		m := l
+		for m < n && math.Abs(e[m]) > eps*tst1 {
+			m++
+		}
+		if m > l {
+			for iter := 0; ; iter++ {
+				if iter > 50 {
+					return ErrNoConvergence
+				}
+				// Compute implicit shift.
+				g := d[l]
+				p := (d[l+1] - g) / (2 * e[l])
+				r := math.Hypot(p, 1)
+				if p < 0 {
+					r = -r
+				}
+				d[l] = e[l] / (p + r)
+				d[l+1] = e[l] * (p + r)
+				dl1 := d[l+1]
+				h := g - d[l]
+				for i := l + 2; i < n; i++ {
+					d[i] -= h
+				}
+				f += h
+				// Implicit QL step.
+				p = d[m]
+				c, c2, c3 := 1.0, 1.0, 1.0
+				el1 := e[l+1]
+				s, s2 := 0.0, 0.0
+				for i := m - 1; i >= l; i-- {
+					c3 = c2
+					c2 = c
+					s2 = s
+					g = c * e[i]
+					h = c * p
+					r = math.Hypot(p, e[i])
+					e[i+1] = s * r
+					s = e[i] / r
+					c = p / r
+					p = c*d[i] - s*g
+					d[i+1] = h + s*(c*g+s*d[i])
+					for k := 0; k < n; k++ {
+						h = v.At(k, i+1)
+						v.Set(k, i+1, s*v.At(k, i)+c*h)
+						v.Set(k, i, c*v.At(k, i)-s*h)
+					}
+				}
+				p = -s * s2 * c3 * el1 * e[l] / dl1
+				e[l] = s * p
+				d[l] = c * p
+				if math.Abs(e[l]) <= eps*tst1 {
+					break
+				}
+			}
+		}
+		d[l] += f
+		e[l] = 0
+	}
+	return nil
+}
+
+// sortEig sorts eigenvalues ascending and permutes the eigenvector columns
+// of v to match.
+func sortEig(v *Dense, d []float64) {
+	n := len(d)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return d[idx[a]] < d[idx[b]] })
+	dd := make([]float64, n)
+	vv := NewDense(n, n)
+	for j, src := range idx {
+		dd[j] = d[src]
+		for k := 0; k < n; k++ {
+			vv.Set(k, j, v.At(k, src))
+		}
+	}
+	copy(d, dd)
+	v.CopyFrom(vv)
+}
+
+// Reconstruct returns V diag(Values) Vᵀ — the matrix represented by the
+// decomposition. Useful in tests and for PSD projections.
+func (eg *SymEig) Reconstruct() *Dense {
+	return eg.applyFn(func(x float64) float64 { return x })
+}
+
+// applyFn returns V diag(f(Values)) Vᵀ.
+func (eg *SymEig) applyFn(f func(float64) float64) *Dense {
+	n := len(eg.Values)
+	out := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		lj := f(eg.Values[j])
+		if lj == 0 {
+			continue
+		}
+		for r := 0; r < n; r++ {
+			vr := eg.V.At(r, j)
+			if vr == 0 {
+				continue
+			}
+			w := lj * vr
+			for c2 := 0; c2 < n; c2++ {
+				out.Data[r*n+c2] += w * eg.V.At(c2, j)
+			}
+		}
+	}
+	out.Symmetrize()
+	return out
+}
+
+// PSDProject returns the projection of the symmetric matrix onto the PSD
+// cone: negative eigenvalues are clipped at zero.
+func (eg *SymEig) PSDProject() *Dense {
+	return eg.applyFn(func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		return x
+	})
+}
+
+// Sqrt returns the symmetric PSD square root A^{1/2}; eigenvalues below zero
+// (numerical noise) are treated as zero.
+func (eg *SymEig) Sqrt() *Dense {
+	return eg.applyFn(func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		return math.Sqrt(x)
+	})
+}
+
+// InvSqrt returns A^{-1/2}; eigenvalues below floor are clamped to floor to
+// keep the result finite on nearly singular input.
+func (eg *SymEig) InvSqrt(floor float64) *Dense {
+	return eg.applyFn(func(x float64) float64 {
+		if x < floor {
+			x = floor
+		}
+		return 1 / math.Sqrt(x)
+	})
+}
+
+// MinEigenvalue returns the smallest eigenvalue.
+func (eg *SymEig) MinEigenvalue() float64 { return eg.Values[0] }
+
+// MaxEigenvalue returns the largest eigenvalue.
+func (eg *SymEig) MaxEigenvalue() float64 { return eg.Values[len(eg.Values)-1] }
+
+// NumericalRank returns the number of eigenvalues with |λ| > tol·max(1,|λ|max).
+func (eg *SymEig) NumericalRank(tol float64) int {
+	scale := math.Max(1, math.Abs(eg.MaxEigenvalue()))
+	r := 0
+	for _, l := range eg.Values {
+		if math.Abs(l) > tol*scale {
+			r++
+		}
+	}
+	return r
+}

@@ -1,0 +1,109 @@
+package linalg
+
+import "math"
+
+// LDL holds the LDLᵀ factorization of a symmetric matrix: A = L·diag(D)·Lᵀ
+// with L unit lower triangular. Unlike Cholesky it works for indefinite
+// matrices as long as no pivot vanishes (no pivoting is performed; callers
+// with near-singular leading minors should use LU or the eigensolver).
+type LDL struct {
+	L *Dense
+	D []float64
+}
+
+// NewLDL factorizes the symmetric matrix a (only the lower triangle is
+// read). Returns ErrSingular when a pivot is numerically zero.
+func NewLDL(a *Dense) (*LDL, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: LDL of non-square matrix")
+	}
+	n := a.Rows
+	l := Identity(n)
+	d := make([]float64, n)
+	scale := a.MaxAbs()
+	if scale == 0 {
+		scale = 1
+	}
+	for j := 0; j < n; j++ {
+		dj := a.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			dj -= ljk * ljk * d[k]
+		}
+		if math.Abs(dj) <= 1e-14*scale {
+			return nil, ErrSingular
+		}
+		d[j] = dj
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k) * d[k]
+			}
+			l.Set(i, j, s/dj)
+		}
+	}
+	return &LDL{L: l, D: d}, nil
+}
+
+// SolveVec solves A x = b in place and returns b.
+func (f *LDL) SolveVec(b []float64) []float64 {
+	n := f.L.Rows
+	if len(b) != n {
+		panic("linalg: LDL SolveVec dimension mismatch")
+	}
+	// Forward: L y = b (unit diagonal).
+	for i := 0; i < n; i++ {
+		row := f.L.Row(i)
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= row[k] * b[k]
+		}
+		b[i] = s
+	}
+	// Diagonal.
+	for i := 0; i < n; i++ {
+		b[i] /= f.D[i]
+	}
+	// Backward: Lᵀ x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= f.L.At(k, i) * b[k]
+		}
+		b[i] = s
+	}
+	return b
+}
+
+// Inertia returns the number of positive, negative, and (numerically) zero
+// pivots — by Sylvester's law, the matrix's inertia. Useful for checking
+// definiteness without an eigendecomposition.
+func (f *LDL) Inertia() (pos, neg, zero int) {
+	scale := 0.0
+	for _, v := range f.D {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	tol := 1e-12 * math.Max(scale, 1)
+	for _, v := range f.D {
+		switch {
+		case v > tol:
+			pos++
+		case v < -tol:
+			neg++
+		default:
+			zero++
+		}
+	}
+	return pos, neg, zero
+}
+
+// Det returns det(A) = Π Dᵢ.
+func (f *LDL) Det() float64 {
+	d := 1.0
+	for _, v := range f.D {
+		d *= v
+	}
+	return d
+}

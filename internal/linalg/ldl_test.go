@@ -1,0 +1,116 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLDLReconstructProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		a := randSym(r, n)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)) // keep pivots away from zero
+		}
+		ldl, err := NewLDL(a)
+		if err != nil {
+			return false
+		}
+		// Reconstruct L D Lᵀ.
+		ld := ldl.L.Clone()
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				ld.Set(i, j, ld.At(i, j)*ldl.D[j])
+			}
+		}
+		rec := MatMul(ld, ldl.L.T())
+		for i := range a.Data {
+			if math.Abs(rec.Data[i]-a.Data[i]) > 1e-9*(1+a.MaxAbs()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLDLSolveIndefinite(t *testing.T) {
+	// Symmetric indefinite but LDL-factorizable matrix.
+	a := NewDenseFrom([][]float64{
+		{2, 1, 0},
+		{1, -3, 2},
+		{0, 2, 1},
+	})
+	ldl, err := NewLDL(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, -2, 3}
+	b := a.MulVec(want)
+	got := ldl.SolveVec(b)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Fatalf("x = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLDLInertiaMatchesEigenvalues(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(8)
+		a := randSym(rng, n)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, rng.NormFloat64())
+		}
+		ldl, err := NewLDL(a)
+		if err != nil {
+			continue // zero pivot — fine to skip (no pivoting implemented)
+		}
+		pos, neg, zero := ldl.Inertia()
+		eg, err := NewSymEig(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPos, wantNeg := 0, 0
+		for _, l := range eg.Values {
+			if l > 1e-9 {
+				wantPos++
+			} else if l < -1e-9 {
+				wantNeg++
+			}
+		}
+		if pos != wantPos || neg != wantNeg || zero != n-wantPos-wantNeg {
+			t.Fatalf("inertia (%d,%d,%d), eigenvalues give (%d,%d): %v",
+				pos, neg, zero, wantPos, wantNeg, eg.Values)
+		}
+	}
+}
+
+func TestLDLDetMatchesLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randSPD(rng, 6)
+	ldl, err := NewLDL(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lu, err := NewLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ldl.Det()-lu.Det()) > 1e-9*(1+math.Abs(lu.Det())) {
+		t.Fatalf("LDL det %g vs LU det %g", ldl.Det(), lu.Det())
+	}
+}
+
+func TestLDLSingular(t *testing.T) {
+	a := NewDenseFrom([][]float64{{0, 0}, {0, 1}})
+	if _, err := NewLDL(a); err == nil {
+		t.Fatal("expected ErrSingular for zero pivot")
+	}
+}

@@ -1,0 +1,124 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a factorization encounters a singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// LU holds an LU factorization with partial pivoting: P A = L U.
+type LU struct {
+	lu   *Dense // combined storage: L (unit diagonal, below) and U (on/above)
+	piv  []int  // row permutation
+	sign int    // permutation parity, for determinants
+}
+
+// NewLU factorizes a (square) with partial pivoting.
+func NewLU(a *Dense) (*LU, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: LU of non-square matrix")
+	}
+	n := a.Rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Pivot: largest |value| in column k at or below the diagonal.
+		p, maxv := k, math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > maxv {
+				p, maxv = i, v
+			}
+		}
+		if maxv == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := 0; j < n; j++ {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		inv := 1 / lu.At(k, k)
+		urow := lu.Row(k)
+		for i := k + 1; i < n; i++ {
+			row := lu.Row(i)
+			m := row[k] * inv
+			row[k] = m
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				row[j] -= m * urow[j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// SolveVec solves A x = b, returning a new solution vector.
+func (f *LU) SolveVec(b []float64) []float64 {
+	n := f.lu.Rows
+	if len(b) != n {
+		panic("linalg: LU SolveVec dimension mismatch")
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward: L y = Pb (unit diagonal).
+	for i := 1; i < n; i++ {
+		row := f.lu.Row(i)
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= row[k] * x[k]
+		}
+		x[i] = s
+	}
+	// Backward: U x = y.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.Row(i)
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= row[k] * x[k]
+		}
+		x[i] = s / row[i]
+	}
+	return x
+}
+
+// Det returns det(A).
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.lu.Rows; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Solve solves A X = B for a matrix right-hand side.
+func (f *LU) Solve(b *Dense) *Dense {
+	n := f.lu.Rows
+	if b.Rows != n {
+		panic("linalg: LU Solve dimension mismatch")
+	}
+	out := NewDense(n, b.Cols)
+	col := make([]float64, n)
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = b.At(i, j)
+		}
+		sol := f.SolveVec(col)
+		for i := 0; i < n; i++ {
+			out.Set(i, j, sol[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package linalg
+
+import "math"
+
+// QR holds a Householder QR factorization A = Q·R of an m×n matrix with
+// m ≥ n: Q is m×n with orthonormal columns (thin form) and R is n×n upper
+// triangular.
+type QR struct {
+	q *Dense
+	r *Dense
+}
+
+// NewQR factorizes a (m ≥ n required) with Householder reflections.
+func NewQR(a *Dense) (*QR, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic("linalg: QR requires rows ≥ cols")
+	}
+	r := a.Clone()
+	// Accumulate Q as a full m×m product, then trim.
+	q := Identity(m)
+	v := make([]float64, m)
+	for k := 0; k < n; k++ {
+		// Householder vector for column k below the diagonal.
+		norm := 0.0
+		for i := k; i < m; i++ {
+			norm += r.At(i, k) * r.At(i, k)
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return nil, ErrSingular
+		}
+		alpha := -norm
+		if r.At(k, k) < 0 {
+			alpha = norm
+		}
+		vnorm := 0.0
+		for i := k; i < m; i++ {
+			v[i] = r.At(i, k)
+			if i == k {
+				v[i] -= alpha
+			}
+			vnorm += v[i] * v[i]
+		}
+		if vnorm == 0 {
+			continue
+		}
+		// Apply H = I − 2vvᵀ/‖v‖² to R (columns k..n) and to Q (all columns).
+		for j := k; j < n; j++ {
+			dot := 0.0
+			for i := k; i < m; i++ {
+				dot += v[i] * r.At(i, j)
+			}
+			f := 2 * dot / vnorm
+			for i := k; i < m; i++ {
+				r.Add(i, j, -f*v[i])
+			}
+		}
+		for j := 0; j < m; j++ {
+			dot := 0.0
+			for i := k; i < m; i++ {
+				dot += v[i] * q.At(j, i)
+			}
+			f := 2 * dot / vnorm
+			for i := k; i < m; i++ {
+				q.Add(j, i, -f*v[i])
+			}
+		}
+	}
+	// Thin forms.
+	thinQ := q.Submatrix(0, 0, m, n)
+	thinR := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			thinR.Set(i, j, r.At(i, j))
+		}
+	}
+	return &QR{q: thinQ, r: thinR}, nil
+}
+
+// Q returns the m×n orthonormal factor.
+func (f *QR) Q() *Dense { return f.q }
+
+// R returns the n×n upper-triangular factor.
+func (f *QR) R() *Dense { return f.r }
+
+// SolveLeastSquares returns argmin ‖A x − b‖₂ via R x = Qᵀ b.
+func (f *QR) SolveLeastSquares(b []float64) []float64 {
+	m, n := f.q.Rows, f.q.Cols
+	if len(b) != m {
+		panic("linalg: QR SolveLeastSquares dimension mismatch")
+	}
+	qtb := f.q.MulVecT(b)
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := qtb[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.r.At(i, j) * x[j]
+		}
+		x[i] = s / f.r.At(i, i)
+	}
+	return x
+}

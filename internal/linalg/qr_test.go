@@ -1,0 +1,124 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRReconstructProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		m := n + rng.Intn(5)
+		a := NewDense(m, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		// Guard against (unlikely) rank deficiency.
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n))
+		}
+		qr, err := NewQR(a)
+		if err != nil {
+			return false
+		}
+		rec := MatMul(qr.Q(), qr.R())
+		for i := range a.Data {
+			if math.Abs(rec.Data[i]-a.Data[i]) > 1e-9*(1+a.MaxAbs()) {
+				return false
+			}
+		}
+		// Orthonormal columns.
+		qtq := MatMul(qr.Q().T(), qr.Q())
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(qtq.At(i, j)-want) > 1e-9 {
+					return false
+				}
+			}
+		}
+		// R upper triangular.
+		for i := 1; i < n; i++ {
+			for j := 0; j < i; j++ {
+				if math.Abs(qr.R().At(i, j)) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQRLeastSquaresExactSystem(t *testing.T) {
+	a := NewDenseFrom([][]float64{{2, 0}, {0, 3}, {0, 0}})
+	b := []float64{4, 9, 0}
+	qr, err := NewQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := qr.SolveLeastSquares(b)
+	if math.Abs(x[0]-2) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x = %v, want [2 3]", x)
+	}
+}
+
+func TestQRLeastSquaresResidualOrthogonal(t *testing.T) {
+	// The least-squares residual must be orthogonal to the column space.
+	rng := rand.New(rand.NewSource(7))
+	m, n := 8, 3
+	a := NewDense(m, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	b := make([]float64, m)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	qr, err := NewQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := qr.SolveLeastSquares(b)
+	ax := a.MulVec(x)
+	res := SubVec(b, ax)
+	atr := a.MulVecT(res)
+	if NormInf(atr) > 1e-9 {
+		t.Fatalf("Aᵀr = %v, want 0", atr)
+	}
+}
+
+func TestQRRegressionLine(t *testing.T) {
+	// Fit y = 2x + 1 exactly.
+	xs := []float64{0, 1, 2, 3}
+	a := NewDense(4, 2)
+	b := make([]float64, 4)
+	for i, x := range xs {
+		a.Set(i, 0, x)
+		a.Set(i, 1, 1)
+		b[i] = 2*x + 1
+	}
+	qr, err := NewQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := qr.SolveLeastSquares(b)
+	if math.Abs(c[0]-2) > 1e-10 || math.Abs(c[1]-1) > 1e-10 {
+		t.Fatalf("fit = %v, want [2 1]", c)
+	}
+}
+
+func TestQRSingular(t *testing.T) {
+	a := NewDense(3, 2) // zero matrix
+	if _, err := NewQR(a); err == nil {
+		t.Fatal("expected ErrSingular for zero columns")
+	}
+}

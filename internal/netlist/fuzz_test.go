@@ -1,0 +1,25 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON checks the JSON loader never panics and that every accepted
+// netlist validates.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"modules":[{"name":"a","minArea":1},{"name":"b","minArea":2}],"nets":[{"modules":["a","b"]}]}`)
+	f.Add(`{"modules":[],"nets":[]}`)
+	f.Add(`{`)
+	f.Add(`{"modules":[{"name":"a","minArea":-1}],"nets":[]}`)
+	f.Add(`{"modules":[{"name":"a","minArea":1,"fixed":[1,2]},{"name":"b","minArea":1}],"pads":[{"name":"p","pos":[0,0]}],"nets":[{"modules":["a"],"pads":["p"]}]}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		nl, err := ReadJSON(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := nl.Validate(); err != nil {
+			t.Fatalf("accepted netlist fails validation: %v (input %q)", err, in)
+		}
+	})
+}

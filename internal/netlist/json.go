@@ -1,0 +1,126 @@
+package netlist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonNetlist is the stable on-disk JSON schema. It mirrors the in-memory
+// types but references modules and pads by name, which survives reordering
+// and is friendlier to hand-edited files than raw indices.
+type jsonNetlist struct {
+	Modules []jsonModule `json:"modules"`
+	Pads    []jsonPad    `json:"pads,omitempty"`
+	Nets    []jsonNet    `json:"nets"`
+}
+
+type jsonModule struct {
+	Name      string      `json:"name"`
+	MinArea   float64     `json:"minArea"`
+	MaxAspect float64     `json:"maxAspect,omitempty"`
+	Fixed     *[2]float64 `json:"fixed,omitempty"` // center when pre-placed
+}
+
+type jsonPad struct {
+	Name string     `json:"name"`
+	Pos  [2]float64 `json:"pos"`
+}
+
+type jsonNet struct {
+	Name    string   `json:"name,omitempty"`
+	Weight  float64  `json:"weight,omitempty"`
+	Modules []string `json:"modules"`
+	Pads    []string `json:"pads,omitempty"`
+}
+
+// WriteJSON serializes the netlist to w in the by-name JSON schema.
+func (nl *Netlist) WriteJSON(w io.Writer) error {
+	out := jsonNetlist{}
+	for _, m := range nl.Modules {
+		jm := jsonModule{Name: m.Name, MinArea: m.MinArea, MaxAspect: m.MaxAspect}
+		if m.Fixed {
+			jm.Fixed = &[2]float64{m.FixedPos.X, m.FixedPos.Y}
+		}
+		out.Modules = append(out.Modules, jm)
+	}
+	for _, p := range nl.Pads {
+		out.Pads = append(out.Pads, jsonPad{Name: p.Name, Pos: [2]float64{p.Pos.X, p.Pos.Y}})
+	}
+	for _, e := range nl.Nets {
+		jn := jsonNet{Name: e.Name, Weight: e.Weight}
+		for _, m := range e.Modules {
+			jn.Modules = append(jn.Modules, nl.Modules[m].Name)
+		}
+		for _, p := range e.Pads {
+			jn.Pads = append(jn.Pads, nl.Pads[p].Name)
+		}
+		out.Nets = append(out.Nets, jn)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a netlist from the by-name JSON schema and validates it.
+func ReadJSON(r io.Reader) (*Netlist, error) {
+	var in jsonNetlist
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("netlist: json: %w", err)
+	}
+	nl := &Netlist{}
+	modIdx := make(map[string]int, len(in.Modules))
+	for i, jm := range in.Modules {
+		if _, dup := modIdx[jm.Name]; dup {
+			return nil, fmt.Errorf("netlist: duplicate module name %q", jm.Name)
+		}
+		modIdx[jm.Name] = i
+		m := Module{Name: jm.Name, MinArea: jm.MinArea, MaxAspect: jm.MaxAspect}
+		if m.MaxAspect == 0 {
+			m.MaxAspect = 3 // the paper's default soft-module bound
+		}
+		if jm.Fixed != nil {
+			m.Fixed = true
+			m.FixedPos.X = jm.Fixed[0]
+			m.FixedPos.Y = jm.Fixed[1]
+		}
+		nl.Modules = append(nl.Modules, m)
+	}
+	padIdx := make(map[string]int, len(in.Pads))
+	for i, jp := range in.Pads {
+		if _, dup := padIdx[jp.Name]; dup {
+			return nil, fmt.Errorf("netlist: duplicate pad name %q", jp.Name)
+		}
+		padIdx[jp.Name] = i
+		nl.Pads = append(nl.Pads, Pad{Name: jp.Name})
+		nl.Pads[i].Pos.X = jp.Pos[0]
+		nl.Pads[i].Pos.Y = jp.Pos[1]
+	}
+	for _, jn := range in.Nets {
+		e := Net{Name: jn.Name, Weight: jn.Weight}
+		if e.Weight == 0 {
+			e.Weight = 1
+		}
+		for _, name := range jn.Modules {
+			i, ok := modIdx[name]
+			if !ok {
+				return nil, fmt.Errorf("netlist: net %q references unknown module %q", jn.Name, name)
+			}
+			e.Modules = append(e.Modules, i)
+		}
+		for _, name := range jn.Pads {
+			i, ok := padIdx[name]
+			if !ok {
+				return nil, fmt.Errorf("netlist: net %q references unknown pad %q", jn.Name, name)
+			}
+			e.Pads = append(e.Pads, i)
+		}
+		nl.Nets = append(nl.Nets, e)
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}

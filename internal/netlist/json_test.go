@@ -1,0 +1,75 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"sdpfloor/internal/geom"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	nl := &Netlist{
+		Modules: []Module{
+			{Name: "cpu", MinArea: 16, MaxAspect: 2},
+			{Name: "pll", MinArea: 4, MaxAspect: 1, Fixed: true, FixedPos: geom.Point{X: 1, Y: 2}},
+		},
+		Pads: []Pad{{Name: "io", Pos: geom.Point{X: 0, Y: 5}}},
+		Nets: []Net{
+			{Name: "clk", Weight: 3, Modules: []int{0, 1}},
+			{Name: "in", Weight: 1, Modules: []int{0}, Pads: []int{0}},
+		},
+	}
+	var b strings.Builder
+	if err := nl.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Modules) != 2 || len(got.Pads) != 1 || len(got.Nets) != 2 {
+		t.Fatalf("structure lost: %+v", got)
+	}
+	if !got.Modules[1].Fixed || got.Modules[1].FixedPos != (geom.Point{X: 1, Y: 2}) {
+		t.Fatalf("PPM lost: %+v", got.Modules[1])
+	}
+	if got.Nets[0].Weight != 3 || got.Nets[0].Modules[1] != 1 {
+		t.Fatalf("net lost: %+v", got.Nets[0])
+	}
+	if got.Pads[0].Pos != (geom.Point{X: 0, Y: 5}) {
+		t.Fatalf("pad lost: %+v", got.Pads[0])
+	}
+}
+
+func TestJSONDefaults(t *testing.T) {
+	in := `{
+	  "modules": [{"name": "a", "minArea": 1}, {"name": "b", "minArea": 2}],
+	  "nets": [{"modules": ["a", "b"]}]
+	}`
+	nl, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Modules[0].MaxAspect != 3 {
+		t.Fatalf("MaxAspect default = %g, want 3", nl.Modules[0].MaxAspect)
+	}
+	if nl.Nets[0].Weight != 1 {
+		t.Fatalf("Weight default = %g, want 1", nl.Nets[0].Weight)
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown module": `{"modules":[{"name":"a","minArea":1},{"name":"b","minArea":1}],"nets":[{"modules":["a","zz"]}]}`,
+		"unknown pad":    `{"modules":[{"name":"a","minArea":1}],"pads":[{"name":"p","pos":[0,0]}],"nets":[{"modules":["a"],"pads":["qq"]}]}`,
+		"duplicate mod":  `{"modules":[{"name":"a","minArea":1},{"name":"a","minArea":1}],"nets":[{"modules":["a","a"]}]}`,
+		"bad json":       `{"modules": [`,
+		"unknown field":  `{"modules":[{"name":"a","minArea":1,"bogus":2},{"name":"b","minArea":1}],"nets":[{"modules":["a","b"]}]}`,
+		"invalid area":   `{"modules":[{"name":"a","minArea":0},{"name":"b","minArea":1}],"nets":[{"modules":["a","b"]}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}

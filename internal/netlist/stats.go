@@ -1,0 +1,76 @@
+package netlist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a netlist instance — the quantities benchmark tables
+// report (Tables II–III list block and net counts) plus the structure the
+// synthetic generator is calibrated against.
+type Stats struct {
+	Modules   int
+	Nets      int
+	Pads      int
+	Pins      int // total pin count over all nets
+	TotalArea float64
+	MinArea   float64
+	MaxArea   float64
+	AvgDegree float64     // mean net fanout
+	DegreeHis map[int]int // net fanout → count
+	PadNets   int         // nets touching at least one pad
+}
+
+// ComputeStats gathers Stats for the netlist.
+func (nl *Netlist) ComputeStats() Stats {
+	st := Stats{
+		Modules:   len(nl.Modules),
+		Nets:      len(nl.Nets),
+		Pads:      len(nl.Pads),
+		DegreeHis: map[int]int{},
+		MinArea:   math.Inf(1),
+	}
+	for _, m := range nl.Modules {
+		st.TotalArea += m.MinArea
+		st.MinArea = math.Min(st.MinArea, m.MinArea)
+		st.MaxArea = math.Max(st.MaxArea, m.MinArea)
+	}
+	if len(nl.Modules) == 0 {
+		st.MinArea = 0
+	}
+	for _, e := range nl.Nets {
+		deg := len(e.Modules) + len(e.Pads)
+		st.Pins += deg
+		st.DegreeHis[deg]++
+		if len(e.Pads) > 0 {
+			st.PadNets++
+		}
+	}
+	if st.Nets > 0 {
+		st.AvgDegree = float64(st.Pins) / float64(st.Nets)
+	}
+	return st
+}
+
+// String renders the stats as a compact multi-line report.
+func (st Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "modules %d, nets %d, pads %d, pins %d\n", st.Modules, st.Nets, st.Pads, st.Pins)
+	fmt.Fprintf(&b, "area: total %.4g, min %.4g, max %.4g (spread %.1fx)\n",
+		st.TotalArea, st.MinArea, st.MaxArea, st.MaxArea/math.Max(st.MinArea, 1e-12))
+	fmt.Fprintf(&b, "net fanout: avg %.2f, pad-connected nets %d (%.0f%%)\n",
+		st.AvgDegree, st.PadNets, 100*float64(st.PadNets)/math.Max(float64(st.Nets), 1))
+	degs := make([]int, 0, len(st.DegreeHis))
+	for d := range st.DegreeHis {
+		degs = append(degs, d)
+	}
+	sort.Ints(degs)
+	fmt.Fprintf(&b, "fanout histogram:")
+	for _, d := range degs {
+		fmt.Fprintf(&b, " %d:%d", d, st.DegreeHis[d])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,191 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMinimizeQuadratic(t *testing.T) {
+	// f(x) = Σ i·(xᵢ − i)², minimum at xᵢ = i.
+	f := func(x, g []float64) float64 {
+		s := 0.0
+		for i := range x {
+			w := float64(i + 1)
+			d := x[i] - float64(i)
+			s += w * d * d
+			g[i] = 2 * w * d
+		}
+		return s
+	}
+	res := Minimize(f, make([]float64, 6), Options{})
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	for i, v := range res.X {
+		if math.Abs(v-float64(i)) > 1e-5 {
+			t.Fatalf("x[%d] = %g, want %d", i, v, i)
+		}
+	}
+}
+
+func TestMinimizeRosenbrock(t *testing.T) {
+	// The classic banana function; minimum 0 at (1, 1).
+	f := func(x, g []float64) float64 {
+		a, b := x[0], x[1]
+		t1 := b - a*a
+		t2 := 1 - a
+		g[0] = -400*a*t1 - 2*t2
+		g[1] = 200 * t1
+		return 100*t1*t1 + t2*t2
+	}
+	res := Minimize(f, []float64{-1.2, 1}, Options{MaxIter: 500, GradTol: 1e-8})
+	if math.Abs(res.X[0]-1) > 1e-4 || math.Abs(res.X[1]-1) > 1e-4 {
+		t.Fatalf("x = %v, want (1,1); f = %g", res.X, res.F)
+	}
+}
+
+func TestMinimizeRosenbrockND(t *testing.T) {
+	// Extended Rosenbrock in 10 dimensions.
+	n := 10
+	f := func(x, g []float64) float64 {
+		s := 0.0
+		for i := range g {
+			g[i] = 0
+		}
+		for i := 0; i < n-1; i++ {
+			t1 := x[i+1] - x[i]*x[i]
+			t2 := 1 - x[i]
+			s += 100*t1*t1 + t2*t2
+			g[i] += -400*x[i]*t1 - 2*t2
+			g[i+1] += 200 * t1
+		}
+		return s
+	}
+	x0 := make([]float64, n)
+	for i := range x0 {
+		x0[i] = -1
+	}
+	res := Minimize(f, x0, Options{MaxIter: 2000, GradTol: 1e-7, MaxEvals: 40000})
+	if res.F > 1e-8 {
+		t.Fatalf("f = %g after %d iters, want ~0", res.F, res.Iterations)
+	}
+}
+
+func TestMinimizeNonConvexFindsStationaryPoint(t *testing.T) {
+	// f(x) = sin(x) + x²/10 — any stationary point is fine, gradient ≈ 0.
+	f := func(x, g []float64) float64 {
+		g[0] = math.Cos(x[0]) + x[0]/5
+		return math.Sin(x[0]) + x[0]*x[0]/10
+	}
+	res := Minimize(f, []float64{3}, Options{GradTol: 1e-9})
+	if res.GradNorm > 1e-8 {
+		t.Fatalf("gradient not zero: %g at x=%v", res.GradNorm, res.X)
+	}
+}
+
+func TestMinimizeDoesNotMoveAtOptimum(t *testing.T) {
+	f := func(x, g []float64) float64 {
+		g[0] = 2 * x[0]
+		return x[0] * x[0]
+	}
+	res := Minimize(f, []float64{0}, Options{})
+	if res.Iterations != 0 || !res.Converged {
+		t.Fatalf("expected immediate convergence: %+v", res)
+	}
+}
+
+func TestMinimizeMonotoneDecrease(t *testing.T) {
+	// The accepted objective value is never above the starting value.
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(6)
+		// Random convex quadratic f = ½xᵀDx + cᵀx with D diagonal > 0.
+		dco := make([]float64, n)
+		cco := make([]float64, n)
+		for i := range dco {
+			dco[i] = 0.1 + rng.Float64()*5
+			cco[i] = rng.NormFloat64()
+		}
+		f := func(x, g []float64) float64 {
+			s := 0.0
+			for i := range x {
+				s += 0.5*dco[i]*x[i]*x[i] + cco[i]*x[i]
+				g[i] = dco[i]*x[i] + cco[i]
+			}
+			return s
+		}
+		x0 := make([]float64, n)
+		for i := range x0 {
+			x0[i] = rng.NormFloat64() * 10
+		}
+		g0 := make([]float64, n)
+		f0 := f(x0, g0)
+		res := Minimize(f, x0, Options{})
+		if res.F > f0+1e-12 {
+			t.Fatalf("objective increased: %g > %g", res.F, f0)
+		}
+		// Analytic optimum −Σ c²/(2d).
+		want := 0.0
+		for i := range dco {
+			want -= cco[i] * cco[i] / (2 * dco[i])
+		}
+		if math.Abs(res.F-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("f = %g, want %g", res.F, want)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	o.setDefaults()
+	if o.MaxIter != 200 || o.Memory != 10 || o.GradTol != 1e-6 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+}
+
+func TestMinimizeRespectsEvalBudget(t *testing.T) {
+	evals := 0
+	f := func(x, g []float64) float64 {
+		evals++
+		g[0] = 2 * x[0]
+		return x[0] * x[0]
+	}
+	Minimize(f, []float64{100}, Options{MaxIter: 1000, MaxEvals: 7, GradTol: 1e-300})
+	if evals > 8 { // one extra eval may be in flight when the budget trips
+		t.Fatalf("evals = %d, budget 7", evals)
+	}
+}
+
+func TestMinimizeHandlesNaNObjective(t *testing.T) {
+	// The line search must back off from regions where f is NaN.
+	f := func(x, g []float64) float64 {
+		if x[0] > 2 {
+			g[0] = math.NaN()
+			return math.NaN()
+		}
+		g[0] = 2 * (x[0] - 2)
+		return (x[0] - 2) * (x[0] - 2)
+	}
+	res := Minimize(f, []float64{-10}, Options{MaxIter: 100})
+	if math.IsNaN(res.F) {
+		t.Fatal("accepted a NaN objective")
+	}
+	if math.Abs(res.X[0]-2) > 1e-3 {
+		t.Fatalf("x = %v, want ~2", res.X)
+	}
+}
+
+func TestMinimizeAbsSmoothedKink(t *testing.T) {
+	// Smoothed |x| (sqrt(x²+ε)): gradient methods should approach 0.
+	f := func(x, g []float64) float64 {
+		const eps = 1e-6
+		s := math.Sqrt(x[0]*x[0] + eps)
+		g[0] = x[0] / s
+		return s
+	}
+	res := Minimize(f, []float64{5}, Options{MaxIter: 400, GradTol: 1e-5})
+	if math.Abs(res.X[0]) > 1e-2 {
+		t.Fatalf("x = %v, want ~0", res.X)
+	}
+}

@@ -1,0 +1,195 @@
+package sdp
+
+import (
+	"math"
+
+	"sdpfloor/internal/linalg"
+)
+
+// ADMMOptions configure the first-order solver.
+type ADMMOptions struct {
+	Tol     float64 // relative residual tolerance (default 1e-5)
+	MaxIter int     // iteration cap (default 5000)
+	Mu      float64 // initial penalty (default 1); adapted during the run
+	Logf    func(format string, args ...any)
+	// Warm start (optional): initial primal/dual iterates.
+	X0   []*linalg.Dense
+	XLP0 []float64
+	Y0   []float64
+}
+
+func (o *ADMMOptions) setDefaults() {
+	if o.Tol == 0 {
+		o.Tol = 1e-5
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 5000
+	}
+	if o.Mu == 0 {
+		o.Mu = 1
+	}
+}
+
+// SolveADMM solves the problem with the alternating-direction augmented
+// Lagrangian method on the dual SDP (Wen–Goldfarb–Yin). Each iteration costs
+// one CG solve with AAᵀ and one eigendecomposition per PSD block, so it
+// scales to constraint counts where the interior-point Schur complement is
+// too expensive, at the price of lower accuracy.
+func SolveADMM(p *Problem, opt ADMMOptions) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	opt.setDefaults()
+
+	nb := len(p.PSDDims)
+	m := len(p.Cons)
+	b := p.rhsVector()
+	bn, cn := p.dataNorms()
+
+	// State.
+	x := make([]*linalg.Dense, nb)
+	s := make([]*linalg.Dense, nb)
+	for bi, d := range p.PSDDims {
+		if opt.X0 != nil {
+			x[bi] = opt.X0[bi].Clone()
+		} else {
+			x[bi] = linalg.Identity(d)
+		}
+		s[bi] = linalg.Identity(d)
+	}
+	xlp := make([]float64, p.LPDim)
+	slp := make([]float64, p.LPDim)
+	for i := range xlp {
+		xlp[i] = 1
+		slp[i] = 1
+		if opt.XLP0 != nil {
+			xlp[i] = opt.XLP0[i]
+		}
+	}
+	y := make([]float64, m)
+	if opt.Y0 != nil {
+		copy(y, opt.Y0)
+	}
+
+	mu := opt.Mu
+	aty := make([]*linalg.Dense, nb)
+	for bi, d := range p.PSDDims {
+		aty[bi] = linalg.NewDense(d, d)
+	}
+	atylp := make([]float64, p.LPDim)
+	ax := make([]float64, m)
+	rhs := make([]float64, m)
+
+	// Matrix-free AAᵀ operator for the y-update CG solve.
+	tmpBlocks := make([]*linalg.Dense, nb)
+	for bi, d := range p.PSDDims {
+		tmpBlocks[bi] = linalg.NewDense(d, d)
+	}
+	tmpLP := make([]float64, p.LPDim)
+	aat := func(dst, v []float64) {
+		p.applyAT(v, tmpBlocks, tmpLP)
+		p.applyA(tmpBlocks, tmpLP, dst)
+	}
+
+	sol := &Solution{Status: StatusIterationLimit}
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		sol.Iterations = iter
+
+		// y-update: (AAᵀ) y = μ(b − A(X)) + A(C − S).
+		p.applyA(x, xlp, ax)
+		cs := make([]*linalg.Dense, nb)
+		for bi := range cs {
+			cs[bi] = p.C[bi].Clone()
+			cs[bi].AddScaled(-1, s[bi])
+		}
+		cslp := make([]float64, p.LPDim)
+		for i := range cslp {
+			cslp[i] = p.CLP[i] - slp[i]
+		}
+		p.applyA(cs, cslp, rhs)
+		for k := 0; k < m; k++ {
+			rhs[k] += mu * (b[k] - ax[k])
+		}
+		linalg.CG(aat, rhs, y, 1e-10, 4*m+100)
+
+		// S-update and X-update from V = C − Aᵀ(y) − μX:
+		// S = Proj_PSD(V), X⁺ = (S − V)/μ = Proj_PSD(−V)/μ.
+		p.applyAT(y, aty, atylp)
+		for bi := range x {
+			v := p.C[bi].Clone()
+			v.AddScaled(-1, aty[bi])
+			v.AddScaled(-mu, x[bi])
+			v.Symmetrize()
+			eg, err := linalg.NewSymEig(v)
+			if err != nil {
+				sol.Status = StatusNumericalFailure
+				break
+			}
+			s[bi] = eg.PSDProject()
+			xNew := s[bi].Clone()
+			xNew.AddScaled(-1, v)
+			xNew.Scale(1 / mu)
+			x[bi] = xNew
+		}
+		if sol.Status == StatusNumericalFailure {
+			break
+		}
+		for i := range xlp {
+			v := p.CLP[i] - atylp[i] - mu*xlp[i]
+			slp[i] = math.Max(v, 0)
+			xlp[i] = (slp[i] - v) / mu
+		}
+
+		// Residuals.
+		p.applyA(x, xlp, ax)
+		pres := 0.0
+		for k := 0; k < m; k++ {
+			d := ax[k] - b[k]
+			pres += d * d
+		}
+		pres = math.Sqrt(pres) / (1 + bn)
+		p.applyAT(y, aty, atylp)
+		dres := 0.0
+		for bi := range x {
+			r := p.C[bi].Clone()
+			r.AddScaled(-1, aty[bi])
+			r.AddScaled(-1, s[bi])
+			f := r.FrobNorm()
+			dres += f * f
+		}
+		for i := range xlp {
+			d := p.CLP[i] - atylp[i] - slp[i]
+			dres += d * d
+		}
+		dres = math.Sqrt(dres) / (1 + cn)
+		pobj := p.primalObjective(x, xlp)
+		dobj := linalg.Dot(b, y)
+		relG := math.Abs(pobj-dobj) / (1 + math.Abs(pobj) + math.Abs(dobj))
+
+		if opt.Logf != nil && iter%50 == 0 {
+			opt.Logf("admm iter %4d: pobj=%.6e dobj=%.6e pres=%.2e dres=%.2e mu=%.2e",
+				iter, pobj, dobj, pres, dres, mu)
+		}
+		if pres < opt.Tol && dres < opt.Tol && relG < 10*opt.Tol {
+			sol.Status = StatusOptimal
+			sol.PrimalObj, sol.DualObj = pobj, dobj
+			sol.PrimalInfeas, sol.DualInfeas, sol.Gap = pres, dres, relG
+			break
+		}
+		sol.PrimalObj, sol.DualObj = pobj, dobj
+		sol.PrimalInfeas, sol.DualInfeas, sol.Gap = pres, dres, relG
+
+		// Penalty adaptation: balance primal and dual residuals.
+		if iter%25 == 24 {
+			switch {
+			case pres > 10*dres:
+				mu *= 0.7 // primal lagging: lighten penalty so X moves more
+			case dres > 10*pres:
+				mu *= 1.4
+			}
+			mu = math.Min(math.Max(mu, 1e-6), 1e6)
+		}
+	}
+	sol.X, sol.XLP, sol.Y, sol.S, sol.SLP = x, xlp, y, s, slp
+	return sol, nil
+}

@@ -1,0 +1,629 @@
+package sdp
+
+import (
+	"math"
+
+	"sdpfloor/internal/linalg"
+)
+
+// IPMOptions configure the interior-point solver.
+type IPMOptions struct {
+	Tol     float64 // relative tolerance on gap and infeasibilities (default 1e-7)
+	MaxIter int     // iteration cap (default 100)
+	Gamma   float64 // fraction-to-boundary factor in (0,1) (default 0.98)
+	NoScale bool    // disable the constraint equilibration presolve
+	Logf    func(format string, args ...any)
+}
+
+func (o *IPMOptions) setDefaults() {
+	if o.Tol == 0 {
+		o.Tol = 1e-7
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 100
+	}
+	if o.Gamma == 0 {
+		o.Gamma = 0.98
+	}
+}
+
+// ipmState carries the working variables of one solve.
+type ipmState struct {
+	p   *Problem
+	opt IPMOptions
+
+	nb  int // number of PSD blocks
+	m   int // number of constraints
+	nu  float64
+	sym [][][]Entry // sym[k][b]: constraint k's entries in block b, both orientations
+
+	x, s     []*linalg.Dense
+	xlp, slp []float64
+	y        []float64
+
+	b        []float64
+	bn, cn   float64
+	sinv     []*linalg.Dense
+	xchol    []*linalg.Cholesky
+	schol    []*linalg.Cholesky
+	rp       []float64
+	rd       []*linalg.Dense
+	rdlp     []float64
+	xrdsinvA []float64 // A(X Rd S⁻¹) cache
+}
+
+// SolveIPM solves the problem with a primal–dual interior-point method using
+// the HKM search direction and Mehrotra's predictor–corrector. It is an
+// infeasible-start method: the initial iterate is a scaled identity.
+func SolveIPM(p *Problem, opt IPMOptions) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	opt.setDefaults()
+	var sp *scaledProblem
+	if !opt.NoScale {
+		sp = equilibrate(p)
+		p = sp.p
+	}
+	st := newIPMState(p, opt)
+	sol := st.run()
+	if sp != nil {
+		sp.unscaleDuals(sol.Y)
+		// Objectives and residuals are reported against the original data.
+		sol.DualObj = 0
+		for k := range sp.norms {
+			sol.DualObj += sol.Y[k] * sp.p.Cons[k].B * sp.norms[k]
+		}
+	}
+	return sol, nil
+}
+
+func newIPMState(p *Problem, opt IPMOptions) *ipmState {
+	st := &ipmState{p: p, opt: opt, nb: len(p.PSDDims), m: len(p.Cons)}
+	st.nu = float64(p.coneDim())
+	st.b = p.rhsVector()
+	st.bn, st.cn = p.dataNorms()
+
+	// Expanded symmetric entries: both orientations for off-diagonal.
+	st.sym = make([][][]Entry, st.m)
+	for k := range p.Cons {
+		st.sym[k] = make([][]Entry, st.nb)
+		for bidx, es := range p.Cons[k].PSD {
+			out := make([]Entry, 0, 2*len(es))
+			for _, e := range es {
+				out = append(out, e)
+				if e.I != e.J {
+					out = append(out, Entry{I: e.J, J: e.I, V: e.V})
+				}
+			}
+			st.sym[k][bidx] = out
+		}
+	}
+
+	// Initial point: scaled identities (SDPT3-style heuristics).
+	xi := math.Max(10, math.Sqrt(st.nu))
+	eta := math.Max(10, math.Sqrt(st.nu))
+	for k := range p.Cons {
+		anorm := constraintNorm(&p.Cons[k])
+		if v := float64(p.coneDim()) * math.Abs(p.Cons[k].B) / (1 + anorm); v > xi {
+			xi = v
+		}
+	}
+	if st.cn > eta {
+		eta = st.cn
+	}
+	st.x = make([]*linalg.Dense, st.nb)
+	st.s = make([]*linalg.Dense, st.nb)
+	st.rd = make([]*linalg.Dense, st.nb)
+	for bidx, d := range p.PSDDims {
+		st.x[bidx] = linalg.Identity(d)
+		st.x[bidx].Scale(xi)
+		st.s[bidx] = linalg.Identity(d)
+		st.s[bidx].Scale(eta)
+		st.rd[bidx] = linalg.NewDense(d, d)
+	}
+	st.xlp = make([]float64, p.LPDim)
+	st.slp = make([]float64, p.LPDim)
+	for i := range st.xlp {
+		st.xlp[i] = xi
+		st.slp[i] = eta
+	}
+	st.y = make([]float64, st.m)
+	st.rp = make([]float64, st.m)
+	st.rdlp = make([]float64, p.LPDim)
+	st.xrdsinvA = make([]float64, st.m)
+	st.sinv = make([]*linalg.Dense, st.nb)
+	st.xchol = make([]*linalg.Cholesky, st.nb)
+	st.schol = make([]*linalg.Cholesky, st.nb)
+	return st
+}
+
+func constraintNorm(c *Constraint) float64 {
+	s := 0.0
+	for _, es := range c.PSD {
+		for _, e := range es {
+			if e.I == e.J {
+				s += e.V * e.V
+			} else {
+				s += 2 * e.V * e.V
+			}
+		}
+	}
+	for _, e := range c.LP {
+		s += e.V * e.V
+	}
+	return math.Sqrt(s)
+}
+
+// direction holds one search direction over all blocks.
+type direction struct {
+	dx, ds     []*linalg.Dense
+	dxlp, dslp []float64
+	dy         []float64
+}
+
+func (st *ipmState) newDirection() *direction {
+	d := &direction{
+		dx: make([]*linalg.Dense, st.nb), ds: make([]*linalg.Dense, st.nb),
+		dxlp: make([]float64, st.p.LPDim), dslp: make([]float64, st.p.LPDim),
+		dy: make([]float64, st.m),
+	}
+	for bidx, dim := range st.p.PSDDims {
+		d.dx[bidx] = linalg.NewDense(dim, dim)
+		d.ds[bidx] = linalg.NewDense(dim, dim)
+	}
+	return d
+}
+
+func (st *ipmState) run() *Solution {
+	p, opt := st.p, st.opt
+	sol := &Solution{Status: StatusIterationLimit}
+
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		sol.Iterations = iter
+		// Residuals.
+		ax := make([]float64, st.m)
+		p.applyA(st.x, st.xlp, ax)
+		for k := range st.rp {
+			st.rp[k] = st.b[k] - ax[k]
+		}
+		p.applyAT(st.y, st.rd, st.rdlp)
+		for bidx := range st.rd {
+			// Rd = C − S − Aᵀ(y); applyAT stored Aᵀ(y), flip and add.
+			rd := st.rd[bidx]
+			rd.Scale(-1)
+			rd.AddScaled(1, p.C[bidx])
+			rd.AddScaled(-1, st.s[bidx])
+		}
+		for i := range st.rdlp {
+			st.rdlp[i] = p.CLP[i] - st.slp[i] - st.rdlp[i]
+		}
+
+		gap := st.innerXS()
+		mu := gap / st.nu
+		pobj := p.primalObjective(st.x, st.xlp)
+		dobj := linalg.Dot(st.b, st.y)
+		relP := linalg.Norm2(st.rp) / (1 + st.bn)
+		relD := st.dualResNorm() / (1 + st.cn)
+		relG := math.Abs(pobj-dobj) / (1 + math.Abs(pobj) + math.Abs(dobj))
+		if opt.Logf != nil {
+			opt.Logf("ipm iter %2d: pobj=%.6e dobj=%.6e gap=%.2e relP=%.2e relD=%.2e",
+				iter, pobj, dobj, relG, relP, relD)
+		}
+		if relP < opt.Tol && relD < opt.Tol && relG < opt.Tol {
+			sol.Status = StatusOptimal
+			st.fill(sol, pobj, dobj, relP, relD, relG)
+			return sol
+		}
+		// nearOptimal downgrades a numerical stall close to convergence —
+		// interior-point iterations routinely lose positive definiteness in
+		// the last digits of an already-excellent iterate; callers get the
+		// near-optimal point rather than a failure.
+		nearOptimal := func() bool {
+			loose := 50 * opt.Tol
+			return relP < loose && relD < loose && relG < loose
+		}
+
+		// Factor X and S; compute S⁻¹.
+		ok := true
+		for bidx := range st.x {
+			var err error
+			st.xchol[bidx], err = linalg.NewCholesky(st.x[bidx])
+			if err != nil {
+				ok = false
+				break
+			}
+			st.schol[bidx], err = linalg.NewCholesky(st.s[bidx])
+			if err != nil {
+				ok = false
+				break
+			}
+			st.sinv[bidx] = st.schol[bidx].Inverse()
+			st.sinv[bidx].Symmetrize()
+		}
+		if !ok {
+			sol.Status = StatusNumericalFailure
+			if nearOptimal() {
+				sol.Status = StatusOptimal
+			}
+			st.fill(sol, pobj, dobj, relP, relD, relG)
+			return sol
+		}
+
+		// Schur complement (shared by predictor and corrector).
+		schur := st.formSchur()
+		var sfac *linalg.Cholesky
+		{
+			var err error
+			reg := 1e-13 * (1 + schur.MaxAbs())
+			for attempt := 0; attempt < 8; attempt++ {
+				sfac, err = linalg.NewCholesky(schur)
+				if err == nil {
+					break
+				}
+				for i := 0; i < st.m; i++ {
+					schur.Add(i, i, reg)
+				}
+				reg *= 100
+			}
+			if err != nil {
+				sol.Status = StatusNumericalFailure
+				if nearOptimal() {
+					sol.Status = StatusOptimal
+				}
+				st.fill(sol, pobj, dobj, relP, relD, relG)
+				return sol
+			}
+		}
+
+		// A(X Rd S⁻¹) — reused by both solves this iteration.
+		xrdsinv := make([]*linalg.Dense, st.nb)
+		for bidx := range st.x {
+			xrdsinv[bidx] = linalg.MatMul(linalg.MatMul(st.x[bidx], st.rd[bidx]), st.sinv[bidx])
+		}
+
+		// Predictor: σ = 0, no corrector term.
+		aff := st.newDirection()
+		st.solveDirection(sfac, aff, 0, mu, xrdsinv, nil, nil)
+		apAff := st.maxStepPrimal(aff)
+		adAff := st.maxStepDual(aff)
+
+		// Mehrotra centering parameter.
+		muAff := st.innerXSAfter(aff, apAff, adAff) / st.nu
+		sigma := math.Pow(muAff/mu, 3)
+		if sigma > 1 {
+			sigma = 1
+		}
+		if sigma < 1e-8 {
+			sigma = 1e-8
+		}
+
+		// Corrector.
+		corr := make([]*linalg.Dense, st.nb)
+		for bidx := range corr {
+			corr[bidx] = linalg.MatMul(aff.dx[bidx], aff.ds[bidx])
+		}
+		corrLP := make([]float64, p.LPDim)
+		for i := range corrLP {
+			corrLP[i] = aff.dxlp[i] * aff.dslp[i]
+		}
+		dir := st.newDirection()
+		st.solveDirection(sfac, dir, sigma, mu, xrdsinv, corr, corrLP)
+
+		ap := st.maxStepPrimal(dir)
+		ad := st.maxStepDual(dir)
+		// Safety: ensure factorizability after the step; back off if needed.
+		ap = st.safeguardPrimal(dir, ap)
+		ad = st.safeguardDual(dir, ad)
+		if ap < 1e-10 && ad < 1e-10 {
+			sol.Status = StatusNumericalFailure
+			if nearOptimal() {
+				sol.Status = StatusOptimal
+			}
+			st.fill(sol, pobj, dobj, relP, relD, relG)
+			return sol
+		}
+
+		for bidx := range st.x {
+			st.x[bidx].AddScaled(ap, dir.dx[bidx])
+			st.x[bidx].Symmetrize()
+			st.s[bidx].AddScaled(ad, dir.ds[bidx])
+			st.s[bidx].Symmetrize()
+		}
+		for i := range st.xlp {
+			st.xlp[i] += ap * dir.dxlp[i]
+			st.slp[i] += ad * dir.dslp[i]
+		}
+		linalg.Axpy(ad, dir.dy, st.y)
+	}
+
+	// Iteration limit: report final residuals.
+	pobj := p.primalObjective(st.x, st.xlp)
+	dobj := linalg.Dot(st.b, st.y)
+	ax := make([]float64, st.m)
+	p.applyA(st.x, st.xlp, ax)
+	for k := range st.rp {
+		st.rp[k] = st.b[k] - ax[k]
+	}
+	relP := linalg.Norm2(st.rp) / (1 + st.bn)
+	relD := st.dualResNorm() / (1 + st.cn)
+	relG := math.Abs(pobj-dobj) / (1 + math.Abs(pobj) + math.Abs(dobj))
+	st.fill(sol, pobj, dobj, relP, relD, relG)
+	return sol
+}
+
+func (st *ipmState) fill(sol *Solution, pobj, dobj, relP, relD, relG float64) {
+	sol.X = st.x
+	sol.XLP = st.xlp
+	sol.Y = st.y
+	sol.S = st.s
+	sol.SLP = st.slp
+	sol.PrimalObj = pobj
+	sol.DualObj = dobj
+	sol.PrimalInfeas = relP
+	sol.DualInfeas = relD
+	sol.Gap = relG
+}
+
+func (st *ipmState) innerXS() float64 {
+	g := linalg.Dot(st.xlp, st.slp)
+	for bidx := range st.x {
+		g += linalg.InnerProd(st.x[bidx], st.s[bidx])
+	}
+	return g
+}
+
+func (st *ipmState) innerXSAfter(d *direction, ap, ad float64) float64 {
+	g := 0.0
+	for bidx := range st.x {
+		x2 := st.x[bidx].Clone()
+		x2.AddScaled(ap, d.dx[bidx])
+		s2 := st.s[bidx].Clone()
+		s2.AddScaled(ad, d.ds[bidx])
+		g += linalg.InnerProd(x2, s2)
+	}
+	for i := range st.xlp {
+		g += (st.xlp[i] + ap*d.dxlp[i]) * (st.slp[i] + ad*d.dslp[i])
+	}
+	return g
+}
+
+func (st *ipmState) dualResNorm() float64 {
+	s := 0.0
+	for bidx := range st.rd {
+		f := st.rd[bidx].FrobNorm()
+		s += f * f
+	}
+	f := linalg.Norm2(st.rdlp)
+	return math.Sqrt(s + f*f)
+}
+
+// formSchur builds M_kl = Σ_blocks tr(A_k X A_l S⁻¹) + Σ_i a_ki a_li xᵢ/sᵢ.
+// With symmetric data the HKM Schur complement is symmetric positive
+// definite; only the lower triangle is computed and mirrored.
+func (st *ipmState) formSchur() *linalg.Dense {
+	m := st.m
+	schur := linalg.NewDense(m, m)
+	for k := 0; k < m; k++ {
+		for l := 0; l <= k; l++ {
+			v := 0.0
+			for bidx := range st.x {
+				ek := st.sym[k]
+				el := st.sym[l]
+				if bidx >= len(ek) || bidx >= len(el) {
+					continue
+				}
+				xk, sk := st.x[bidx], st.sinv[bidx]
+				n := xk.Cols
+				for _, e := range el[bidx] {
+					for _, f := range ek[bidx] {
+						// tr(A_k X A_l S⁻¹) term: S⁻¹[e.J, f.I] · X[f.J, e.I]
+						v += e.V * f.V * sk.Data[e.J*n+f.I] * xk.Data[f.J*n+e.I]
+					}
+				}
+			}
+			// LP block.
+			for _, e := range st.p.Cons[k].LP {
+				for _, f := range st.p.Cons[l].LP {
+					if e.I == f.I {
+						v += e.V * f.V * st.xlp[e.I] / st.slp[e.I]
+					}
+				}
+			}
+			schur.Set(k, l, v)
+			schur.Set(l, k, v)
+		}
+	}
+	return schur
+}
+
+// solveDirection computes the search direction for centering parameter σ and
+// optional Mehrotra corrector term (corr = ΔX_aff·ΔS_aff per block).
+func (st *ipmState) solveDirection(sfac *linalg.Cholesky, d *direction, sigma, mu float64,
+	xrdsinv []*linalg.Dense, corr []*linalg.Dense, corrLP []float64) {
+
+	p := st.p
+	// Right-hand side: rp − A(σμS⁻¹ − X) + A(X Rd S⁻¹) + A(corr·S⁻¹), plus
+	// the LP analogues.
+	rhs := make([]float64, st.m)
+	corrSinv := make([]*linalg.Dense, st.nb)
+	for bidx := range st.x {
+		if corr != nil {
+			corrSinv[bidx] = linalg.MatMul(corr[bidx], st.sinv[bidx])
+		}
+	}
+	for k := 0; k < st.m; k++ {
+		v := st.rp[k]
+		for bidx, es := range st.sym[k] {
+			if len(es) == 0 {
+				continue
+			}
+			sinv, x := st.sinv[bidx], st.x[bidx]
+			n := x.Cols
+			for _, e := range es {
+				v -= e.V * (sigma*mu*sinv.Data[e.I*n+e.J] - x.Data[e.I*n+e.J])
+				v += e.V * xrdsinv[bidx].Data[e.I*n+e.J]
+				if corr != nil {
+					v += e.V * corrSinv[bidx].Data[e.I*n+e.J]
+				}
+			}
+		}
+		for _, e := range p.Cons[k].LP {
+			i := e.I
+			v -= e.V * (sigma*mu/st.slp[i] - st.xlp[i])
+			v += e.V * (st.xlp[i] / st.slp[i]) * st.rdlp[i]
+			if corrLP != nil {
+				v += e.V * corrLP[i] / st.slp[i]
+			}
+		}
+		rhs[k] = v
+	}
+	copy(d.dy, rhs)
+	sfac.SolveVec(d.dy)
+
+	// ΔS = Rd − Aᵀ(Δy).
+	p.applyAT(d.dy, d.ds, d.dslp)
+	for bidx := range d.ds {
+		ds := d.ds[bidx]
+		ds.Scale(-1)
+		ds.AddScaled(1, st.rd[bidx])
+	}
+	for i := range d.dslp {
+		d.dslp[i] = st.rdlp[i] - d.dslp[i]
+	}
+
+	// ΔX = σμS⁻¹ − X − H(X ΔS S⁻¹ + corr S⁻¹).
+	for bidx := range d.dx {
+		t := linalg.MatMul(linalg.MatMul(st.x[bidx], d.ds[bidx]), st.sinv[bidx])
+		if corr != nil {
+			t.AddScaled(1, corrSinv[bidx])
+		}
+		dx := d.dx[bidx]
+		dx.CopyFrom(st.sinv[bidx])
+		dx.Scale(sigma * mu)
+		dx.AddScaled(-1, st.x[bidx])
+		dx.AddScaled(-1, t)
+		dx.Symmetrize()
+	}
+	for i := range d.dxlp {
+		v := sigma*mu/st.slp[i] - st.xlp[i] - st.xlp[i]/st.slp[i]*d.dslp[i]
+		if corrLP != nil {
+			v -= corrLP[i] / st.slp[i]
+		}
+		d.dxlp[i] = v
+	}
+}
+
+// maxStepPSD returns the largest α such that P + α·ΔP ⪰ 0, using
+// λmin(L⁻¹ ΔP L⁻ᵀ) where P = LLᵀ.
+func maxStepPSD(chol *linalg.Cholesky, dp *linalg.Dense) float64 {
+	n := dp.Rows
+	// W = L⁻¹ ΔP: solve L W = ΔP column by column.
+	w := linalg.NewDense(n, n)
+	col := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = dp.At(i, j)
+		}
+		chol.SolveLowerVec(col)
+		for i := 0; i < n; i++ {
+			w.Set(i, j, col[i])
+		}
+	}
+	// T = W L⁻ᵀ = (L⁻¹ Wᵀ)ᵀ.
+	wt := w.T()
+	t := linalg.NewDense(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = wt.At(i, j)
+		}
+		chol.SolveLowerVec(col)
+		for i := 0; i < n; i++ {
+			t.Set(j, i, col[i]) // transpose back
+		}
+	}
+	t.Symmetrize()
+	eg, err := linalg.NewSymEig(t)
+	if err != nil {
+		return 0
+	}
+	lmin := eg.MinEigenvalue()
+	if lmin >= 0 {
+		return math.Inf(1)
+	}
+	return -1 / lmin
+}
+
+func (st *ipmState) maxStepPrimal(d *direction) float64 {
+	a := math.Inf(1)
+	for bidx := range st.x {
+		if s := maxStepPSD(st.xchol[bidx], d.dx[bidx]); s < a {
+			a = s
+		}
+	}
+	for i := range st.xlp {
+		if d.dxlp[i] < 0 {
+			if s := -st.xlp[i] / d.dxlp[i]; s < a {
+				a = s
+			}
+		}
+	}
+	return math.Min(1, st.opt.Gamma*a)
+}
+
+func (st *ipmState) maxStepDual(d *direction) float64 {
+	a := math.Inf(1)
+	for bidx := range st.s {
+		if s := maxStepPSD(st.schol[bidx], d.ds[bidx]); s < a {
+			a = s
+		}
+	}
+	for i := range st.slp {
+		if d.dslp[i] < 0 {
+			if s := -st.slp[i] / d.dslp[i]; s < a {
+				a = s
+			}
+		}
+	}
+	return math.Min(1, st.opt.Gamma*a)
+}
+
+func (st *ipmState) safeguardPrimal(d *direction, a float64) float64 {
+	for try := 0; try < 30; try++ {
+		ok := true
+		for bidx := range st.x {
+			x2 := st.x[bidx].Clone()
+			x2.AddScaled(a, d.dx[bidx])
+			x2.Symmetrize()
+			if !linalg.IsPosDef(x2) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return a
+		}
+		a *= 0.8
+	}
+	return 0
+}
+
+func (st *ipmState) safeguardDual(d *direction, a float64) float64 {
+	for try := 0; try < 30; try++ {
+		ok := true
+		for bidx := range st.s {
+			s2 := st.s[bidx].Clone()
+			s2.AddScaled(a, d.ds[bidx])
+			s2.Symmetrize()
+			if !linalg.IsPosDef(s2) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return a
+		}
+		a *= 0.8
+	}
+	return 0
+}

@@ -1,0 +1,266 @@
+// Package sdp implements semidefinite programming solvers in pure Go. The
+// paper outsources its SDP sub-problems to MOSEK; this package replaces it
+// with two solvers sharing one problem representation:
+//
+//   - an infeasible primal–dual interior-point method (HKM search direction,
+//     Mehrotra predictor–corrector, dense symmetric Schur complement) for
+//     high-accuracy solves, and
+//   - an ADMM / alternating-direction augmented-Lagrangian method (after
+//     Wen–Goldfarb–Yin) for large instances where a cheaper, lower-accuracy
+//     solve is acceptable.
+//
+// Problems are in standard primal form
+//
+//	min ⟨C, X⟩   s.t.  ⟨A_k, X⟩ = b_k  (k = 1..m),   X ∈ K,
+//
+// where K is a product of dense PSD cones and one nonnegative orthant (the
+// "LP block"). Inequality constraints are expressed by the caller via slack
+// variables in the LP block.
+package sdp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sdpfloor/internal/linalg"
+)
+
+// Entry describes one symmetric entry of a sparse constraint matrix: the
+// value V is placed at (I, J) and, when I ≠ J, mirrored at (J, I).
+type Entry struct {
+	I, J int
+	V    float64
+}
+
+// LPEntry is a coefficient on one LP-block variable.
+type LPEntry struct {
+	I int
+	V float64
+}
+
+// Constraint is one linear equality ⟨A_k, X⟩ = B, with the symmetric
+// constraint matrix A_k given sparsely per PSD block plus LP coefficients.
+type Constraint struct {
+	PSD [][]Entry // indexed by PSD block; may be shorter than the block list
+	LP  []LPEntry
+	B   float64
+}
+
+// Problem is a standard-form conic program over PSD blocks ⊕ LP block.
+type Problem struct {
+	PSDDims []int           // dimensions of the PSD blocks
+	LPDim   int             // dimension of the LP block (0 if absent)
+	C       []*linalg.Dense // objective per PSD block (symmetric)
+	CLP     []float64       // objective on the LP block
+	Cons    []Constraint
+}
+
+// Validate checks dimensions and index ranges.
+func (p *Problem) Validate() error {
+	if len(p.C) != len(p.PSDDims) {
+		return errors.New("sdp: len(C) != len(PSDDims)")
+	}
+	for b, d := range p.PSDDims {
+		if d <= 0 {
+			return fmt.Errorf("sdp: PSD block %d has dimension %d", b, d)
+		}
+		if p.C[b].Rows != d || p.C[b].Cols != d {
+			return fmt.Errorf("sdp: C[%d] is %dx%d, want %dx%d", b, p.C[b].Rows, p.C[b].Cols, d, d)
+		}
+	}
+	if len(p.CLP) != p.LPDim {
+		return errors.New("sdp: len(CLP) != LPDim")
+	}
+	for k, c := range p.Cons {
+		if len(c.PSD) > len(p.PSDDims) {
+			return fmt.Errorf("sdp: constraint %d references %d PSD blocks, have %d", k, len(c.PSD), len(p.PSDDims))
+		}
+		for b, es := range c.PSD {
+			d := p.PSDDims[b]
+			for _, e := range es {
+				if e.I < 0 || e.I >= d || e.J < 0 || e.J >= d {
+					return fmt.Errorf("sdp: constraint %d block %d entry (%d,%d) out of range", k, b, e.I, e.J)
+				}
+			}
+		}
+		for _, e := range c.LP {
+			if e.I < 0 || e.I >= p.LPDim {
+				return fmt.Errorf("sdp: constraint %d LP index %d out of range", k, e.I)
+			}
+		}
+	}
+	return nil
+}
+
+// NumConstraints returns m.
+func (p *Problem) NumConstraints() int { return len(p.Cons) }
+
+// coneDim returns ν = Σ PSD dims + LP dim, the barrier parameter degree.
+func (p *Problem) coneDim() int {
+	nu := p.LPDim
+	for _, d := range p.PSDDims {
+		nu += d
+	}
+	return nu
+}
+
+// dotConstraint computes ⟨A_k, X⟩ + a_kᵀ x over all blocks.
+func (p *Problem) dotConstraint(k int, x []*linalg.Dense, xlp []float64) float64 {
+	c := &p.Cons[k]
+	s := 0.0
+	for b, es := range c.PSD {
+		xb := x[b]
+		for _, e := range es {
+			if e.I == e.J {
+				s += e.V * xb.At(e.I, e.I)
+			} else {
+				s += 2 * e.V * xb.At(e.I, e.J)
+			}
+		}
+	}
+	for _, e := range c.LP {
+		s += e.V * xlp[e.I]
+	}
+	return s
+}
+
+// dotConstraintDense computes ⟨A_k, D⟩ for an arbitrary dense matrix D in one
+// PSD block (D need not be symmetric; A_k is, so both orientations of each
+// off-diagonal entry are summed).
+func dotConstraintDense(es []Entry, d *linalg.Dense) float64 {
+	s := 0.0
+	for _, e := range es {
+		if e.I == e.J {
+			s += e.V * d.At(e.I, e.I)
+		} else {
+			s += e.V * (d.At(e.I, e.J) + d.At(e.J, e.I))
+		}
+	}
+	return s
+}
+
+// applyA computes (A(X))_k = ⟨A_k, X⟩ for all constraints into out.
+func (p *Problem) applyA(x []*linalg.Dense, xlp []float64, out []float64) {
+	for k := range p.Cons {
+		out[k] = p.dotConstraint(k, x, xlp)
+	}
+}
+
+// applyAT accumulates Aᵀ(y) = Σ_k y_k A_k into the dense blocks out and the
+// LP vector outLP, which are zeroed first.
+func (p *Problem) applyAT(y []float64, out []*linalg.Dense, outLP []float64) {
+	for _, o := range out {
+		o.Zero()
+	}
+	for i := range outLP {
+		outLP[i] = 0
+	}
+	for k := range p.Cons {
+		yk := y[k]
+		if yk == 0 {
+			continue
+		}
+		c := &p.Cons[k]
+		for b, es := range c.PSD {
+			ob := out[b]
+			for _, e := range es {
+				ob.Add(e.I, e.J, yk*e.V)
+				if e.I != e.J {
+					ob.Add(e.J, e.I, yk*e.V)
+				}
+			}
+		}
+		for _, e := range c.LP {
+			outLP[e.I] += yk * e.V
+		}
+	}
+}
+
+// rhsVector returns b as a slice.
+func (p *Problem) rhsVector() []float64 {
+	b := make([]float64, len(p.Cons))
+	for k := range p.Cons {
+		b[k] = p.Cons[k].B
+	}
+	return b
+}
+
+// primalObjective returns ⟨C, X⟩ + cᵀx.
+func (p *Problem) primalObjective(x []*linalg.Dense, xlp []float64) float64 {
+	s := 0.0
+	for b := range p.C {
+		s += linalg.InnerProd(p.C[b], x[b])
+	}
+	for i, v := range p.CLP {
+		s += v * xlp[i]
+	}
+	return s
+}
+
+// dataNorms returns (‖b‖∞, max block ‖C‖F) used for relative stopping tests.
+func (p *Problem) dataNorms() (bn, cn float64) {
+	for k := range p.Cons {
+		if a := math.Abs(p.Cons[k].B); a > bn {
+			bn = a
+		}
+	}
+	for _, c := range p.C {
+		if f := c.FrobNorm(); f > cn {
+			cn = f
+		}
+	}
+	if f := linalg.Norm2(p.CLP); f > cn {
+		cn = f
+	}
+	return bn, cn
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status     Status
+	X          []*linalg.Dense // primal PSD blocks
+	XLP        []float64       // primal LP block
+	Y          []float64       // dual multipliers
+	S          []*linalg.Dense // dual slack PSD blocks
+	SLP        []float64
+	PrimalObj  float64
+	DualObj    float64
+	Iterations int
+	// Relative residuals at termination.
+	PrimalInfeas, DualInfeas, Gap float64
+}
+
+// Status describes how a solve terminated.
+type Status int
+
+// Solver termination states.
+const (
+	StatusOptimal Status = iota
+	StatusIterationLimit
+	StatusNumericalFailure
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusIterationLimit:
+		return "iteration-limit"
+	case StatusNumericalFailure:
+		return "numerical-failure"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// PrimalResidual returns ‖A(X) − b‖₂ for a candidate primal point.
+func (p *Problem) PrimalResidual(x []*linalg.Dense, xlp []float64) float64 {
+	ax := make([]float64, len(p.Cons))
+	p.applyA(x, xlp, ax)
+	s := 0.0
+	for k := range ax {
+		d := ax[k] - p.Cons[k].B
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

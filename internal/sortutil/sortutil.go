@@ -1,0 +1,10 @@
+// Package sortutil provides tiny sorting helpers shared by the floorplanning
+// packages.
+package sortutil
+
+import "sort"
+
+// ByKey stably sorts the int slice ascending by the float64 key function.
+func ByKey(xs []int, key func(int) float64) {
+	sort.SliceStable(xs, func(a, b int) bool { return key(xs[a]) < key(xs[b]) })
+}

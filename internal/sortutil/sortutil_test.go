@@ -1,0 +1,51 @@
+package sortutil
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestByKey(t *testing.T) {
+	// Element m has key keys[m]: 3→5, 1→15, 2→25, 0→35.
+	xs := []int{0, 1, 2, 3}
+	keys := []float64{35, 15, 25, 5}
+	ByKey(xs, func(m int) float64 { return keys[m] })
+	want := []int{3, 1, 2, 0} // ascending by key
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Fatalf("sorted = %v, want %v", xs, want)
+		}
+	}
+}
+
+func TestByKeyStable(t *testing.T) {
+	// Equal keys preserve original order.
+	xs := []int{5, 3, 9, 1}
+	ByKey(xs, func(int) float64 { return 7 })
+	want := []int{5, 3, 9, 1}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Fatalf("stability violated: %v", xs)
+		}
+	}
+}
+
+func TestByKeyRandomAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(30)
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = rng.NormFloat64()
+		}
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = i
+		}
+		ByKey(xs, func(m int) float64 { return keys[m] })
+		if !sort.SliceIsSorted(xs, func(a, b int) bool { return keys[xs[a]] < keys[xs[b]] }) {
+			t.Fatalf("not sorted: %v", xs)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package svg renders floorplans and x-y data series as standalone SVG
+// documents — the repository's stand-in for the paper's matplotlib figures.
+package svg
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"sdpfloor/internal/geom"
+)
+
+// palette used for series and module fills.
+var palette = []string{
+	"#4e79a7", "#f28e2b", "#59a14f", "#e15759",
+	"#76b7b2", "#edc948", "#b07aa1", "#9c755f",
+}
+
+// Floorplan draws an outline, module rectangles with their names, and pad
+// positions into w.
+func Floorplan(w io.Writer, outline geom.Rect, rects []geom.Rect, names []string, pads []geom.Point) error {
+	const canvas = 640.0
+	bb := outline
+	for _, r := range rects {
+		bb = bb.Union(r)
+	}
+	scale := canvas / math.Max(bb.W(), bb.H())
+	margin := 20.0
+	tx := func(x float64) float64 { return margin + (x-bb.MinX)*scale }
+	ty := func(y float64) float64 { return margin + (bb.MaxY-y)*scale } // flip y
+
+	width := 2*margin + bb.W()*scale
+	height := 2*margin + bb.H()*scale
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(w, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="none" stroke="#333" stroke-width="2"/>`+"\n",
+		tx(outline.MinX), ty(outline.MaxY), outline.W()*scale, outline.H()*scale)
+	for i, r := range rects {
+		color := palette[i%len(palette)]
+		fmt.Fprintf(w, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" fill-opacity="0.6" stroke="#222"/>`+"\n",
+			tx(r.MinX), ty(r.MaxY), r.W()*scale, r.H()*scale, color)
+		if names != nil && i < len(names) {
+			c := r.Center()
+			fmt.Fprintf(w, `<text x="%.2f" y="%.2f" font-size="10" text-anchor="middle" fill="#000">%s</text>`+"\n",
+				tx(c.X), ty(c.Y), names[i])
+		}
+	}
+	for _, p := range pads {
+		fmt.Fprintf(w, `<circle cx="%.2f" cy="%.2f" r="2.5" fill="#d62728"/>`+"\n", tx(p.X), ty(p.Y))
+	}
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}
+
+// Series is one labelled polyline for LineChart.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// LineChart draws labelled series with linear axes into w.
+func LineChart(w io.Writer, title, xlabel, ylabel string, series []Series) error {
+	const cw, ch = 720.0, 480.0
+	const ml, mr, mt, mb = 70.0, 140.0, 40.0, 50.0
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	tx := func(x float64) float64 { return ml + (x-xmin)/(xmax-xmin)*(cw-ml-mr) }
+	ty := func(y float64) float64 { return ch - mb - (y-ymin)/(ymax-ymin)*(ch-mt-mb) }
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f">`+"\n", cw, ch)
+	fmt.Fprintf(w, `<text x="%.0f" y="24" font-size="16" text-anchor="middle">%s</text>`+"\n", cw/2, title)
+	// Axes.
+	fmt.Fprintf(w, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#000"/>`+"\n", ml, ch-mb, cw-mr, ch-mb)
+	fmt.Fprintf(w, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#000"/>`+"\n", ml, mt, ml, ch-mb)
+	fmt.Fprintf(w, `<text x="%.0f" y="%.0f" font-size="12" text-anchor="middle">%s</text>`+"\n", (ml+cw-mr)/2, ch-12, xlabel)
+	fmt.Fprintf(w, `<text x="16" y="%.0f" font-size="12" text-anchor="middle" transform="rotate(-90 16 %.0f)">%s</text>`+"\n", (mt+ch-mb)/2, (mt+ch-mb)/2, ylabel)
+	// Ticks (5 per axis).
+	for i := 0; i <= 5; i++ {
+		fx := xmin + float64(i)/5*(xmax-xmin)
+		fy := ymin + float64(i)/5*(ymax-ymin)
+		fmt.Fprintf(w, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle">%.3g</text>`+"\n", tx(fx), ch-mb+16, fx)
+		fmt.Fprintf(w, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="end">%.3g</text>`+"\n", ml-6, ty(fy)+3, fy)
+	}
+	for si, s := range series {
+		color := palette[si%len(palette)]
+		fmt.Fprintf(w, `<polyline fill="none" stroke="%s" stroke-width="2" points="`, color)
+		for i := range s.X {
+			fmt.Fprintf(w, "%.1f,%.1f ", tx(s.X[i]), ty(s.Y[i]))
+		}
+		fmt.Fprint(w, `"/>`+"\n")
+		for i := range s.X {
+			fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", tx(s.X[i]), ty(s.Y[i]), color)
+		}
+		// Legend.
+		ly := mt + float64(si)*18
+		fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="12" height="12" fill="%s"/>`+"\n", cw-mr+10, ly, color)
+		fmt.Fprintf(w, `<text x="%.1f" y="%.1f" font-size="11">%s</text>`+"\n", cw-mr+26, ly+10, s.Label)
+	}
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}

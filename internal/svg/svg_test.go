@@ -1,0 +1,61 @@
+package svg
+
+import (
+	"strings"
+	"testing"
+
+	"sdpfloor/internal/geom"
+)
+
+func TestFloorplanProducesValidSVG(t *testing.T) {
+	var b strings.Builder
+	out := geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	rects := []geom.Rect{{MinX: 1, MinY: 1, MaxX: 4, MaxY: 3}, {MinX: 5, MinY: 5, MaxX: 8, MaxY: 9}}
+	pads := []geom.Point{{X: 0, Y: 5}}
+	if err := Floorplan(&b, out, rects, []string{"a", "b"}, pads); err != nil {
+		t.Fatal(err)
+	}
+	s := b.String()
+	if !strings.HasPrefix(s, "<svg") || !strings.HasSuffix(strings.TrimSpace(s), "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	if strings.Count(s, "<rect") != 3 { // outline + 2 modules
+		t.Fatalf("expected 3 rects, got %d", strings.Count(s, "<rect"))
+	}
+	if !strings.Contains(s, "<circle") || !strings.Contains(s, ">a</text>") {
+		t.Fatal("pads or labels missing")
+	}
+}
+
+func TestLineChartProducesValidSVG(t *testing.T) {
+	var b strings.Builder
+	err := LineChart(&b, "t", "x", "y", []Series{
+		{Label: "s1", X: []float64{1, 2, 4}, Y: []float64{3, 1, 2}},
+		{Label: "s2", X: []float64{1, 2, 4}, Y: []float64{0, 5, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := b.String()
+	if strings.Count(s, "<polyline") != 2 {
+		t.Fatalf("expected 2 polylines, got %d", strings.Count(s, "<polyline"))
+	}
+	if !strings.Contains(s, ">s1</text>") || !strings.Contains(s, ">s2</text>") {
+		t.Fatal("legend entries missing")
+	}
+}
+
+func TestLineChartEmptyAndConstant(t *testing.T) {
+	var b strings.Builder
+	if err := LineChart(&b, "t", "x", "y", nil); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	// Constant series must not divide by zero.
+	if err := LineChart(&b, "t", "x", "y", []Series{{Label: "c", X: []float64{1, 1}, Y: []float64{2, 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "NaN") {
+		t.Fatal("NaN leaked into SVG output")
+	}
+}

@@ -1,0 +1,314 @@
+// Package sdpfloor is a global floorplanner for VLSI physical design based
+// on semidefinite programming with convex iteration, reproducing "Global
+// Floorplanning via Semidefinite Programming" (DAC 2023). It bundles:
+//
+//   - the SDP convex-iteration global floorplanner (the paper's
+//     contribution) with all of its enhancements — Manhattan-adaptive
+//     objective, hyper-edge handling, boundary pins, fixed outlines,
+//     pre-placed modules, and non-square adaptive distance constraints;
+//   - the baselines it is evaluated against: attractor–repeller (AR),
+//     push–pull (PP), quadratic placement (QP), a Parquet-style
+//     sequence-pair simulated annealer, and a density-driven analytical
+//     floorplanner;
+//   - a legalization pipeline (constraint graphs + convex shape
+//     optimization) shared by all methods;
+//   - pure-Go SDP solvers (interior point and ADMM) replacing MOSEK;
+//   - GSRC-format benchmark I/O and a synthetic benchmark generator with
+//     the statistics of the suites used in the paper.
+//
+// The quickest entry point is Place, which runs global floorplanning and
+// legalization end to end:
+//
+//	design, _ := sdpfloor.LoadBenchmark("n10", 1, 0.15)
+//	fp, err := sdpfloor.Place(design.Netlist, sdpfloor.Config{Outline: design.Outline})
+//
+// See the examples directory for boundary pins, pre-placed modules, soft
+// macros, and method comparisons.
+package sdpfloor
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"sdpfloor/internal/analytic"
+	"sdpfloor/internal/anneal"
+	"sdpfloor/internal/baseline"
+	"sdpfloor/internal/cluster"
+	"sdpfloor/internal/core"
+	"sdpfloor/internal/geom"
+	"sdpfloor/internal/gsrc"
+	"sdpfloor/internal/legalize"
+	"sdpfloor/internal/netlist"
+)
+
+// Core geometric and netlist types, re-exported for API users.
+type (
+	// Point is a 2-D location.
+	Point = geom.Point
+	// Rect is an axis-aligned rectangle.
+	Rect = geom.Rect
+	// Module is a design block with a minimum-area constraint.
+	Module = netlist.Module
+	// Pad is a fixed terminal (I/O pad).
+	Pad = netlist.Pad
+	// Net is a hyperedge connecting modules and pads.
+	Net = netlist.Net
+	// Netlist is a complete floorplanning instance.
+	Netlist = netlist.Netlist
+	// GlobalOptions configure the SDP convex-iteration floorplanner.
+	GlobalOptions = core.Options
+	// GlobalResult is the raw convex-iteration output.
+	GlobalResult = core.Result
+	// DistanceCap is a proximity constraint D_IJ ≤ MaxDist² (e.g. a timing
+	// requirement between two blocks); set in GlobalOptions.DistanceCaps.
+	DistanceCap = core.DistanceCap
+	// Design is a benchmark instance (netlist + outline).
+	Design = gsrc.Design
+	// LegalFloorplan is a legalized floorplan.
+	LegalFloorplan = legalize.Result
+)
+
+// Method identifies a global floorplanning algorithm.
+type Method string
+
+// Available global floorplanning methods.
+const (
+	MethodSDP      Method = "sdp"      // this paper: SDP convex iteration
+	MethodSDPHier  Method = "sdp-hier" // hierarchical SDP (the paper's future-work extension)
+	MethodAR       Method = "ar"       // attractor–repeller [1][8]
+	MethodPP       Method = "pp"       // push–pull / UFO [2][9]
+	MethodQP       Method = "qp"       // quadratic placement [13]
+	MethodSA       Method = "sa"       // Parquet-style simulated annealing [20]
+	MethodAnalytic Method = "analytic" // density-driven analytical [7]
+)
+
+// Methods lists all supported methods in evaluation order.
+var Methods = []Method{MethodSDP, MethodSDPHier, MethodAR, MethodPP, MethodQP, MethodSA, MethodAnalytic}
+
+// Config configures Place.
+type Config struct {
+	// Outline is the fixed outline; required.
+	Outline Rect
+	// Global configures the SDP floorplanner. Zero value: paper defaults
+	// with all enhancements enabled and the outline wired in.
+	Global GlobalOptions
+	// Method selects the global algorithm (default MethodSDP).
+	Method Method
+	// Seed drives the stochastic methods (AR/PP restarts, SA, analytic).
+	Seed int64
+	// SkipEnhancements leaves the Section IV-B techniques off for
+	// MethodSDP (the "basic" algorithm; mostly useful for ablations).
+	SkipEnhancements bool
+}
+
+// Floorplan is the end-to-end result of Place.
+type Floorplan struct {
+	// Global holds the module centers produced by the global stage.
+	Global []Point
+	// Rects is the legalized floorplan.
+	Rects []Rect
+	// Centers are the legalized module centers.
+	Centers []Point
+	// HPWL is the half-perimeter wirelength after legalization, the metric
+	// Tables II–III report.
+	HPWL float64
+	// Feasible reports whether legalization fit the outline.
+	Feasible bool
+	// GlobalResult carries the convex-iteration diagnostics (MethodSDP
+	// only).
+	GlobalResult *GlobalResult
+}
+
+// Place runs a global floorplanning method and the shared legalizer end to
+// end, returning the legalized floorplan and its HPWL.
+func Place(nl *Netlist, cfg Config) (*Floorplan, error) {
+	if nl == nil || nl.N() == 0 {
+		return nil, errors.New("sdpfloor: empty netlist")
+	}
+	if cfg.Outline.W() <= 0 || cfg.Outline.H() <= 0 {
+		return nil, errors.New("sdpfloor: config needs an outline with positive area")
+	}
+	if cfg.Method == "" {
+		cfg.Method = MethodSDP
+	}
+
+	fp := &Floorplan{}
+	switch cfg.Method {
+	case MethodSDP:
+		res, err := GlobalFloorplan(nl, sdpOptions(cfg))
+		if err != nil {
+			return nil, err
+		}
+		fp.Global = res.Centers
+		fp.GlobalResult = res
+	case MethodSDPHier:
+		res, err := cluster.Solve(nl, cluster.Options{
+			Outline: cfg.Outline,
+			Top:     cfg.Global,
+			Logf:    cfg.Global.Logf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fp.Global = res.Centers
+	case MethodAR:
+		res, err := baseline.SolveAR(nl, baseline.AROptions{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		fp.Global = res.Centers
+	case MethodPP:
+		res, err := baseline.SolvePP(nl, baseline.PPOptions{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		fp.Global = res.Centers
+	case MethodQP:
+		res, err := baseline.SolveQP(nl)
+		if err != nil {
+			return nil, err
+		}
+		fp.Global = res.Centers
+	case MethodSA:
+		res, err := anneal.Solve(nl, anneal.Options{Outline: cfg.Outline, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		// SA already produces a legal floorplan; no legalization needed.
+		fp.Global = res.Centers
+		fp.Rects = res.Rects
+		fp.Centers = res.Centers
+		fp.HPWL = res.HPWL
+		fp.Feasible = res.Feasible
+		return fp, nil
+	case MethodAnalytic:
+		res, err := analytic.Solve(nl, analytic.Options{Outline: cfg.Outline, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		fp.Global = res.Centers
+	default:
+		return nil, fmt.Errorf("sdpfloor: unknown method %q", cfg.Method)
+	}
+
+	leg, err := legalize.Legalize(nl, fp.Global, legalize.Options{Outline: cfg.Outline})
+	if err != nil {
+		return nil, err
+	}
+	fp.Rects = leg.Rects
+	fp.Centers = leg.Centers
+	fp.HPWL = leg.HPWL
+	fp.Feasible = leg.Feasible
+	return fp, nil
+}
+
+// sdpOptions derives the core options from the config.
+func sdpOptions(cfg Config) GlobalOptions {
+	opt := cfg.Global
+	if !cfg.SkipEnhancements && isZeroEnhancements(opt) {
+		opt = opt.WithAllEnhancements()
+	}
+	if opt.Outline == nil {
+		o := cfg.Outline
+		opt.Outline = &o
+	}
+	// Lazy constraints pay off beyond a few dozen modules.
+	if !opt.LazyConstraints && cfg.Global.MaxIter == 0 {
+		opt.LazyConstraints = true
+	}
+	return opt
+}
+
+func isZeroEnhancements(o GlobalOptions) bool {
+	return !o.NonSquare && !o.Manhattan && !o.HyperEdge
+}
+
+// GlobalFloorplan runs only the SDP convex-iteration global stage
+// (Algorithm 1) without legalization.
+func GlobalFloorplan(nl *Netlist, opt GlobalOptions) (*GlobalResult, error) {
+	return core.Solve(nl, opt)
+}
+
+// Legalize turns global centers into a legal floorplan inside the outline
+// using the shared legalization pipeline.
+func Legalize(nl *Netlist, centers []Point, outline Rect) (*LegalFloorplan, error) {
+	return legalize.Legalize(nl, centers, legalize.Options{Outline: outline})
+}
+
+// LegalizeSOCP legalizes with the paper's exact formulation: the joint
+// shape-and-position second-order cone program (w·h ≥ s as 2×2 PSD blocks)
+// solved on the interior-point solver. Much slower than Legalize; intended
+// for small designs and for validating the default pipeline.
+func LegalizeSOCP(nl *Netlist, centers []Point, outline Rect) (*LegalFloorplan, error) {
+	return legalize.SOCPShapes(nl, centers, legalize.Options{Outline: outline})
+}
+
+// LoadBenchmark generates one of the built-in synthetic benchmarks
+// ("n10"…"n200", "ami33", "ami49") with the given outline height:width
+// aspect (1 or 2 in the paper) and whitespace fraction (0 → 15%).
+func LoadBenchmark(name string, aspect, whitespace float64) (*Design, error) {
+	return gsrc.Builtin(name, aspect, whitespace)
+}
+
+// PlaceIncremental re-floorplans after an engineering change order (ECO):
+// modules marked in frozen keep their previous centers via PPM constraints
+// (Eqs. 22–24) while the rest are re-optimized around them. prev must hold
+// the previous centers for (at least) the frozen modules. The netlist is
+// restored to its original Fixed state before returning.
+func PlaceIncremental(nl *Netlist, prev []Point, frozen []bool, cfg Config) (*Floorplan, error) {
+	if nl == nil || nl.N() == 0 {
+		return nil, errors.New("sdpfloor: empty netlist")
+	}
+	if len(prev) != nl.N() || len(frozen) != nl.N() {
+		return nil, errors.New("sdpfloor: PlaceIncremental needs prev and frozen per module")
+	}
+	saved := make([]Module, nl.N())
+	copy(saved, nl.Modules)
+	defer copy(nl.Modules, saved)
+	for i := range nl.Modules {
+		if frozen[i] {
+			nl.Modules[i].Fixed = true
+			nl.Modules[i].FixedPos = prev[i]
+		}
+	}
+	return Place(nl, cfg)
+}
+
+// ReadNetlistJSON parses a netlist from the by-name JSON schema (see
+// internal/netlist: modules with minArea/maxAspect/fixed, pads with
+// positions, nets referencing both by name).
+func ReadNetlistJSON(r io.Reader) (*Netlist, error) {
+	return netlist.ReadJSON(r)
+}
+
+// WriteNetlistJSON serializes a netlist to the JSON schema.
+func WriteNetlistJSON(w io.Writer, nl *Netlist) error {
+	return nl.WriteJSON(w)
+}
+
+// CheckLayout validates a floorplan: every rectangle inside the outline and
+// no overlaps (within tol). Returns nil when legal.
+func CheckLayout(rects []Rect, outline Rect, tol float64) error {
+	return geom.CheckLayout(rects, outline, tol)
+}
+
+// HPWL evaluates the half-perimeter wirelength of module centers against
+// the netlist (including pad pins).
+func HPWL(nl *Netlist, centers []Point) float64 {
+	return nl.HPWL(centers)
+}
+
+// OutlineFor computes a fixed outline for a netlist: area =
+// TotalArea·(1+whitespace), height/width = aspect, anchored at the origin.
+func OutlineFor(nl *Netlist, aspect, whitespace float64) Rect {
+	if aspect <= 0 {
+		aspect = 1
+	}
+	if whitespace <= 0 {
+		whitespace = 0.15
+	}
+	w := math.Sqrt(nl.TotalArea() * (1 + whitespace) / aspect)
+	return Rect{MinX: 0, MinY: 0, MaxX: w, MaxY: aspect * w}
+}
