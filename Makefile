@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test check race bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the gate CI and pre-commit should run: static analysis plus the
+# suite under the race detector. -short skips the multi-minute paper-table
+# reproductions (single-threaded solver runs that the race detector slows
+# ~15x without adding coverage); run `make test` for those.
+check:
+	$(GO) vet ./...
+	$(GO) test -race -short ./...
+
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,92 @@
+// Command floorpland serves the floorplanner over HTTP: jobs are submitted
+// as JSON netlists, solved by a bounded worker pool with per-job timeouts,
+// cached by content hash, and observable via /healthz and /metrics.
+//
+// Usage:
+//
+//	floorpland                                # listen on :8080, GOMAXPROCS workers
+//	floorpland -addr :9090 -workers 2 -v
+//	floorpland -job-timeout 2m -queue 16 -cache 64
+//
+// See docs/SERVICE.md for the API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sdpfloor/internal/service"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("floorpland: ")
+
+	var (
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		workers    = flag.Int("workers", 0, "concurrent solver goroutines (0 = GOMAXPROCS)")
+		queueDepth = flag.Int("queue", 64, "maximum queued-but-not-running jobs")
+		jobTimeout = flag.Duration("job-timeout", 5*time.Minute, "default per-job solve timeout")
+		maxTimeout = flag.Duration("max-timeout", 30*time.Minute, "cap on per-job timeouts requested by clients")
+		cacheSize  = flag.Int("cache", 128, "result cache entries")
+		verbose    = flag.Bool("v", false, "log job lifecycle events")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Printf("unexpected arguments: %v", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		DefaultTimeout: *jobTimeout,
+		MaxTimeout:     *maxTimeout,
+		CacheSize:      *cacheSize,
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	s := service.New(cfg)
+
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      s.Handler(),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 60 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (%d workers, queue %d, cache %d, default timeout %s)",
+			*addr, s.Workers(), *queueDepth, *cacheSize, *jobTimeout)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("received %s, shutting down", sig)
+	case err := <-errCh:
+		log.Fatal(err)
+	}
+
+	// Stop accepting HTTP first, then cancel in-flight solves and drain the
+	// pool; solvers observe the cancellation at their next iteration.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	s.Close()
+	log.Printf("stopped")
+}

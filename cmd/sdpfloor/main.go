@@ -9,7 +9,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +21,18 @@ import (
 	"sdpfloor/internal/gsrc"
 	"sdpfloor/internal/svg"
 )
+
+// Exit statuses: 1 for errors, 2 for usage, 3 when -timeout expired.
+const exitTimeout = 3
+
+func validMethod(m sdpfloor.Method) bool {
+	for _, v := range sdpfloor.Methods {
+		if m == v {
+			return true
+		}
+	}
+	return false
+}
 
 func main() {
 	log.SetFlags(0)
@@ -36,16 +50,38 @@ func main() {
 		socp       = flag.Bool("socp", false, "legalize with the exact SOCP shape optimization (slow; small designs)")
 		jsonOut    = flag.String("json", "", "write the result (rects, centers, HPWL) as JSON to this path")
 		svgOut     = flag.String("svg", "", "write the legalized floorplan as SVG to this path")
+		timeout    = flag.Duration("timeout", 0, "abort the solve after this long (0 = no limit); exits with status 3")
 		verbose    = flag.Bool("v", false, "log solver progress")
 	)
 	flag.Parse()
+
+	// Validate the flag combination before touching any benchmark files so
+	// mistakes fail fast with a usable message.
+	if *bench != "" && (*dir != "" || *design != "") {
+		log.Printf("-bench cannot be combined with -dir/-design: pick one input source")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if (*dir != "") != (*design != "") {
+		log.Printf("-dir and -design must be given together")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if !validMethod(sdpfloor.Method(*method)) {
+		log.Printf("unknown -method %q (valid: %v)", *method, sdpfloor.Methods)
+		os.Exit(2)
+	}
+	if *timeout < 0 {
+		log.Printf("-timeout must be positive")
+		os.Exit(2)
+	}
 
 	var d *sdpfloor.Design
 	var err error
 	switch {
 	case *bench != "":
 		d, err = sdpfloor.LoadBenchmark(*bench, *aspect, *whitespace)
-	case *dir != "" && *design != "":
+	case *dir != "":
 		d, err = gsrc.ReadDesign(*dir, *design)
 		if err == nil && d.Outline.W() <= 0 {
 			d.Outline = sdpfloor.OutlineFor(d.Netlist, *aspect, *whitespace)
@@ -67,7 +103,24 @@ func main() {
 	if *verbose {
 		cfg.Global.Logf = log.Printf
 	}
-	fp, err := sdpfloor.Place(d.Netlist, cfg)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	fp, err := sdpfloor.PlaceContext(ctx, d.Netlist, cfg)
+	if errors.Is(err, context.DeadlineExceeded) {
+		// The solver returns its last iterate as a partial result; report
+		// what it reached before giving up, then exit distinctly.
+		log.Printf("timed out after %s: %v", *timeout, err)
+		if fp != nil && fp.GlobalResult != nil {
+			gr := fp.GlobalResult
+			log.Printf("partial: %d convex iterations, %d solver iterations, alpha %g, <W,Z> %.3g",
+				gr.Iterations, gr.SolverIterations, gr.AlphaFinal, gr.WZ)
+		}
+		os.Exit(exitTimeout)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

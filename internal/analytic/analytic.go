@@ -9,7 +9,9 @@
 package analytic
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -37,6 +39,10 @@ type Options struct {
 	Seed int64
 	// InnerIter is the L-BFGS cap per round (default 150).
 	InnerIter int
+	// Context, when non-nil, is checked between multiplier rounds and at
+	// every L-BFGS iteration; on cancellation Solve returns the centers at
+	// the last iterate together with the wrapped context error.
+	Context context.Context
 }
 
 func (o *Options) setDefaults(n int) {
@@ -111,7 +117,15 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 		}
 	}
 	gamma := opt.Gamma0 * math.Max(opt.Outline.W(), opt.Outline.H())
+	var cancelErr error
+	rounds := 0
 	for round := 0; round < opt.Rounds; round++ {
+		if opt.Context != nil {
+			if err := opt.Context.Err(); err != nil {
+				cancelErr = fmt.Errorf("analytic: cancelled after %d rounds: %w", round, err)
+				break
+			}
+		}
 		// Jitter to escape the symmetric saddle where coincident modules
 		// receive cancelling density gradients (every analytical placer
 		// needs an equivalent symmetry-breaking device).
@@ -132,8 +146,13 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 			f += boundaryPenalty(nl, opt.Outline, x, g)
 			return f
 		}
-		res := optimize.Minimize(obj, xv, optimize.Options{MaxIter: opt.InnerIter, GradTol: 1e-7})
+		res := optimize.Minimize(obj, xv, optimize.Options{MaxIter: opt.InnerIter, GradTol: 1e-7, Context: opt.Context})
 		copy(xv, res.X)
+		rounds = round + 1
+		if res.Err != nil {
+			cancelErr = fmt.Errorf("analytic: cancelled in round %d: %w", round, res.Err)
+			break
+		}
 		lambda *= 2
 		if gamma > 1e-3 {
 			gamma *= 0.7
@@ -144,7 +163,7 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 	for i := 0; i < n; i++ {
 		centers[i] = geom.Point{X: xv[2*i], Y: xv[2*i+1]}
 	}
-	return &Result{Centers: centers, HPWL: nl.HPWL(centers), Rounds: opt.Rounds}, nil
+	return &Result{Centers: centers, HPWL: nl.HPWL(centers), Rounds: rounds}, cancelErr
 }
 
 // lseHPWL evaluates the log-sum-exp smoothed HPWL and accumulates its

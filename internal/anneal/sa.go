@@ -1,7 +1,9 @@
 package anneal
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -38,6 +40,10 @@ type Options struct {
 	// 1 turn the run into local refinement that preserves the Init
 	// structure (default 1).
 	T0Scale float64
+	// Context, when non-nil, is checked at every temperature step; on
+	// cancellation Solve returns the best floorplan found so far together
+	// with the wrapped context error.
+	Context context.Context
 }
 
 func (o *Options) setDefaults(n int) {
@@ -98,7 +104,14 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 	best := st.snapshot()
 	bestCost := cost
 	accepted := 0
+	var cancelErr error
 	for temp := t0; temp > minTemp; temp *= opt.CoolingRate {
+		if opt.Context != nil {
+			if err := opt.Context.Err(); err != nil {
+				cancelErr = fmt.Errorf("anneal: cancelled at temperature %.3g: %w", temp, err)
+				break
+			}
+		}
 		for mv := 0; mv < opt.MovesPerTemp; mv++ {
 			undo := st.proposeMove(rng)
 			newCost := st.cost()
@@ -118,7 +131,7 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 	st.restore(best)
 	res := st.result()
 	res.Moves = accepted
-	return res, nil
+	return res, cancelErr
 }
 
 // saState is the annealing state: a sequence pair plus per-module widths.

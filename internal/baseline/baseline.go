@@ -8,7 +8,9 @@
 package baseline
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -41,10 +43,11 @@ func Radii(nl *netlist.Netlist) []float64 {
 
 // AROptions configure SolveAR.
 type AROptions struct {
-	Sigma   float64 // repeller strength σ in t_ij = σ(rᵢ+rⱼ)² (default 1)
-	Starts  int     // restarts: 1 QP-seeded + Starts−1 random (default 4)
-	Seed    int64   // RNG seed for the random restarts
-	MaxIter int     // L-BFGS iterations per start (default 300)
+	Sigma   float64         // repeller strength σ in t_ij = σ(rᵢ+rⱼ)² (default 1)
+	Starts  int             // restarts: 1 QP-seeded + Starts−1 random (default 4)
+	Seed    int64           // RNG seed for the random restarts
+	MaxIter int             // L-BFGS iterations per start (default 300)
+	Context context.Context // optional cancellation, checked per L-BFGS iteration
 }
 
 func (o *AROptions) setDefaults() {
@@ -141,7 +144,7 @@ func ARObjective(nl *netlist.Netlist, sigma float64) optimize.Objective {
 // SolveAR minimizes the AR model with multi-start L-BFGS.
 func SolveAR(nl *netlist.Netlist, opt AROptions) (*Result, error) {
 	opt.setDefaults()
-	return solveSmooth(nl, ARObjective(nl, opt.Sigma), opt.Starts, opt.Seed, opt.MaxIter)
+	return solveSmooth(opt.Context, nl, ARObjective(nl, opt.Sigma), opt.Starts, opt.Seed, opt.MaxIter)
 }
 
 // ---------------------------------------------------------------------------
@@ -152,6 +155,7 @@ type PPOptions struct {
 	Starts  int
 	Seed    int64
 	MaxIter int
+	Context context.Context // optional cancellation, checked per L-BFGS iteration
 }
 
 func (o *PPOptions) setDefaults() {
@@ -219,7 +223,7 @@ func PPObjective(nl *netlist.Netlist) optimize.Objective {
 // SolvePP minimizes the PP model with multi-start L-BFGS.
 func SolvePP(nl *netlist.Netlist, opt PPOptions) (*Result, error) {
 	opt.setDefaults()
-	return solveSmooth(nl, PPObjective(nl), opt.Starts, opt.Seed, opt.MaxIter)
+	return solveSmooth(opt.Context, nl, PPObjective(nl), opt.Starts, opt.Seed, opt.MaxIter)
 }
 
 // ---------------------------------------------------------------------------
@@ -281,7 +285,7 @@ func SolveQP(nl *netlist.Netlist) (*Result, error) {
 // solveSmooth runs multi-start L-BFGS: the first start is QP-seeded, the
 // rest are random within the pad bounding box (or a unit-area box when there
 // are no pads).
-func solveSmooth(nl *netlist.Netlist, obj optimize.Objective, starts int, seed int64, maxIter int) (*Result, error) {
+func solveSmooth(ctx context.Context, nl *netlist.Netlist, obj optimize.Objective, starts int, seed int64, maxIter int) (*Result, error) {
 	n := nl.N()
 	if n == 0 {
 		return nil, errors.New("baseline: empty netlist")
@@ -303,7 +307,14 @@ func solveSmooth(nl *netlist.Netlist, obj optimize.Objective, starts int, seed i
 	}
 
 	best := Result{Objective: math.Inf(1)}
+	var cancelErr error
 	for s := 0; s < starts; s++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				cancelErr = fmt.Errorf("baseline: cancelled after %d starts: %w", s, err)
+				break
+			}
+		}
 		x0 := make([]float64, 2*n)
 		if s == 0 {
 			if qp, err := SolveQP(nl); err == nil {
@@ -318,7 +329,7 @@ func solveSmooth(nl *netlist.Netlist, obj optimize.Objective, starts int, seed i
 				x0[2*i+1] = span.MinY + rng.Float64()*span.H()
 			}
 		}
-		res := optimize.Minimize(obj, x0, optimize.Options{MaxIter: maxIter, GradTol: 1e-6})
+		res := optimize.Minimize(obj, x0, optimize.Options{MaxIter: maxIter, GradTol: 1e-6, Context: ctx})
 		if res.F < best.Objective {
 			best.Objective = res.F
 			best.Centers = make([]geom.Point, n)
@@ -326,7 +337,14 @@ func solveSmooth(nl *netlist.Netlist, obj optimize.Objective, starts int, seed i
 				best.Centers[i] = geom.Point{X: res.X[2*i], Y: res.X[2*i+1]}
 			}
 		}
+		best.Starts = s + 1
+		if res.Err != nil {
+			cancelErr = fmt.Errorf("baseline: cancelled in start %d: %w", s, res.Err)
+			break
+		}
 	}
-	best.Starts = starts
-	return &best, nil
+	if best.Centers == nil {
+		return nil, cancelErr
+	}
+	return &best, cancelErr
 }

@@ -11,6 +11,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -181,6 +182,9 @@ type Options struct {
 	Outline geom.Rect
 	// Logf receives progress lines.
 	Logf func(format string, args ...any)
+	// Context, when non-nil, cancels the hierarchical solve: it is threaded
+	// into every level's SDP solve and checked between cluster refinements.
+	Context context.Context
 }
 
 func (o *Options) setDefaults() {
@@ -237,6 +241,7 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 	o := opt.Outline
 	topOpt.Outline = &o
 	topOpt.Logf = opt.Logf
+	topOpt.Context = opt.Context
 	top, err := core.Solve(coarse, topOpt)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: top-level solve: %w", err)
@@ -251,6 +256,11 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 
 	members := cl.Members()
 	for c, ms := range members {
+		if opt.Context != nil {
+			if err := opt.Context.Err(); err != nil {
+				return nil, fmt.Errorf("cluster: cancelled before refining cluster %d: %w", c, err)
+			}
+		}
 		if len(ms) == 0 {
 			continue
 		}
@@ -287,6 +297,7 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 			refOpt.AlphaMaxDoublings = 6
 		}
 		refOpt.Outline = &region
+		refOpt.Context = opt.Context
 		subRes, err := core.Solve(sub, refOpt)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: refining cluster %d: %w", c, err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -14,12 +15,13 @@ import (
 
 // IterRecord traces one convex iteration (used by the Fig. 5 experiments).
 type IterRecord struct {
-	Alpha     float64
-	Iter      int           // iteration index within the current α
-	Objective float64       // ⟨B⁰, G⟩ — the unadapted squared-distance objective
-	WZ        float64       // ⟨W, Z⟩ = sum of the n smallest eigenvalues of Z
-	SolveTime time.Duration // sub-problem-1 wall time
-	NumCons   int           // constraints in the working set
+	Alpha       float64
+	Iter        int           // iteration index within the current α
+	Objective   float64       // ⟨B⁰, G⟩ — the unadapted squared-distance objective
+	WZ          float64       // ⟨W, Z⟩ = sum of the n smallest eigenvalues of Z
+	SolveTime   time.Duration // sub-problem-1 wall time
+	NumCons     int           // constraints in the working set
+	SolverIters int           // IPM/ADMM iterations of the final lazy round
 }
 
 // Result is the outcome of a convex-iteration run.
@@ -31,8 +33,12 @@ type Result struct {
 	WZ         float64 // ⟨W, Z⟩ at termination
 	AlphaFinal float64
 	Iterations int // total convex iterations across all α
-	RankOK     bool
-	History    []IterRecord
+	// SolverIterations totals the sub-problem solver (IPM/ADMM) iterations
+	// of the final lazy round of every convex iteration — the dominant cost
+	// driver, exported as a service metric.
+	SolverIterations int
+	RankOK           bool
+	History          []IterRecord
 }
 
 // Solve runs Algorithm 1 on the netlist: the convex iteration over
@@ -82,7 +88,9 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 		for t := 1; t <= opt.MaxIter; t++ {
 			if opt.Context != nil {
 				if err := opt.Context.Err(); err != nil {
-					return nil, fmt.Errorf("core: cancelled after %d convex iterations (alpha=%g): %w",
+					res.finalize(b0, z, n)
+					res.AlphaFinal = alpha
+					return res, fmt.Errorf("core: cancelled after %d convex iterations (alpha=%g): %w",
 						res.Iterations, alpha, err)
 				}
 			}
@@ -94,11 +102,23 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 
 			start := time.Now()
 			var err error
+			prevZ := z
 			z, warm, pairs, havePairs, err = bld.solveSub1(c, pairs, havePairs, warm)
 			if err != nil {
+				if isContextErr(err) {
+					res.finalize(b0, prevZ, n)
+					res.AlphaFinal = alpha
+					return res, fmt.Errorf("core: cancelled during sub-problem 1 (alpha=%g, iter=%d): %w",
+						alpha, t, err)
+				}
 				return nil, fmt.Errorf("core: sub-problem 1 failed (alpha=%g, iter=%d): %w", alpha, t, err)
 			}
 			elapsed := time.Since(start)
+			solverIters := 0
+			if warm != nil {
+				solverIters = warm.Iterations
+				res.SolverIterations += warm.Iterations
+			}
 
 			// Sub-problem 2: closed-form direction matrix.
 			var wz float64
@@ -112,7 +132,7 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 			obj := objectiveValue(b0, z, n)
 			res.History = append(res.History, IterRecord{
 				Alpha: alpha, Iter: t, Objective: obj, WZ: wz,
-				SolveTime: elapsed, NumCons: len(pairs),
+				SolveTime: elapsed, NumCons: len(pairs), SolverIters: solverIters,
 			})
 			if opt.Logf != nil {
 				opt.Logf("core: alpha=%g iter=%d obj=%.6g <W,Z>=%.3g cons=%d time=%s",
@@ -159,15 +179,29 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 		}
 	}
 
+	res.finalize(b0, z, n)
+	return res, nil
+}
+
+// finalize fills the iterate-derived fields from z (a no-op when no iterate
+// exists yet, as on cancellation before the first sub-problem completes).
+func (res *Result) finalize(b0, z *linalg.Dense, n int) {
+	if z == nil {
+		return
+	}
 	res.Z = z
 	res.Centers = ExtractCenters(z)
 	res.Objective = objectiveValue(b0, z, n)
 	res.WZ = sumSmallestEigen(z, n)
-	eg, err := linalg.NewSymEig(z)
-	if err == nil {
+	if eg, err := linalg.NewSymEig(z); err == nil {
 		res.Rank = eg.NumericalRank(1e-6)
 	}
-	return res, nil
+}
+
+// isContextErr reports whether err stems from context cancellation or an
+// expired deadline anywhere down the solver stack.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // solveSub1 solves sub-problem 1 for the current objective, growing the lazy
@@ -237,13 +271,13 @@ func (b *builder) dropSlackPairs(z *linalg.Dense, pairs []pair, have map[pair]bo
 func (b *builder) solveProblem(prob *sdp.Problem, warm *sdp.Solution) (*sdp.Solution, error) {
 	switch b.opt.Solver {
 	case SolverADMM:
-		opt := sdp.ADMMOptions{Tol: b.opt.SolverTol, MaxIter: b.opt.SolverMaxIter}
+		opt := sdp.ADMMOptions{Tol: b.opt.SolverTol, MaxIter: b.opt.SolverMaxIter, Context: b.opt.Context}
 		if warm != nil && warm.X != nil && warm.X[0].Rows == b.dim {
 			opt.X0 = []*linalg.Dense{warm.X[0]}
 		}
 		return sdp.SolveADMM(prob, opt)
 	default:
-		return sdp.SolveIPM(prob, sdp.IPMOptions{Tol: b.opt.SolverTol, MaxIter: b.opt.SolverMaxIter})
+		return sdp.SolveIPM(prob, sdp.IPMOptions{Tol: b.opt.SolverTol, MaxIter: b.opt.SolverMaxIter, Context: b.opt.Context})
 	}
 }
 

@@ -105,10 +105,12 @@ type Options struct {
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 
-	// Context, when non-nil, allows cancelling a long solve between convex
-	// iterations (the paper reports multi-hour runs at n200). On
-	// cancellation Solve returns the context error wrapped with partial
-	// progress information.
+	// Context, when non-nil, allows cancelling a long solve. It is checked
+	// between convex iterations and also threaded into the sub-problem
+	// solvers, which check it at every IPM/ADMM iteration (the paper
+	// reports multi-hour runs at n200, and a single sub-problem solve can
+	// dominate). On cancellation Solve returns the last completed iterate
+	// as a partial Result together with the wrapped context error.
 	Context context.Context
 }
 

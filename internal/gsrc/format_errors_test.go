@@ -1,0 +1,142 @@
+package gsrc
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The parsers must reject malformed bookshelf files with errors, never
+// panics, and must cross-check the header count declarations against the
+// entries actually present.
+
+func TestParseBlocksHeaderCountMismatch(t *testing.T) {
+	cases := map[string]string{
+		"soft count too high": "NumSoftRectangularBlocks : 2\nbk softrectangular 4 0.5 2\n",
+		"soft count too low":  "NumSoftRectangularBlocks : 1\nbk0 softrectangular 4 0.5 2\nbk1 softrectangular 4 0.5 2\n",
+		"terminal mismatch":   "NumTerminals : 2\nbk softrectangular 4 0.5 2\nP1 terminal\n",
+		"hard mismatch":       "NumHardRectilinearBlocks : 1\nbk softrectangular 4 0.5 2\n",
+		"unparseable count":   "NumSoftRectangularBlocks : lots\nbk softrectangular 4 0.5 2\n",
+	}
+	for name, in := range cases {
+		var d Design
+		d.Netlist = newEmptyNetlist()
+		if err := parseBlocks(strings.NewReader(in), &d); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestParseBlocksHeaderCountsAccepted(t *testing.T) {
+	in := "UCSC blocks 1.0\nNumSoftRectangularBlocks : 2\nNumHardRectilinearBlocks : 0\nNumTerminals : 1\n\n" +
+		"bk0 softrectangular 4 0.5 2\nbk1 softrectangular 2 0.5 2\nP1 terminal\n"
+	var d Design
+	d.Netlist = newEmptyNetlist()
+	if err := parseBlocks(strings.NewReader(in), &d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Netlist.Modules) != 2 || len(d.Netlist.Pads) != 1 {
+		t.Fatalf("parsed %d modules, %d pads", len(d.Netlist.Modules), len(d.Netlist.Pads))
+	}
+}
+
+func netsFixture() *Design {
+	var d Design
+	d.Netlist = newEmptyNetlist()
+	d.Netlist.Modules = append(d.Netlist.Modules, netlistModule("sb0"), netlistModule("sb1"))
+	d.Netlist.Pads = append(d.Netlist.Pads, netlistPad("p0"))
+	return &d
+}
+
+func TestParseNetsCountValidation(t *testing.T) {
+	cases := map[string]string{
+		"net count mismatch":  "NumNets : 2\nNumPins : 2\nNetDegree : 2\nsb0 B\nsb1 B\n",
+		"pin count mismatch":  "NumNets : 1\nNumPins : 3\nNetDegree : 2\nsb0 B\nsb1 B\n",
+		"truncated net":       "NumNets : 1\nNumPins : 3\nNetDegree : 3\nsb0 B\nsb1 B\n",
+		"overfull net":        "NumNets : 1\nNumPins : 3\nNetDegree : 2\nsb0 B\nsb1 B\np0 B\n",
+		"truncated last net":  "NetDegree : 2\nsb0 B\nsb1 B\nNetDegree : 2\nsb0 B\n",
+		"bad NetDegree value": "NetDegree : two\nsb0 B\nsb1 B\n",
+		"bad NumNets value":   "NumNets : many\nNetDegree : 2\nsb0 B\nsb1 B\n",
+	}
+	for name, in := range cases {
+		if err := parseNets(strings.NewReader(in), netsFixture()); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestParseNetsValidFile(t *testing.T) {
+	in := "UCLA nets 1.0\n\nNumNets : 2\nNumPins : 4\n\nNetDegree : 2\nsb0 B\nsb1 B\nNetDegree : 2\nsb1 B\np0 B\n"
+	d := netsFixture()
+	if err := parseNets(strings.NewReader(in), d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Netlist.Nets) != 2 {
+		t.Fatalf("parsed %d nets, want 2", len(d.Netlist.Nets))
+	}
+}
+
+func TestParsePlRejectsBadCoordinates(t *testing.T) {
+	cases := map[string]string{
+		"bad module coords": "sb0 three 4 FIXED\n",
+		"bad pad coords":    "p0 0 north\n",
+		"truncated line":    "p0 12\n",
+	}
+	for name, in := range cases {
+		d := netsFixture()
+		if err := parsePl(strings.NewReader(in), d); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// Unknown names remain skippable noise.
+	d := netsFixture()
+	if err := parsePl(strings.NewReader("whatever x y\nnoise\n"), d); err != nil {
+		t.Fatalf("unknown-name noise should be ignored: %v", err)
+	}
+}
+
+// TestReadDesignMalformedFiles goes through the public entry point: each
+// corruption must surface as an error naming the offending file.
+func TestReadDesignMalformedFiles(t *testing.T) {
+	write := func(t *testing.T, dir, name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	goodBlocks := "UCSC blocks 1.0\nNumSoftRectangularBlocks : 2\nNumTerminals : 1\n\n" +
+		"sb0 softrectangular 4 0.5 2\nsb1 softrectangular 2 0.5 2\np0 terminal\n"
+	goodNets := "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\nNetDegree : 2\nsb0 B\nsb1 B\n"
+	goodPl := "UCLA pl 1.0\n# outline 0 0 10 10\np0 0 5\n"
+
+	cases := map[string]struct{ blocks, nets, pl string }{
+		"bad blocks": {strings.Replace(goodBlocks, ": 2", ": 9", 1), goodNets, goodPl},
+		"bad nets":   {goodBlocks, "NumNets : 1\nNumPins : 2\nNetDegree : 2\nsb0 B\nmystery B\n", goodPl},
+		"bad pl":     {goodBlocks, goodNets, "UCLA pl 1.0\np0 zero 5\n"},
+	}
+	for name, c := range cases {
+		dir := t.TempDir()
+		write(t, dir, "x.blocks", c.blocks)
+		write(t, dir, "x.nets", c.nets)
+		write(t, dir, "x.pl", c.pl)
+		if _, err := ReadDesign(dir, "x"); err == nil {
+			t.Errorf("%s: expected error", name)
+		} else if !strings.Contains(err.Error(), "gsrc:") {
+			t.Errorf("%s: error %q does not name the source", name, err)
+		}
+	}
+
+	// And the uncorrupted triple parses.
+	dir := t.TempDir()
+	write(t, dir, "x.blocks", goodBlocks)
+	write(t, dir, "x.nets", goodNets)
+	write(t, dir, "x.pl", goodPl)
+	d, err := ReadDesign(dir, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Netlist.N() != 2 || len(d.Netlist.Nets) != 1 || d.Outline.W() != 10 {
+		t.Fatalf("parsed design %+v", d.Netlist)
+	}
+}

@@ -13,7 +13,9 @@
 package legalize
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 
 	"sdpfloor/internal/anneal"
@@ -42,6 +44,10 @@ type Options struct {
 	DisableSAFallback bool
 	// Seed drives the fallback annealer.
 	Seed int64
+	// Context, when non-nil, cancels legalization: it is checked at every
+	// L-BFGS iteration of the shape optimization and threaded into the SA
+	// fallback.
+	Context context.Context
 }
 
 func (o *Options) setDefaults() {
@@ -121,6 +127,11 @@ func Legalize(nl *netlist.Netlist, centers []geom.Point, opt Options) (*Result, 
 	if opt.Outline.W() <= 0 || opt.Outline.H() <= 0 {
 		return nil, ErrNoOutline
 	}
+	if opt.Context != nil {
+		if err := opt.Context.Err(); err != nil {
+			return nil, fmt.Errorf("legalize: %w", err)
+		}
+	}
 	opt.setDefaults()
 
 	graphs := buildGraphs(centers, opt.Outline)
@@ -151,6 +162,7 @@ func Legalize(nl *netlist.Netlist, centers []geom.Point, opt Options) (*Result, 
 			Seed:    opt.Seed + 1,
 			Init:    &sp,
 			T0Scale: 0.15,
+			Context: opt.Context,
 		})
 		if err == nil && sa.Feasible {
 			res = &Result{
@@ -235,8 +247,11 @@ func (sh *shaper) smoothOptimize(centers []geom.Point) {
 		obj := func(v, g []float64) float64 {
 			return sh.smoothObjective(v, g, muR, gamR)
 		}
-		res := optimize.Minimize(obj, xv, optimize.Options{MaxIter: sh.opt.InnerIter, GradTol: 1e-7})
+		res := optimize.Minimize(obj, xv, optimize.Options{MaxIter: sh.opt.InnerIter, GradTol: 1e-7, Context: sh.opt.Context})
 		copy(xv, res.X)
+		if res.Err != nil {
+			break
+		}
 		// Project widths into bounds between rounds.
 		for i := 0; i < n; i++ {
 			xv[3*i+2] = clampF(xv[3*i+2], sh.minW[i], sh.maxW[i])

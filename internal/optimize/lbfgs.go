@@ -6,6 +6,7 @@
 package optimize
 
 import (
+	"context"
 	"math"
 )
 
@@ -19,6 +20,10 @@ type Options struct {
 	Memory   int     // L-BFGS history length (default 10)
 	StepTol  float64 // stop when the step is smaller than this (default 1e-12)
 	MaxEvals int     // function evaluation cap (default 10·MaxIter)
+	// Context, when non-nil, is checked at every iteration boundary; on
+	// cancellation Minimize stops and returns the best point so far with
+	// Result.Err set to the context error.
+	Context context.Context
 }
 
 func (o *Options) setDefaults() {
@@ -46,7 +51,8 @@ type Result struct {
 	GradNorm   float64
 	Iterations int
 	Evals      int
-	Converged  bool // gradient tolerance reached
+	Converged  bool  // gradient tolerance reached
+	Err        error // non-nil when the run was cancelled (partial result)
 }
 
 // Minimize runs L-BFGS from x0 and returns the best point found. The
@@ -72,6 +78,12 @@ func Minimize(f Objective, x0 []float64, opt Options) Result {
 	d := make([]float64, n)
 	res := Result{}
 	for iter := 0; iter < opt.MaxIter && evals < opt.MaxEvals; iter++ {
+		if opt.Context != nil {
+			if err := opt.Context.Err(); err != nil {
+				res.Err = err
+				break
+			}
+		}
 		res.Iterations = iter
 		gnorm := normInf(g)
 		if gnorm <= opt.GradTol {

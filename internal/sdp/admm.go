@@ -1,6 +1,8 @@
 package sdp
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"sdpfloor/internal/linalg"
@@ -16,6 +18,10 @@ type ADMMOptions struct {
 	X0   []*linalg.Dense
 	XLP0 []float64
 	Y0   []float64
+	// Context, when non-nil, is checked at every iteration boundary; on
+	// cancellation or deadline the solver stops, returns the current iterate
+	// with StatusCancelled, and reports the context error.
+	Context context.Context
 }
 
 func (o *ADMMOptions) setDefaults() {
@@ -93,6 +99,10 @@ func SolveADMM(p *Problem, opt ADMMOptions) (*Solution, error) {
 
 	sol := &Solution{Status: StatusIterationLimit}
 	for iter := 0; iter < opt.MaxIter; iter++ {
+		if opt.Context != nil && opt.Context.Err() != nil {
+			sol.Status = StatusCancelled
+			break
+		}
 		sol.Iterations = iter
 
 		// y-update: (AAᵀ) y = μ(b − A(X)) + A(C − S).
@@ -191,5 +201,9 @@ func SolveADMM(p *Problem, opt ADMMOptions) (*Solution, error) {
 		}
 	}
 	sol.X, sol.XLP, sol.Y, sol.S, sol.SLP = x, xlp, y, s, slp
+	if sol.Status == StatusCancelled {
+		return sol, fmt.Errorf("sdp: admm cancelled after %d iterations: %w",
+			sol.Iterations, opt.Context.Err())
+	}
 	return sol, nil
 }

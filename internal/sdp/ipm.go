@@ -1,6 +1,8 @@
 package sdp
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"sdpfloor/internal/linalg"
@@ -13,6 +15,10 @@ type IPMOptions struct {
 	Gamma   float64 // fraction-to-boundary factor in (0,1) (default 0.98)
 	NoScale bool    // disable the constraint equilibration presolve
 	Logf    func(format string, args ...any)
+	// Context, when non-nil, is checked at every iteration boundary; on
+	// cancellation or deadline the solver stops, returns the current iterate
+	// with StatusCancelled, and reports the context error.
+	Context context.Context
 }
 
 func (o *IPMOptions) setDefaults() {
@@ -74,6 +80,10 @@ func SolveIPM(p *Problem, opt IPMOptions) (*Solution, error) {
 		for k := range sp.norms {
 			sol.DualObj += sol.Y[k] * sp.p.Cons[k].B * sp.norms[k]
 		}
+	}
+	if sol.Status == StatusCancelled {
+		return sol, fmt.Errorf("sdp: ipm cancelled after %d iterations: %w",
+			sol.Iterations, opt.Context.Err())
 	}
 	return sol, nil
 }
@@ -180,6 +190,10 @@ func (st *ipmState) run() *Solution {
 	sol := &Solution{Status: StatusIterationLimit}
 
 	for iter := 0; iter < opt.MaxIter; iter++ {
+		if opt.Context != nil && opt.Context.Err() != nil {
+			sol.Status = StatusCancelled
+			break
+		}
 		sol.Iterations = iter
 		// Residuals.
 		ax := make([]float64, st.m)

@@ -239,6 +239,7 @@ const (
 	StatusOptimal Status = iota
 	StatusIterationLimit
 	StatusNumericalFailure
+	StatusCancelled // context cancelled or deadline expired mid-solve
 )
 
 func (s Status) String() string {
@@ -249,6 +250,8 @@ func (s Status) String() string {
 		return "iteration-limit"
 	case StatusNumericalFailure:
 		return "numerical-failure"
+	case StatusCancelled:
+		return "cancelled"
 	}
 	return fmt.Sprintf("Status(%d)", int(s))
 }

@@ -1,0 +1,63 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is a bounded LRU over content-addressed solve results. Entries are
+// shared pointers; Result values are treated as immutable once stored.
+type cache struct {
+	mu    sync.Mutex
+	max   int
+	items map[string]*list.Element
+	order *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+func newCache(max int) *cache {
+	if max <= 0 {
+		max = 128
+	}
+	return &cache{max: max, items: make(map[string]*list.Element), order: list.New()}
+}
+
+// get returns the cached result for key, promoting it to most recently used.
+func (c *cache) get(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put stores a result, evicting the least recently used entry when full.
+func (c *cache) put(key string, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the current entry count.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

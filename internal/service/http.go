@@ -1,0 +1,182 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"sdpfloor"
+)
+
+// jobRequestJSON is the wire form of a job submission.
+type jobRequestJSON struct {
+	// Netlist is the by-name netlist schema (see docs/FORMATS.md).
+	Netlist json.RawMessage `json:"netlist"`
+	// Outline fixes the die rectangle; when absent it is derived from
+	// aspect/whitespace as in the paper's benchmarks.
+	Outline    *rectWireJSON `json:"outline,omitempty"`
+	Aspect     float64       `json:"aspect,omitempty"`
+	Whitespace float64       `json:"whitespace,omitempty"`
+	Method     string        `json:"method,omitempty"`
+	Seed       int64         `json:"seed,omitempty"`
+	Basic      bool          `json:"basic,omitempty"`
+	// TimeoutSec bounds the solve; 0 uses the server default.
+	TimeoutSec float64 `json:"timeoutSec,omitempty"`
+}
+
+type rectWireJSON struct {
+	MinX float64 `json:"minX"`
+	MinY float64 `json:"minY"`
+	MaxX float64 `json:"maxX"`
+	MaxY float64 `json:"maxY"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs           submit a job (JSON body; 202, or 200 on cache hit)
+//	GET    /v1/jobs           list all jobs
+//	GET    /v1/jobs/{id}      job status
+//	GET    /v1/jobs/{id}/result  result of a done job (409 while unfinished)
+//	DELETE /v1/jobs/{id}      cancel a queued or running job
+//	GET    /healthz           liveness + pool info
+//	GET    /metrics           expvar-style JSON counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var in jobRequestJSON
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(&in); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if len(in.Netlist) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "missing netlist"})
+		return
+	}
+	nl, err := sdpfloor.ReadNetlistJSON(bytes.NewReader(in.Netlist))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	req := &Request{
+		Netlist: nl,
+		Method:  sdpfloor.Method(in.Method),
+		Seed:    in.Seed,
+		Basic:   in.Basic,
+		Timeout: time.Duration(in.TimeoutSec * float64(time.Second)),
+	}
+	if in.Outline != nil {
+		req.Outline = sdpfloor.Rect{MinX: in.Outline.MinX, MinY: in.Outline.MinY, MaxX: in.Outline.MaxX, MaxY: in.Outline.MaxY}
+	} else {
+		req.Outline = sdpfloor.OutlineFor(nl, in.Aspect, in.Whitespace)
+	}
+
+	st, err := s.Submit(req)
+	switch {
+	case err == nil:
+		code := http.StatusAccepted
+		if st.FromCache {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, st)
+	case errors.Is(err, ErrQueueFull):
+		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: err.Error()})
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []Status `json:"jobs"`
+	}{Jobs: s.List()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, st, err := s.Result(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: err.Error()})
+		return
+	}
+	if st.State != StateDone {
+		writeJSON(w, http.StatusConflict, errorJSON{
+			Error: fmt.Sprintf("job %s is %s, not done", st.ID, st.State),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"workers": s.cfg.Workers,
+		"queue":   s.cfg.QueueDepth,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.MetricsSnapshot()
+	// Deterministic key order, expvar-style flat JSON object.
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, "{")
+	for i, k := range keys {
+		if i > 0 {
+			fmt.Fprint(w, ",")
+		}
+		fmt.Fprintf(w, "\n  %q: %d", k, snap[k])
+	}
+	fmt.Fprint(w, "\n}\n")
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,172 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"sdpfloor"
+)
+
+// State is a job's position in the lifecycle
+// submitted → queued → running → done | failed | cancelled.
+type State string
+
+// Job lifecycle states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether a job in this state will never change again.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Request is a fully-parsed floorplanning job specification.
+type Request struct {
+	Netlist *sdpfloor.Netlist
+	Outline sdpfloor.Rect
+	Method  sdpfloor.Method
+	Seed    int64
+	// Basic disables the Section IV-B enhancements (MethodSDP only).
+	Basic bool
+	// Timeout bounds the solve wall-clock; 0 uses the server default.
+	Timeout time.Duration
+}
+
+// Key returns the content-addressed cache key: a hash over every field that
+// determines the solve outcome (netlist, outline, method, seed, options).
+// The timeout is deliberately excluded — it bounds the solve but does not
+// change what a completed solve returns.
+func (r *Request) Key() string {
+	h := sha256.New()
+	// WriteJSON is deterministic (fixed field order, modules/nets in input
+	// order), so it doubles as the canonical netlist serialization.
+	r.Netlist.WriteJSON(h)
+	fmt.Fprintf(h, "outline %g %g %g %g\n", r.Outline.MinX, r.Outline.MinY, r.Outline.MaxX, r.Outline.MaxY)
+	fmt.Fprintf(h, "method %s seed %d basic %v\n", r.Method, r.Seed, r.Basic)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Result is the client-visible outcome of a finished job.
+type Result struct {
+	HPWL     float64          `json:"hpwl"`
+	Feasible bool             `json:"feasible"`
+	Rects    []rectJSON       `json:"rects"`
+	Centers  []pointJSON      `json:"centers"`
+	Global   *globalStatsJSON `json:"global,omitempty"`
+}
+
+type rectJSON struct {
+	Name string  `json:"name"`
+	MinX float64 `json:"minX"`
+	MinY float64 `json:"minY"`
+	MaxX float64 `json:"maxX"`
+	MaxY float64 `json:"maxY"`
+}
+
+type pointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+type globalStatsJSON struct {
+	Iterations       int     `json:"iterations"`
+	SolverIterations int     `json:"solverIterations"`
+	AlphaFinal       float64 `json:"alphaFinal"`
+	RankOK           bool    `json:"rankOK"`
+	WZ               float64 `json:"wz"`
+}
+
+// newResult converts a finished floorplan to the wire form.
+func newResult(nl *sdpfloor.Netlist, fp *sdpfloor.Floorplan) *Result {
+	res := &Result{HPWL: fp.HPWL, Feasible: fp.Feasible}
+	for i, r := range fp.Rects {
+		res.Rects = append(res.Rects, rectJSON{
+			Name: nl.Modules[i].Name,
+			MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY,
+		})
+	}
+	for _, c := range fp.Centers {
+		res.Centers = append(res.Centers, pointJSON{X: c.X, Y: c.Y})
+	}
+	if gr := fp.GlobalResult; gr != nil {
+		res.Global = &globalStatsJSON{
+			Iterations:       gr.Iterations,
+			SolverIterations: gr.SolverIterations,
+			AlphaFinal:       gr.AlphaFinal,
+			RankOK:           gr.RankOK,
+			WZ:               gr.WZ,
+		}
+	}
+	return res
+}
+
+// Job is one queued/running/finished solve. All fields are guarded by the
+// owning Server's mutex; handlers read consistent copies via Status.
+type Job struct {
+	id        string
+	key       string
+	req       *Request
+	state     State
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	err       string
+	result    *Result
+	fromCache bool
+
+	cancel      func() // non-nil while running
+	cancelAsked bool
+	done        chan struct{} // closed on reaching a terminal state
+}
+
+// Status is an immutable snapshot of a job, safe to serialize concurrently
+// with state transitions.
+type Status struct {
+	ID        string     `json:"id"`
+	State     State      `json:"state"`
+	Method    string     `json:"method"`
+	Modules   int        `json:"modules"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	// SolveMillis is the running or final solve wall-clock.
+	SolveMillis int64  `json:"solveMillis,omitempty"`
+	Error       string `json:"error,omitempty"`
+	FromCache   bool   `json:"fromCache,omitempty"`
+	CacheKey    string `json:"cacheKey"`
+}
+
+// statusLocked snapshots the job; the server mutex must be held.
+func (j *Job) statusLocked(now time.Time) Status {
+	st := Status{
+		ID:        j.id,
+		State:     j.state,
+		Method:    string(j.req.Method),
+		Modules:   j.req.Netlist.N(),
+		Submitted: j.submitted,
+		Error:     j.err,
+		FromCache: j.fromCache,
+		CacheKey:  j.key,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+		end := now
+		if !j.finished.IsZero() {
+			end = j.finished
+		}
+		st.SolveMillis = end.Sub(j.started).Milliseconds()
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}

@@ -1,0 +1,41 @@
+package service
+
+import (
+	"sync/atomic"
+)
+
+// Metrics are the service's monotonic counters, exported as expvar-style
+// flat JSON on /metrics. Gauges derived from live state (jobs by state,
+// queue length, cache entries) are merged in at render time.
+type Metrics struct {
+	JobsSubmitted  atomic.Int64
+	JobsDone       atomic.Int64
+	JobsFailed     atomic.Int64
+	JobsCancelled  atomic.Int64
+	JobsRejected   atomic.Int64 // queue-full rejections
+	CacheHits      atomic.Int64
+	CacheMisses    atomic.Int64
+	SolveMillis    atomic.Int64 // total solve wall-clock across finished jobs
+	ConvexIters    atomic.Int64 // convex-iteration count across SDP jobs
+	SubSolverIters atomic.Int64 // IPM/ADMM iterations across SDP jobs
+}
+
+// snapshot flattens the counters into a map, merging the provided gauges.
+func (m *Metrics) snapshot(gauges map[string]int64) map[string]int64 {
+	out := map[string]int64{
+		"jobs_submitted_total":    m.JobsSubmitted.Load(),
+		"jobs_done_total":         m.JobsDone.Load(),
+		"jobs_failed_total":       m.JobsFailed.Load(),
+		"jobs_cancelled_total":    m.JobsCancelled.Load(),
+		"jobs_rejected_total":     m.JobsRejected.Load(),
+		"cache_hits_total":        m.CacheHits.Load(),
+		"cache_misses_total":      m.CacheMisses.Load(),
+		"solve_millis_total":      m.SolveMillis.Load(),
+		"convex_iterations_total": m.ConvexIters.Load(),
+		"solver_iterations_total": m.SubSolverIters.Load(),
+	}
+	for k, v := range gauges {
+		out[k] = v
+	}
+	return out
+}

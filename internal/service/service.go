@@ -1,0 +1,405 @@
+// Package service implements floorpland, the concurrent floorplanning
+// daemon: an in-memory job queue drained by a bounded worker pool, a
+// content-addressed result cache, and JSON metrics. Each job runs
+// sdpfloor.PlaceContext under a per-job timeout derived from the request and
+// the server default, so clients can cancel or abandon long SDP solves
+// without leaking goroutines — the context threads down to the IPM/ADMM
+// iteration loops.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"sdpfloor"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers bounds the number of concurrent solves (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs; submits
+	// beyond it are rejected (default 64).
+	QueueDepth int
+	// DefaultTimeout bounds jobs that do not request one (default 5m).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-job timeout a request may ask for (default
+	// 30m).
+	MaxTimeout time.Duration
+	// CacheSize bounds the result cache entry count (default 128).
+	CacheSize int
+	// Logf, when non-nil, receives service log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) setDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Minute
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+}
+
+// Server owns the job table, queue, worker pool, cache, and metrics.
+type Server struct {
+	cfg     Config
+	metrics Metrics
+	cache   *cache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for listing
+	queue  chan *Job
+	seq    int
+	closed bool
+
+	// placeFn runs one solve; swapped out by tests for deterministic
+	// control over solve duration and cancellation behavior.
+	placeFn func(ctx context.Context, nl *sdpfloor.Netlist, cfg sdpfloor.Config) (*sdpfloor.Floorplan, error)
+}
+
+// Submission errors.
+var (
+	ErrQueueFull = errors.New("service: queue full")
+	ErrClosed    = errors.New("service: server closed")
+	ErrNotFound  = errors.New("service: no such job")
+)
+
+// New starts a server with cfg.Workers solver goroutines.
+func New(cfg Config) *Server {
+	cfg.setDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		cache:      newCache(cfg.CacheSize),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+		queue:      make(chan *Job, cfg.QueueDepth),
+		placeFn:    sdpfloor.PlaceContext,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops accepting jobs, cancels everything in flight, and waits for
+// the workers to drain. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.baseCancel() // running solves observe this at their next iteration
+	s.wg.Wait()
+}
+
+// Workers returns the configured pool width.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+// Submit validates and enqueues a request. A request whose cache key matches
+// a previously completed solve finishes immediately from the cache.
+func (s *Server) Submit(req *Request) (Status, error) {
+	if req == nil || req.Netlist == nil || req.Netlist.N() == 0 {
+		return Status{}, errors.New("service: empty netlist")
+	}
+	if req.Outline.W() <= 0 || req.Outline.H() <= 0 {
+		return Status{}, errors.New("service: outline must have positive area")
+	}
+	if req.Method == "" {
+		req.Method = sdpfloor.MethodSDP
+	}
+	if !validMethod(req.Method) {
+		return Status{}, fmt.Errorf("service: unknown method %q (valid: %v)", req.Method, sdpfloor.Methods)
+	}
+	if req.Timeout <= 0 {
+		req.Timeout = s.cfg.DefaultTimeout
+	}
+	if req.Timeout > s.cfg.MaxTimeout {
+		req.Timeout = s.cfg.MaxTimeout
+	}
+
+	key := req.Key()
+	now := time.Now()
+	j := &Job{
+		key:       key,
+		req:       req,
+		submitted: now,
+		done:      make(chan struct{}),
+	}
+
+	if res, ok := s.cache.get(key); ok {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return Status{}, ErrClosed
+		}
+		s.registerLocked(j)
+		j.state = StateDone
+		j.finished = now
+		j.result = res
+		j.fromCache = true
+		close(j.done)
+		st := j.statusLocked(now)
+		s.mu.Unlock()
+		s.metrics.CacheHits.Add(1)
+		s.metrics.JobsSubmitted.Add(1)
+		s.metrics.JobsDone.Add(1)
+		s.logf("service: job %s served from cache (%s)", st.ID, req.Method)
+		return st, nil
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Status{}, ErrClosed
+	}
+	j.state = StateQueued
+	select {
+	case s.queue <- j:
+		// Register while still holding the mutex: a worker popping the job
+		// blocks on the same mutex, so it cannot run before the record and
+		// ID exist.
+		s.registerLocked(j)
+	default:
+		s.mu.Unlock()
+		s.metrics.JobsRejected.Add(1)
+		return Status{}, ErrQueueFull
+	}
+	st := j.statusLocked(now)
+	s.mu.Unlock()
+	s.metrics.CacheMisses.Add(1)
+	s.metrics.JobsSubmitted.Add(1)
+	s.logf("service: job %s queued (%s, n=%d, timeout=%s)", st.ID, req.Method, req.Netlist.N(), req.Timeout)
+	return st, nil
+}
+
+// registerLocked assigns the next job ID and records the job.
+func (s *Server) registerLocked(j *Job) {
+	s.seq++
+	j.id = fmt.Sprintf("job-%06d", s.seq)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+}
+
+// Status returns a snapshot of one job.
+func (s *Server) Status(id string) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	return j.statusLocked(time.Now()), nil
+}
+
+// Result returns the result of a finished job (nil when not done yet or the
+// job failed).
+func (s *Server) Result(id string) (*Result, Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, Status{}, ErrNotFound
+	}
+	return j.result, j.statusLocked(time.Now()), nil
+}
+
+// List snapshots every job in submission order.
+func (s *Server) List() []Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	out := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].statusLocked(now))
+	}
+	return out
+}
+
+// Cancel requests cancellation: a queued job terminates immediately; a
+// running job's context is cancelled and the worker records the terminal
+// state as soon as the solver unwinds. Cancelling a terminal job is a no-op.
+func (s *Server) Cancel(id string) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	now := time.Now()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.err = "cancelled while queued"
+		j.finished = now
+		close(j.done)
+		s.metrics.JobsCancelled.Add(1)
+		s.logf("service: job %s cancelled while queued", j.id)
+	case StateRunning:
+		if !j.cancelAsked {
+			j.cancelAsked = true
+			j.cancel()
+			s.logf("service: job %s cancellation requested", j.id)
+		}
+	}
+	return j.statusLocked(now), nil
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done.
+func (s *Server) Wait(ctx context.Context, id string) (Status, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	select {
+	case <-j.done:
+		return s.Status(id)
+	case <-ctx.Done():
+		return Status{}, ctx.Err()
+	}
+}
+
+// worker drains the queue until Close.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job end to end.
+func (s *Server) runJob(j *Job) {
+	s.mu.Lock()
+	if j.state != StateQueued { // cancelled while waiting in the channel
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, j.req.Timeout)
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	req := j.req
+	s.mu.Unlock()
+	defer cancel()
+
+	cfg := sdpfloor.Config{
+		Outline:          req.Outline,
+		Method:           req.Method,
+		Seed:             req.Seed,
+		SkipEnhancements: req.Basic,
+	}
+	fp, err := s.placeFn(ctx, req.Netlist, cfg)
+
+	now := time.Now()
+	s.mu.Lock()
+	j.finished = now
+	solveMillis := now.Sub(j.started).Milliseconds()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = newResult(req.Netlist, fp)
+	case j.cancelAsked || errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.err = err.Error()
+	case errors.Is(err, context.DeadlineExceeded):
+		j.state = StateFailed
+		j.err = fmt.Sprintf("deadline exceeded after %s: %v", req.Timeout, err)
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+	}
+	state := j.state
+	result := j.result
+	close(j.done)
+	s.mu.Unlock()
+
+	s.metrics.SolveMillis.Add(solveMillis)
+	if fp != nil && fp.GlobalResult != nil {
+		s.metrics.ConvexIters.Add(int64(fp.GlobalResult.Iterations))
+		s.metrics.SubSolverIters.Add(int64(fp.GlobalResult.SolverIterations))
+	}
+	switch state {
+	case StateDone:
+		s.metrics.JobsDone.Add(1)
+		s.cache.put(j.key, result)
+	case StateCancelled:
+		s.metrics.JobsCancelled.Add(1)
+	default:
+		s.metrics.JobsFailed.Add(1)
+	}
+	s.logf("service: job %s %s after %dms", j.id, state, solveMillis)
+}
+
+// MetricsSnapshot merges the counters with live gauges.
+func (s *Server) MetricsSnapshot() map[string]int64 {
+	s.mu.Lock()
+	var queued, running, done, failed, cancelled int64
+	for _, j := range s.jobs {
+		switch j.state {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		case StateDone:
+			done++
+		case StateFailed:
+			failed++
+		case StateCancelled:
+			cancelled++
+		}
+	}
+	s.mu.Unlock()
+	gauges := map[string]int64{
+		"jobs_queued":    queued,
+		"jobs_running":   running,
+		"jobs_done":      done,
+		"jobs_failed":    failed,
+		"jobs_cancelled": cancelled,
+		"workers":        int64(s.cfg.Workers),
+		"queue_capacity": int64(s.cfg.QueueDepth),
+		"cache_entries":  int64(s.cache.len()),
+	}
+	return s.metrics.snapshot(gauges)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func validMethod(m sdpfloor.Method) bool {
+	for _, v := range sdpfloor.Methods {
+		if m == v {
+			return true
+		}
+	}
+	return false
+}

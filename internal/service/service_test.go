@@ -1,0 +1,551 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sdpfloor"
+)
+
+// testNetlist builds a chain of n unit-area modules.
+func testNetlist(n int) *sdpfloor.Netlist {
+	nl := &sdpfloor.Netlist{}
+	for i := 0; i < n; i++ {
+		nl.Modules = append(nl.Modules, sdpfloor.Module{
+			Name: fmt.Sprintf("m%d", i), MinArea: 1, MaxAspect: 3,
+		})
+	}
+	for i := 0; i+1 < n; i++ {
+		nl.Nets = append(nl.Nets, sdpfloor.Net{
+			Name: fmt.Sprintf("e%d", i), Weight: 1, Modules: []int{i, i + 1},
+		})
+	}
+	return nl
+}
+
+func testRequest(n int, seed int64) *Request {
+	nl := testNetlist(n)
+	return &Request{
+		Netlist: nl,
+		Outline: sdpfloor.OutlineFor(nl, 1, 0.15),
+		Method:  sdpfloor.MethodSDP,
+		Seed:    seed,
+		Timeout: 5 * time.Second,
+	}
+}
+
+// fakeFloorplan is what the stub solver returns.
+func fakeFloorplan(nl *sdpfloor.Netlist) *sdpfloor.Floorplan {
+	fp := &sdpfloor.Floorplan{HPWL: 42, Feasible: true}
+	for i := 0; i < nl.N(); i++ {
+		fp.Rects = append(fp.Rects, sdpfloor.Rect{MinX: float64(i), MaxX: float64(i) + 1, MaxY: 1})
+		fp.Centers = append(fp.Centers, sdpfloor.Point{X: float64(i) + 0.5, Y: 0.5})
+	}
+	return fp
+}
+
+// newTestServer builds a server whose solves are driven by fn. Setting
+// placeFn before the first Submit is race-free: workers only read it after
+// receiving a job, and the channel send orders the write before the read.
+func newTestServer(t *testing.T, cfg Config, fn func(ctx context.Context, nl *sdpfloor.Netlist, c sdpfloor.Config) (*sdpfloor.Floorplan, error)) *Server {
+	t.Helper()
+	s := New(cfg)
+	if fn != nil {
+		s.placeFn = fn
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func waitState(t *testing.T, s *Server, id string, want State) Status {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := s.Status(id)
+		if err != nil {
+			t.Fatalf("status %s: %v", id, err)
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State.Terminal() && !want.Terminal() {
+			t.Fatalf("job %s reached terminal state %s while waiting for %s (err %q)", id, st.State, want, st.Error)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reached state %s", id, want)
+	return Status{}
+}
+
+// TestConcurrentJobsBoundedPool submits many jobs at once and checks that
+// every one completes while the number of concurrently running solves never
+// exceeds the configured worker count. Run under -race this also exercises
+// the job-table locking.
+func TestConcurrentJobsBoundedPool(t *testing.T) {
+	const workers = 3
+	const jobs = 20
+	var running, peak atomic.Int64
+	s := newTestServer(t, Config{Workers: workers, QueueDepth: jobs},
+		func(ctx context.Context, nl *sdpfloor.Netlist, c sdpfloor.Config) (*sdpfloor.Floorplan, error) {
+			cur := running.Add(1)
+			for {
+				old := peak.Load()
+				if cur <= old || peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			time.Sleep(20 * time.Millisecond)
+			running.Add(-1)
+			return fakeFloorplan(nl), nil
+		})
+
+	ids := make([]string, 0, jobs)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			st, err := s.Submit(testRequest(4, seed)) // distinct seeds → distinct cache keys
+			if err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			mu.Lock()
+			ids = append(ids, st.ID)
+			mu.Unlock()
+		}(int64(i))
+	}
+	wg.Wait()
+	if len(ids) != jobs {
+		t.Fatalf("submitted %d of %d jobs", len(ids), jobs)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, id := range ids {
+		st, err := s.Wait(ctx, id)
+		if err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+		if st.State != StateDone {
+			t.Fatalf("job %s finished %s (%s), want done", id, st.State, st.Error)
+		}
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent solves, pool is bounded at %d", p, workers)
+	}
+	if p := peak.Load(); p < 2 {
+		t.Errorf("observed peak concurrency %d; expected the pool to actually run jobs in parallel", p)
+	}
+}
+
+// TestCancelRunningJob proves a mid-solve cancellation unwinds promptly with
+// a cancellation error and that shutting the server down leaks no
+// goroutines.
+func TestCancelRunningJob(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := New(Config{Workers: 2, QueueDepth: 4})
+	s.placeFn = func(ctx context.Context, nl *sdpfloor.Netlist, c sdpfloor.Config) (*sdpfloor.Floorplan, error) {
+		<-ctx.Done() // a solver stuck in its iteration loop until cancelled
+		return nil, fmt.Errorf("core: cancelled: %w", ctx.Err())
+	}
+
+	st, err := s.Submit(testRequest(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, st.ID, StateRunning)
+
+	start := time.Now()
+	if _, err := s.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	final, err := s.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("wait after cancel: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancellation took %s, want prompt return", elapsed)
+	}
+	if final.State != StateCancelled {
+		t.Fatalf("state %s (%s), want cancelled", final.State, final.Error)
+	}
+	if !strings.Contains(final.Error, "cancel") {
+		t.Fatalf("error %q does not mention cancellation", final.Error)
+	}
+
+	s.Close()
+	// The pool and the solve goroutine must be gone.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > before+1 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+1 {
+		t.Fatalf("goroutines leaked: %d before, %d after Close", before, after)
+	}
+}
+
+// TestDeadlineExpiredJob proves a per-job timeout bounds the solve and is
+// reported as a failure distinct from client cancellation.
+func TestDeadlineExpiredJob(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4},
+		func(ctx context.Context, nl *sdpfloor.Netlist, c sdpfloor.Config) (*sdpfloor.Floorplan, error) {
+			<-ctx.Done()
+			return nil, fmt.Errorf("core: cancelled: %w", ctx.Err())
+		})
+	req := testRequest(4, 1)
+	req.Timeout = 30 * time.Millisecond
+	st, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	final, err := s.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateFailed {
+		t.Fatalf("state %s, want failed on deadline", final.State)
+	}
+	if !strings.Contains(final.Error, "deadline") {
+		t.Fatalf("error %q does not mention the deadline", final.Error)
+	}
+}
+
+// TestCancelQueuedJob cancels a job that has not started yet.
+func TestCancelQueuedJob(t *testing.T) {
+	release := make(chan struct{})
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4},
+		func(ctx context.Context, nl *sdpfloor.Netlist, c sdpfloor.Config) (*sdpfloor.Floorplan, error) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return fakeFloorplan(nl), nil
+		})
+	first, err := s.Submit(testRequest(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, first.ID, StateRunning)
+	second, err := s.Submit(testRequest(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Cancel(second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCancelled {
+		t.Fatalf("queued job cancel: state %s, want cancelled immediately", st.State)
+	}
+	close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if final, err := s.Wait(ctx, first.ID); err != nil || final.State != StateDone {
+		t.Fatalf("first job: %v %v", final.State, err)
+	}
+	// The worker must skip the cancelled job without running it.
+	if st, _ := s.Status(second.ID); st.State != StateCancelled {
+		t.Fatalf("second job state %s after queue drain, want cancelled", st.State)
+	}
+}
+
+// TestCacheHitOnResubmit proves an identical design is served from the
+// cache: same result, no second solve, and an incremented hit counter.
+func TestCacheHitOnResubmit(t *testing.T) {
+	var solves atomic.Int64
+	s := newTestServer(t, Config{Workers: 2, QueueDepth: 4},
+		func(ctx context.Context, nl *sdpfloor.Netlist, c sdpfloor.Config) (*sdpfloor.Floorplan, error) {
+			solves.Add(1)
+			return fakeFloorplan(nl), nil
+		})
+
+	st1, err := s.Submit(testRequest(5, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if final, err := s.Wait(ctx, st1.ID); err != nil || final.State != StateDone {
+		t.Fatalf("first job: %v %v", final.State, err)
+	}
+	res1, _, err := s.Result(st1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := s.Submit(testRequest(5, 7)) // identical request
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.FromCache || st2.State != StateDone {
+		t.Fatalf("resubmit: fromCache=%v state=%s, want cached done", st2.FromCache, st2.State)
+	}
+	res2, _, err := s.Result(st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res1, res2) {
+		t.Fatalf("cached result differs:\n%+v\n%+v", res1, res2)
+	}
+	if n := solves.Load(); n != 1 {
+		t.Fatalf("placeFn ran %d times, want 1", n)
+	}
+	snap := s.MetricsSnapshot()
+	if snap["cache_hits_total"] != 1 {
+		t.Fatalf("cache_hits_total = %d, want 1", snap["cache_hits_total"])
+	}
+	if snap["cache_misses_total"] != 1 {
+		t.Fatalf("cache_misses_total = %d, want 1", snap["cache_misses_total"])
+	}
+
+	// A different seed is a different key: must miss.
+	st3, err := s.Submit(testRequest(5, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.FromCache {
+		t.Fatal("different options served from cache")
+	}
+}
+
+// TestQueueFullRejection bounds the backlog.
+func TestQueueFullRejection(t *testing.T) {
+	release := make(chan struct{})
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1},
+		func(ctx context.Context, nl *sdpfloor.Netlist, c sdpfloor.Config) (*sdpfloor.Floorplan, error) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return fakeFloorplan(nl), nil
+		})
+	defer close(release)
+	first, err := s.Submit(testRequest(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, first.ID, StateRunning)
+	if _, err := s.Submit(testRequest(4, 2)); err != nil {
+		t.Fatalf("second submit should queue: %v", err)
+	}
+	if _, err := s.Submit(testRequest(4, 3)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit: err %v, want ErrQueueFull", err)
+	}
+	if snap := s.MetricsSnapshot(); snap["jobs_rejected_total"] != 1 {
+		t.Fatalf("jobs_rejected_total = %d, want 1", snap["jobs_rejected_total"])
+	}
+}
+
+// TestSubmitValidation rejects malformed requests up front.
+func TestSubmitValidation(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1}, nil)
+	if _, err := s.Submit(&Request{}); err == nil {
+		t.Fatal("empty request accepted")
+	}
+	req := testRequest(3, 1)
+	req.Outline = sdpfloor.Rect{}
+	if _, err := s.Submit(req); err == nil {
+		t.Fatal("degenerate outline accepted")
+	}
+	req = testRequest(3, 1)
+	req.Method = "simplex"
+	if _, err := s.Submit(req); err == nil || !strings.Contains(err.Error(), "sdp-hier") {
+		t.Fatalf("unknown method: err %v, want listing of valid methods", err)
+	}
+}
+
+// TestHTTPAPI drives the full HTTP surface against a real (cheap) solve:
+// quadratic placement plus legalization on a small chain.
+func TestHTTPAPI(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, QueueDepth: 8}, nil) // real PlaceContext
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	nl := testNetlist(6)
+	var nlJSON strings.Builder
+	if err := sdpfloor.WriteNetlistJSON(&nlJSON, nl); err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"netlist": %s, "method": "qp", "timeoutSec": 30}`, nlJSON.String())
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	decodeBody(t, resp, http.StatusAccepted, &st)
+	if st.State != StateQueued || st.ID == "" {
+		t.Fatalf("submit response %+v", st)
+	}
+
+	// Poll until done.
+	deadline := time.Now().Add(10 * time.Second)
+	for st.State != StateDone {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s (%s)", st.State, st.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decodeBody(t, resp, http.StatusOK, &st)
+		if st.State == StateFailed || st.State == StateCancelled {
+			t.Fatalf("job %s: %s", st.State, st.Error)
+		}
+	}
+
+	// Result.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	decodeBody(t, resp, http.StatusOK, &res)
+	if len(res.Rects) != nl.N() || res.HPWL <= 0 {
+		t.Fatalf("result %+v", res)
+	}
+
+	// Resubmit: cache hit comes back 200 and instantly done.
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st2 Status
+	decodeBody(t, resp, http.StatusOK, &st2)
+	if !st2.FromCache || st2.State != StateDone {
+		t.Fatalf("cache resubmit %+v", st2)
+	}
+
+	// List includes both jobs.
+	resp, err = http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs []Status `json:"jobs"`
+	}
+	decodeBody(t, resp, http.StatusOK, &list)
+	if len(list.Jobs) != 2 {
+		t.Fatalf("list has %d jobs, want 2", len(list.Jobs))
+	}
+
+	// Health and metrics.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	decodeBody(t, resp, http.StatusOK, &health)
+	if health["status"] != "ok" {
+		t.Fatalf("healthz %+v", health)
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics map[string]int64
+	decodeBody(t, resp, http.StatusOK, &metrics)
+	if metrics["jobs_done_total"] != 2 || metrics["cache_hits_total"] != 1 {
+		t.Fatalf("metrics %+v", metrics)
+	}
+
+	// Error paths.
+	resp, _ = http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{"netlist": {"modules": [], "nets": []}}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty netlist: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, _ = http.Get(ts.URL + "/v1/jobs/job-999999")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing job: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	badMethod := fmt.Sprintf(`{"netlist": %s, "method": "simplex"}`, nlJSON.String())
+	resp, _ = http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(badMethod))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad method: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestHTTPCancel cancels a running job over the wire.
+func TestHTTPCancel(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 2},
+		func(ctx context.Context, nl *sdpfloor.Netlist, c sdpfloor.Config) (*sdpfloor.Floorplan, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	nl := testNetlist(4)
+	var nlJSON strings.Builder
+	if err := sdpfloor.WriteNetlistJSON(&nlJSON, nl); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"netlist": %s}`, nlJSON.String())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	decodeBody(t, resp, http.StatusAccepted, &st)
+	waitState(t, s, st.ID, StateRunning)
+
+	// Result while running: 409.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("result while running: status %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, http.StatusOK, &st)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	final, err := s.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateCancelled {
+		t.Fatalf("state %s, want cancelled", final.State)
+	}
+}
+
+func decodeBody(t *testing.T, resp *http.Response, wantCode int, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("status %d, want %d", resp.StatusCode, wantCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+}

@@ -27,6 +27,7 @@
 package sdpfloor
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -124,6 +125,18 @@ type Floorplan struct {
 // Place runs a global floorplanning method and the shared legalizer end to
 // end, returning the legalized floorplan and its HPWL.
 func Place(nl *Netlist, cfg Config) (*Floorplan, error) {
+	return PlaceContext(context.Background(), nl, cfg)
+}
+
+// PlaceContext is Place with cancellation: the context is threaded through
+// the global stage (SDP convex iteration, sub-problem IPM/ADMM solves,
+// baseline L-BFGS runs, SA temperature steps) and the legalizer, all of
+// which check it at iteration boundaries. When the context is cancelled or
+// its deadline expires mid-solve, PlaceContext returns promptly with the
+// wrapped context error and, when the global stage had produced an iterate,
+// a partial Floorplan carrying the global centers (and, for MethodSDP, the
+// convex-iteration diagnostics) without legalization.
+func PlaceContext(ctx context.Context, nl *Netlist, cfg Config) (*Floorplan, error) {
 	if nl == nil || nl.N() == 0 {
 		return nil, errors.New("sdpfloor: empty netlist")
 	}
@@ -133,38 +146,52 @@ func Place(nl *Netlist, cfg Config) (*Floorplan, error) {
 	if cfg.Method == "" {
 		cfg.Method = MethodSDP
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
 	fp := &Floorplan{}
 	switch cfg.Method {
 	case MethodSDP:
-		res, err := GlobalFloorplan(nl, sdpOptions(cfg))
-		if err != nil {
-			return nil, err
+		opt := sdpOptions(cfg)
+		if opt.Context == nil {
+			opt.Context = ctx
 		}
-		fp.Global = res.Centers
-		fp.GlobalResult = res
+		res, err := GlobalFloorplan(nl, opt)
+		if res != nil {
+			fp.Global = res.Centers
+			fp.GlobalResult = res
+		}
+		if err != nil {
+			return partialOrNil(fp, err), err
+		}
 	case MethodSDPHier:
 		res, err := cluster.Solve(nl, cluster.Options{
 			Outline: cfg.Outline,
 			Top:     cfg.Global,
 			Logf:    cfg.Global.Logf,
+			Context: ctx,
 		})
 		if err != nil {
 			return nil, err
 		}
 		fp.Global = res.Centers
 	case MethodAR:
-		res, err := baseline.SolveAR(nl, baseline.AROptions{Seed: cfg.Seed})
-		if err != nil {
-			return nil, err
+		res, err := baseline.SolveAR(nl, baseline.AROptions{Seed: cfg.Seed, Context: ctx})
+		if res != nil {
+			fp.Global = res.Centers
 		}
-		fp.Global = res.Centers
+		if err != nil {
+			return partialOrNil(fp, err), err
+		}
 	case MethodPP:
-		res, err := baseline.SolvePP(nl, baseline.PPOptions{Seed: cfg.Seed})
-		if err != nil {
-			return nil, err
+		res, err := baseline.SolvePP(nl, baseline.PPOptions{Seed: cfg.Seed, Context: ctx})
+		if res != nil {
+			fp.Global = res.Centers
 		}
-		fp.Global = res.Centers
+		if err != nil {
+			return partialOrNil(fp, err), err
+		}
 	case MethodQP:
 		res, err := baseline.SolveQP(nl)
 		if err != nil {
@@ -172,36 +199,50 @@ func Place(nl *Netlist, cfg Config) (*Floorplan, error) {
 		}
 		fp.Global = res.Centers
 	case MethodSA:
-		res, err := anneal.Solve(nl, anneal.Options{Outline: cfg.Outline, Seed: cfg.Seed})
-		if err != nil {
-			return nil, err
+		res, err := anneal.Solve(nl, anneal.Options{Outline: cfg.Outline, Seed: cfg.Seed, Context: ctx})
+		if res != nil {
+			// SA already produces a legal floorplan; no legalization needed.
+			fp.Global = res.Centers
+			fp.Rects = res.Rects
+			fp.Centers = res.Centers
+			fp.HPWL = res.HPWL
+			fp.Feasible = res.Feasible
 		}
-		// SA already produces a legal floorplan; no legalization needed.
-		fp.Global = res.Centers
-		fp.Rects = res.Rects
-		fp.Centers = res.Centers
-		fp.HPWL = res.HPWL
-		fp.Feasible = res.Feasible
+		if err != nil {
+			return partialOrNil(fp, err), err
+		}
 		return fp, nil
 	case MethodAnalytic:
-		res, err := analytic.Solve(nl, analytic.Options{Outline: cfg.Outline, Seed: cfg.Seed})
-		if err != nil {
-			return nil, err
+		res, err := analytic.Solve(nl, analytic.Options{Outline: cfg.Outline, Seed: cfg.Seed, Context: ctx})
+		if res != nil {
+			fp.Global = res.Centers
 		}
-		fp.Global = res.Centers
+		if err != nil {
+			return partialOrNil(fp, err), err
+		}
 	default:
 		return nil, fmt.Errorf("sdpfloor: unknown method %q", cfg.Method)
 	}
 
-	leg, err := legalize.Legalize(nl, fp.Global, legalize.Options{Outline: cfg.Outline})
+	leg, err := legalize.Legalize(nl, fp.Global, legalize.Options{Outline: cfg.Outline, Context: ctx})
 	if err != nil {
-		return nil, err
+		return partialOrNil(fp, err), err
 	}
 	fp.Rects = leg.Rects
 	fp.Centers = leg.Centers
 	fp.HPWL = leg.HPWL
 	fp.Feasible = leg.Feasible
 	return fp, nil
+}
+
+// partialOrNil keeps the partial floorplan only for cancellation errors,
+// where the global-stage progress is meaningful; genuine solve failures
+// return nil as before.
+func partialOrNil(fp *Floorplan, err error) *Floorplan {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fp
+	}
+	return nil
 }
 
 // sdpOptions derives the core options from the config.

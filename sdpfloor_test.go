@@ -1,8 +1,11 @@
 package sdpfloor
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
+	"time"
 )
 
 // smallNL builds a small instance with pads for end-to-end tests.
@@ -199,5 +202,44 @@ func TestPlaceIncrementalErrors(t *testing.T) {
 	}
 	if _, err := PlaceIncremental(nil, nil, nil, Config{Outline: out}); err == nil {
 		t.Fatal("expected empty netlist error")
+	}
+}
+
+// TestPlaceContextDeadline proves the contract cmd/sdpfloor's -timeout and
+// the service rely on: a deadline mid-solve returns promptly with
+// context.DeadlineExceeded and a partial Floorplan carrying the
+// convex-iteration diagnostics reached so far.
+func TestPlaceContextDeadline(t *testing.T) {
+	d, err := LoadBenchmark("n50", 1, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	fp, err := PlaceContext(ctx, d.Netlist, Config{Outline: d.Outline})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	// Prompt: the per-iteration checks must fire well before a full solve
+	// (an n50 SDP run takes many seconds; minutes under -race). The bound
+	// is loose to absorb the race detector's slowdown of one iteration.
+	if elapsed > 10*time.Second {
+		t.Fatalf("solve returned after %s, cancellation is not prompt", elapsed)
+	}
+	if fp == nil || fp.GlobalResult == nil {
+		t.Fatalf("no partial result on deadline: %+v", fp)
+	}
+}
+
+// TestPlaceContextCancelled proves an already-cancelled context aborts
+// before any heavy work.
+func TestPlaceContextCancelled(t *testing.T) {
+	nl, out := smallNL(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := PlaceContext(ctx, nl, Config{Outline: out}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
 	}
 }
