@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench clean
+.PHONY: build test check lint race bench bench-baseline benchdiff clean
 
 build:
 	$(GO) build ./...
@@ -8,12 +8,18 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the gate CI and pre-commit should run: static analysis plus the
-# suite under the race detector. -short skips the multi-minute paper-table
-# reproductions (single-threaded solver runs that the race detector slows
-# ~15x without adding coverage); run `make test` for those.
-check:
+# lint fails when any file needs gofmt or go vet flags an issue.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+
+# check is the gate CI and pre-commit should run: formatting, static
+# analysis, then the suite under the race detector. -short skips the
+# multi-minute paper-table reproductions (single-threaded solver runs that
+# the race detector slows ~15x without adding coverage); run `make test`
+# for those.
+check: lint
 	$(GO) test -race -short ./...
 
 race:
@@ -22,5 +28,17 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem
 
+# bench-baseline refreshes the committed benchmark snapshot that CI's
+# benchdiff job compares against; see docs/PERFORMANCE.md before updating.
+bench-baseline:
+	$(GO) run ./cmd/benchdiff run -o BENCH_baseline.json
+
+# benchdiff runs the kernel benchmarks and compares against the committed
+# baseline, failing on >25% ns/op regressions.
+benchdiff:
+	$(GO) run ./cmd/benchdiff run -o BENCH_current.json
+	$(GO) run ./cmd/benchdiff compare -baseline BENCH_baseline.json -current BENCH_current.json
+
 clean:
 	$(GO) clean ./...
+	rm -f BENCH_current.json

@@ -239,6 +239,31 @@ func BenchmarkPlaceEndToEnd(b *testing.B) {
 	b.ReportMetric(hpwl, "hpwl")
 }
 
+// BenchmarkGlobalSolveWorkers measures one convex-iteration global solve at
+// per-solve parallelism 1 vs 4 — the end-to-end view of the worker-pool
+// port (the kernel-level w1/w4 splits live in internal/linalg and
+// internal/sdp). The solver trajectory is bitwise identical across worker
+// counts, so both sub-benchmarks do the same arithmetic.
+func BenchmarkGlobalSolveWorkers(b *testing.B) {
+	d := benchDesign(b)
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			opt := GlobalOptions{MaxIter: 3, AlphaMaxDoublings: 1, LazyConstraints: true, Workers: w}
+			o := d.Outline
+			opt.Outline = &o
+			for i := 0; i < b.N; i++ {
+				res, err := GlobalFloorplan(d.Netlist, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Objective == 0 {
+					b.Fatal("degenerate solve")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSequencePairPacking measures the FAST-SP packing kernel.
 func BenchmarkSequencePairPacking(b *testing.B) {
 	n := 200

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: sdpfloor/internal/linalg
+BenchmarkMatMul/n64/w1-8         	   10000	    119097 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMatMul/n64/w4-8         	   12000	     99097 ns/op	     144 B/op	       3 allocs/op
+BenchmarkFormSchur/n100/w1-8     	     200	   6292404 ns/op	   32840 B/op	       3 allocs/op
+BenchmarkSymEig/n128/w1         	     100	  10292404 ns/op
+PASS
+ok  	sdpfloor/internal/linalg	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	snap, err := parseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.GOOS != "linux" || snap.GOARCH != "amd64" {
+		t.Fatalf("goos/goarch not picked up: %q/%q", snap.GOOS, snap.GOARCH)
+	}
+	if len(snap.Benchmarks) != 4 {
+		t.Fatalf("want 4 benchmarks, got %d: %v", len(snap.Benchmarks), snap.Benchmarks)
+	}
+	// GOMAXPROCS suffix must be stripped.
+	r, ok := snap.Benchmarks["BenchmarkMatMul/n64/w1"]
+	if !ok {
+		t.Fatalf("BenchmarkMatMul/n64/w1 missing (suffix not stripped?): %v", snap.Benchmarks)
+	}
+	if r.NsPerOp != 119097 || r.Iterations != 10000 || r.BytesPerOp != 0 || r.AllocsPerOp != 0 {
+		t.Fatalf("unexpected result: %+v", r)
+	}
+	if r := snap.Benchmarks["BenchmarkFormSchur/n100/w1"]; r.BytesPerOp != 32840 || r.AllocsPerOp != 3 {
+		t.Fatalf("benchmem columns not parsed: %+v", r)
+	}
+	// Line without -benchmem columns still parses.
+	if r := snap.Benchmarks["BenchmarkSymEig/n128/w1"]; r.NsPerOp != 10292404 {
+		t.Fatalf("no-benchmem line not parsed: %+v", r)
+	}
+}
+
+func TestParseBenchKeepsMinimum(t *testing.T) {
+	out := `BenchmarkX-4   100   2000 ns/op
+BenchmarkX-4   100   1500 ns/op
+BenchmarkX-4   100   1800 ns/op
+`
+	snap, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := snap.Benchmarks["BenchmarkX"]; r.NsPerOp != 1500 {
+		t.Fatalf("want minimum 1500 ns/op across -count runs, got %v", r.NsPerOp)
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok\n")); err == nil {
+		t.Fatal("expected error for input with no benchmark lines")
+	}
+}
+
+func snapOf(m map[string]Result) *Snapshot {
+	return &Snapshot{GOOS: "linux", GOARCH: "amd64", Benchmarks: m}
+}
+
+func TestCompareSnapshots(t *testing.T) {
+	base := snapOf(map[string]Result{
+		"BenchmarkA":    {NsPerOp: 1000},
+		"BenchmarkB":    {NsPerOp: 1000},
+		"BenchmarkC":    {NsPerOp: 1000},
+		"BenchmarkGone": {NsPerOp: 50},
+	})
+	cur := snapOf(map[string]Result{
+		"BenchmarkA":   {NsPerOp: 1200}, // +20%: inside 25% tolerance
+		"BenchmarkB":   {NsPerOp: 1300}, // +30%: regression
+		"BenchmarkC":   {NsPerOp: 600},  // -40%: improvement
+		"BenchmarkNew": {NsPerOp: 10},
+	})
+	entries, onlyBase, onlyCur := compareSnapshots(base, cur, 0.25)
+	if len(entries) != 3 {
+		t.Fatalf("want 3 paired entries, got %d", len(entries))
+	}
+	byName := map[string]diffEntry{}
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	if byName["BenchmarkA"].Regression {
+		t.Fatal("+20% flagged as regression at 25% tolerance")
+	}
+	if !byName["BenchmarkB"].Regression {
+		t.Fatal("+30% not flagged as regression at 25% tolerance")
+	}
+	if byName["BenchmarkC"].Regression {
+		t.Fatal("improvement flagged as regression")
+	}
+	if len(onlyBase) != 1 || onlyBase[0] != "BenchmarkGone" {
+		t.Fatalf("onlyBase = %v", onlyBase)
+	}
+	if len(onlyCur) != 1 || onlyCur[0] != "BenchmarkNew" {
+		t.Fatalf("onlyCur = %v", onlyCur)
+	}
+}
+
+func TestCompareSnapshotsTolerance(t *testing.T) {
+	base := snapOf(map[string]Result{"BenchmarkA": {NsPerOp: 1000}})
+	cur := snapOf(map[string]Result{"BenchmarkA": {NsPerOp: 1200}})
+	entries, _, _ := compareSnapshots(base, cur, 0.10)
+	if !entries[0].Regression {
+		t.Fatal("+20% must regress at 10% tolerance")
+	}
+	entries, _, _ = compareSnapshots(base, cur, 0.25)
+	if entries[0].Regression {
+		t.Fatal("+20% must pass at 25% tolerance")
+	}
+}

@@ -32,6 +32,7 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "HTTP listen address")
 		workers    = flag.Int("workers", 0, "concurrent solver goroutines (0 = GOMAXPROCS)")
+		solveWork  = flag.Int("solve-workers", 0, "per-solve kernel parallelism (0 = GOMAXPROCS/workers)")
 		queueDepth = flag.Int("queue", 64, "maximum queued-but-not-running jobs")
 		jobTimeout = flag.Duration("job-timeout", 5*time.Minute, "default per-job solve timeout")
 		maxTimeout = flag.Duration("max-timeout", 30*time.Minute, "cap on per-job timeouts requested by clients")
@@ -47,6 +48,7 @@ func main() {
 
 	cfg := service.Config{
 		Workers:        *workers,
+		SolveWorkers:   *solveWork,
 		QueueDepth:     *queueDepth,
 		DefaultTimeout: *jobTimeout,
 		MaxTimeout:     *maxTimeout,

@@ -44,14 +44,14 @@ func newBuilder(nl *netlist.Netlist, opt *Options) *builder {
 		dim:    n + 2,
 		radii:  nl.Radii(opt.NonSquare),
 		aspect: make([]float64, n),
-		baseA:  nl.Adjacency(),
+		baseA:  nl.AdjacencyP(opt.Workers),
 	}
 	for i, m := range nl.Modules {
 		b.aspect[i] = m.MaxAspect
 	}
 	b.deg = netlist.Degrees(b.baseA)
 	if len(nl.Pads) > 0 {
-		b.padA = nl.PadAdjacency()
+		b.padA = nl.PadAdjacencyP(opt.Workers)
 		b.padRowSum = make([]float64, n)
 		b.padMoment = make([]geom.Point, n)
 		for i := 0; i < n; i++ {

@@ -54,7 +54,7 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 		return nil, errors.New("core: empty netlist")
 	}
 	bld := newBuilder(nl, &opt)
-	b0 := netlist.BuildB(bld.baseA)
+	b0 := netlist.BuildBP(bld.baseA, opt.Workers)
 
 	// Working set for the distance constraints.
 	var pairs []pair
@@ -80,7 +80,7 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 		// set by the B diagonal and the layout extent; a penalty around the
 		// mean weighted degree engages from the first round. Experiments
 		// that sweep the paper's raw α values pass Alpha0 explicitly.
-		alpha = maxf(0.5, meanDiagonal(netlist.BuildB(bld.baseA))/4)
+		alpha = maxf(0.5, meanDiagonal(netlist.BuildBP(bld.baseA, opt.Workers))/4)
 	}
 	for outer := 0; outer < opt.AlphaMaxDoublings; outer++ {
 		var zPrev, wPrev *linalg.Dense
@@ -96,8 +96,8 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 			}
 			res.Iterations++
 			// Adaptive B (Eq. 20 / hyper-edge variant).
-			at := adaptiveA(nl, centers, opt.Manhattan, opt.HyperEdge)
-			bt := netlist.BuildB(at)
+			at := adaptiveAP(nl, centers, opt.Manhattan, opt.HyperEdge, opt.Workers)
+			bt := netlist.BuildBP(at, opt.Workers)
 			c := bld.objectiveC(bt, w, alpha)
 
 			start := time.Now()
@@ -122,7 +122,7 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 
 			// Sub-problem 2: closed-form direction matrix.
 			var wz float64
-			w, wz, err = DirectionMatrix(z, n)
+			w, wz, err = DirectionMatrixP(z, n, opt.Workers)
 			if err != nil {
 				return nil, fmt.Errorf("core: sub-problem 2 failed: %w", err)
 			}
@@ -271,13 +271,15 @@ func (b *builder) dropSlackPairs(z *linalg.Dense, pairs []pair, have map[pair]bo
 func (b *builder) solveProblem(prob *sdp.Problem, warm *sdp.Solution) (*sdp.Solution, error) {
 	switch b.opt.Solver {
 	case SolverADMM:
-		opt := sdp.ADMMOptions{Tol: b.opt.SolverTol, MaxIter: b.opt.SolverMaxIter, Context: b.opt.Context}
+		opt := sdp.ADMMOptions{Tol: b.opt.SolverTol, MaxIter: b.opt.SolverMaxIter,
+			Workers: b.opt.Workers, Context: b.opt.Context}
 		if warm != nil && warm.X != nil && warm.X[0].Rows == b.dim {
 			opt.X0 = []*linalg.Dense{warm.X[0]}
 		}
 		return sdp.SolveADMM(prob, opt)
 	default:
-		return sdp.SolveIPM(prob, sdp.IPMOptions{Tol: b.opt.SolverTol, MaxIter: b.opt.SolverMaxIter, Context: b.opt.Context})
+		return sdp.SolveIPM(prob, sdp.IPMOptions{Tol: b.opt.SolverTol, MaxIter: b.opt.SolverMaxIter,
+			Workers: b.opt.Workers, Context: b.opt.Context})
 	}
 }
 
@@ -286,7 +288,14 @@ func (b *builder) solveProblem(prob *sdp.Problem, warm *sdp.Solution) (*sdp.Solu
 // W = UUᵀ with U the eigenvectors of the n smallest eigenvalues of Z, and
 // the optimal value is the sum of those eigenvalues. Returns (W, ⟨W,Z⟩).
 func DirectionMatrix(z *linalg.Dense, n int) (*linalg.Dense, float64, error) {
-	eg, err := linalg.NewSymEig(z)
+	return DirectionMatrixP(z, n, 1)
+}
+
+// DirectionMatrixP is DirectionMatrix with the eigendecomposition and the
+// W = UUᵀ product split across the worker pool. Bitwise identical to
+// DirectionMatrix for every worker count.
+func DirectionMatrixP(z *linalg.Dense, n, workers int) (*linalg.Dense, float64, error) {
+	eg, err := linalg.NewSymEigP(z, workers)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -294,20 +303,15 @@ func DirectionMatrix(z *linalg.Dense, n int) (*linalg.Dense, float64, error) {
 	if n > dim {
 		n = dim
 	}
-	w := linalg.NewDense(dim, dim)
 	wz := 0.0
+	u := linalg.NewDense(dim, n)
 	for col := 0; col < n; col++ { // eigenvalues ascending: first n are smallest
 		wz += eg.Values[col]
 		for r := 0; r < dim; r++ {
-			vr := eg.V.At(r, col)
-			if vr == 0 {
-				continue
-			}
-			for c2 := 0; c2 < dim; c2++ {
-				w.Data[r*dim+c2] += vr * eg.V.At(c2, col)
-			}
+			u.Set(r, col, eg.V.At(r, col))
 		}
 	}
+	w := linalg.MulABtP(u, u, workers)
 	w.Symmetrize()
 	return w, wz, nil
 }

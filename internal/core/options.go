@@ -97,6 +97,13 @@ type Options struct {
 
 	// Solver picks the sub-problem-1 SDP solver (default IPM).
 	Solver SolverKind
+	// Workers bounds the parallelism of one solve: the SDP Schur complement,
+	// dense factorizations, eigendecompositions, and netlist matrix assembly
+	// all split across the shared worker pool at this width. 0 uses the pool
+	// default (GOMAXPROCS, or the SDPFLOOR_WORKERS environment override);
+	// 1 runs fully sequential. Solver trajectories are bitwise identical for
+	// every value; see docs/PERFORMANCE.md for the parallelism model.
+	Workers int
 	// SolverTol overrides the solver tolerance (default 1e-7 IPM, 2e-5 ADMM).
 	SolverTol float64
 	// SolverMaxIter overrides the solver iteration cap.

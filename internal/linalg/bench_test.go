@@ -1,0 +1,131 @@
+package linalg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Benchmarks for the parallel-kernel hot paths. Sizes track the paper's
+// instances: the SDP iterate Z for nX has dimension X+2, so n64–n256 spans
+// the n10–n200 suite. Each kernel runs at w1 (sequential baseline) and w4;
+// cmd/benchdiff compares these against BENCH_baseline.json in CI.
+
+var benchSink float64
+
+var benchSizes = []int{64, 128, 256}
+
+func benchWorkerCounts() []int { return []int{1, 4} }
+
+func BenchmarkMatMul(b *testing.B) {
+	for _, n := range benchSizes {
+		rng := rand.New(rand.NewSource(int64(n)))
+		x := randMat(rng, n, n)
+		y := randMat(rng, n, n)
+		dst := NewDense(n, n)
+		for _, w := range benchWorkerCounts() {
+			b.Run(fmt.Sprintf("n%d/w%d", n, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					MatMulIntoP(dst, x, y, w)
+				}
+				benchSink = dst.Data[0]
+			})
+		}
+	}
+}
+
+func BenchmarkMulABt(b *testing.B) {
+	for _, n := range benchSizes {
+		rng := rand.New(rand.NewSource(int64(n)))
+		x := randMat(rng, n, n)
+		y := randMat(rng, n, n)
+		dst := NewDense(n, n)
+		for _, w := range benchWorkerCounts() {
+			b.Run(fmt.Sprintf("n%d/w%d", n, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					MulABtIntoP(dst, x, y, w)
+				}
+				benchSink = dst.Data[0]
+			})
+		}
+	}
+}
+
+func BenchmarkCholesky(b *testing.B) {
+	for _, n := range benchSizes {
+		rng := rand.New(rand.NewSource(int64(n)))
+		a := randSPD(rng, n)
+		for _, w := range benchWorkerCounts() {
+			b.Run(fmt.Sprintf("n%d/w%d", n, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					c, err := NewCholeskyP(a, w)
+					if err != nil {
+						b.Fatal(err)
+					}
+					benchSink = c.L.Data[0]
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkCholInverse(b *testing.B) {
+	for _, n := range benchSizes {
+		rng := rand.New(rand.NewSource(int64(n)))
+		c, err := NewCholesky(randSPD(rng, n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range benchWorkerCounts() {
+			b.Run(fmt.Sprintf("n%d/w%d", n, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					benchSink = c.InverseP(w).Data[0]
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkSymEig(b *testing.B) {
+	for _, n := range benchSizes {
+		rng := rand.New(rand.NewSource(int64(n)))
+		a := randMat(rng, n, n)
+		a.Symmetrize()
+		for _, w := range benchWorkerCounts() {
+			b.Run(fmt.Sprintf("n%d/w%d", n, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					eg, err := NewSymEigP(a, w)
+					if err != nil {
+						b.Fatal(err)
+					}
+					benchSink = eg.Values[0]
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkPSDProject(b *testing.B) {
+	for _, n := range benchSizes {
+		rng := rand.New(rand.NewSource(int64(n)))
+		a := randMat(rng, n, n)
+		a.Symmetrize()
+		eg, err := NewSymEig(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range benchWorkerCounts() {
+			b.Run(fmt.Sprintf("n%d/w%d", n, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					benchSink = eg.PSDProjectP(w).Data[0]
+				}
+			})
+		}
+	}
+}

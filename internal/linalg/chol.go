@@ -3,6 +3,8 @@ package linalg
 import (
 	"errors"
 	"math"
+
+	"sdpfloor/internal/parallel"
 )
 
 // ErrNotPositiveDefinite is returned by Cholesky when the input matrix is not
@@ -36,6 +38,47 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 			lrowi := l.Row(i)[:j+1]
 			s := a.At(i, j) - dotPrefix(lrowi[:j], lrowj[:j])
 			lrowi[j] = s * inv
+		}
+	}
+	return &Cholesky{L: l}, nil
+}
+
+// NewCholeskyP is NewCholesky with each column's elimination step split
+// across the worker pool: after pivot j is computed, the updates of rows
+// j+1…n−1 are independent and run in fixed row chunks. Each row's dot
+// product is sequential, so the factor is bitwise identical to NewCholesky
+// for every worker count. Columns whose remaining update is small run
+// sequentially to skip the fork/join cost.
+func NewCholeskyP(a *Dense, workers int) (*Cholesky, error) {
+	if workers <= 1 || a.Rows < minParRows {
+		return NewCholesky(a)
+	}
+	if a.Rows != a.Cols {
+		panic("linalg: Cholesky of non-square matrix")
+	}
+	n := a.Rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		lrowj := l.Row(j)[:j+1]
+		d := a.At(j, j) - dotPrefix(lrowj[:j], lrowj[:j])
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		d = math.Sqrt(d)
+		lrowj[j] = d
+		inv := 1 / d
+		rows := n - (j + 1)
+		update := func(lo, hi int) {
+			for i := j + 1 + lo; i < j+1+hi; i++ {
+				lrowi := l.Row(i)[:j+1]
+				s := a.At(i, j) - dotPrefix(lrowi[:j], lrowj[:j])
+				lrowi[j] = s * inv
+			}
+		}
+		if rows*j < minParFlops {
+			update(0, rows)
+		} else {
+			parallel.For(workers, rows, 1, update)
 		}
 	}
 	return &Cholesky{L: l}, nil
@@ -104,10 +147,44 @@ func (c *Cholesky) Solve(b *Dense) *Dense {
 	return x
 }
 
+// SolveP solves A X = B with the right-hand-side columns swept in parallel
+// over the worker pool. Each column's forward/backward substitution is the
+// sequential SolveVec, so the result is bitwise identical to Solve for every
+// worker count.
+func (c *Cholesky) SolveP(b *Dense, workers int) *Dense {
+	n := c.L.Rows
+	if b.Rows != n {
+		panic("linalg: Cholesky SolveP dimension mismatch")
+	}
+	if workers <= 1 || b.Cols*n*n < minParFlops {
+		return c.Solve(b)
+	}
+	x := b.Clone()
+	parallel.For(workers, b.Cols, 1, func(lo, hi int) {
+		col := make([]float64, n)
+		for j := lo; j < hi; j++ {
+			for i := 0; i < n; i++ {
+				col[i] = x.At(i, j)
+			}
+			c.SolveVec(col)
+			for i := 0; i < n; i++ {
+				x.Set(i, j, col[i])
+			}
+		}
+	})
+	return x
+}
+
 // Inverse returns A⁻¹ computed column by column from the factorization.
 func (c *Cholesky) Inverse() *Dense {
 	n := c.L.Rows
 	return c.Solve(Identity(n))
+}
+
+// InverseP is Inverse with the columns solved in parallel.
+func (c *Cholesky) InverseP(workers int) *Dense {
+	n := c.L.Rows
+	return c.SolveP(Identity(n), workers)
 }
 
 // LogDet returns log det(A) = 2 Σ log Lᵢᵢ.
@@ -150,5 +227,11 @@ func (c *Cholesky) SolveLowerTVec(b []float64) []float64 {
 // definite, by attempting a Cholesky factorization.
 func IsPosDef(a *Dense) bool {
 	_, err := NewCholesky(a)
+	return err == nil
+}
+
+// IsPosDefP is IsPosDef on the parallel factorization.
+func IsPosDefP(a *Dense, workers int) bool {
+	_, err := NewCholeskyP(a, workers)
 	return err == nil
 }

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math"
 	"sort"
+
+	"sdpfloor/internal/parallel"
 )
 
 // ErrNoConvergence is returned when an iterative factorization fails to
@@ -23,6 +25,16 @@ type SymEig struct {
 // algorithm. Only the lower triangle of a is referenced (the matrix is
 // symmetrized internally). Complexity O(n³).
 func NewSymEig(a *Dense) (*SymEig, error) {
+	return NewSymEigP(a, 1)
+}
+
+// NewSymEigP is NewSymEig with the independent column updates of the
+// Householder reduction and its transform accumulation split across the
+// worker pool. The tridiagonal QL phase stays sequential (its rotations are
+// order-dependent and too fine-grained to fork), and every parallelized loop
+// preserves the per-element operation order, so the decomposition is bitwise
+// identical to NewSymEig for every worker count.
+func NewSymEigP(a *Dense, workers int) (*SymEig, error) {
 	if a.Rows != a.Cols {
 		panic("linalg: SymEig of non-square matrix")
 	}
@@ -34,7 +46,7 @@ func NewSymEig(a *Dense) (*SymEig, error) {
 	v.Symmetrize()
 	d := make([]float64, n)
 	e := make([]float64, n)
-	tred2(v, d, e)
+	tred2(v, d, e, workers)
 	if err := tql2(v, d, e); err != nil {
 		return nil, err
 	}
@@ -42,11 +54,19 @@ func NewSymEig(a *Dense) (*SymEig, error) {
 	return &SymEig{Values: d, V: v}, nil
 }
 
+// eigParGrain is the approximate per-step flop count below which the tred2
+// column loops run sequentially (the steps shrink as the reduction
+// progresses, so each i decides independently).
+const eigParGrain = 16384
+
 // tred2 reduces the symmetric matrix stored in v to tridiagonal form using
 // Householder transformations, accumulating the orthogonal transform in v.
 // On return d holds the diagonal and e the subdiagonal (e[0] == 0).
-// This is the classic Bowdler–Martin–Reinsch–Wilkinson procedure.
-func tred2(v *Dense, d, e []float64) {
+// This is the classic Bowdler–Martin–Reinsch–Wilkinson procedure. The
+// similarity rank-2 update and the transform accumulation are parallelized
+// over their independent columns; everything with cross-column coupling (the
+// e-vector accumulation) stays sequential.
+func tred2(v *Dense, d, e []float64, workers int) {
 	n := v.Rows
 	for j := 0; j < n; j++ {
 		d[j] = v.At(n-1, j)
@@ -98,12 +118,35 @@ func tred2(v *Dense, d, e []float64) {
 			for j := 0; j < i; j++ {
 				e[j] -= hh * d[j]
 			}
-			for j := 0; j < i; j++ {
-				f = d[j]
-				g = e[j]
-				for k := j; k <= i-1; k++ {
-					v.Add(k, j, -(f*e[k] + g*d[k]))
+			// Rank-2 similarity update: column j reads only d and e and
+			// writes rows j…i−1 of column j, so columns are independent. The
+			// d[j] rewrite stays in the sequential epilogue — inside the
+			// parallel loop it would race with other columns' d[k] reads.
+			update := func(lo, hi int) {
+				for j := lo; j < hi; j++ {
+					fj := d[j]
+					gj := e[j]
+					for k := j; k <= i-1; k++ {
+						v.Add(k, j, -(fj*e[k] + gj*d[k]))
+					}
 				}
+			}
+			if workers <= 1 || i*i/2 < eigParGrain {
+				update(0, i)
+			} else {
+				// Column j costs i−j: balance chunks on the reversed index
+				// with the triangular row split.
+				b := parallel.TriRanges(i, workers)
+				thunks := make([]func(), 0, len(b)-1)
+				for c := 0; c+1 < len(b); c++ {
+					lo, hi := i-b[c+1], i-b[c]
+					if lo < hi {
+						thunks = append(thunks, func() { update(lo, hi) })
+					}
+				}
+				parallel.Do(thunks...)
+			}
+			for j := 0; j < i; j++ {
 				d[j] = v.At(i-1, j)
 				v.Set(i, j, 0)
 			}
@@ -119,14 +162,24 @@ func tred2(v *Dense, d, e []float64) {
 			for k := 0; k <= i; k++ {
 				d[k] = v.At(k, i+1) / h
 			}
-			for j := 0; j <= i; j++ {
-				g := 0.0
-				for k := 0; k <= i; k++ {
-					g += v.At(k, i+1) * v.At(k, j)
+			// Accumulation: column j reads column i+1 and d, writes rows
+			// 0…i of column j (j ≤ i), so columns are independent and the
+			// per-column cost is uniform.
+			acc := func(lo, hi int) {
+				for j := lo; j < hi; j++ {
+					g := 0.0
+					for k := 0; k <= i; k++ {
+						g += v.At(k, i+1) * v.At(k, j)
+					}
+					for k := 0; k <= i; k++ {
+						v.Add(k, j, -g*d[k])
+					}
 				}
-				for k := 0; k <= i; k++ {
-					v.Add(k, j, -g*d[k])
-				}
+			}
+			if workers <= 1 || (i+1)*(i+1) < eigParGrain {
+				acc(0, i+1)
+			} else {
+				parallel.For(workers, i+1, 1, acc)
 			}
 		}
 		for k := 0; k <= i; k++ {
@@ -246,24 +299,40 @@ func (eg *SymEig) Reconstruct() *Dense {
 
 // applyFn returns V diag(f(Values)) Vᵀ.
 func (eg *SymEig) applyFn(f func(float64) float64) *Dense {
+	return eg.applyFnP(f, 1)
+}
+
+// applyFnP computes V diag(f(Values)) Vᵀ as the product W Uᵀ of two n×r
+// matrices holding only the columns with f(λ) ≠ 0 (W scaled by f(λ), U the
+// raw eigenvectors), with the output rows split across the worker pool. Each
+// output element is one sequential dot product, so the result is bitwise
+// identical for every worker count.
+func (eg *SymEig) applyFnP(f func(float64) float64, workers int) *Dense {
 	n := len(eg.Values)
 	out := NewDense(n, n)
+	cols := make([]int, 0, n)
+	scaled := make([]float64, 0, n)
 	for j := 0; j < n; j++ {
-		lj := f(eg.Values[j])
-		if lj == 0 {
-			continue
-		}
-		for r := 0; r < n; r++ {
-			vr := eg.V.At(r, j)
-			if vr == 0 {
-				continue
-			}
-			w := lj * vr
-			for c2 := 0; c2 < n; c2++ {
-				out.Data[r*n+c2] += w * eg.V.At(c2, j)
-			}
+		if lj := f(eg.Values[j]); lj != 0 {
+			cols = append(cols, j)
+			scaled = append(scaled, lj)
 		}
 	}
+	r := len(cols)
+	if r == 0 {
+		return out
+	}
+	w := NewDense(n, r)
+	u := NewDense(n, r)
+	for i := 0; i < n; i++ {
+		vrow := eg.V.Row(i)
+		wrow, urow := w.Row(i), u.Row(i)
+		for jj, j := range cols {
+			urow[jj] = vrow[j]
+			wrow[jj] = scaled[jj] * vrow[j]
+		}
+	}
+	MulABtIntoP(out, w, u, workers)
 	out.Symmetrize()
 	return out
 }
@@ -271,12 +340,18 @@ func (eg *SymEig) applyFn(f func(float64) float64) *Dense {
 // PSDProject returns the projection of the symmetric matrix onto the PSD
 // cone: negative eigenvalues are clipped at zero.
 func (eg *SymEig) PSDProject() *Dense {
-	return eg.applyFn(func(x float64) float64 {
+	return eg.PSDProjectP(1)
+}
+
+// PSDProjectP is PSDProject with the reconstruction product parallelized
+// over the worker pool.
+func (eg *SymEig) PSDProjectP(workers int) *Dense {
+	return eg.applyFnP(func(x float64) float64 {
 		if x < 0 {
 			return 0
 		}
 		return x
-	})
+	}, workers)
 }
 
 // Sqrt returns the symmetric PSD square root A^{1/2}; eigenvalues below zero

@@ -133,14 +133,20 @@ func MatMulInto(dst, a, b *Dense) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("linalg: MatMulInto dimension mismatch")
 	}
-	n, k, p := a.Rows, a.Cols, b.Cols
-	for i := range dst.Data {
-		dst.Data[i] = 0
-	}
+	matMulRows(dst, a, b, 0, a.Rows)
+}
+
+// matMulRows computes rows [lo, hi) of dst = a*b, zeroing them first — the
+// row-range kernel shared by the sequential and parallel matmul entry points.
+func matMulRows(dst, a, b *Dense, lo, hi int) {
+	k, p := a.Cols, b.Cols
 	// ikj loop order: stream through rows of b for cache friendliness.
-	for i := 0; i < n; i++ {
+	for i := lo; i < hi; i++ {
 		arow := a.Data[i*k : (i+1)*k]
 		drow := dst.Data[i*p : (i+1)*p]
+		for j := range drow {
+			drow[j] = 0
+		}
 		for l := 0; l < k; l++ {
 			ail := arow[l]
 			if ail == 0 {

@@ -1,0 +1,179 @@
+package linalg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// workerCounts exercised by every parity test: sequential, small parallel,
+// odd chunking, and more chunks than the pool has goroutines.
+var workerCounts = []int{1, 2, 3, 7, 16}
+
+func randMat(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func matBytes(m *Dense) []byte {
+	var b bytes.Buffer
+	for _, v := range m.Data {
+		var raw [8]byte
+		binary.LittleEndian.PutUint64(raw[:], math.Float64bits(v))
+		b.Write(raw[:])
+	}
+	return b.Bytes()
+}
+
+func assertBitIdentical(t *testing.T, name string, ref, got *Dense, workers int) {
+	t.Helper()
+	if ref.Rows != got.Rows || ref.Cols != got.Cols {
+		t.Fatalf("%s workers=%d: shape %dx%d, want %dx%d", name, workers, got.Rows, got.Cols, ref.Rows, ref.Cols)
+	}
+	if !bytes.Equal(matBytes(ref), matBytes(got)) {
+		for i := range ref.Data {
+			if math.Float64bits(ref.Data[i]) != math.Float64bits(got.Data[i]) {
+				t.Fatalf("%s workers=%d: element %d = %v, want %v (bitwise)", name, workers, i, got.Data[i], ref.Data[i])
+			}
+		}
+	}
+}
+
+func TestMatMulPBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][3]int{{3, 4, 5}, {65, 40, 70}, {130, 130, 130}} {
+		a := randMat(rng, dims[0], dims[1])
+		b := randMat(rng, dims[1], dims[2])
+		ref := MatMul(a, b)
+		for _, w := range workerCounts {
+			assertBitIdentical(t, "MatMulP", ref, MatMulP(a, b, w), w)
+		}
+	}
+}
+
+func TestMulABtBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMat(rng, 90, 40)
+	b := randMat(rng, 110, 40)
+	ref := MulABt(a, b)
+	// Reference against MatMul with an explicit transpose (values, not bits:
+	// MulABt uses the unrolled dot kernel with its own association).
+	chk := MatMul(a, b.T())
+	for i := range ref.Data {
+		if math.Abs(ref.Data[i]-chk.Data[i]) > 1e-9 {
+			t.Fatalf("MulABt element %d = %v, MatMul says %v", i, ref.Data[i], chk.Data[i])
+		}
+	}
+	for _, w := range workerCounts {
+		assertBitIdentical(t, "MulABtP", ref, MulABtP(a, b, w), w)
+	}
+}
+
+func TestCholeskyPBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{10, 64, 120} {
+		a := randSPD(rng, n)
+		ref, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for _, w := range workerCounts {
+			got, err := NewCholeskyP(a, w)
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, w, err)
+			}
+			assertBitIdentical(t, "NewCholeskyP", ref.L, got.L, w)
+		}
+	}
+}
+
+func TestCholeskyPNotPosDef(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randSPD(rng, 80)
+	a.Set(40, 40, -1) // indefinite
+	for _, w := range workerCounts {
+		if _, err := NewCholeskyP(a, w); err == nil {
+			t.Fatalf("workers=%d: factored an indefinite matrix", w)
+		}
+		if IsPosDefP(a, w) {
+			t.Fatalf("workers=%d: IsPosDefP true for indefinite matrix", w)
+		}
+	}
+}
+
+func TestSolvePBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randSPD(rng, 70)
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randMat(rng, 70, 33)
+	ref := c.Solve(b)
+	for _, w := range workerCounts {
+		assertBitIdentical(t, "SolveP", ref, c.SolveP(b, w), w)
+	}
+	refInv := c.Inverse()
+	for _, w := range workerCounts {
+		assertBitIdentical(t, "InverseP", refInv, c.InverseP(w), w)
+	}
+}
+
+func TestSymEigPBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{5, 80, 150} {
+		a := randMat(rng, n, n)
+		a.Symmetrize()
+		ref, err := NewSymEig(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		refV := ref.V
+		for _, w := range workerCounts {
+			got, err := NewSymEigP(a, w)
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, w, err)
+			}
+			for j := range ref.Values {
+				if math.Float64bits(ref.Values[j]) != math.Float64bits(got.Values[j]) {
+					t.Fatalf("n=%d workers=%d: eigenvalue %d = %v, want %v", n, w, j, got.Values[j], ref.Values[j])
+				}
+			}
+			assertBitIdentical(t, "NewSymEigP.V", refV, got.V, w)
+		}
+		// And it is actually a decomposition.
+		rec := ref.Reconstruct()
+		for i := range a.Data {
+			if math.Abs(rec.Data[i]-a.Data[i]) > 1e-8*float64(n) {
+				t.Fatalf("n=%d: reconstruction off at %d: %v vs %v", n, i, rec.Data[i], a.Data[i])
+			}
+		}
+	}
+}
+
+func TestPSDProjectPBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randMat(rng, 90, 90)
+	a.Symmetrize()
+	eg, err := NewSymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := eg.PSDProject()
+	for _, w := range workerCounts {
+		assertBitIdentical(t, "PSDProjectP", ref, eg.PSDProjectP(w), w)
+	}
+	// Projection must be PSD up to numerical noise.
+	peg, err := NewSymEig(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peg.MinEigenvalue() < -1e-9 {
+		t.Fatalf("PSD projection has eigenvalue %v", peg.MinEigenvalue())
+	}
+}

@@ -1,0 +1,225 @@
+// Package parallel provides the shared worker pool behind the solver's
+// dense-kernel parallelism: a chunked parallel-for (no work stealing) over a
+// size-capped set of goroutines started on first use.
+//
+// Design constraints, in order:
+//
+//   - Determinism. Every helper splits its index space into contiguous
+//     chunks whose boundaries depend only on (n, workers). Callers arrange
+//     for chunks to write disjoint outputs (or reduce per-chunk partials in
+//     chunk-index order), so results are bitwise-reproducible for a fixed
+//     worker count — and, when per-element operation order is unchanged,
+//     across all worker counts.
+//   - Bounded concurrency. One process-wide pool serves every concurrent
+//     solve: a job may request any chunk count, but at most poolSize
+//     goroutines ever run chunks at once, so service-level concurrency ×
+//     per-solve parallelism cannot oversubscribe the machine.
+//   - No deadlocks under saturation. Chunk submission never blocks: if no
+//     pool worker is free the caller runs the chunk inline, so nested
+//     parallel-for calls (a parallel kernel inside a parallel solve) always
+//     make progress.
+//
+// The pool size defaults to GOMAXPROCS and can be overridden with the
+// SDPFLOOR_WORKERS environment variable. Worker counts requested per call
+// are chunk counts, not goroutine counts: asking for 8 chunks on a 2-core
+// pool still yields the 8-chunk (deterministic) decomposition, executed at
+// most 2 at a time.
+package parallel
+
+import (
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+var (
+	initOnce sync.Once
+	poolSize int
+	tasks    chan func()
+)
+
+// setup starts the shared pool on first use. poolSize-1 background
+// goroutines are spawned (the caller of For/Do always executes one chunk
+// itself), with a floor of one so that single-CPU machines still exercise
+// real concurrency (and the race detector sees it).
+func setup() {
+	initOnce.Do(func() {
+		poolSize = EnvWorkers(os.Getenv("SDPFLOOR_WORKERS"), runtime.GOMAXPROCS(0))
+		bg := poolSize - 1
+		if bg < 1 {
+			bg = 1
+		}
+		tasks = make(chan func())
+		for i := 0; i < bg; i++ {
+			go func() {
+				for f := range tasks {
+					f()
+				}
+			}()
+		}
+	})
+}
+
+// EnvWorkers resolves the pool size from an SDPFLOOR_WORKERS value and the
+// GOMAXPROCS fallback: a positive integer wins, anything else (empty,
+// malformed, non-positive) falls back. Exposed for testability; the pool
+// itself reads the environment once, at first use.
+func EnvWorkers(env string, fallback int) int {
+	if v, err := strconv.Atoi(env); err == nil && v > 0 {
+		return v
+	}
+	if fallback < 1 {
+		return 1
+	}
+	return fallback
+}
+
+// Default returns the shared pool size — the natural per-solve worker count
+// when a single job owns the machine.
+func Default() int {
+	setup()
+	return poolSize
+}
+
+// Workers resolves a requested worker count: values ≤ 0 select the shared
+// default (GOMAXPROCS or the SDPFLOOR_WORKERS override); positive values are
+// returned unchanged, so a job can be restricted to fewer cores than the
+// machine has (or ask for a fixed chunk layout larger than it).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return Default()
+}
+
+// For splits [0, n) into `workers` fixed contiguous chunks and runs fn over
+// each, concurrently on the shared pool. Chunk boundaries are
+// chunk c = [c·n/w, (c+1)·n/w), depending only on (n, workers). fn must
+// treat its [lo, hi) range as exclusive property; chunks run in unspecified
+// order and concurrently.
+//
+// Sequential fallback: workers ≤ 1 or n < minPar runs fn(0, n) on the
+// calling goroutine — small problems skip the fork/join cost entirely.
+func For(workers, n, minPar int, fn func(lo, hi int)) {
+	ForChunked(workers, n, minPar, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// ForChunked is For with the chunk index passed to fn — for callers that
+// accumulate into per-chunk partials and reduce them in chunk order.
+// The sequential fallback runs fn(0, 0, n).
+func ForChunked(workers, n, minPar int, fn func(chunk, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < minPar {
+		fn(0, 0, n)
+		return
+	}
+	setup()
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for c := 1; c < workers; c++ {
+		c, lo, hi := c, c*n/workers, (c+1)*n/workers
+		f := func() {
+			defer wg.Done()
+			fn(c, lo, hi)
+		}
+		select {
+		case tasks <- f:
+		default:
+			f() // pool saturated: run inline, never block
+		}
+	}
+	fn(0, 0, n/workers)
+	wg.Wait()
+}
+
+// Chunks returns the number of chunks ForChunked will use for (workers, n,
+// minPar) — callers sizing per-chunk partial buffers must match its layout.
+func Chunks(workers, n, minPar int) int {
+	if n <= 0 {
+		return 0
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < minPar {
+		return 1
+	}
+	return workers
+}
+
+// Do runs the given thunks concurrently on the shared pool (the first on the
+// calling goroutine) and returns when all have completed. Use it when the
+// work does not decompose into a flat index range — e.g. per-block
+// eigendecompositions or triangular row ranges of unequal length.
+func Do(thunks ...func()) {
+	switch len(thunks) {
+	case 0:
+		return
+	case 1:
+		thunks[0]()
+		return
+	}
+	setup()
+	var wg sync.WaitGroup
+	wg.Add(len(thunks) - 1)
+	for _, f := range thunks[1:] {
+		f := f
+		g := func() {
+			defer wg.Done()
+			f()
+		}
+		select {
+		case tasks <- g:
+		default:
+			g()
+		}
+	}
+	thunks[0]()
+	wg.Wait()
+}
+
+// TriRanges splits the rows of a lower-triangular sweep (row k holding k+1
+// elements, m rows, m(m+1)/2 elements total) into at most `workers` row
+// ranges of roughly equal element count, so chunk runtimes balance without
+// work stealing. Returns boundaries b with len(b) = chunks+1, b[0] = 0,
+// b[last] = m; chunk c covers rows [b[c], b[c+1]). Boundaries depend only on
+// (m, workers).
+func TriRanges(m, workers int) []int {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > m {
+		workers = m
+	}
+	b := make([]int, 0, workers+1)
+	b = append(b, 0)
+	total := m * (m + 1) / 2
+	for c := 1; c < workers; c++ {
+		target := c * total / workers
+		// Smallest k with k(k+1)/2 ≥ target; the float seed is corrected by
+		// integer comparison so the result is exact on every platform.
+		k := int((math.Sqrt(8*float64(target)+1) - 1) / 2)
+		for k > 0 && k*(k+1)/2 >= target {
+			k--
+		}
+		for k*(k+1)/2 < target {
+			k++
+		}
+		if last := b[len(b)-1]; k < last {
+			k = last
+		}
+		if k > m {
+			k = m
+		}
+		b = append(b, k)
+	}
+	b = append(b, m)
+	return b
+}

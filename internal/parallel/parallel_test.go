@@ -1,0 +1,169 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16, 100} {
+		for _, n := range []int{0, 1, 2, 5, 63, 64, 1000} {
+			hits := make([]int32, n)
+			For(workers, n, 0, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForSequentialFallback(t *testing.T) {
+	calls := 0
+	For(8, 100, 1000, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 100 {
+			t.Fatalf("fallback got [%d,%d), want [0,100)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("fallback ran %d chunks, want 1", calls)
+	}
+}
+
+func TestForChunkedPartition(t *testing.T) {
+	// Chunk layout must be the fixed c·n/w boundaries, exactly Chunks() of
+	// them, with no gaps or overlaps.
+	for _, workers := range []int{2, 3, 8} {
+		n := 100
+		got := make(map[int][2]int)
+		var mu = make(chan struct{}, 1)
+		mu <- struct{}{}
+		ForChunked(workers, n, 0, func(c, lo, hi int) {
+			<-mu
+			got[c] = [2]int{lo, hi}
+			mu <- struct{}{}
+		})
+		if len(got) != Chunks(workers, n, 0) {
+			t.Fatalf("workers=%d: %d chunks, want %d", workers, len(got), Chunks(workers, n, 0))
+		}
+		for c, r := range got {
+			wantLo, wantHi := c*n/workers, (c+1)*n/workers
+			if r[0] != wantLo || r[1] != wantHi {
+				t.Fatalf("workers=%d chunk %d: [%d,%d), want [%d,%d)", workers, c, r[0], r[1], wantLo, wantHi)
+			}
+		}
+	}
+}
+
+func TestNestedForNoDeadlock(t *testing.T) {
+	// Saturate the pool with nested parallel-fors; inline fallback must keep
+	// everything progressing.
+	var total int64
+	For(8, 8, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			For(8, 100, 0, func(lo2, hi2 int) {
+				atomic.AddInt64(&total, int64(hi2-lo2))
+			})
+		}
+	})
+	if total != 800 {
+		t.Fatalf("nested total = %d, want 800", total)
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	var ran [5]int32
+	fs := make([]func(), len(ran))
+	for i := range fs {
+		i := i
+		fs[i] = func() { atomic.AddInt32(&ran[i], 1) }
+	}
+	Do(fs...)
+	for i, r := range ran {
+		if r != 1 {
+			t.Fatalf("thunk %d ran %d times", i, r)
+		}
+	}
+	Do() // no-op
+	Do(func() { atomic.AddInt32(&ran[0], 1) })
+	if ran[0] != 2 {
+		t.Fatal("single-thunk Do did not run inline")
+	}
+}
+
+func TestEnvWorkers(t *testing.T) {
+	cases := []struct {
+		env      string
+		fallback int
+		want     int
+	}{
+		{"", 4, 4},
+		{"8", 4, 8},
+		{"1", 4, 1},
+		{"0", 4, 4},
+		{"-3", 4, 4},
+		{"junk", 4, 4},
+		{"", 0, 1},
+	}
+	for _, c := range cases {
+		if got := EnvWorkers(c.env, c.fallback); got != c.want {
+			t.Errorf("EnvWorkers(%q, %d) = %d, want %d", c.env, c.fallback, got, c.want)
+		}
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != Default() {
+		t.Fatalf("Workers(0) = %d, want default %d", got, Default())
+	}
+	if Default() < 1 {
+		t.Fatalf("Default() = %d", Default())
+	}
+}
+
+func TestTriRanges(t *testing.T) {
+	for _, m := range []int{1, 2, 5, 17, 100, 573} {
+		for _, workers := range []int{1, 2, 4, 8, 600} {
+			b := TriRanges(m, workers)
+			if b[0] != 0 || b[len(b)-1] != m {
+				t.Fatalf("m=%d w=%d: boundaries %v do not span [0,%d]", m, workers, b, m)
+			}
+			total := m * (m + 1) / 2
+			per := total / min(workers, m)
+			for c := 0; c+1 < len(b); c++ {
+				if b[c] > b[c+1] {
+					t.Fatalf("m=%d w=%d: decreasing boundaries %v", m, workers, b)
+				}
+				// Balance: no chunk should exceed twice its fair share plus
+				// one row (a single row is the indivisible unit).
+				cnt := b[c+1]*(b[c+1]+1)/2 - b[c]*(b[c]+1)/2
+				if per > 0 && cnt > 2*per+m {
+					t.Fatalf("m=%d w=%d chunk %d holds %d of %d elements", m, workers, c, cnt, total)
+				}
+			}
+			// Determinism: identical on recomputation.
+			b2 := TriRanges(m, workers)
+			for i := range b {
+				if b[i] != b2[i] {
+					t.Fatalf("TriRanges(%d,%d) not deterministic: %v vs %v", m, workers, b, b2)
+				}
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

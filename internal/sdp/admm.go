@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"sdpfloor/internal/linalg"
+	"sdpfloor/internal/parallel"
 )
 
 // ADMMOptions configure the first-order solver.
@@ -14,6 +15,10 @@ type ADMMOptions struct {
 	MaxIter int     // iteration cap (default 5000)
 	Mu      float64 // initial penalty (default 1); adapted during the run
 	Logf    func(format string, args ...any)
+	// Workers is the parallelism for the per-iteration eigendecomposition and
+	// PSD projection. 0 picks the shared pool default; the iterate trajectory
+	// is bitwise identical for every value (see IPMOptions.Workers).
+	Workers int
 	// Warm start (optional): initial primal/dual iterates.
 	X0   []*linalg.Dense
 	XLP0 []float64
@@ -46,6 +51,7 @@ func SolveADMM(p *Problem, opt ADMMOptions) (*Solution, error) {
 		return nil, err
 	}
 	opt.setDefaults()
+	workers := parallel.Workers(opt.Workers)
 
 	nb := len(p.PSDDims)
 	m := len(p.Cons)
@@ -130,12 +136,12 @@ func SolveADMM(p *Problem, opt ADMMOptions) (*Solution, error) {
 			v.AddScaled(-1, aty[bi])
 			v.AddScaled(-mu, x[bi])
 			v.Symmetrize()
-			eg, err := linalg.NewSymEig(v)
+			eg, err := linalg.NewSymEigP(v, workers)
 			if err != nil {
 				sol.Status = StatusNumericalFailure
 				break
 			}
-			s[bi] = eg.PSDProject()
+			s[bi] = eg.PSDProjectP(workers)
 			xNew := s[bi].Clone()
 			xNew.AddScaled(-1, v)
 			xNew.Scale(1 / mu)

@@ -1,0 +1,102 @@
+package sdp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sdpfloor/internal/linalg"
+)
+
+// Benchmarks for the interior-point hot paths at the paper's instance
+// scales: the nX suite produces one PSD block of dimension X+2 with a few
+// hundred distance constraints, so (dim, m) pairs below bracket n10–n200.
+// w1 is the sequential baseline; cmd/benchdiff compares all of these
+// against BENCH_baseline.json in CI.
+
+var benchScales = []struct {
+	name string
+	dim  int // PSD block dimension (≈ modules + 2)
+	m    int // constraint count (≈ working-set distance pairs)
+}{
+	{"n10", 12, 60},
+	{"n50", 52, 220},
+	{"n100", 102, 420},
+	{"n200", 202, 840},
+}
+
+var benchSinkF float64
+
+// benchIPMState builds a solver state mid-iteration: a strictly feasible
+// random problem with X, S, and S⁻¹ populated, ready for formSchur.
+func benchIPMState(b *testing.B, dim, m, workers int) *ipmState {
+	b.Helper()
+	rng := rand.New(rand.NewSource(int64(dim*1000 + m)))
+	p := randomFeasibleSDP(rng, dim, m)
+	opt := IPMOptions{Workers: workers}
+	opt.setDefaults()
+	st := newIPMState(p, opt)
+	for bidx := range st.s {
+		chol, err := linalg.NewCholesky(st.s[bidx])
+		if err != nil {
+			b.Fatal(err)
+		}
+		st.sinv[bidx] = chol.Inverse()
+		st.sinv[bidx].Symmetrize()
+	}
+	return st
+}
+
+func BenchmarkFormSchur(b *testing.B) {
+	for _, sc := range benchScales {
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/w%d", sc.name, w), func(b *testing.B) {
+				st := benchIPMState(b, sc.dim, sc.m, w)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					benchSinkF = st.formSchur().At(0, 0)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkSolveIPM(b *testing.B) {
+	for _, sc := range benchScales[:2] { // full solves: keep to the small scales
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/w%d", sc.name, w), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(int64(sc.dim)))
+				p := randomFeasibleSDP(rng, sc.dim, sc.m)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sol, err := SolveIPM(p, IPMOptions{Workers: w})
+					if err != nil {
+						b.Fatal(err)
+					}
+					benchSinkF = sol.PrimalObj
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkSolveADMM(b *testing.B) {
+	sc := benchScales[0]
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("%s/w%d", sc.name, w), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(sc.dim)))
+			p := randomFeasibleSDP(rng, sc.dim, sc.m)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sol, err := SolveADMM(p, ADMMOptions{Workers: w, MaxIter: 300})
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSinkF = sol.PrimalObj
+			}
+		})
+	}
+}

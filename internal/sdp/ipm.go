@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"sdpfloor/internal/linalg"
+	"sdpfloor/internal/parallel"
 )
 
 // IPMOptions configure the interior-point solver.
@@ -15,6 +16,13 @@ type IPMOptions struct {
 	Gamma   float64 // fraction-to-boundary factor in (0,1) (default 0.98)
 	NoScale bool    // disable the constraint equilibration presolve
 	Logf    func(format string, args ...any)
+	// Workers is the parallelism used for the Schur complement, the dense
+	// factorizations, and the step computation. 0 picks the shared pool
+	// default (GOMAXPROCS, or SDPFLOOR_WORKERS when set); 1 is fully
+	// sequential. Every parallel path splits work into chunks fixed by the
+	// requested count with element-disjoint writes, so the iterate trajectory
+	// is bitwise identical for every value of Workers.
+	Workers int
 	// Context, when non-nil, is checked at every iteration boundary; on
 	// cancellation or deadline the solver stops, returns the current iterate
 	// with StatusCancelled, and reports the context error.
@@ -35,8 +43,9 @@ func (o *IPMOptions) setDefaults() {
 
 // ipmState carries the working variables of one solve.
 type ipmState struct {
-	p   *Problem
-	opt IPMOptions
+	p       *Problem
+	opt     IPMOptions
+	workers int
 
 	nb  int // number of PSD blocks
 	m   int // number of constraints
@@ -90,6 +99,7 @@ func SolveIPM(p *Problem, opt IPMOptions) (*Solution, error) {
 
 func newIPMState(p *Problem, opt IPMOptions) *ipmState {
 	st := &ipmState{p: p, opt: opt, nb: len(p.PSDDims), m: len(p.Cons)}
+	st.workers = parallel.Workers(opt.Workers)
 	st.nu = float64(p.coneDim())
 	st.b = p.rhsVector()
 	st.bn, st.cn = p.dataNorms()
@@ -242,17 +252,17 @@ func (st *ipmState) run() *Solution {
 		ok := true
 		for bidx := range st.x {
 			var err error
-			st.xchol[bidx], err = linalg.NewCholesky(st.x[bidx])
+			st.xchol[bidx], err = linalg.NewCholeskyP(st.x[bidx], st.workers)
 			if err != nil {
 				ok = false
 				break
 			}
-			st.schol[bidx], err = linalg.NewCholesky(st.s[bidx])
+			st.schol[bidx], err = linalg.NewCholeskyP(st.s[bidx], st.workers)
 			if err != nil {
 				ok = false
 				break
 			}
-			st.sinv[bidx] = st.schol[bidx].Inverse()
+			st.sinv[bidx] = st.schol[bidx].InverseP(st.workers)
 			st.sinv[bidx].Symmetrize()
 		}
 		if !ok {
@@ -266,34 +276,20 @@ func (st *ipmState) run() *Solution {
 
 		// Schur complement (shared by predictor and corrector).
 		schur := st.formSchur()
-		var sfac *linalg.Cholesky
-		{
-			var err error
-			reg := 1e-13 * (1 + schur.MaxAbs())
-			for attempt := 0; attempt < 8; attempt++ {
-				sfac, err = linalg.NewCholesky(schur)
-				if err == nil {
-					break
-				}
-				for i := 0; i < st.m; i++ {
-					schur.Add(i, i, reg)
-				}
-				reg *= 100
+		sfac, err := factorSchur(schur, st.workers)
+		if err != nil {
+			sol.Status = StatusNumericalFailure
+			if nearOptimal() {
+				sol.Status = StatusOptimal
 			}
-			if err != nil {
-				sol.Status = StatusNumericalFailure
-				if nearOptimal() {
-					sol.Status = StatusOptimal
-				}
-				st.fill(sol, pobj, dobj, relP, relD, relG)
-				return sol
-			}
+			st.fill(sol, pobj, dobj, relP, relD, relG)
+			return sol
 		}
 
 		// A(X Rd S⁻¹) — reused by both solves this iteration.
 		xrdsinv := make([]*linalg.Dense, st.nb)
 		for bidx := range st.x {
-			xrdsinv[bidx] = linalg.MatMul(linalg.MatMul(st.x[bidx], st.rd[bidx]), st.sinv[bidx])
+			xrdsinv[bidx] = linalg.MatMulP(linalg.MatMulP(st.x[bidx], st.rd[bidx], st.workers), st.sinv[bidx], st.workers)
 		}
 
 		// Predictor: σ = 0, no corrector term.
@@ -412,42 +408,93 @@ func (st *ipmState) dualResNorm() float64 {
 	return math.Sqrt(s + f*f)
 }
 
+// factorSchur factors the Schur complement, retrying with a diagonal shift
+// when the factorization fails. The shift is recomputed from the *current*
+// diagonal before every retry: earlier attempts have already shifted the
+// matrix, so a bound captured once up front both understates what a later
+// attempt needs and — when taken from MaxAbs of the full matrix — overshoots
+// badly for Schur complements whose off-diagonal entries dwarf the diagonal.
+// On success the (possibly shifted) matrix remains in schur.
+func factorSchur(schur *linalg.Dense, workers int) (*linalg.Cholesky, error) {
+	m := schur.Rows
+	scale := 1e-13
+	var err error
+	for attempt := 0; attempt < 8; attempt++ {
+		var sfac *linalg.Cholesky
+		sfac, err = linalg.NewCholeskyP(schur, workers)
+		if err == nil {
+			return sfac, nil
+		}
+		dmax := 0.0
+		for i := 0; i < m; i++ {
+			if a := math.Abs(schur.At(i, i)); a > dmax {
+				dmax = a
+			}
+		}
+		reg := scale * (1 + dmax)
+		for i := 0; i < m; i++ {
+			schur.Add(i, i, reg)
+		}
+		scale *= 100
+	}
+	return nil, err
+}
+
 // formSchur builds M_kl = Σ_blocks tr(A_k X A_l S⁻¹) + Σ_i a_ki a_li xᵢ/sᵢ.
 // With symmetric data the HKM Schur complement is symmetric positive
-// definite; only the lower triangle is computed and mirrored.
+// definite; only the lower triangle is computed and mirrored. Rows are split
+// across the worker pool in ranges balanced for the triangular pair count;
+// each element (and its mirror) is written by exactly one range and computed
+// in the sequential order, so the matrix is bitwise identical for every
+// worker count.
 func (st *ipmState) formSchur() *linalg.Dense {
 	m := st.m
 	schur := linalg.NewDense(m, m)
-	for k := 0; k < m; k++ {
-		for l := 0; l <= k; l++ {
-			v := 0.0
-			for bidx := range st.x {
-				ek := st.sym[k]
-				el := st.sym[l]
-				if bidx >= len(ek) || bidx >= len(el) {
-					continue
-				}
-				xk, sk := st.x[bidx], st.sinv[bidx]
-				n := xk.Cols
-				for _, e := range el[bidx] {
-					for _, f := range ek[bidx] {
-						// tr(A_k X A_l S⁻¹) term: S⁻¹[e.J, f.I] · X[f.J, e.I]
-						v += e.V * f.V * sk.Data[e.J*n+f.I] * xk.Data[f.J*n+e.I]
+	rows := func(klo, khi int) {
+		for k := klo; k < khi; k++ {
+			for l := 0; l <= k; l++ {
+				v := 0.0
+				for bidx := range st.x {
+					ek := st.sym[k]
+					el := st.sym[l]
+					if bidx >= len(ek) || bidx >= len(el) {
+						continue
+					}
+					xk, sk := st.x[bidx], st.sinv[bidx]
+					n := xk.Cols
+					for _, e := range el[bidx] {
+						for _, f := range ek[bidx] {
+							// tr(A_k X A_l S⁻¹) term: S⁻¹[e.J, f.I] · X[f.J, e.I]
+							v += e.V * f.V * sk.Data[e.J*n+f.I] * xk.Data[f.J*n+e.I]
+						}
 					}
 				}
-			}
-			// LP block.
-			for _, e := range st.p.Cons[k].LP {
-				for _, f := range st.p.Cons[l].LP {
-					if e.I == f.I {
-						v += e.V * f.V * st.xlp[e.I] / st.slp[e.I]
+				// LP block.
+				for _, e := range st.p.Cons[k].LP {
+					for _, f := range st.p.Cons[l].LP {
+						if e.I == f.I {
+							v += e.V * f.V * st.xlp[e.I] / st.slp[e.I]
+						}
 					}
 				}
+				schur.Set(k, l, v)
+				schur.Set(l, k, v)
 			}
-			schur.Set(k, l, v)
-			schur.Set(l, k, v)
 		}
 	}
+	if st.workers <= 1 || m < 8 {
+		rows(0, m)
+		return schur
+	}
+	b := parallel.TriRanges(m, st.workers)
+	thunks := make([]func(), 0, len(b)-1)
+	for c := 0; c+1 < len(b); c++ {
+		lo, hi := b[c], b[c+1]
+		if lo < hi {
+			thunks = append(thunks, func() { rows(lo, hi) })
+		}
+	}
+	parallel.Do(thunks...)
 	return schur
 }
 
@@ -463,35 +510,39 @@ func (st *ipmState) solveDirection(sfac *linalg.Cholesky, d *direction, sigma, m
 	corrSinv := make([]*linalg.Dense, st.nb)
 	for bidx := range st.x {
 		if corr != nil {
-			corrSinv[bidx] = linalg.MatMul(corr[bidx], st.sinv[bidx])
+			corrSinv[bidx] = linalg.MatMulP(corr[bidx], st.sinv[bidx], st.workers)
 		}
 	}
-	for k := 0; k < st.m; k++ {
-		v := st.rp[k]
-		for bidx, es := range st.sym[k] {
-			if len(es) == 0 {
-				continue
-			}
-			sinv, x := st.sinv[bidx], st.x[bidx]
-			n := x.Cols
-			for _, e := range es {
-				v -= e.V * (sigma*mu*sinv.Data[e.I*n+e.J] - x.Data[e.I*n+e.J])
-				v += e.V * xrdsinv[bidx].Data[e.I*n+e.J]
-				if corr != nil {
-					v += e.V * corrSinv[bidx].Data[e.I*n+e.J]
+	// Each rhs[k] only reads shared state, so the constraint sweep splits
+	// cleanly across the pool.
+	parallel.For(st.workers, st.m, 64, func(klo, khi int) {
+		for k := klo; k < khi; k++ {
+			v := st.rp[k]
+			for bidx, es := range st.sym[k] {
+				if len(es) == 0 {
+					continue
+				}
+				sinv, x := st.sinv[bidx], st.x[bidx]
+				n := x.Cols
+				for _, e := range es {
+					v -= e.V * (sigma*mu*sinv.Data[e.I*n+e.J] - x.Data[e.I*n+e.J])
+					v += e.V * xrdsinv[bidx].Data[e.I*n+e.J]
+					if corr != nil {
+						v += e.V * corrSinv[bidx].Data[e.I*n+e.J]
+					}
 				}
 			}
-		}
-		for _, e := range p.Cons[k].LP {
-			i := e.I
-			v -= e.V * (sigma*mu/st.slp[i] - st.xlp[i])
-			v += e.V * (st.xlp[i] / st.slp[i]) * st.rdlp[i]
-			if corrLP != nil {
-				v += e.V * corrLP[i] / st.slp[i]
+			for _, e := range p.Cons[k].LP {
+				i := e.I
+				v -= e.V * (sigma*mu/st.slp[i] - st.xlp[i])
+				v += e.V * (st.xlp[i] / st.slp[i]) * st.rdlp[i]
+				if corrLP != nil {
+					v += e.V * corrLP[i] / st.slp[i]
+				}
 			}
+			rhs[k] = v
 		}
-		rhs[k] = v
-	}
+	})
 	copy(d.dy, rhs)
 	sfac.SolveVec(d.dy)
 
@@ -508,7 +559,7 @@ func (st *ipmState) solveDirection(sfac *linalg.Cholesky, d *direction, sigma, m
 
 	// ΔX = σμS⁻¹ − X − H(X ΔS S⁻¹ + corr S⁻¹).
 	for bidx := range d.dx {
-		t := linalg.MatMul(linalg.MatMul(st.x[bidx], d.ds[bidx]), st.sinv[bidx])
+		t := linalg.MatMulP(linalg.MatMulP(st.x[bidx], d.ds[bidx], st.workers), st.sinv[bidx], st.workers)
 		if corr != nil {
 			t.AddScaled(1, corrSinv[bidx])
 		}
@@ -529,35 +580,43 @@ func (st *ipmState) solveDirection(sfac *linalg.Cholesky, d *direction, sigma, m
 }
 
 // maxStepPSD returns the largest α such that P + α·ΔP ⪰ 0, using
-// λmin(L⁻¹ ΔP L⁻ᵀ) where P = LLᵀ.
-func maxStepPSD(chol *linalg.Cholesky, dp *linalg.Dense) float64 {
+// λmin(L⁻¹ ΔP L⁻ᵀ) where P = LLᵀ. The triangular solves run one column per
+// pool task (each column is an independent forward substitution), and the
+// eigendecomposition uses the parallel reduction; both are bitwise
+// deterministic across worker counts.
+func maxStepPSD(chol *linalg.Cholesky, dp *linalg.Dense, workers int) float64 {
 	n := dp.Rows
 	// W = L⁻¹ ΔP: solve L W = ΔP column by column.
 	w := linalg.NewDense(n, n)
-	col := make([]float64, n)
-	for j := 0; j < n; j++ {
-		for i := 0; i < n; i++ {
-			col[i] = dp.At(i, j)
+	parallel.For(workers, n, 64, func(lo, hi int) {
+		col := make([]float64, n)
+		for j := lo; j < hi; j++ {
+			for i := 0; i < n; i++ {
+				col[i] = dp.At(i, j)
+			}
+			chol.SolveLowerVec(col)
+			for i := 0; i < n; i++ {
+				w.Set(i, j, col[i])
+			}
 		}
-		chol.SolveLowerVec(col)
-		for i := 0; i < n; i++ {
-			w.Set(i, j, col[i])
-		}
-	}
+	})
 	// T = W L⁻ᵀ = (L⁻¹ Wᵀ)ᵀ.
 	wt := w.T()
 	t := linalg.NewDense(n, n)
-	for j := 0; j < n; j++ {
-		for i := 0; i < n; i++ {
-			col[i] = wt.At(i, j)
+	parallel.For(workers, n, 64, func(lo, hi int) {
+		col := make([]float64, n)
+		for j := lo; j < hi; j++ {
+			for i := 0; i < n; i++ {
+				col[i] = wt.At(i, j)
+			}
+			chol.SolveLowerVec(col)
+			for i := 0; i < n; i++ {
+				t.Set(j, i, col[i]) // transpose back
+			}
 		}
-		chol.SolveLowerVec(col)
-		for i := 0; i < n; i++ {
-			t.Set(j, i, col[i]) // transpose back
-		}
-	}
+	})
 	t.Symmetrize()
-	eg, err := linalg.NewSymEig(t)
+	eg, err := linalg.NewSymEigP(t, workers)
 	if err != nil {
 		return 0
 	}
@@ -571,7 +630,7 @@ func maxStepPSD(chol *linalg.Cholesky, dp *linalg.Dense) float64 {
 func (st *ipmState) maxStepPrimal(d *direction) float64 {
 	a := math.Inf(1)
 	for bidx := range st.x {
-		if s := maxStepPSD(st.xchol[bidx], d.dx[bidx]); s < a {
+		if s := maxStepPSD(st.xchol[bidx], d.dx[bidx], st.workers); s < a {
 			a = s
 		}
 	}
@@ -588,7 +647,7 @@ func (st *ipmState) maxStepPrimal(d *direction) float64 {
 func (st *ipmState) maxStepDual(d *direction) float64 {
 	a := math.Inf(1)
 	for bidx := range st.s {
-		if s := maxStepPSD(st.schol[bidx], d.ds[bidx]); s < a {
+		if s := maxStepPSD(st.schol[bidx], d.ds[bidx], st.workers); s < a {
 			a = s
 		}
 	}
@@ -609,7 +668,7 @@ func (st *ipmState) safeguardPrimal(d *direction, a float64) float64 {
 			x2 := st.x[bidx].Clone()
 			x2.AddScaled(a, d.dx[bidx])
 			x2.Symmetrize()
-			if !linalg.IsPosDef(x2) {
+			if !linalg.IsPosDefP(x2, st.workers) {
 				ok = false
 				break
 			}
@@ -629,7 +688,7 @@ func (st *ipmState) safeguardDual(d *direction, a float64) float64 {
 			s2 := st.s[bidx].Clone()
 			s2.AddScaled(a, d.ds[bidx])
 			s2.Symmetrize()
-			if !linalg.IsPosDef(s2) {
+			if !linalg.IsPosDefP(s2, st.workers) {
 				ok = false
 				break
 			}

@@ -147,9 +147,10 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"workers": s.cfg.Workers,
-		"queue":   s.cfg.QueueDepth,
+		"status":        "ok",
+		"workers":       s.cfg.Workers,
+		"solve_workers": s.cfg.SolveWorkers,
+		"queue":         s.cfg.QueueDepth,
 	})
 }
 

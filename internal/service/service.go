@@ -22,6 +22,11 @@ import (
 type Config struct {
 	// Workers bounds the number of concurrent solves (default GOMAXPROCS).
 	Workers int
+	// SolveWorkers is the per-solve parallelism handed to the SDP kernels
+	// (core.Options.Workers). The default max(1, GOMAXPROCS/Workers) keeps
+	// service concurrency × per-solve parallelism bounded by the machine
+	// width, so a saturated queue does not oversubscribe the CPU.
+	SolveWorkers int
 	// QueueDepth bounds the number of queued-but-not-running jobs; submits
 	// beyond it are rejected (default 64).
 	QueueDepth int
@@ -39,6 +44,12 @@ type Config struct {
 func (c *Config) setDefaults() {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.SolveWorkers <= 0 {
+		c.SolveWorkers = runtime.GOMAXPROCS(0) / c.Workers
+		if c.SolveWorkers < 1 {
+			c.SolveWorkers = 1
+		}
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
@@ -315,6 +326,7 @@ func (s *Server) runJob(j *Job) {
 		Seed:             req.Seed,
 		SkipEnhancements: req.Basic,
 	}
+	cfg.Global.Workers = s.cfg.SolveWorkers
 	fp, err := s.placeFn(ctx, req.Netlist, cfg)
 
 	now := time.Now()
@@ -383,6 +395,7 @@ func (s *Server) MetricsSnapshot() map[string]int64 {
 		"jobs_failed":    failed,
 		"jobs_cancelled": cancelled,
 		"workers":        int64(s.cfg.Workers),
+		"solve_workers":  int64(s.cfg.SolveWorkers),
 		"queue_capacity": int64(s.cfg.QueueDepth),
 		"cache_entries":  int64(s.cache.len()),
 	}
