@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint race bench bench-baseline benchdiff clean
+.PHONY: build test check lint sdpvet race bench bench-baseline benchdiff clean
 
 build:
 	$(GO) build ./...
@@ -14,12 +14,19 @@ lint:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 
+# sdpvet runs the repo's custom static analyzer (cmd/sdpvet): determinism,
+# cancellation, and parallel-safety invariants the compiler and -race
+# cannot check. See docs/LINTING.md for the analyzer catalogue and the
+# //sdpvet:ignore escape hatch.
+sdpvet:
+	$(GO) run ./cmd/sdpvet ./...
+
 # check is the gate CI and pre-commit should run: formatting, static
-# analysis, then the suite under the race detector. -short skips the
-# multi-minute paper-table reproductions (single-threaded solver runs that
-# the race detector slows ~15x without adding coverage); run `make test`
-# for those.
-check: lint
+# analysis (go vet + sdpvet), then the suite under the race detector.
+# -short skips the multi-minute paper-table reproductions (single-threaded
+# solver runs that the race detector slows ~15x without adding coverage);
+# run `make test` for those.
+check: lint sdpvet
 	$(GO) test -race -short ./...
 
 race:

@@ -16,12 +16,18 @@
 // while build/test failures stay hard. Refresh the committed baseline with:
 //
 //	go run ./cmd/benchdiff run -o BENCH_baseline.json
+//
+// Exit status: 0 ok, 1 regression (or other failure), 2 usage, 3 the
+// baseline snapshot is missing or unparsable — a setup problem, not a
+// performance regression, so CI and scripts can tell "refresh the
+// baseline" apart from "the code got slower".
 package main
 
 import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -66,10 +72,24 @@ func main() {
 		usage()
 	}
 	if err != nil {
+		var be *baselineError
+		if errors.As(err, &be) {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			fmt.Fprintln(os.Stderr, "benchdiff: the baseline is missing or unreadable, not regressed; refresh it with `make bench-baseline`")
+			os.Exit(3)
+		}
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
 }
+
+// baselineError marks a compare failure caused by the baseline snapshot
+// itself (absent or unparsable), which main maps to exit status 3 so it is
+// never conflated with a benchmark regression (exit 1).
+type baselineError struct{ err error }
+
+func (e *baselineError) Error() string { return "baseline snapshot: " + e.err.Error() }
+func (e *baselineError) Unwrap() error { return e.err }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: benchdiff {run|parse|compare} [flags]")
@@ -263,7 +283,7 @@ func cmdCompare(args []string) error {
 	}
 	base, err := readSnapshot(*basePath)
 	if err != nil {
-		return err
+		return &baselineError{err}
 	}
 	cur, err := readSnapshot(*curPath)
 	if err != nil {

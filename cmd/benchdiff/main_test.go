@@ -1,6 +1,9 @@
 package main
 
 import (
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -116,5 +119,57 @@ func TestCompareSnapshotsTolerance(t *testing.T) {
 	entries, _, _ = compareSnapshots(base, cur, 0.25)
 	if entries[0].Regression {
 		t.Fatal("+20% must pass at 25% tolerance")
+	}
+}
+
+// TestCompareBaselineErrors pins the exit-status contract: a missing or
+// unparsable baseline is a *baselineError (exit 3 in main), never conflated
+// with a regression or an ordinary failure (exit 1).
+func TestCompareBaselineErrors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	goodCur := write("cur.json", `{"goos":"linux","goarch":"amd64","benchmarks":{"BenchmarkA":{"iterations":1,"ns_per_op":100}}}`)
+
+	var be *baselineError
+
+	err := cmdCompare([]string{"-baseline", filepath.Join(dir, "nope.json"), "-current", goodCur})
+	if err == nil || !errors.As(err, &be) {
+		t.Fatalf("missing baseline: err = %v, want *baselineError", err)
+	}
+
+	badBase := write("bad.json", `{not json`)
+	err = cmdCompare([]string{"-baseline", badBase, "-current", goodCur})
+	if err == nil || !errors.As(err, &be) {
+		t.Fatalf("unparsable baseline: err = %v, want *baselineError", err)
+	}
+
+	noBench := write("nobench.json", `{"goos":"linux"}`)
+	err = cmdCompare([]string{"-baseline", noBench, "-current", goodCur})
+	if err == nil || !errors.As(err, &be) {
+		t.Fatalf("baseline without benchmarks field: err = %v, want *baselineError", err)
+	}
+
+	// A broken *current* snapshot is the ordinary failure path, not a
+	// baseline problem.
+	goodBase := write("base.json", `{"goos":"linux","goarch":"amd64","benchmarks":{"BenchmarkA":{"iterations":1,"ns_per_op":100}}}`)
+	err = cmdCompare([]string{"-baseline", goodBase, "-current", filepath.Join(dir, "nope.json")})
+	if err == nil || errors.As(err, &be) {
+		t.Fatalf("missing current: err = %v, want plain error", err)
+	}
+
+	// A genuine regression is also a plain error.
+	slowCur := write("slow.json", `{"goos":"linux","goarch":"amd64","benchmarks":{"BenchmarkA":{"iterations":1,"ns_per_op":200}}}`)
+	err = cmdCompare([]string{"-baseline", goodBase, "-current", slowCur})
+	if err == nil || errors.As(err, &be) {
+		t.Fatalf("regression: err = %v, want plain regression error", err)
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("regression error text: %v", err)
 	}
 }

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"sdpfloor/internal/vetkit"
+)
+
+// The golden corpus under testdata/src is its own tiny module
+// (sdpvet.example) whose directory layout mirrors the real one, so the
+// package-role scoping (internal/sdp = solver, internal/anneal = seeded,
+// internal/service = neither) is exercised for real. Expectations live in
+// the corpus files themselves:
+//
+//	code() // want analyzer1 analyzer2   diagnostics expected on this line
+//	// want-next analyzer               diagnostic expected on the next line
+//
+// The test demands an exact match in both directions: every expected
+// finding fires, and no unexpected finding appears.
+
+var (
+	wantRe     = regexp.MustCompile(`// want ([a-z ]+)$`)
+	wantNextRe = regexp.MustCompile(`^\s*// want-next ([a-z]+)\s*$`)
+)
+
+// corpusExpectations parses want comments from every .go file under dir,
+// returning "relpath:line:analyzer" keys with expected counts.
+func corpusExpectations(t *testing.T, dir string) map[string]int {
+	t.Helper()
+	want := map[string]int{}
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rel, _ := filepath.Rel(dir, path)
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			if m := wantRe.FindStringSubmatch(sc.Text()); m != nil {
+				for _, a := range strings.Fields(m[1]) {
+					want[fmt.Sprintf("%s:%d:%s", rel, line, a)]++
+				}
+			}
+			if m := wantNextRe.FindStringSubmatch(sc.Text()); m != nil {
+				want[fmt.Sprintf("%s:%d:%s", rel, line+1, m[1])]++
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatalf("walking corpus: %v", err)
+	}
+	return want
+}
+
+func TestGoldenCorpus(t *testing.T) {
+	corpus := filepath.Join("testdata", "src")
+	loader, err := vetkit.NewLoader(corpus)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("corpus loaded zero packages")
+	}
+	for _, pkg := range pkgs {
+		if pkg.TypeErr != nil {
+			t.Fatalf("corpus package %s failed type-check: %v", pkg.Path, pkg.TypeErr)
+		}
+	}
+
+	absCorpus, err := filepath.Abs(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, d := range vetkit.Run(vetkit.DefaultConfig(), pkgs, vetkit.Analyzers()) {
+		rel, err := filepath.Rel(absCorpus, d.Pos.Filename)
+		if err != nil {
+			t.Fatalf("diagnostic outside corpus: %v", d)
+		}
+		got[fmt.Sprintf("%s:%d:%s", rel, d.Pos.Line, d.Analyzer)]++
+	}
+
+	want := corpusExpectations(t, corpus)
+	keys := map[string]bool{}
+	for k := range got {
+		keys[k] = true
+	}
+	for k := range want {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		if got[k] != want[k] {
+			t.Errorf("%s: got %d findings, want %d", k, got[k], want[k])
+		}
+	}
+
+	// Every analyzer must both fire somewhere and stay silent somewhere:
+	// a corpus where an analyzer never fires (or fires on every line it
+	// could) proves nothing.
+	fired := map[string]bool{}
+	for k := range want {
+		fired[k[strings.LastIndex(k, ":")+1:]] = true
+	}
+	for _, a := range vetkit.Analyzers() {
+		if !fired[a.Name] {
+			t.Errorf("analyzer %s has no positive case in the corpus", a.Name)
+		}
+	}
+	if !fired["sdpvet"] {
+		t.Error("suppression checker has no positive case in the corpus")
+	}
+}
+
+// TestCLI drives the sdpvet command entry point against the corpus.
+func TestCLI(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-C", filepath.Join("testdata", "src"), "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("corpus run: exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	for _, frag := range []string{"[detrand]", "[maprange]", "[floateq]", "[ctxloop]", "[parwrite]", "[sdpvet]"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("corpus output missing %s findings:\n%s", frag, out.String())
+		}
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-C", filepath.Join("testdata", "src"), "-analyzers", "maprange", "./internal/sdp"}, &out, &errOut); code != 1 {
+		t.Fatalf("filtered run: exit %d, want 1\n%s%s", code, out.String(), errOut.String())
+	}
+	if strings.Contains(out.String(), "[floateq]") || !strings.Contains(out.String(), "[maprange]") {
+		t.Errorf("-analyzers filter not honored:\n%s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-analyzers", "bogus"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown analyzer: exit %d, want 2", code)
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Errorf("-list: exit %d, want 0", code)
+	} else if !strings.Contains(out.String(), "detrand") {
+		t.Errorf("-list output missing analyzers:\n%s", out.String())
+	}
+}

@@ -1,0 +1,116 @@
+// Command sdpvet is the repository's custom static analyzer. It
+// type-checks every package in the module using only the standard library
+// and enforces the determinism, cancellation, and parallel-safety
+// invariants the solver stack depends on but the compiler cannot see:
+//
+//	detrand   no global math/rand, time.Now, or os.Getpid entropy in
+//	          deterministic code
+//	maprange  no range-over-map in solver/seeded packages
+//	floateq   no ==/!= between floats outside tests
+//	ctxloop   loops in context-carrying functions must consult the context
+//	parwrite  no shared-accumulator writes in parallel.For/Do closures
+//
+// Usage:
+//
+//	sdpvet [-analyzers detrand,floateq] [patterns ...]
+//
+// Patterns default to ./... and are resolved against the enclosing
+// module. A finding can be waived with a trailing or preceding
+//
+//	//sdpvet:ignore <analyzer> <reason>
+//
+// comment; unused or malformed suppressions are themselves errors, so
+// waivers cannot go stale. Exit status: 0 clean, 1 findings, 2 load or
+// type-check failure. See docs/LINTING.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"sdpfloor/internal/vetkit"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sdpvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		only = fs.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+		list = fs.Bool("list", false, "list analyzers and exit")
+		dir  = fs.String("C", ".", "directory whose module to analyze")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: sdpvet [flags] [packages ...]   (patterns like ./... resolve within the module)")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := vetkit.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := map[string]*vetkit.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "sdpvet: unknown analyzer %q (known: %s)\n",
+					name, strings.Join(vetkit.AnalyzerNames(), ", "))
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	loader, err := vetkit.NewLoader(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "sdpvet:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(stderr, "sdpvet:", err)
+		return 2
+	}
+
+	status := 0
+	analyzed := 0
+	for _, pkg := range pkgs {
+		switch {
+		case pkg.TestOnly:
+			// Test-only packages hold no production invariants; skip.
+		case pkg.TypeErr != nil:
+			fmt.Fprintf(stderr, "sdpvet: %s: type-check failed: %v\n", pkg.Path, pkg.TypeErr)
+			status = 2
+		default:
+			analyzed++
+		}
+	}
+	diags := vetkit.Run(vetkit.DefaultConfig(), pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 && status == 0 {
+		status = 1
+	}
+	if status == 0 {
+		fmt.Fprintf(stdout, "sdpvet: %d packages clean (%d analyzers)\n", analyzed, len(analyzers))
+	}
+	return status
+}

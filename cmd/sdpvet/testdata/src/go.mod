@@ -1,0 +1,3 @@
+module sdpvet.example
+
+go 1.22

@@ -1,0 +1,18 @@
+// Package anneal is a seeded-stochastic package in the corpus: global
+// rand is forbidden, injected generators are the sanctioned pattern, and
+// map iteration is still a determinism hazard.
+package anneal
+
+import "math/rand"
+
+func globalDraw() float64 {
+	return rand.Float64() // want detrand
+}
+
+func injectedDraw(rng *rand.Rand, m map[string]int) int {
+	s := 0
+	for _, v := range m { // want maprange
+		s += v
+	}
+	return int(rng.Int63()) + s
+}

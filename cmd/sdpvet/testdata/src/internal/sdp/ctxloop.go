@@ -1,0 +1,57 @@
+package sdp
+
+import "context"
+
+func kernel(x float64) float64 { return x * x }
+
+// Options mirrors the repo convention of threading cancellation through an
+// options struct rather than a bare parameter.
+type Options struct {
+	Ctx     context.Context
+	MaxIter int
+}
+
+func deadContextParam(ctx context.Context, xs []float64) float64 {
+	var s float64
+	for _, x := range xs { // want ctxloop
+		s += kernel(x)
+	}
+	return s
+}
+
+func deadContextField(opt Options, xs []float64) float64 {
+	var s float64
+	for _, x := range xs { // want ctxloop
+		s += kernel(x)
+	}
+	return s
+}
+
+func checkedPerIteration(ctx context.Context, xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		if ctx.Err() != nil {
+			break
+		}
+		s += kernel(x)
+	}
+	return s
+}
+
+func forwardedContext(opt Options, xs []float64) float64 {
+	var s float64
+	if opt.Ctx != nil { // consulting anywhere in the body satisfies the contract
+		for _, x := range xs {
+			s += kernel(x)
+		}
+	}
+	return s
+}
+
+func noModuleCalls(ctx context.Context, n int) int {
+	s := 0
+	for i := 0; i < n; i++ { // index arithmetic only: no finding
+		s += i
+	}
+	return s
+}

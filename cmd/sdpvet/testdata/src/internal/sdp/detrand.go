@@ -1,0 +1,24 @@
+// Package sdp seeds one positive and one negative case per analyzer in a
+// directory whose module-relative path (internal/sdp) marks it as a strict
+// solver package.
+package sdp
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func entropySources() float64 {
+	t := time.Now()       // want detrand
+	_ = time.Since(t)     // want detrand
+	_ = os.Getpid()       // want detrand
+	_ = rand.Intn(10)     // want detrand
+	return rand.Float64() // want detrand
+}
+
+func seededIsFine(rng *rand.Rand) float64 {
+	src := rand.NewSource(7) // constructors are allowed
+	r := rand.New(src)
+	return r.Float64() + rng.Float64() // methods on an injected *rand.Rand are allowed
+}

@@ -1,0 +1,24 @@
+package sdp
+
+func floatCompare(a, b float64, f float32, n int) bool {
+	if a == b { // want floateq
+		return true
+	}
+	if f != float32(a) { // want floateq
+		return false
+	}
+	if a == 1.5 { // want floateq
+		return false
+	}
+	if a == 0 { // exact-zero test: exempt by design
+		return false
+	}
+	if b != 0.0 { // exact-zero test: exempt by design
+		return false
+	}
+	const half = 0.5
+	if half == 0.5 { // both constant: exempt
+		return n == 3 // integers: not floateq's business
+	}
+	return false
+}

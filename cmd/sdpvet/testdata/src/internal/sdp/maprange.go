@@ -1,0 +1,18 @@
+package sdp
+
+type weights map[int]float64
+
+func mapIteration(m map[int]float64, w weights) float64 {
+	var s float64
+	for _, v := range m { // want maprange
+		s += v
+	}
+	for k := range w { // want maprange
+		s += float64(k)
+	}
+	keys := []int{1, 2, 3}
+	for _, k := range keys { // slices are ordered: no finding
+		s += m[k]
+	}
+	return s
+}

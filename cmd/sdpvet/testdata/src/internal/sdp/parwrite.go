@@ -1,0 +1,53 @@
+package sdp
+
+import "sdpvet.example/internal/parallel"
+
+var globalTotal float64
+
+func sharedAccumulator(xs []float64) float64 {
+	var sum float64
+	parallel.For(4, len(xs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += xs[i] // want parwrite
+		}
+		globalTotal += 1 // want parwrite
+	})
+	return sum + globalTotal
+}
+
+func sharedAppend(xs []float64) []float64 {
+	var out []float64
+	parallel.For(4, len(xs), 1, func(lo, hi int) {
+		out = append(out, xs[lo]) // want parwrite
+	})
+	return out
+}
+
+func sharedCounter(xs []float64) int {
+	count := 0
+	parallel.Do(func() {
+		count++ // want parwrite
+	}, func() {
+		count-- // want parwrite
+	})
+	return count
+}
+
+func disjointWritesAreFine(xs, ys []float64) float64 {
+	n := len(xs)
+	chunks := parallel.Chunks(4, n, 1)
+	partials := make([]float64, chunks)
+	parallel.ForChunked(4, n, 1, func(c, lo, hi int) {
+		local := 0.0 // chunk-private: no finding
+		for i := lo; i < hi; i++ {
+			local += xs[i]
+			ys[i] = xs[i] // indexed write: the sanctioned pattern
+		}
+		partials[c] = local // indexed write: no finding
+	})
+	var sum float64
+	for _, p := range partials { // sequential reduce outside the closure
+		sum += p
+	}
+	return sum
+}

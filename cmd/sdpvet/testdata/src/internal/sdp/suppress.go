@@ -1,0 +1,19 @@
+package sdp
+
+func waived(a, b float64) bool {
+	return a == b //sdpvet:ignore floateq corpus demonstration of a reasoned waiver
+}
+
+func waivedAbove(a, b float64) bool {
+	//sdpvet:ignore floateq the comment may also sit on the line above the finding
+	return a != b
+}
+
+// want-next sdpvet
+//sdpvet:ignore floateq this waiver matches no finding and must itself be reported
+
+// want-next sdpvet
+//sdpvet:ignore nosuchanalyzer unknown analyzer names are malformed
+
+// want-next sdpvet
+//sdpvet:ignore floateq

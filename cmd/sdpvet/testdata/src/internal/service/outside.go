@@ -1,0 +1,21 @@
+// Package service sits outside the solver and seeded package sets: wall
+// clocks and map iteration are fine here, but global rand stays forbidden
+// module-wide.
+package service
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp(m map[string]int) int64 {
+	n := 0
+	for range m { // maprange is scoped to solver/seeded packages: no finding
+		n++
+	}
+	return time.Now().Unix() + int64(n) // time.Now outside solver packages: no finding
+}
+
+func jitter() float64 {
+	return rand.Float64() // want detrand
+}

@@ -298,7 +298,14 @@ func SolveBTree(nl *netlist.Netlist, opt Options) (*Result, error) {
 	best := st.snapshot()
 	bestCost := cost
 	accepted := 0
+	var cancelErr error
 	for temp := t0; temp > minTemp; temp *= opt.CoolingRate {
+		if opt.Context != nil {
+			if err := opt.Context.Err(); err != nil {
+				cancelErr = fmt.Errorf("anneal: b*-tree cancelled at temperature %.3g: %w", temp, err)
+				break
+			}
+		}
 		for mv := 0; mv < opt.MovesPerTemp; mv++ {
 			undo := st.propose(rng)
 			if undo == nil {
@@ -319,7 +326,7 @@ func SolveBTree(nl *netlist.Netlist, opt Options) (*Result, error) {
 		}
 	}
 	st.restore(best)
-	return st.result(accepted), nil
+	return st.result(accepted), cancelErr
 }
 
 type btState struct {

@@ -1,6 +1,8 @@
 package anneal
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -172,6 +174,24 @@ func TestSolveBTreeDeterministic(t *testing.T) {
 	}
 	if r1.HPWL != r2.HPWL {
 		t.Fatalf("nondeterministic: %g vs %g", r1.HPWL, r2.HPWL)
+	}
+}
+
+func TestSolveBTreeCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	nl := saTestNetlist(8, rng)
+	out := geom.Rect{MinX: 0, MinY: 0, MaxX: 8, MaxY: 8}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SolveBTree(nl, Options{Outline: out, Seed: 7, Context: ctx})
+	if err == nil {
+		t.Fatal("SolveBTree ignored an already-cancelled context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancel error does not wrap context.Canceled: %v", err)
+	}
+	if res == nil || len(res.Rects) != nl.N() {
+		t.Fatalf("no partial result on cancellation: %+v", res)
 	}
 }
 

@@ -54,6 +54,7 @@ func newBuilder(nl *netlist.Netlist, opt *Options) *builder {
 		b.padA = nl.PadAdjacencyP(opt.Workers)
 		b.padRowSum = make([]float64, n)
 		b.padMoment = make([]geom.Point, n)
+		//sdpvet:ignore ctxloop bounded one-pass pad-adjacency accumulation; Options.Context gates the iteration loops downstream
 		for i := 0; i < n; i++ {
 			for j, p := range nl.Pads {
 				w := b.padA.At(i, j)

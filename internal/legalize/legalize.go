@@ -573,6 +573,7 @@ func (sh *shaper) applyFlip(fromH bool, idx int) {
 		e := sh.g.h[idx]
 		sh.g.h = append(sh.g.h[:idx], sh.g.h[idx+1:]...)
 		i, j := e[0], e[1]
+		//sdpvet:ignore floateq exact tie-break on stored coordinates keeps the sweep order deterministic
 		if sh.orig[i].Y > sh.orig[j].Y || (sh.orig[i].Y == sh.orig[j].Y && i > j) {
 			i, j = j, i
 		}
@@ -581,6 +582,7 @@ func (sh *shaper) applyFlip(fromH bool, idx int) {
 		e := sh.g.v[idx]
 		sh.g.v = append(sh.g.v[:idx], sh.g.v[idx+1:]...)
 		i, j := e[0], e[1]
+		//sdpvet:ignore floateq exact tie-break on stored coordinates keeps the sweep order deterministic
 		if sh.orig[i].X > sh.orig[j].X || (sh.orig[i].X == sh.orig[j].X && i > j) {
 			i, j = j, i
 		}
@@ -597,6 +599,7 @@ func (sh *shaper) undoFlip(wasFromH bool) {
 		e := sh.g.v[len(sh.g.v)-1]
 		sh.g.v = sh.g.v[:len(sh.g.v)-1]
 		i, j := e[0], e[1]
+		//sdpvet:ignore floateq exact tie-break on stored coordinates keeps the sweep order deterministic
 		if sh.orig[i].X > sh.orig[j].X || (sh.orig[i].X == sh.orig[j].X && i > j) {
 			i, j = j, i
 		}
@@ -605,6 +608,7 @@ func (sh *shaper) undoFlip(wasFromH bool) {
 		e := sh.g.h[len(sh.g.h)-1]
 		sh.g.h = sh.g.h[:len(sh.g.h)-1]
 		i, j := e[0], e[1]
+		//sdpvet:ignore floateq exact tie-break on stored coordinates keeps the sweep order deterministic
 		if sh.orig[i].Y > sh.orig[j].Y || (sh.orig[i].Y == sh.orig[j].Y && i > j) {
 			i, j = j, i
 		}

@@ -1,6 +1,8 @@
 package legalize
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -67,6 +69,25 @@ func TestSOCPShapesComparableToDefaultPipeline(t *testing.T) {
 	}
 	if socp.HPWL > def.HPWL*1.25 {
 		t.Fatalf("SOCP HPWL %g much worse than default %g", socp.HPWL, def.HPWL)
+	}
+}
+
+func TestSOCPShapesCancellation(t *testing.T) {
+	// The caller's context must reach the inner IPM solve: an
+	// already-cancelled context aborts instead of running to convergence.
+	rng := rand.New(rand.NewSource(2))
+	nl := gridNL(6, rng)
+	side := math.Sqrt(nl.TotalArea() * 1.4)
+	out := geom.Rect{MinX: 0, MinY: 0, MaxX: side, MaxY: side}
+	centers := spreadCenters(6, out, rng)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SOCPShapes(nl, centers, Options{Outline: out, Context: ctx})
+	if err == nil {
+		t.Fatal("SOCPShapes ignored an already-cancelled context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancel error does not wrap context.Canceled: %v", err)
 	}
 }
 

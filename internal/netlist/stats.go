@@ -3,8 +3,9 @@ package netlist
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
+
+	"sdpfloor/internal/sortutil"
 )
 
 // Stats summarizes a netlist instance — the quantities benchmark tables
@@ -62,11 +63,7 @@ func (st Stats) String() string {
 		st.TotalArea, st.MinArea, st.MaxArea, st.MaxArea/math.Max(st.MinArea, 1e-12))
 	fmt.Fprintf(&b, "net fanout: avg %.2f, pad-connected nets %d (%.0f%%)\n",
 		st.AvgDegree, st.PadNets, 100*float64(st.PadNets)/math.Max(float64(st.Nets), 1))
-	degs := make([]int, 0, len(st.DegreeHis))
-	for d := range st.DegreeHis {
-		degs = append(degs, d)
-	}
-	sort.Ints(degs)
+	degs := sortutil.SortedKeys(st.DegreeHis)
 	fmt.Fprintf(&b, "fanout histogram:")
 	for _, d := range degs {
 		fmt.Fprintf(&b, " %d:%d", d, st.DegreeHis[d])

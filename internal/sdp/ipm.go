@@ -123,6 +123,7 @@ func newIPMState(p *Problem, opt IPMOptions) *ipmState {
 	// Initial point: scaled identities (SDPT3-style heuristics).
 	xi := math.Max(10, math.Sqrt(st.nu))
 	eta := math.Max(10, math.Sqrt(st.nu))
+	//sdpvet:ignore ctxloop bounded initial-point setup; the IPM iteration loop checks Context every step
 	for k := range p.Cons {
 		anorm := constraintNorm(&p.Cons[k])
 		if v := float64(p.coneDim()) * math.Abs(p.Cons[k].B) / (1 + anorm); v > xi {

@@ -246,6 +246,7 @@ func (s *Server) List() []Status {
 	defer s.mu.Unlock()
 	now := time.Now()
 	out := make([]Status, 0, len(s.order))
+	//sdpvet:ignore ctxloop bounded snapshot of the in-memory job table; no solver work runs here
 	for _, id := range s.order {
 		out = append(out, s.jobs[id].statusLocked(now))
 	}
@@ -300,6 +301,7 @@ func (s *Server) Wait(ctx context.Context, id string) (Status, error) {
 // worker drains the queue until Close.
 func (s *Server) worker() {
 	defer s.wg.Done()
+	//sdpvet:ignore ctxloop queue drain; cancellation is per-job via the context runJob derives
 	for j := range s.queue {
 		s.runJob(j)
 	}

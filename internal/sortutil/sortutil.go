@@ -2,9 +2,26 @@
 // packages.
 package sortutil
 
-import "sort"
+import (
+	"cmp"
+	"sort"
+)
 
 // ByKey stably sorts the int slice ascending by the float64 key function.
 func ByKey(xs []int, key func(int) float64) {
 	sort.SliceStable(xs, func(a, b int) bool { return key(xs[a]) < key(xs[b]) })
+}
+
+// SortedKeys returns the keys of m in ascending order. It is the sanctioned
+// way for deterministic (solver/seeded) packages to walk a map: the
+// randomized iteration order is washed out by the sort before any caller
+// sees a key, so the sdpvet maprange invariant holds without every call
+// site re-deriving the collect-then-sort dance.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	return keys
 }

@@ -75,9 +75,11 @@ func LineChart(w io.Writer, title, xlabel, ylabel string, series []Series) error
 	if math.IsInf(xmin, 1) {
 		xmin, xmax, ymin, ymax = 0, 1, 0, 1
 	}
+	//sdpvet:ignore floateq degenerate-extent guard; bounds are stored values compared exactly
 	if xmax == xmin {
 		xmax = xmin + 1
 	}
+	//sdpvet:ignore floateq degenerate-extent guard; bounds are stored values compared exactly
 	if ymax == ymin {
 		ymax = ymin + 1
 	}

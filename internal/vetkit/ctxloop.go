@@ -1,0 +1,163 @@
+package vetkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// CtxLoop enforces the cancellation contract threaded through the solve
+// stack: a function that carries a context — as a parameter, or through a
+// parameter/receiver options struct with a context.Context field — must
+// actually consult it when it loops over module-internal work. A function
+// whose context is dead (never mentioned in the body) while it runs
+// solver loops turns a request timeout into a runaway solve.
+//
+// "Consulting" means the body mentions any expression of type
+// context.Context: ctx.Err(), opt.Context != nil, forwarding ctx or
+// opt.Context into a sub-solver's options. Inner loops of a function
+// whose iteration loop checks the context are bounded by construction
+// and deliberately not flagged — the per-iteration check is the
+// invariant PR'd through the solve stack, not a check in every loop.
+var CtxLoop = &Analyzer{
+	Name: "ctxloop",
+	Doc:  "flag context-carrying functions whose solver loops never consult the context",
+	Run:  runCtxLoop,
+}
+
+func runCtxLoop(cfg *Config, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !carriesContext(pkg.Info, fd) {
+				continue
+			}
+			if consultsContext(pkg.Info, fd.Body) {
+				continue // the author thought about cancellation here
+			}
+			reported := false
+			walkLoops(fd.Body, func(loop ast.Stmt, body *ast.BlockStmt) bool {
+				if reported || !callsModuleCode(pkg, body) {
+					return !reported
+				}
+				reported = true
+				diags = append(diags, pkg.diag(loop.Pos(), "ctxloop",
+					fmt.Sprintf("%s carries a context it never consults; this loop calls solver code and cannot be cancelled", fd.Name.Name),
+					"check ctx.Err() (or opt.Context.Err()) at the iteration boundary, or forward the context"))
+				return false
+			})
+		}
+	}
+	return diags
+}
+
+// carriesContext reports whether fn has access to a context.Context: a
+// parameter of that type, or a parameter/receiver whose (possibly
+// pointer-to-)struct type declares a context.Context field.
+func carriesContext(info *types.Info, fd *ast.FuncDecl) bool {
+	check := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		for _, field := range fl.List {
+			t := info.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if isContextType(t) {
+				return true
+			}
+			if p, ok := t.Underlying().(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if st, ok := t.Underlying().(*types.Struct); ok {
+				for i := 0; i < st.NumFields(); i++ {
+					if isContextType(st.Field(i).Type()) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	return check(fd.Type.Params) || check(fd.Recv)
+}
+
+// walkLoops visits every for/range statement in body, outermost first.
+// fn returning false prunes the loop's body (nested loops unvisited).
+func walkLoops(body ast.Node, fn func(loop ast.Stmt, loopBody *ast.BlockStmt) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			return fn(s, s.Body)
+		case *ast.RangeStmt:
+			return fn(s, s.Body)
+		case *ast.FuncLit:
+			return false // separate cancellation scope
+		}
+		return true
+	})
+}
+
+// consultsContext reports whether body mentions any context.Context-typed
+// expression.
+func consultsContext(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if t := info.TypeOf(e); t != nil && isContextType(t) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// callsModuleCode reports whether body contains a call that resolves to a
+// function or method defined in this module — the "does real solver work"
+// heuristic distinguishing iteration loops from index arithmetic.
+func callsModuleCode(pkg *Package, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		default:
+			return true
+		}
+		if fn, ok := pkg.Info.Uses[id].(*types.Func); ok && fn.Pkg() != nil {
+			p := fn.Pkg().Path()
+			if p == pkg.ModulePath || hasPathPrefix(p, pkg.ModulePath) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func hasPathPrefix(path, prefix string) bool {
+	return len(path) > len(prefix) && path[:len(prefix)] == prefix && path[len(prefix)] == '/'
+}

@@ -1,0 +1,71 @@
+package vetkit
+
+import (
+	"go/ast"
+)
+
+// DetRand forbids ambient entropy in deterministic code:
+//
+//   - Package-level math/rand (and math/rand/v2) functions draw from the
+//     process-global source and are forbidden module-wide in non-test
+//     code; stochastic packages must thread an injected seeded
+//     *rand.Rand instead, so a (netlist, seed) pair fully determines a
+//     run.
+//   - time.Now / time.Since and os.Getpid are additionally forbidden in
+//     the strict solver packages, where even diagnostic timestamps tend
+//     to leak into results or logs that are diffed for reproducibility.
+//
+// Constructors (rand.New, rand.NewSource, ...) are always allowed — they
+// are how the injected generator is built.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid global math/rand, time.Now, and os.Getpid-style entropy in deterministic code",
+	Run:  runDetRand,
+}
+
+// randConstructors are the package-level math/rand functions that do NOT
+// touch the global source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runDetRand(cfg *Config, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	strict := cfg.IsSolverPkg(pkg)
+	inspect(pkg, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := pkgFuncObj(pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "math/rand", "math/rand/v2":
+			if !randConstructors[fn.Name()] {
+				diags = append(diags, pkg.diag(call.Pos(), "detrand",
+					"call to global-source "+fn.Pkg().Path()+"."+fn.Name(),
+					"draw from an injected seeded *rand.Rand instead"))
+			}
+		case "time":
+			if strict && (fn.Name() == "Now" || fn.Name() == "Since") {
+				diags = append(diags, pkg.diag(call.Pos(), "detrand",
+					"call to time."+fn.Name()+" in solver package "+pkg.Path,
+					"solver kernels must be clock-free; move timing to the caller or inject it"))
+			}
+		case "os":
+			if strict && (fn.Name() == "Getpid" || fn.Name() == "Getppid") {
+				diags = append(diags, pkg.diag(call.Pos(), "detrand",
+					"call to os."+fn.Name()+" in solver package "+pkg.Path,
+					"process identity is entropy; pass an explicit seed or id"))
+			}
+		}
+		return true
+	})
+	return diags
+}

@@ -1,0 +1,81 @@
+package vetkit
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands in non-test
+// code. Exact float equality is almost always either a bug (rounding
+// makes "equal" values differ in the last ulp) or an unstated bit-level
+// intent. The fix is an explicit tolerance (math.Abs(a-b) <= eps),
+// math.IsNaN, or — when exact comparison really is meant — a
+// //sdpvet:ignore with the reason spelled out.
+//
+// Two comparisons are exempt by design:
+//
+//   - against the literal constant 0: `if w == 0 { continue }` and
+//     `if o.Tol == 0 { o.Tol = default }` test for the exact
+//     zero value (sparsity of stored data, unset struct fields) — a
+//     sound and pervasive idiom, not a rounding hazard;
+//   - between two compile-time constants, which are exact by
+//     construction.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= between floating-point operands outside tests (exact-zero tests exempt)",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(cfg *Config, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	inspect(pkg, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if !isFloat(pkg.Info, be.X) && !isFloat(pkg.Info, be.Y) {
+			return true
+		}
+		if isConst(pkg.Info, be.X) && isConst(pkg.Info, be.Y) {
+			return true
+		}
+		if isZeroConst(pkg.Info, be.X) || isZeroConst(pkg.Info, be.Y) {
+			return true
+		}
+		diags = append(diags, pkg.diag(be.OpPos, "floateq",
+			"floating-point "+be.Op.String()+" comparison",
+			"use an explicit tolerance, math.IsNaN, or document bit-level intent with //sdpvet:ignore"))
+		return true
+	})
+	return diags
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to zero.
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		v, ok := constant.Float64Val(tv.Value)
+		return ok && v == 0
+	}
+	return false
+}

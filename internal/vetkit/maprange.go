@@ -1,0 +1,42 @@
+package vetkit
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange forbids ranging over maps in solver and seeded packages. Go
+// randomizes map iteration order on purpose; when the loop body feeds a
+// floating-point accumulation, appends to a slice, or writes output, that
+// order becomes part of the result and two identical runs diverge
+// bitwise. The fix is to iterate a sorted key slice (internal/sortutil)
+// or to restructure around a slice keyed by index.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "forbid range over map values in deterministic (solver/seeded) packages",
+	Run:  runMapRange,
+}
+
+func runMapRange(cfg *Config, pkg *Package) []Diagnostic {
+	if !cfg.IsSolverPkg(pkg) && !cfg.IsSeededPkg(pkg) {
+		return nil
+	}
+	var diags []Diagnostic
+	inspect(pkg, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pkg.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); isMap {
+			diags = append(diags, pkg.diag(rs.Pos(), "maprange",
+				"range over map ("+types.TypeString(t, types.RelativeTo(pkg.Types))+") in deterministic package "+pkg.Path,
+				"iterate sorted keys instead; map order is randomized and breaks reproducibility"))
+		}
+		return true
+	})
+	return diags
+}

@@ -1,0 +1,114 @@
+package vetkit
+
+import (
+	"strings"
+)
+
+// metaAnalyzer names the suppression checker itself: malformed or unused
+// //sdpvet:ignore comments are diagnosed under this name and cannot be
+// suppressed.
+const metaAnalyzer = "sdpvet"
+
+// suppressPrefix introduces a suppression comment:
+//
+//	//sdpvet:ignore <analyzer> <reason>
+//
+// The comment silences <analyzer> diagnostics on its own line and on the
+// line immediately below (so it can trail the offending statement or sit
+// on its own line above it). The reason is mandatory — a suppression must
+// say why the invariant is safe to waive here — and a suppression that
+// silences nothing is itself an error, so stale ignores cannot linger.
+const suppressPrefix = "//sdpvet:ignore"
+
+type suppression struct {
+	diag      Diagnostic // position + analyzer being suppressed
+	reason    string
+	used      bool
+	malformed string // non-empty: why the comment is invalid
+}
+
+type suppressionSet struct {
+	pkg  *Package
+	sups []*suppression
+}
+
+// collectSuppressions scans every comment in pkg for //sdpvet:ignore
+// markers. Malformed markers are recorded and reported by apply.
+func collectSuppressions(pkg *Package) *suppressionSet {
+	set := &suppressionSet{pkg: pkg}
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, suppressPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, suppressPrefix)
+				sup := &suppression{diag: pkg.diag(c.Pos(), metaAnalyzer, "", "")}
+				fields := strings.Fields(rest)
+				switch {
+				case len(rest) > 0 && rest[0] != ' ' && rest[0] != '\t':
+					continue // some other token, e.g. //sdpvet:ignoreXYZ — not ours
+				case len(fields) == 0:
+					sup.malformed = "missing analyzer name and reason"
+				case !known[fields[0]]:
+					sup.malformed = "unknown analyzer \"" + fields[0] + "\""
+				case len(fields) == 1:
+					sup.malformed = "missing reason: write //sdpvet:ignore " + fields[0] + " <why this is safe>"
+				default:
+					sup.diag.Analyzer = fields[0]
+					sup.reason = strings.Join(fields[1:], " ")
+				}
+				set.sups = append(set.sups, sup)
+			}
+		}
+	}
+	return set
+}
+
+// apply filters diags through the suppression set: a diagnostic is dropped
+// when a matching suppression (same file, same analyzer, diagnostic on the
+// suppression's line or the one below) exists. Malformed and unused
+// suppressions come back as fresh diagnostics; a suppression for an
+// analyzer outside the active set is left alone — it cannot be judged
+// unused by a run that never gave it a chance to fire.
+func (s *suppressionSet) apply(diags []Diagnostic, active map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, sup := range s.sups {
+			if sup.malformed != "" || sup.diag.Analyzer != d.Analyzer {
+				continue
+			}
+			if sup.diag.Pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if d.Pos.Line == sup.diag.Pos.Line || d.Pos.Line == sup.diag.Pos.Line+1 {
+				sup.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, sup := range s.sups {
+		switch {
+		case sup.malformed != "":
+			d := sup.diag
+			d.Message = "malformed suppression: " + sup.malformed
+			out = append(out, d)
+		case !sup.used && active[sup.diag.Analyzer]:
+			d := sup.diag
+			d.Analyzer = metaAnalyzer
+			d.Message = "unused suppression for " + sup.diag.Analyzer + ": no " +
+				sup.diag.Analyzer + " finding on this or the next line"
+			d.Hint = "delete the stale //sdpvet:ignore comment"
+			out = append(out, d)
+		}
+	}
+	return out
+}

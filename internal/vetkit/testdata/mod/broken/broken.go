@@ -1,0 +1,7 @@
+// Package broken fails type-checking: the loader must record the error on
+// the package, not panic or abort the whole load.
+package broken
+
+func Broken() int {
+	return notDefinedAnywhere + 1
+}

@@ -1,0 +1,8 @@
+// Package cyca imports cycb which imports cyca back: the loader must
+// diagnose the cycle instead of recursing forever.
+package cyca
+
+import "vet.test/cycb"
+
+// A closes the cycle.
+func A() int { return cycb.B() }

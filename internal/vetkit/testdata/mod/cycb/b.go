@@ -1,0 +1,7 @@
+// Package cycb is the other half of the import cycle.
+package cycb
+
+import "vet.test/cyca"
+
+// B closes the cycle.
+func B() int { return cyca.A() }

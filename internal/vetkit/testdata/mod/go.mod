@@ -1,0 +1,3 @@
+module vet.test
+
+go 1.22

@@ -1,0 +1,7 @@
+//go:build sdpvet_never_set
+
+package tagged
+
+// Excluded references an undefined symbol: if the loader ever feeds this
+// build-tag-excluded file to the type checker, the package breaks loudly.
+func Excluded() int { return undefinedOnPurpose }

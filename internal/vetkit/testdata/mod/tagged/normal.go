@@ -1,0 +1,6 @@
+// Package tagged has one always-built file and one behind a build tag the
+// loader's default context never satisfies.
+package tagged
+
+// Always is defined in the unconditionally-built file.
+func Always() int { return 1 }

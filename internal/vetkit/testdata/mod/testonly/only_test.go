@@ -1,0 +1,5 @@
+package testonly
+
+import "testing"
+
+func TestNothing(t *testing.T) {}
