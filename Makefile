@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint sdpvet race bench bench-baseline benchdiff clean
+.PHONY: build test check lint sdpvet race cover bench bench-baseline benchdiff clean
 
 build:
 	$(GO) build ./...
@@ -27,10 +27,15 @@ sdpvet:
 # solver runs that the race detector slows ~15x without adding coverage);
 # run `make test` for those.
 check: lint sdpvet
-	$(GO) test -race -short ./...
+	$(GO) test -race -shuffle=on -short ./...
 
 race:
-	$(GO) test -race -short ./...
+	$(GO) test -race -shuffle=on -short ./...
+
+# cover prints the per-function coverage summary; report-only, no threshold.
+cover:
+	$(GO) test -short -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -48,4 +53,4 @@ benchdiff:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_current.json
+	rm -f BENCH_current.json cover.out

@@ -37,6 +37,7 @@ func main() {
 		jobTimeout = flag.Duration("job-timeout", 5*time.Minute, "default per-job solve timeout")
 		maxTimeout = flag.Duration("max-timeout", 30*time.Minute, "cap on per-job timeouts requested by clients")
 		cacheSize  = flag.Int("cache", 128, "result cache entries")
+		traceDepth = flag.Int("trace-depth", 4096, "per-job solver-telemetry ring size (newest events kept)")
 		verbose    = flag.Bool("v", false, "log job lifecycle events")
 	)
 	flag.Parse()
@@ -53,6 +54,7 @@ func main() {
 		DefaultTimeout: *jobTimeout,
 		MaxTimeout:     *maxTimeout,
 		CacheSize:      *cacheSize,
+		TraceDepth:     *traceDepth,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf

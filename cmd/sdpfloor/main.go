@@ -9,6 +9,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -20,6 +21,7 @@ import (
 	"sdpfloor"
 	"sdpfloor/internal/gsrc"
 	"sdpfloor/internal/svg"
+	"sdpfloor/internal/trace"
 )
 
 // Exit statuses: 1 for errors, 2 for usage, 3 when -timeout expired.
@@ -50,6 +52,7 @@ func main() {
 		socp       = flag.Bool("socp", false, "legalize with the exact SOCP shape optimization (slow; small designs)")
 		jsonOut    = flag.String("json", "", "write the result (rects, centers, HPWL) as JSON to this path")
 		svgOut     = flag.String("svg", "", "write the legalized floorplan as SVG to this path")
+		traceOut   = flag.String("trace", "", "write per-iteration solver telemetry as JSONL to this path (see docs/TRACING.md)")
 		timeout    = flag.Duration("timeout", 0, "abort the solve after this long (0 = no limit); exits with status 3")
 		verbose    = flag.Bool("v", false, "log solver progress")
 	)
@@ -103,6 +106,34 @@ func main() {
 	if *verbose {
 		cfg.Global.Logf = log.Printf
 	}
+	closeTrace := func() {}
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bw := bufio.NewWriter(tf)
+		rec := trace.NewJSONL(bw)
+		cfg.Trace = rec
+		// Flushed explicitly right after the solve (not deferred): the
+		// timeout path exits with status 3 and must still leave a complete
+		// trace, final events included.
+		closeTrace = func() {
+			if err := bw.Flush(); err == nil {
+				err = tf.Close()
+				if err != nil {
+					log.Fatal(err)
+				}
+			} else {
+				tf.Close()
+				log.Fatal(err)
+			}
+			if err := rec.Err(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("trace    : %s (%d events)\n", *traceOut, rec.Lines())
+		}
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -110,6 +141,7 @@ func main() {
 		defer cancel()
 	}
 	fp, err := sdpfloor.PlaceContext(ctx, d.Netlist, cfg)
+	closeTrace()
 	if errors.Is(err, context.DeadlineExceeded) {
 		// The solver returns its last iterate as a partial result; report
 		// what it reached before giving up, then exit distinctly.

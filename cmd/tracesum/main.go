@@ -1,0 +1,262 @@
+// Command tracesum summarizes a solver telemetry trace — the JSONL written
+// by sdpfloor -trace or fetched from floorpland's /v1/jobs/{id}/trace. It
+// prints one aggregate row per solver (runs, iterations, wall time from the
+// event timestamps, terminal statuses) followed by a convergence table of
+// each solver's most recent run.
+//
+// Usage:
+//
+//	tracesum out.jsonl
+//	tracesum -solver ipm -tail 20 out.jsonl
+//	sdpfloor -bench n10 -trace /dev/stdout | tracesum
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"sdpfloor/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracesum: ")
+	var (
+		tail   = flag.Int("tail", 10, "convergence-table rows per solver (0 = all)")
+		solver = flag.String("solver", "", "restrict to one solver (ipm, admm, core, lbfgs)")
+	)
+	flag.Parse()
+	in := io.Reader(os.Stdin)
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	default:
+		log.Printf("at most one input file")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(in, os.Stdout, *solver, *tail); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// solverRun accumulates one start…final span of a single solver.
+type solverRun struct {
+	status  string
+	iters   int
+	startTS int64
+	endTS   int64
+	events  []trace.Event // iter events; kept only for each solver's last run
+}
+
+func (r *solverRun) wall() time.Duration {
+	if r.endTS <= r.startTS {
+		return 0
+	}
+	return time.Duration(r.endTS - r.startTS)
+}
+
+// solverAgg aggregates every run of one solver.
+type solverAgg struct {
+	name     string
+	runs     int
+	iters    int
+	wall     time.Duration
+	statuses []string // per closed run, in order
+	last     *solverRun
+}
+
+// run parses the JSONL trace from in and writes the summary to out. Only
+// events of the named solver count when solver is non-empty; tail bounds the
+// convergence-table rows per solver (0 = unbounded).
+func run(in io.Reader, out io.Writer, solver string, tail int) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	aggs := map[string]*solverAgg{}
+	var order []string
+	lineNo, events := 0, 0
+
+	aggOf := func(name string) *solverAgg {
+		a := aggs[name]
+		if a == nil {
+			a = &solverAgg{name: name}
+			aggs[name] = a
+			order = append(order, name)
+		}
+		return a
+	}
+	// openRun returns the solver's in-flight run, starting one when the
+	// trace lacks its "start" (a ring buffer may have dropped it).
+	openRun := func(a *solverAgg, ts int64) *solverRun {
+		if a.last == nil || a.last.status != "" {
+			a.last = &solverRun{startTS: ts, endTS: ts}
+			a.runs++
+		}
+		return a.last
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		ev, err := trace.ParseLine(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		events++
+		if solver != "" && ev.Solver != solver {
+			continue
+		}
+		a := aggOf(ev.Solver)
+		switch ev.Kind {
+		case trace.KindStart:
+			a.last = &solverRun{startTS: ev.TS, endTS: ev.TS}
+			a.runs++
+		case trace.KindIter:
+			r := openRun(a, ev.TS)
+			r.endTS = ev.TS
+			r.events = append(r.events, ev)
+			a.iters++
+		case trace.KindFinal:
+			r := openRun(a, ev.TS)
+			r.endTS = ev.TS
+			r.status = ev.Status
+			if r.status == "" {
+				r.status = "?"
+			}
+			r.iters = ev.Iter
+			a.wall += r.wall()
+			a.statuses = append(a.statuses, r.status)
+		default:
+			return fmt.Errorf("line %d: unknown event kind %q", lineNo, ev.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if events == 0 {
+		fmt.Fprintln(out, "no events")
+		return nil
+	}
+
+	fmt.Fprintf(out, "%d events\n\n", events)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "solver\truns\titers\twall\tstatuses\t")
+	for _, name := range order {
+		a := aggs[name]
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t\n",
+			a.name, a.runs, a.iters, fmtWall(a.wall), statusCounts(a.statuses))
+	}
+	tw.Flush()
+
+	for _, name := range order {
+		a := aggs[name]
+		if a.last == nil || len(a.last.events) == 0 {
+			continue
+		}
+		r := a.last
+		status := r.status
+		if status == "" {
+			status = "unfinished"
+		}
+		fmt.Fprintf(out, "\n%s, last run: %d iterations, %s, %s\n",
+			a.name, len(r.events), status, fmtWall(r.wall()))
+		writeConvergence(out, r.events, tail)
+	}
+	return nil
+}
+
+// writeConvergence prints the trailing iter events as a table whose columns
+// are the union of field keys in first-seen order.
+func writeConvergence(out io.Writer, evs []trace.Event, tail int) {
+	if tail > 0 && len(evs) > tail {
+		fmt.Fprintf(out, "(%d earlier rows omitted; -tail %d)\n", len(evs)-tail, tail)
+		evs = evs[len(evs)-tail:]
+	}
+	var cols []string
+	seen := map[string]bool{}
+	for _, ev := range evs {
+		for _, f := range ev.Fields {
+			if !seen[f.Key] {
+				seen[f.Key] = true
+				cols = append(cols, f.Key)
+			}
+		}
+	}
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprint(tw, "iter\t")
+	for _, c := range cols {
+		fmt.Fprintf(tw, "%s\t", c)
+	}
+	fmt.Fprintln(tw)
+	row := map[string]float64{}
+	for _, ev := range evs {
+		clear(row)
+		for _, f := range ev.Fields {
+			row[f.Key] = f.Val
+		}
+		fmt.Fprintf(tw, "%d\t", ev.Iter)
+		for _, c := range cols {
+			if v, ok := row[c]; ok {
+				fmt.Fprintf(tw, "%.4g\t", v)
+			} else {
+				fmt.Fprint(tw, "-\t")
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// fmtWall renders a TS delta; traces with stripped or synthetic timestamps
+// collapse to zero and print as "-".
+func fmtWall(d time.Duration) string {
+	if d <= 0 {
+		return "-"
+	}
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	}
+	return d.String()
+}
+
+// statusCounts renders "optimal:3 cancelled:1" in first-seen order.
+func statusCounts(statuses []string) string {
+	if len(statuses) == 0 {
+		return "running"
+	}
+	counts := map[string]int{}
+	var order []string
+	for _, s := range statuses {
+		if counts[s] == 0 {
+			order = append(order, s)
+		}
+		counts[s]++
+	}
+	var b bytes.Buffer
+	for i, s := range order {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", s, counts[s])
+	}
+	return b.String()
+}

@@ -11,7 +11,12 @@ import (
 	"sdpfloor/internal/linalg"
 	"sdpfloor/internal/netlist"
 	"sdpfloor/internal/sdp"
+	"sdpfloor/internal/trace"
 )
+
+// traceOn reports whether rec is active; event construction is guarded on
+// it so disabled tracing adds no per-iteration work.
+func traceOn(rec trace.Recorder) bool { return rec != nil && rec.Enabled() }
 
 // IterRecord traces one convex iteration (used by the Fig. 5 experiments).
 type IterRecord struct {
@@ -44,7 +49,7 @@ type Result struct {
 // Solve runs Algorithm 1 on the netlist: the convex iteration over
 // sub-problem 1 (SDP, Eq. 18) and sub-problem 2 (closed form, Eq. 19), with
 // the rank penalty α doubled until ⟨W, Z⟩ vanishes.
-func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
+func Solve(nl *netlist.Netlist, opt Options) (res *Result, err error) {
 	if err := nl.Validate(); err != nil {
 		return nil, err
 	}
@@ -52,6 +57,42 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 	n := nl.N()
 	if n == 0 {
 		return nil, errors.New("core: empty netlist")
+	}
+	if traceOn(opt.Trace) {
+		// Deferred so every return — success, cancellation (partial
+		// result), and sub-problem failure — closes the trace with one
+		// "core" final record.
+		defer func() {
+			st := "ok"
+			switch {
+			case err == nil:
+			case isContextErr(err):
+				st = "cancelled"
+			default:
+				st = "failed"
+			}
+			ev := trace.Event{Solver: "core", Kind: "final", Status: st}
+			if res != nil {
+				ev.Iter = res.Iterations
+				ev.Fields = []trace.Field{
+					{Key: "alpha", Val: res.AlphaFinal},
+					{Key: "obj", Val: res.Objective},
+					{Key: "wz", Val: res.WZ},
+					{Key: "rank", Val: float64(res.Rank)},
+					{Key: "rankOK", Val: boolField(res.RankOK)},
+					{Key: "solverIters", Val: float64(res.SolverIterations)},
+				}
+			}
+			opt.Trace.Record(ev)
+		}()
+		opt.Trace.Record(trace.Event{
+			Solver: "core", Kind: "start",
+			Fields: []trace.Field{
+				{Key: "n", Val: float64(n)},
+				{Key: "maxIter", Val: float64(opt.MaxIter)},
+				{Key: "maxDoublings", Val: float64(opt.AlphaMaxDoublings)},
+			},
+		})
 	}
 	bld := newBuilder(nl, &opt)
 	b0 := netlist.BuildBP(bld.baseA, opt.Workers)
@@ -68,7 +109,7 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 		havePairs[p] = true
 	}
 
-	res := &Result{}
+	res = &Result{}
 	w := linalg.Identity(bld.dim) // W⁰ = I: trace heuristic (Algorithm 1 line 3)
 	var z *linalg.Dense
 	var centers []geom.Point
@@ -134,6 +175,23 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 				Alpha: alpha, Iter: t, Objective: obj, WZ: wz,
 				SolveTime: elapsed, NumCons: len(pairs), SolverIters: solverIters,
 			})
+			if traceOn(opt.Trace) {
+				// SolveTime deliberately stays out of the fields: event
+				// content must be deterministic; wall time lives in the
+				// recorder-stamped TS and in IterRecord.
+				opt.Trace.Record(trace.Event{
+					Solver: "core", Kind: "iter", Iter: res.Iterations,
+					Fields: []trace.Field{
+						{Key: "alpha", Val: alpha},
+						{Key: "alphaIter", Val: float64(t)},
+						{Key: "obj", Val: obj},
+						{Key: "wz", Val: wz},
+						{Key: "trZ", Val: z.Trace()},
+						{Key: "cons", Val: float64(len(pairs))},
+						{Key: "solverIters", Val: float64(solverIters)},
+					},
+				})
+			}
 			if opt.Logf != nil {
 				opt.Logf("core: alpha=%g iter=%d obj=%.6g <W,Z>=%.3g cons=%d time=%s",
 					alpha, t, obj, wz, len(pairs), elapsed.Round(time.Millisecond))
@@ -272,14 +330,14 @@ func (b *builder) solveProblem(prob *sdp.Problem, warm *sdp.Solution) (*sdp.Solu
 	switch b.opt.Solver {
 	case SolverADMM:
 		opt := sdp.ADMMOptions{Tol: b.opt.SolverTol, MaxIter: b.opt.SolverMaxIter,
-			Workers: b.opt.Workers, Context: b.opt.Context}
+			Workers: b.opt.Workers, Context: b.opt.Context, Trace: b.opt.Trace}
 		if warm != nil && warm.X != nil && warm.X[0].Rows == b.dim {
 			opt.X0 = []*linalg.Dense{warm.X[0]}
 		}
 		return sdp.SolveADMM(prob, opt)
 	default:
 		return sdp.SolveIPM(prob, sdp.IPMOptions{Tol: b.opt.SolverTol, MaxIter: b.opt.SolverMaxIter,
-			Workers: b.opt.Workers, Context: b.opt.Context})
+			Workers: b.opt.Workers, Context: b.opt.Context, Trace: b.opt.Trace})
 	}
 }
 
@@ -398,6 +456,14 @@ func meanDiagonal(m *linalg.Dense) float64 {
 		return 0
 	}
 	return m.Trace() / float64(m.Rows)
+}
+
+// boolField encodes a bool as a trace field value (1 or 0).
+func boolField(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func maxf(a, b float64) float64 {

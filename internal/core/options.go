@@ -22,7 +22,9 @@ package core
 
 import (
 	"context"
+
 	"sdpfloor/internal/geom"
+	"sdpfloor/internal/trace"
 )
 
 // DistanceCap is an upper bound on the center distance of one module pair:
@@ -119,6 +121,16 @@ type Options struct {
 	// dominate). On cancellation Solve returns the last completed iterate
 	// as a partial Result together with the wrapped context error.
 	Context context.Context
+
+	// Trace, when non-nil and enabled, receives structured telemetry:
+	// "core" events for the convex iteration (α, Ky-Fan objective ⟨W,Z⟩,
+	// working-set size) and, because the recorder is threaded into the
+	// sub-problem solvers, interleaved "ipm"/"admm" events for every SDP
+	// solve. The trace always closes with one "core" final record, also on
+	// cancellation. Event content excludes wall-clock durations (those
+	// live in IterRecord and event timestamps), so traces are
+	// deterministic across worker counts. See docs/TRACING.md.
+	Trace trace.Recorder
 }
 
 func (o *Options) setDefaults() {

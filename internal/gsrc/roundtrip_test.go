@@ -1,0 +1,160 @@
+package gsrc
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sdpfloor/internal/geom"
+)
+
+// detCenters returns deterministic, irrational-ish module centers so an HPWL
+// comparison exercises the full float64 mantissa rather than round numbers.
+func detCenters(n int) []geom.Point {
+	centers := make([]geom.Point, n)
+	for i := range centers {
+		f := float64(i + 1)
+		centers[i] = geom.Point{
+			X: math.Sqrt(2*f) + f/3,
+			Y: math.Cbrt(5*f) + f/7,
+		}
+	}
+	return centers
+}
+
+// TestWriteReadRoundTripExactHPWL writes a generated design with full-precision
+// areas, pad positions, and fixed-module coordinates, parses it back, and
+// demands the reparsed netlist is *bitwise* equivalent: identical module count,
+// identical per-net degrees, and identical — not merely close — HPWL. This
+// pins the writers to lossless float formatting (the historic %.6f truncation
+// would fail every sub-check here).
+func TestWriteReadRoundTripExactHPWL(t *testing.T) {
+	d, err := Generate(Spec{Name: "rt", Modules: 40, Nets: 60, Pads: 12, Seed: 11}, 1, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Irrational fixed coordinates exercise the long-mantissa path in WritePl.
+	d.Netlist.Modules[5].Fixed = true
+	d.Netlist.Modules[5].FixedPos = geom.Point{X: math.Pi * 3, Y: math.Sqrt2 * 5}
+
+	dir := t.TempDir()
+	if err := WriteDesign(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDesign(dir, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got.Netlist.Modules) != len(d.Netlist.Modules) {
+		t.Fatalf("modules: %d, want %d", len(got.Netlist.Modules), len(d.Netlist.Modules))
+	}
+	if len(got.Netlist.Pads) != len(d.Netlist.Pads) {
+		t.Fatalf("pads: %d, want %d", len(got.Netlist.Pads), len(d.Netlist.Pads))
+	}
+	if len(got.Netlist.Nets) != len(d.Netlist.Nets) {
+		t.Fatalf("nets: %d, want %d", len(got.Netlist.Nets), len(d.Netlist.Nets))
+	}
+	for i := range d.Netlist.Nets {
+		a, b := &d.Netlist.Nets[i], &got.Netlist.Nets[i]
+		if len(a.Modules) != len(b.Modules) || len(a.Pads) != len(b.Pads) {
+			t.Fatalf("net %d degree (%d,%d), want (%d,%d)",
+				i, len(b.Modules), len(b.Pads), len(a.Modules), len(a.Pads))
+		}
+	}
+	for i := range d.Netlist.Modules {
+		a, b := &d.Netlist.Modules[i], &got.Netlist.Modules[i]
+		if a.MinArea != b.MinArea {
+			t.Fatalf("module %d area %v, want %v exactly", i, b.MinArea, a.MinArea)
+		}
+		if a.Fixed != b.Fixed || a.FixedPos != b.FixedPos {
+			t.Fatalf("module %d fixed (%v,%v), want (%v,%v) exactly",
+				i, b.Fixed, b.FixedPos, a.Fixed, a.FixedPos)
+		}
+	}
+	for i := range d.Netlist.Pads {
+		if a, b := d.Netlist.Pads[i].Pos, got.Netlist.Pads[i].Pos; a != b {
+			t.Fatalf("pad %d at %v, want %v exactly", i, b, a)
+		}
+	}
+
+	centers := detCenters(len(d.Netlist.Modules))
+	before := d.Netlist.HPWL(centers)
+	after := got.Netlist.HPWL(centers)
+	if before != after {
+		t.Fatalf("HPWL changed across round trip: %.17g → %.17g", before, after)
+	}
+}
+
+// TestWriteReadRoundTripExactHPWLSeeds sweeps seeds as a cheap fuzz: every
+// generated design must survive write→parse with identical wirelength.
+func TestWriteReadRoundTripExactHPWLSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		d, err := Generate(Spec{Name: "fz", Modules: 15, Nets: 25, Pads: 4, Seed: seed}, 1, 0.15)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		dir := t.TempDir()
+		if err := WriteDesign(dir, d); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got, err := ReadDesign(dir, "fz")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		centers := make([]geom.Point, len(d.Netlist.Modules))
+		for i := range centers {
+			centers[i] = geom.Point{X: rng.NormFloat64() * 100, Y: rng.NormFloat64() * 100}
+		}
+		if a, b := d.Netlist.HPWL(centers), got.Netlist.HPWL(centers); a != b {
+			t.Fatalf("seed %d: HPWL %.17g → %.17g", seed, a, b)
+		}
+	}
+}
+
+func TestParseNetsMalformedInputs(t *testing.T) {
+	var base Design
+	base.Netlist = newEmptyNetlist()
+	base.Netlist.Modules = append(base.Netlist.Modules, netlistModule("sb0"), netlistModule("sb1"))
+
+	cases := map[string]string{
+		"degree mismatch":     "NetDegree : 3\nsb0 B\nsb1 B\n",
+		"unknown pin":         "NetDegree : 2\nsb0 B\nghost B\n",
+		"net count mismatch":  "NumNets : 5\nNetDegree : 2\nsb0 B\nsb1 B\n",
+		"pin count mismatch":  "NumPins : 9\nNetDegree : 2\nsb0 B\nsb1 B\n",
+		"bad NetDegree count": "NetDegree : x\nsb0 B\n",
+	}
+	for name, in := range cases {
+		d := base
+		d.Netlist = newEmptyNetlist()
+		d.Netlist.Modules = append(d.Netlist.Modules, netlistModule("sb0"), netlistModule("sb1"))
+		if err := parseNets(strings.NewReader(in), &d); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestParsePlMalformedInputs(t *testing.T) {
+	cases := map[string]string{
+		"truncated known module": "sb0 7\n",
+		"bad module coordinates": "sb0 seven eight\n",
+		"bad pad coordinates":    "p0 1 up\n",
+	}
+	for name, in := range cases {
+		var d Design
+		d.Netlist = newEmptyNetlist()
+		d.Netlist.Modules = append(d.Netlist.Modules, netlistModule("sb0"))
+		d.Netlist.Pads = append(d.Netlist.Pads, netlistPad("p0"))
+		if err := parsePl(strings.NewReader(in), &d); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+	// Unknown names remain tolerated noise, not errors.
+	var d Design
+	d.Netlist = newEmptyNetlist()
+	if err := parsePl(strings.NewReader("mystery 1\nother a b\n"), &d); err != nil {
+		t.Fatalf("unknown-name lines must stay ignorable: %v", err)
+	}
+}

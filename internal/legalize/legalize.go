@@ -23,6 +23,7 @@ import (
 	"sdpfloor/internal/netlist"
 	"sdpfloor/internal/optimize"
 	"sdpfloor/internal/sortutil"
+	"sdpfloor/internal/trace"
 )
 
 // Options configure Legalize.
@@ -48,6 +49,10 @@ type Options struct {
 	// L-BFGS iteration of the shape optimization and threaded into the SA
 	// fallback.
 	Context context.Context
+	// Trace, when non-nil and enabled, receives "lbfgs" events from the
+	// shape-optimization rounds (and "ipm" events from SOCPShapes); see
+	// internal/trace.
+	Trace trace.Recorder
 }
 
 func (o *Options) setDefaults() {
@@ -247,7 +252,8 @@ func (sh *shaper) smoothOptimize(centers []geom.Point) {
 		obj := func(v, g []float64) float64 {
 			return sh.smoothObjective(v, g, muR, gamR)
 		}
-		res := optimize.Minimize(obj, xv, optimize.Options{MaxIter: sh.opt.InnerIter, GradTol: 1e-7, Context: sh.opt.Context})
+		res := optimize.Minimize(obj, xv, optimize.Options{MaxIter: sh.opt.InnerIter, GradTol: 1e-7,
+			Context: sh.opt.Context, Trace: sh.opt.Trace})
 		copy(xv, res.X)
 		if res.Err != nil {
 			break

@@ -159,7 +159,7 @@ func SOCPShapes(nl *netlist.Netlist, centers []geom.Point, opt Options) (*Result
 		CLP:     clp,
 		Cons:    cons,
 	}
-	sol, err := sdp.SolveIPM(prob, sdp.IPMOptions{Tol: 1e-6, MaxIter: 80, Context: opt.Context})
+	sol, err := sdp.SolveIPM(prob, sdp.IPMOptions{Tol: 1e-6, MaxIter: 80, Context: opt.Context, Trace: opt.Trace})
 	if err != nil {
 		return nil, err
 	}

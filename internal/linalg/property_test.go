@@ -1,0 +1,197 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// propertySizes spans the factorization sizes the solvers actually hit: tiny
+// Schur complements up to GSRC-scale dense systems.
+var propertySizes = []int{2, 3, 4, 5, 8, 13, 16, 24, 32, 48, 64}
+
+// randDense fills an n×n matrix with standard normals.
+func randDense(rng *rand.Rand, n int) *Dense {
+	a := NewDense(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	return a
+}
+
+// randSym and randSPD come from matrix_test.go.
+
+// randIndefinite builds Q·diag(d)·Qᵀ with eigenvalues of both signs and
+// |dᵢ| ∈ [1, 2]: symmetric, indefinite, and far from singular — the regime
+// the pivot-free LDLᵀ is documented to handle.
+func randIndefinite(rng *rand.Rand, n int) (*Dense, int, int) {
+	qr, err := NewQR(randDense(rng, n))
+	if err != nil {
+		panic(err)
+	}
+	q := qr.Q()
+	d := make([]float64, n)
+	pos, neg := 0, 0
+	for i := range d {
+		d[i] = 1 + rng.Float64()
+		// Alternate signs so both inertia counts are non-zero for n ≥ 2.
+		if i%2 == 1 {
+			d[i] = -d[i]
+			neg++
+		} else {
+			pos++
+		}
+	}
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += q.At(i, k) * d[k] * q.At(j, k)
+			}
+			a.Set(i, j, s)
+		}
+	}
+	a.Symmetrize()
+	return a, pos, neg
+}
+
+// relFrobDiff is ‖a−b‖_F / max(1, ‖a‖_F).
+func relFrobDiff(a, b *Dense) float64 {
+	diff := a.Clone()
+	diff.AddScaled(-1, b)
+	return diff.FrobNorm() / math.Max(1, a.FrobNorm())
+}
+
+func TestCholeskyReconstructsProperty(t *testing.T) {
+	for _, n := range propertySizes {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + n)))
+			for trial := 0; trial < 3; trial++ {
+				a := randSPD(rng, n)
+				fac, err := NewCholesky(a)
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				llt := MatMul(fac.L, fac.L.T())
+				if d := relFrobDiff(a, llt); d > 1e-12 {
+					t.Fatalf("trial %d: ‖LLᵀ−A‖/‖A‖ = %g", trial, d)
+				}
+				// L must be lower triangular.
+				for i := 0; i < n; i++ {
+					for j := i + 1; j < n; j++ {
+						if fac.L.At(i, j) != 0 {
+							t.Fatalf("L[%d,%d] = %g above the diagonal", i, j, fac.L.At(i, j))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSymEigReconstructsProperty(t *testing.T) {
+	for _, n := range propertySizes {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(2000 + n)))
+			for trial := 0; trial < 3; trial++ {
+				a := randSym(rng, n)
+				eg, err := NewSymEig(a)
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				// Reconstruction: ‖VΛVᵀ − A‖ small.
+				if d := relFrobDiff(a, eg.Reconstruct()); d > 1e-10 {
+					t.Fatalf("trial %d: ‖VΛVᵀ−A‖/‖A‖ = %g", trial, d)
+				}
+				// Orthonormality: VᵀV = I.
+				if d := relFrobDiff(Identity(n), MatMul(eg.V.T(), eg.V)); d > 1e-10 {
+					t.Fatalf("trial %d: ‖VᵀV−I‖ = %g", trial, d)
+				}
+				// Eigenvalues sorted ascending.
+				for i := 1; i < n; i++ {
+					if eg.Values[i] < eg.Values[i-1] {
+						t.Fatalf("trial %d: eigenvalues not ascending at %d: %v", trial, i, eg.Values)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestQRProperty(t *testing.T) {
+	for _, n := range propertySizes {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(3000 + n)))
+			for trial := 0; trial < 3; trial++ {
+				a := randDense(rng, n)
+				fac, err := NewQR(a.Clone())
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				q, r := fac.Q(), fac.R()
+				// Orthogonality: QᵀQ = I.
+				if d := relFrobDiff(Identity(q.Cols), MatMul(q.T(), q)); d > 1e-12 {
+					t.Fatalf("trial %d: ‖QᵀQ−I‖ = %g", trial, d)
+				}
+				// Factorization: QR = A.
+				if d := relFrobDiff(a, MatMul(q, r)); d > 1e-12 {
+					t.Fatalf("trial %d: ‖QR−A‖/‖A‖ = %g", trial, d)
+				}
+				// R upper triangular.
+				for i := 0; i < r.Rows; i++ {
+					for j := 0; j < i && j < r.Cols; j++ {
+						if math.Abs(r.At(i, j)) > 1e-13 {
+							t.Fatalf("trial %d: R[%d,%d] = %g below the diagonal", trial, i, j, r.At(i, j))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestLDLIndefiniteProperty(t *testing.T) {
+	for _, n := range propertySizes {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(4000 + n)))
+			for trial := 0; trial < 3; trial++ {
+				a, pos, neg := randIndefinite(rng, n)
+				fac, err := NewLDL(a)
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				// Reconstruction: L·diag(D)·Lᵀ = A.
+				ld := fac.L.Clone()
+				for i := 0; i < n; i++ {
+					for j := 0; j <= i; j++ {
+						ld.Set(i, j, ld.At(i, j)*fac.D[j])
+					}
+				}
+				if d := relFrobDiff(a, MatMul(ld, fac.L.T())); d > 1e-10 {
+					t.Fatalf("trial %d: ‖LDLᵀ−A‖/‖A‖ = %g", trial, d)
+				}
+				// Sylvester's law: the pivot signs give the inertia, which
+				// must match the spectrum the matrix was built from.
+				gotPos, gotNeg, gotZero := fac.Inertia()
+				if gotPos != pos || gotNeg != neg || gotZero != 0 {
+					t.Fatalf("trial %d: inertia (%d,%d,%d), want (%d,%d,0)",
+						trial, gotPos, gotNeg, gotZero, pos, neg)
+				}
+				// Solve check on a random right-hand side.
+				want := make([]float64, n)
+				for i := range want {
+					want[i] = rng.NormFloat64()
+				}
+				b := a.MulVec(want)
+				got := fac.SolveVec(b)
+				for i := range want {
+					if math.Abs(got[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+						t.Fatalf("trial %d: solve x[%d] = %g, want %g", trial, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,86 @@
+package optimize
+
+import (
+	"context"
+	"testing"
+
+	"sdpfloor/internal/trace"
+)
+
+func quadObjective(x, g []float64) float64 {
+	s := 0.0
+	for i := range x {
+		w := float64(i + 1)
+		d := x[i] - float64(i)
+		s += w * d * d
+		g[i] = 2 * w * d
+	}
+	return s
+}
+
+func TestMinimizeTraceWellFormed(t *testing.T) {
+	ring := trace.NewRing(1024)
+	res := Minimize(quadObjective, make([]float64, 6), Options{Trace: ring})
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	evs := ring.Snapshot()
+	if len(evs) < 3 {
+		t.Fatalf("trace too short: %d events", len(evs))
+	}
+	if evs[0].Kind != trace.KindStart || evs[0].Solver != "lbfgs" {
+		t.Fatalf("first event %+v, want lbfgs start", evs[0])
+	}
+	last := evs[len(evs)-1]
+	if last.Kind != trace.KindFinal || last.Status != "converged" {
+		t.Fatalf("last event %+v, want final status converged", last)
+	}
+	finals := 0
+	for _, ev := range evs {
+		if ev.Kind == trace.KindFinal {
+			finals++
+			continue
+		}
+		if ev.Kind != trace.KindIter {
+			continue
+		}
+		fields := map[string]float64{}
+		for _, f := range ev.Fields {
+			fields[f.Key] = f.Val
+		}
+		for _, key := range []string{"f", "gnorm", "step", "evals"} {
+			if _, ok := fields[key]; !ok {
+				t.Fatalf("iter event missing field %q: %+v", key, ev.Fields)
+			}
+		}
+	}
+	if finals != 1 {
+		t.Fatalf("%d final events, want 1", finals)
+	}
+}
+
+// TestMinimizeTraceFinalOnCancel: a pre-cancelled context still yields
+// exactly one final event, with status "cancelled".
+func TestMinimizeTraceFinalOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ring := trace.NewRing(64)
+	res := Minimize(quadObjective, make([]float64, 4), Options{Context: ctx, Trace: ring})
+	if res.Err == nil {
+		t.Fatal("want context error in result")
+	}
+	evs := ring.Snapshot()
+	last := evs[len(evs)-1]
+	if last.Kind != trace.KindFinal || last.Status != "cancelled" {
+		t.Fatalf("last event %+v, want final status cancelled", last)
+	}
+}
+
+// TestMinimizeNopRecorderNoEvents: a disabled recorder must keep the solver
+// silent (the zero-overhead guard skips event construction entirely).
+func TestMinimizeNopRecorderNoEvents(t *testing.T) {
+	res := Minimize(quadObjective, make([]float64, 4), Options{Trace: trace.Nop{}})
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"sdpfloor/internal/linalg"
 	"sdpfloor/internal/parallel"
+	"sdpfloor/internal/trace"
 )
 
 // ADMMOptions configure the first-order solver.
@@ -27,6 +28,13 @@ type ADMMOptions struct {
 	// cancellation or deadline the solver stops, returns the current iterate
 	// with StatusCancelled, and reports the context error.
 	Context context.Context
+	// Trace, when non-nil and enabled, receives structured telemetry
+	// ("admm" events): one "start" record, one "iter" record per iteration
+	// (objectives, primal/dual residuals, the adapted penalty μ, and the
+	// positive-eigenvalue count of the PSD projection), and exactly one
+	// "final" record on every exit path including cancellation. Event
+	// content is deterministic across worker counts; see internal/trace.
+	Trace trace.Recorder
 }
 
 func (o *ADMMOptions) setDefaults() {
@@ -104,6 +112,33 @@ func SolveADMM(p *Problem, opt ADMMOptions) (*Solution, error) {
 	}
 
 	sol := &Solution{Status: StatusIterationLimit}
+	tracing := traceOn(opt.Trace)
+	if tracing {
+		// Deferred so that every exit — convergence, numerical failure,
+		// the iteration limit, and the cancellation break — closes the
+		// trace with exactly one "final" record.
+		defer func() {
+			opt.Trace.Record(trace.Event{
+				Solver: "admm", Kind: "final", Iter: sol.Iterations,
+				Status: sol.Status.String(),
+				Fields: []trace.Field{
+					{Key: "pobj", Val: sol.PrimalObj},
+					{Key: "dobj", Val: sol.DualObj},
+					{Key: "pres", Val: sol.PrimalInfeas},
+					{Key: "dres", Val: sol.DualInfeas},
+					{Key: "relG", Val: sol.Gap},
+				},
+			})
+		}()
+		opt.Trace.Record(trace.Event{
+			Solver: "admm", Kind: "start",
+			Fields: []trace.Field{
+				{Key: "m", Val: float64(m)},
+				{Key: "tol", Val: opt.Tol},
+				{Key: "maxIter", Val: float64(opt.MaxIter)},
+			},
+		})
+	}
 	for iter := 0; iter < opt.MaxIter; iter++ {
 		if opt.Context != nil && opt.Context.Err() != nil {
 			sol.Status = StatusCancelled
@@ -131,6 +166,7 @@ func SolveADMM(p *Problem, opt ADMMOptions) (*Solution, error) {
 		// S-update and X-update from V = C − Aᵀ(y) − μX:
 		// S = Proj_PSD(V), X⁺ = (S − V)/μ = Proj_PSD(−V)/μ.
 		p.applyAT(y, aty, atylp)
+		posEig := 0
 		for bi := range x {
 			v := p.C[bi].Clone()
 			v.AddScaled(-1, aty[bi])
@@ -140,6 +176,16 @@ func SolveADMM(p *Problem, opt ADMMOptions) (*Solution, error) {
 			if err != nil {
 				sol.Status = StatusNumericalFailure
 				break
+			}
+			if tracing {
+				// Eigencount of the PSD projection: how many eigenpairs
+				// the S-update keeps. Counted only when tracing — the
+				// projection itself does not need it.
+				for _, lam := range eg.Values {
+					if lam > 0 {
+						posEig++
+					}
+				}
 			}
 			s[bi] = eg.PSDProjectP(workers)
 			xNew := s[bi].Clone()
@@ -185,6 +231,20 @@ func SolveADMM(p *Problem, opt ADMMOptions) (*Solution, error) {
 		if opt.Logf != nil && iter%50 == 0 {
 			opt.Logf("admm iter %4d: pobj=%.6e dobj=%.6e pres=%.2e dres=%.2e mu=%.2e",
 				iter, pobj, dobj, pres, dres, mu)
+		}
+		if tracing {
+			opt.Trace.Record(trace.Event{
+				Solver: "admm", Kind: "iter", Iter: iter,
+				Fields: []trace.Field{
+					{Key: "pobj", Val: pobj},
+					{Key: "dobj", Val: dobj},
+					{Key: "pres", Val: pres},
+					{Key: "dres", Val: dres},
+					{Key: "relG", Val: relG},
+					{Key: "mu", Val: mu},
+					{Key: "posEig", Val: float64(posEig)},
+				},
+			})
 		}
 		if pres < opt.Tol && dres < opt.Tol && relG < 10*opt.Tol {
 			sol.Status = StatusOptimal

@@ -109,9 +109,12 @@ func TestFactorSchurNearSingular(t *testing.T) {
 	dmax := schur.At(m-1, m-1)
 	for _, workers := range []int{1, 4} {
 		s := schur.Clone()
-		fac, err := factorSchur(s, workers)
+		fac, retries, err := factorSchur(s, workers)
 		if err != nil {
 			t.Fatalf("workers=%d: factorSchur failed on rank-1 PSD matrix: %v", workers, err)
+		}
+		if retries < 1 {
+			t.Fatalf("workers=%d: factorSchur reported %d retries on a matrix plain Cholesky rejects", workers, retries)
 		}
 		// The factor must reproduce the regularized matrix left in s.
 		rec := linalg.MulABt(fac.L, fac.L)

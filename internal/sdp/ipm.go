@@ -7,6 +7,7 @@ import (
 
 	"sdpfloor/internal/linalg"
 	"sdpfloor/internal/parallel"
+	"sdpfloor/internal/trace"
 )
 
 // IPMOptions configure the interior-point solver.
@@ -27,6 +28,16 @@ type IPMOptions struct {
 	// cancellation or deadline the solver stops, returns the current iterate
 	// with StatusCancelled, and reports the context error.
 	Context context.Context
+	// Trace, when non-nil and enabled, receives structured telemetry
+	// ("ipm" events): one "start" record, one "iter" record per completed
+	// iteration (μ, objectives, residuals, centering σ, step lengths,
+	// Cholesky retries), and exactly one "final" record on every exit path
+	// — convergence, numerical failure, the iteration limit, and
+	// cancellation. Event content is deterministic across worker counts.
+	// When the equilibration presolve is active (NoScale unset), traced
+	// objectives and residuals refer to the scaled problem the iterations
+	// run on. See internal/trace and docs/TRACING.md.
+	Trace trace.Recorder
 }
 
 func (o *IPMOptions) setDefaults() {
@@ -199,6 +210,34 @@ func (st *ipmState) newDirection() *direction {
 func (st *ipmState) run() *Solution {
 	p, opt := st.p, st.opt
 	sol := &Solution{Status: StatusIterationLimit}
+	tracing := traceOn(opt.Trace)
+	if tracing {
+		// The deferred record covers every exit path — convergence, the
+		// three numerical-failure returns, the iteration limit, and the
+		// cancellation break — so a trace always closes with one "final".
+		defer func() {
+			opt.Trace.Record(trace.Event{
+				Solver: "ipm", Kind: "final", Iter: sol.Iterations,
+				Status: sol.Status.String(),
+				Fields: []trace.Field{
+					{Key: "pobj", Val: sol.PrimalObj},
+					{Key: "dobj", Val: sol.DualObj},
+					{Key: "relP", Val: sol.PrimalInfeas},
+					{Key: "relD", Val: sol.DualInfeas},
+					{Key: "relG", Val: sol.Gap},
+				},
+			})
+		}()
+		opt.Trace.Record(trace.Event{
+			Solver: "ipm", Kind: "start",
+			Fields: []trace.Field{
+				{Key: "m", Val: float64(st.m)},
+				{Key: "nu", Val: st.nu},
+				{Key: "tol", Val: opt.Tol},
+				{Key: "maxIter", Val: float64(opt.MaxIter)},
+			},
+		})
+	}
 
 	for iter := 0; iter < opt.MaxIter; iter++ {
 		if opt.Context != nil && opt.Context.Err() != nil {
@@ -277,7 +316,7 @@ func (st *ipmState) run() *Solution {
 
 		// Schur complement (shared by predictor and corrector).
 		schur := st.formSchur()
-		sfac, err := factorSchur(schur, st.workers)
+		sfac, retries, err := factorSchur(schur, st.workers)
 		if err != nil {
 			sol.Status = StatusNumericalFailure
 			if nearOptimal() {
@@ -346,6 +385,24 @@ func (st *ipmState) run() *Solution {
 			st.slp[i] += ad * dir.dslp[i]
 		}
 		linalg.Axpy(ad, dir.dy, st.y)
+
+		if tracing {
+			opt.Trace.Record(trace.Event{
+				Solver: "ipm", Kind: "iter", Iter: iter,
+				Fields: []trace.Field{
+					{Key: "mu", Val: mu},
+					{Key: "pobj", Val: pobj},
+					{Key: "dobj", Val: dobj},
+					{Key: "relP", Val: relP},
+					{Key: "relD", Val: relD},
+					{Key: "relG", Val: relG},
+					{Key: "sigma", Val: sigma},
+					{Key: "alphaP", Val: ap},
+					{Key: "alphaD", Val: ad},
+					{Key: "cholRetries", Val: float64(retries)},
+				},
+			})
+		}
 	}
 
 	// Iteration limit: report final residuals.
@@ -415,8 +472,10 @@ func (st *ipmState) dualResNorm() float64 {
 // matrix, so a bound captured once up front both understates what a later
 // attempt needs and — when taken from MaxAbs of the full matrix — overshoots
 // badly for Schur complements whose off-diagonal entries dwarf the diagonal.
-// On success the (possibly shifted) matrix remains in schur.
-func factorSchur(schur *linalg.Dense, workers int) (*linalg.Cholesky, error) {
+// On success the (possibly shifted) matrix remains in schur, and the
+// second return value reports how many shifted retries were needed (0 on a
+// clean factorization) — surfaced per iteration by the trace layer.
+func factorSchur(schur *linalg.Dense, workers int) (*linalg.Cholesky, int, error) {
 	m := schur.Rows
 	scale := 1e-13
 	var err error
@@ -424,7 +483,7 @@ func factorSchur(schur *linalg.Dense, workers int) (*linalg.Cholesky, error) {
 		var sfac *linalg.Cholesky
 		sfac, err = linalg.NewCholeskyP(schur, workers)
 		if err == nil {
-			return sfac, nil
+			return sfac, attempt, nil
 		}
 		dmax := 0.0
 		for i := 0; i < m; i++ {
@@ -438,7 +497,7 @@ func factorSchur(schur *linalg.Dense, workers int) (*linalg.Cholesky, error) {
 		}
 		scale *= 100
 	}
-	return nil, err
+	return nil, 8, err
 }
 
 // formSchur builds M_kl = Σ_blocks tr(A_k X A_l S⁻¹) + Σ_i a_ki a_li xᵢ/sᵢ.

@@ -1,0 +1,220 @@
+package sdp
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sdpfloor/internal/trace"
+)
+
+// traceProblem is the fixed GSRC-scale instance the acceptance tests solve:
+// a 12×12 PSD block with 10 constraints, seeded so every run sees the same
+// problem.
+func traceProblem() *Problem {
+	return randomFeasibleSDP(rand.New(rand.NewSource(7)), 12, 10)
+}
+
+// recordJSONL runs solve with a JSONL recorder and returns the trace with
+// timestamps stripped, one line per event.
+func recordJSONL(t *testing.T, solve func(rec trace.Recorder)) []string {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := trace.NewJSONL(&buf)
+	solve(rec)
+	if err := rec.Err(); err != nil {
+		t.Fatalf("jsonl recorder: %v", err)
+	}
+	raw := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	out := make([]string, len(raw))
+	for i, line := range raw {
+		out[i] = trace.StripTS(line)
+		if out[i] == line {
+			t.Fatalf("line %d: timestamp not stripped: %q", i, line)
+		}
+	}
+	return out
+}
+
+// assertWellFormed checks the trace contract: every line parses, the first
+// event is "start", and exactly one "final" closes the trace.
+func assertWellFormed(t *testing.T, lines []string, solver, status string) {
+	t.Helper()
+	if len(lines) < 2 {
+		t.Fatalf("trace too short: %d lines", len(lines))
+	}
+	finals := 0
+	for i, line := range lines {
+		ev, err := trace.ParseLine([]byte(line))
+		if err != nil {
+			t.Fatalf("line %d unparseable: %v (%q)", i, err, line)
+		}
+		if ev.Solver != solver {
+			t.Fatalf("line %d: solver %q, want %q", i, ev.Solver, solver)
+		}
+		switch {
+		case i == 0:
+			if ev.Kind != trace.KindStart {
+				t.Fatalf("first event kind %q, want start", ev.Kind)
+			}
+		case ev.Kind == trace.KindFinal:
+			finals++
+			if i != len(lines)-1 {
+				t.Fatalf("final event at line %d of %d", i, len(lines))
+			}
+			if ev.Status != status {
+				t.Fatalf("final status %q, want %q", ev.Status, status)
+			}
+		}
+	}
+	if finals != 1 {
+		t.Fatalf("got %d final events, want exactly 1", finals)
+	}
+}
+
+// TestIPMTraceDeterministicAcrossWorkers is the acceptance criterion: the
+// JSONL trace of one IPM solve, timestamps stripped, is byte-identical for
+// Workers = 1, 2, 8.
+func TestIPMTraceDeterministicAcrossWorkers(t *testing.T) {
+	var want []string
+	for _, workers := range []int{1, 2, 8} {
+		prob := traceProblem()
+		lines := recordJSONL(t, func(rec trace.Recorder) {
+			if _, err := SolveIPM(prob, IPMOptions{Workers: workers, Trace: rec}); err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+		})
+		assertWellFormed(t, lines, "ipm", StatusOptimal.String())
+		if want == nil {
+			want = lines
+			continue
+		}
+		if len(lines) != len(want) {
+			t.Fatalf("workers=%d: %d lines, want %d", workers, len(lines), len(want))
+		}
+		for i := range lines {
+			if lines[i] != want[i] {
+				t.Fatalf("workers=%d: line %d differs:\n got %s\nwant %s", workers, i, lines[i], want[i])
+			}
+		}
+	}
+}
+
+// TestADMMTraceDeterministicAcrossWorkers mirrors the IPM test for the
+// first-order solver.
+func TestADMMTraceDeterministicAcrossWorkers(t *testing.T) {
+	var want []string
+	for _, workers := range []int{1, 2, 8} {
+		prob := traceProblem()
+		lines := recordJSONL(t, func(rec trace.Recorder) {
+			if _, err := SolveADMM(prob, ADMMOptions{Workers: workers, MaxIter: 300, Trace: rec}); err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+		})
+		if want == nil {
+			want = lines
+			continue
+		}
+		if len(lines) != len(want) {
+			t.Fatalf("workers=%d: %d lines, want %d", workers, len(lines), len(want))
+		}
+		for i := range lines {
+			if lines[i] != want[i] {
+				t.Fatalf("workers=%d: line %d differs:\n got %s\nwant %s", workers, i, lines[i], want[i])
+			}
+		}
+	}
+}
+
+// cancelAfterRecorder cancels a context after n "iter" events, from inside
+// Record — a deterministic way to interrupt a solver mid-run. It forwards
+// everything to next.
+type cancelAfterRecorder struct {
+	next   trace.Recorder
+	cancel context.CancelFunc
+	n      int
+	seen   int
+}
+
+func (c *cancelAfterRecorder) Enabled() bool { return true }
+
+func (c *cancelAfterRecorder) Record(ev trace.Event) {
+	c.next.Record(ev)
+	if ev.Kind == trace.KindIter {
+		c.seen++
+		if c.seen == c.n {
+			c.cancel()
+		}
+	}
+}
+
+// TestIPMTraceFinalOnCancel asserts the satellite-4 fix: a context-cancelled
+// IPM run still emits a well-formed trace ending in one "final" event with
+// status "cancelled".
+func TestIPMTraceFinalOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	lines := recordJSONL(t, func(rec trace.Recorder) {
+		wrapped := &cancelAfterRecorder{next: rec, cancel: cancel, n: 2}
+		sol, err := SolveIPM(traceProblem(), IPMOptions{Context: ctx, Trace: wrapped})
+		if err == nil {
+			t.Fatal("want cancellation error")
+		}
+		if sol == nil || sol.Status != StatusCancelled {
+			t.Fatalf("want partial solution with StatusCancelled, got %+v", sol)
+		}
+	})
+	assertWellFormed(t, lines, "ipm", StatusCancelled.String())
+}
+
+// TestADMMTraceFinalOnCancel is the ADMM counterpart.
+func TestADMMTraceFinalOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	lines := recordJSONL(t, func(rec trace.Recorder) {
+		wrapped := &cancelAfterRecorder{next: rec, cancel: cancel, n: 3}
+		sol, err := SolveADMM(traceProblem(), ADMMOptions{Context: ctx, Trace: wrapped})
+		if err == nil {
+			t.Fatal("want cancellation error")
+		}
+		if sol == nil || sol.Status != StatusCancelled {
+			t.Fatalf("want partial solution with StatusCancelled, got %+v", sol)
+		}
+	})
+	assertWellFormed(t, lines, "admm", StatusCancelled.String())
+}
+
+// TestIPMTraceRecordsCholeskyRetries pins the per-iteration payload: every
+// iter event carries the cholRetries field (zero on this well-conditioned
+// problem) and monotone non-increasing μ is visible in the trace.
+func TestIPMTraceRecordsIterationFields(t *testing.T) {
+	ring := trace.NewRing(1024)
+	if _, err := SolveIPM(traceProblem(), IPMOptions{Trace: ring}); err != nil {
+		t.Fatal(err)
+	}
+	evs := ring.Snapshot()
+	iters := 0
+	for _, ev := range evs {
+		if ev.Kind != trace.KindIter {
+			continue
+		}
+		iters++
+		fields := map[string]float64{}
+		for _, f := range ev.Fields {
+			fields[f.Key] = f.Val
+		}
+		for _, key := range []string{"mu", "pobj", "dobj", "relP", "relD", "relG", "sigma", "alphaP", "alphaD", "cholRetries"} {
+			if _, ok := fields[key]; !ok {
+				t.Fatalf("iter %d missing field %q: %+v", ev.Iter, key, ev.Fields)
+			}
+		}
+		if fields["mu"] < 0 {
+			t.Fatalf("iter %d: negative mu %g", ev.Iter, fields["mu"])
+		}
+	}
+	if iters == 0 {
+		t.Fatal("no iter events recorded")
+	}
+}

@@ -1,0 +1,9 @@
+package sdp
+
+import "sdpfloor/internal/trace"
+
+// traceOn reports whether rec is active. Solvers guard event construction
+// on it, so a nil or disabled recorder keeps the iteration loops free of
+// any tracing work (benchmarked in internal/trace and gated by benchdiff
+// on the solver benchmarks, which run untraced).
+func traceOn(rec trace.Recorder) bool { return rec != nil && rec.Enabled() }

@@ -6,10 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
+	"strconv"
 	"time"
 
 	"sdpfloor"
+	"sdpfloor/internal/trace"
 )
 
 // jobRequestJSON is the wire form of a job submission.
@@ -45,19 +48,55 @@ type errorJSON struct {
 //	GET    /v1/jobs           list all jobs
 //	GET    /v1/jobs/{id}      job status
 //	GET    /v1/jobs/{id}/result  result of a done job (409 while unfinished)
+//	GET    /v1/jobs/{id}/trace   captured solver telemetry as JSONL
 //	DELETE /v1/jobs/{id}      cancel a queued or running job
 //	GET    /healthz           liveness + pool info
 //	GET    /metrics           expvar-style JSON counters
+//	GET    /debug/pprof/...   runtime profiling (CPU, heap, goroutines)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// handleTrace streams a job's captured telemetry as JSONL (one event per
+// line, oldest first). Events the bounded ring already discarded are counted
+// in the X-Trace-Dropped header.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	evs, dropped, err := s.Trace(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if dropped > 0 {
+		w.Header().Set("X-Trace-Dropped", strconv.FormatInt(dropped, 10))
+	}
+	w.WriteHeader(http.StatusOK)
+	ctx := r.Context()
+	var buf []byte
+	for _, ev := range evs {
+		if ctx.Err() != nil {
+			return
+		}
+		buf = trace.AppendJSON(buf[:0], ev)
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return
+		}
+	}
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"sdpfloor"
+	"sdpfloor/internal/trace"
 )
 
 // State is a job's position in the lifecycle
@@ -124,6 +125,12 @@ type Job struct {
 	cancel      func() // non-nil while running
 	cancelAsked bool
 	done        chan struct{} // closed on reaching a terminal state
+
+	// trace is the bounded solver-telemetry ring, set when the job starts
+	// running. The pointer is guarded by the server mutex like every other
+	// field; the ring itself is internally synchronized, so handlers
+	// snapshot it without holding the server lock.
+	trace *trace.Ring
 }
 
 // Status is an immutable snapshot of a job, safe to serialize concurrently

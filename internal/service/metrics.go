@@ -2,7 +2,23 @@ package service
 
 import (
 	"sync/atomic"
+	"time"
 )
+
+// iterLatencyBuckets are the cumulative upper bounds of the solver
+// iteration-latency histogram (prometheus-style "le" buckets): the wall-clock
+// gap between consecutive per-iteration trace events of one job. The final
+// +Inf bucket therefore counts every observed iteration.
+var iterLatencyBuckets = [...]struct {
+	key string
+	le  time.Duration
+}{
+	{"iter_latency_le_1ms_total", time.Millisecond},
+	{"iter_latency_le_10ms_total", 10 * time.Millisecond},
+	{"iter_latency_le_100ms_total", 100 * time.Millisecond},
+	{"iter_latency_le_1s_total", time.Second},
+	{"iter_latency_le_inf_total", 1<<63 - 1},
+}
 
 // Metrics are the service's monotonic counters, exported as expvar-style
 // flat JSON on /metrics. Gauges derived from live state (jobs by state,
@@ -18,6 +34,20 @@ type Metrics struct {
 	SolveMillis    atomic.Int64 // total solve wall-clock across finished jobs
 	ConvexIters    atomic.Int64 // convex-iteration count across SDP jobs
 	SubSolverIters atomic.Int64 // IPM/ADMM iterations across SDP jobs
+	TraceEvents    atomic.Int64 // solver trace events captured across jobs
+
+	// IterLatency counts iteration latencies per iterLatencyBuckets bound.
+	IterLatency [len(iterLatencyBuckets)]atomic.Int64
+}
+
+// observeIterLatency records one iteration latency in every cumulative
+// bucket it fits.
+func (m *Metrics) observeIterLatency(d time.Duration) {
+	for i := range iterLatencyBuckets {
+		if d <= iterLatencyBuckets[i].le {
+			m.IterLatency[i].Add(1)
+		}
+	}
 }
 
 // snapshot flattens the counters into a map, merging the provided gauges.
@@ -33,6 +63,10 @@ func (m *Metrics) snapshot(gauges map[string]int64) map[string]int64 {
 		"solve_millis_total":      m.SolveMillis.Load(),
 		"convex_iterations_total": m.ConvexIters.Load(),
 		"solver_iterations_total": m.SubSolverIters.Load(),
+		"trace_events_total":      m.TraceEvents.Load(),
+	}
+	for i := range iterLatencyBuckets {
+		out[iterLatencyBuckets[i].key] = m.IterLatency[i].Load()
 	}
 	for k, v := range gauges {
 		out[k] = v

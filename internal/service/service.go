@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"sdpfloor"
+	"sdpfloor/internal/trace"
 )
 
 // Config tunes a Server.
@@ -37,6 +38,10 @@ type Config struct {
 	MaxTimeout time.Duration
 	// CacheSize bounds the result cache entry count (default 128).
 	CacheSize int
+	// TraceDepth bounds the per-job solver-telemetry ring buffer served by
+	// GET /v1/jobs/{id}/trace: the newest TraceDepth events are retained,
+	// older ones are dropped and counted (default 4096).
+	TraceDepth int
 	// Logf, when non-nil, receives service log lines.
 	Logf func(format string, args ...any)
 }
@@ -62,6 +67,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.CacheSize <= 0 {
 		c.CacheSize = 128
+	}
+	if c.TraceDepth <= 0 {
+		c.TraceDepth = 4096
 	}
 }
 
@@ -318,7 +326,9 @@ func (s *Server) runJob(j *Job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	j.cancel = cancel
+	j.trace = trace.NewRing(s.cfg.TraceDepth)
 	req := j.req
+	ring := j.trace
 	s.mu.Unlock()
 	defer cancel()
 
@@ -327,6 +337,7 @@ func (s *Server) runJob(j *Job) {
 		Method:           req.Method,
 		Seed:             req.Seed,
 		SkipEnhancements: req.Basic,
+		Trace:            &jobRecorder{ring: ring, m: &s.metrics},
 	}
 	cfg.Global.Workers = s.cfg.SolveWorkers
 	fp, err := s.placeFn(ctx, req.Netlist, cfg)

@@ -1,0 +1,61 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"sdpfloor/internal/trace"
+)
+
+// jobRecorder is the trace.Recorder handed to each solve: it forwards every
+// event into the job's bounded ring buffer (served by GET /v1/jobs/{id}/trace)
+// and feeds the service-level iteration-latency histogram with the wall-clock
+// gap between consecutive per-iteration events. Latency is measured here with
+// the recorder's own clock rather than taken from event content, which stays
+// free of timing data so traces remain deterministic.
+type jobRecorder struct {
+	ring *trace.Ring
+	m    *Metrics
+
+	mu       sync.Mutex
+	lastIter time.Time
+}
+
+func (r *jobRecorder) Enabled() bool { return true }
+
+func (r *jobRecorder) Record(ev trace.Event) {
+	r.ring.Record(ev)
+	r.m.TraceEvents.Add(1)
+	if ev.Kind != trace.KindIter {
+		return
+	}
+	now := time.Now()
+	r.mu.Lock()
+	last := r.lastIter
+	r.lastIter = now
+	r.mu.Unlock()
+	if !last.IsZero() {
+		r.m.observeIterLatency(now.Sub(last))
+	}
+}
+
+// Trace snapshots the captured solver telemetry of a job, oldest event first,
+// along with the number of events the bounded ring has already discarded. A
+// job that has not started solving (still queued, or served from the cache)
+// has no trace yet and returns an empty snapshot.
+func (s *Server) Trace(id string) ([]trace.Event, int64, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var ring *trace.Ring
+	if ok {
+		ring = j.trace
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, 0, ErrNotFound
+	}
+	if ring == nil {
+		return nil, 0, nil
+	}
+	return ring.Snapshot(), ring.Dropped(), nil
+}

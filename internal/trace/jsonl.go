@@ -1,0 +1,293 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync"
+)
+
+// JSONL streams events as JSON Lines: one flat object per event, written
+// in a single w.Write call. The serialization is deterministic — keys in
+// a fixed order, floats in their shortest round-trip form — and "ts" is
+// always the first key so StripTS can remove the only non-deterministic
+// part of a line. Write errors are latched in Err rather than surfaced to
+// the solver.
+type JSONL struct {
+	// Clock overrides the timestamp source; nil uses time.Now. Set it
+	// before the first Record (it is read without locking).
+	Clock func() int64
+
+	mu    sync.Mutex
+	w     io.Writer
+	buf   []byte
+	lines int64
+	err   error
+}
+
+// NewJSONL returns a recorder writing one line per event to w. The caller
+// owns buffering and closing of w (cmd/sdpfloor wraps a bufio.Writer).
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: w, buf: make([]byte, 0, 256)}
+}
+
+// Enabled reports true.
+func (j *JSONL) Enabled() bool { return true }
+
+// Record stamps the event and writes its JSONL line.
+func (j *JSONL) Record(ev Event) {
+	ev.TS = now(j.Clock)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.buf = AppendJSON(j.buf[:0], ev)
+	j.buf = append(j.buf, '\n')
+	if _, err := j.w.Write(j.buf); err != nil {
+		j.err = err
+		return
+	}
+	j.lines++
+}
+
+// Lines returns the number of lines successfully written.
+func (j *JSONL) Lines() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lines
+}
+
+// Err returns the first write error, if any; later events were dropped.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// AppendJSON appends the deterministic JSONL form of ev (without the
+// trailing newline) to b and returns the extended slice. The "ts" key is
+// always first; "status" appears only when non-empty; fields follow in
+// their stored order. Non-finite field values are encoded as the strings
+// "NaN", "+Inf", and "-Inf" (bare NaN/Inf are not valid JSON).
+func AppendJSON(b []byte, ev Event) []byte {
+	b = append(b, `{"ts":`...)
+	b = strconv.AppendInt(b, ev.TS, 10)
+	b = append(b, `,"solver":`...)
+	b = strconv.AppendQuote(b, ev.Solver)
+	b = append(b, `,"kind":`...)
+	b = strconv.AppendQuote(b, ev.Kind)
+	b = append(b, `,"iter":`...)
+	b = strconv.AppendInt(b, int64(ev.Iter), 10)
+	if ev.Status != "" {
+		b = append(b, `,"status":`...)
+		b = strconv.AppendQuote(b, ev.Status)
+	}
+	for _, f := range ev.Fields {
+		b = append(b, ',')
+		b = strconv.AppendQuote(b, f.Key)
+		b = append(b, ':')
+		b = appendFloat(b, f.Val)
+	}
+	return append(b, '}')
+}
+
+func appendFloat(b []byte, v float64) []byte {
+	switch {
+	case math.IsNaN(v):
+		return append(b, `"NaN"`...)
+	case math.IsInf(v, 1):
+		return append(b, `"+Inf"`...)
+	case math.IsInf(v, -1):
+		return append(b, `"-Inf"`...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// StripTS removes the leading "ts" entry from one JSONL line, leaving the
+// deterministic remainder — the transformation under which traces of the
+// same solve are byte-identical across runs and worker counts. Lines not
+// produced by AppendJSON are returned unchanged.
+func StripTS(line string) string {
+	const prefix = `{"ts":`
+	if len(line) < len(prefix) || line[:len(prefix)] != prefix {
+		return line
+	}
+	for i := len(prefix); i < len(line); i++ {
+		switch c := line[i]; {
+		case c >= '0' && c <= '9' || c == '-':
+			continue
+		case c == ',':
+			return "{" + line[i+1:]
+		default:
+			return line
+		}
+	}
+	return line
+}
+
+// ParseLine decodes one JSONL line produced by AppendJSON back into an
+// Event, preserving field order. cmd/tracesum and the trace tests use it;
+// it is not a general JSON parser (flat object, string or number values).
+func ParseLine(line []byte) (Event, error) {
+	var ev Event
+	p := lineParser{b: line}
+	p.ws()
+	if err := p.expect('{'); err != nil {
+		return ev, err
+	}
+	p.ws()
+	if p.peek() == '}' {
+		p.i++
+		return ev, p.trailing()
+	}
+	for {
+		p.ws()
+		key, err := p.str()
+		if err != nil {
+			return ev, err
+		}
+		p.ws()
+		if err := p.expect(':'); err != nil {
+			return ev, err
+		}
+		p.ws()
+		if err := p.value(&ev, key); err != nil {
+			return ev, err
+		}
+		p.ws()
+		switch p.peek() {
+		case ',':
+			p.i++
+		case '}':
+			p.i++
+			return ev, p.trailing()
+		default:
+			return ev, fmt.Errorf("trace: bad byte at offset %d in %q", p.i, line)
+		}
+	}
+}
+
+type lineParser struct {
+	b []byte
+	i int
+}
+
+func (p *lineParser) ws() {
+	for p.i < len(p.b) && (p.b[p.i] == ' ' || p.b[p.i] == '\t' || p.b[p.i] == '\r' || p.b[p.i] == '\n') {
+		p.i++
+	}
+}
+
+func (p *lineParser) peek() byte {
+	if p.i < len(p.b) {
+		return p.b[p.i]
+	}
+	return 0
+}
+
+func (p *lineParser) expect(c byte) error {
+	if p.peek() != c {
+		return fmt.Errorf("trace: expected %q at offset %d in %q", c, p.i, p.b)
+	}
+	p.i++
+	return nil
+}
+
+func (p *lineParser) trailing() error {
+	p.ws()
+	if p.i != len(p.b) {
+		return fmt.Errorf("trace: trailing data after object in %q", p.b)
+	}
+	return nil
+}
+
+// str parses a quoted JSON string at the cursor.
+func (p *lineParser) str() (string, error) {
+	if p.peek() != '"' {
+		return "", fmt.Errorf("trace: expected string at offset %d in %q", p.i, p.b)
+	}
+	start := p.i
+	p.i++
+	for p.i < len(p.b) {
+		switch p.b[p.i] {
+		case '\\':
+			p.i += 2
+		case '"':
+			p.i++
+			s, err := strconv.Unquote(string(p.b[start:p.i]))
+			if err != nil {
+				return "", fmt.Errorf("trace: bad string %q: %w", p.b[start:p.i], err)
+			}
+			return s, nil
+		default:
+			p.i++
+		}
+	}
+	return "", errors.New("trace: unterminated string")
+}
+
+// value parses the value for key and stores it into ev.
+func (p *lineParser) value(ev *Event, key string) error {
+	if p.peek() == '"' {
+		s, err := p.str()
+		if err != nil {
+			return err
+		}
+		switch key {
+		case "solver":
+			ev.Solver = s
+		case "kind":
+			ev.Kind = s
+		case "status":
+			ev.Status = s
+		default:
+			// Non-finite field encodings round-trip through quoted strings.
+			switch s {
+			case "NaN":
+				ev.Fields = append(ev.Fields, Field{Key: key, Val: math.NaN()})
+			case "+Inf":
+				ev.Fields = append(ev.Fields, Field{Key: key, Val: math.Inf(1)})
+			case "-Inf":
+				ev.Fields = append(ev.Fields, Field{Key: key, Val: math.Inf(-1)})
+			default:
+				return fmt.Errorf("trace: unexpected string value %q for key %q", s, key)
+			}
+		}
+		return nil
+	}
+	start := p.i
+	for p.i < len(p.b) {
+		c := p.b[p.i]
+		if c == ',' || c == '}' || c == ' ' || c == '\t' {
+			break
+		}
+		p.i++
+	}
+	tok := string(p.b[start:p.i])
+	switch key {
+	case "ts":
+		n, err := strconv.ParseInt(tok, 10, 64)
+		if err != nil {
+			return fmt.Errorf("trace: bad ts %q: %w", tok, err)
+		}
+		ev.TS = n
+	case "iter":
+		n, err := strconv.Atoi(tok)
+		if err != nil {
+			return fmt.Errorf("trace: bad iter %q: %w", tok, err)
+		}
+		ev.Iter = n
+	case "solver", "kind", "status":
+		return fmt.Errorf("trace: key %q needs a string value, got %q", key, tok)
+	default:
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return fmt.Errorf("trace: bad number %q for key %q: %w", tok, key, err)
+		}
+		ev.Fields = append(ev.Fields, Field{Key: key, Val: v})
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Ring is a bounded in-memory recorder: it keeps the most recent cap
+// events and drops the oldest beyond that. floorpland attaches one Ring
+// per job and serves its snapshot at /v1/jobs/{id}/trace, so a
+// long-running solve stays observable mid-flight at fixed memory cost.
+type Ring struct {
+	// Clock overrides the timestamp source; nil uses time.Now. Set it
+	// before the first Record (it is read without locking).
+	Clock func() int64
+
+	mu    sync.Mutex
+	buf   []Event
+	next  int   // index of the slot the next event lands in
+	total int64 // events ever recorded, including dropped ones
+}
+
+// NewRing returns a ring holding the last cap events (minimum 1).
+func NewRing(cap int) *Ring {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Ring{buf: make([]Event, 0, cap)}
+}
+
+// Enabled reports true.
+func (r *Ring) Enabled() bool { return true }
+
+// Record stamps the event and stores it, evicting the oldest when full.
+func (r *Ring) Record(ev Event) {
+	ev.TS = now(r.Clock)
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.next] = ev
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained events oldest-first. Safe to call while a
+// solve is still recording.
+func (r *Ring) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total returns the number of events ever recorded (retained or dropped).
+func (r *Ring) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dropped returns how many events were evicted by the capacity bound.
+func (r *Ring) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total - int64(len(r.buf))
+}
+
+func now(clock func() int64) int64 {
+	if clock != nil {
+		return clock()
+	}
+	return time.Now().UnixNano()
+}

@@ -42,6 +42,7 @@ import (
 	"sdpfloor/internal/gsrc"
 	"sdpfloor/internal/legalize"
 	"sdpfloor/internal/netlist"
+	"sdpfloor/internal/trace"
 )
 
 // Core geometric and netlist types, re-exported for API users.
@@ -69,6 +70,9 @@ type (
 	Design = gsrc.Design
 	// LegalFloorplan is a legalized floorplan.
 	LegalFloorplan = legalize.Result
+	// TraceRecorder receives structured per-iteration solver telemetry; set
+	// one in Config.Trace. See internal/trace and docs/TRACING.md.
+	TraceRecorder = trace.Recorder
 )
 
 // Method identifies a global floorplanning algorithm.
@@ -102,6 +106,13 @@ type Config struct {
 	// SkipEnhancements leaves the Section IV-B techniques off for
 	// MethodSDP (the "basic" algorithm; mostly useful for ablations).
 	SkipEnhancements bool
+	// Trace, when non-nil and enabled, receives one structured event per
+	// solver iteration from every iterative stage of the run: the convex
+	// iteration ("core"), its SDP sub-problem solves ("ipm"/"admm"), and the
+	// legalizer's L-BFGS shape rounds ("lbfgs"). Ignored when
+	// Global.Trace is already set (the explicit recorder wins). Event
+	// content is deterministic across worker counts; only timestamps vary.
+	Trace TraceRecorder
 }
 
 // Floorplan is the end-to-end result of Place.
@@ -148,6 +159,9 @@ func PlaceContext(ctx context.Context, nl *Netlist, cfg Config) (*Floorplan, err
 	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if cfg.Global.Trace == nil {
+		cfg.Global.Trace = cfg.Trace
 	}
 
 	fp := &Floorplan{}
@@ -224,7 +238,7 @@ func PlaceContext(ctx context.Context, nl *Netlist, cfg Config) (*Floorplan, err
 		return nil, fmt.Errorf("sdpfloor: unknown method %q", cfg.Method)
 	}
 
-	leg, err := legalize.Legalize(nl, fp.Global, legalize.Options{Outline: cfg.Outline, Context: ctx})
+	leg, err := legalize.Legalize(nl, fp.Global, legalize.Options{Outline: cfg.Outline, Context: ctx, Trace: cfg.Global.Trace})
 	if err != nil {
 		return partialOrNil(fp, err), err
 	}
