@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint sdpvet race cover bench bench-baseline benchdiff clean
+.PHONY: build test check lint sdpvet race cover bench bench-baseline benchdiff fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,15 @@ bench-baseline:
 benchdiff:
 	$(GO) run ./cmd/benchdiff run -o BENCH_current.json
 	$(GO) run ./cmd/benchdiff compare -baseline BENCH_baseline.json -current BENCH_current.json
+
+# fuzz-smoke gives each GSRC-parser fuzz target a short native-fuzzing run
+# (Go can only fuzz one target per invocation). The seeds always run under
+# plain `make test`; this adds coverage-guided exploration on top.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test ./internal/gsrc/ -run '^$$' -fuzz FuzzParseBlocks -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/gsrc/ -run '^$$' -fuzz FuzzParseNets -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/gsrc/ -run '^$$' -fuzz FuzzParsePl -fuzztime $(FUZZTIME)
 
 clean:
 	$(GO) clean ./...

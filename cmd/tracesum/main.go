@@ -1,8 +1,9 @@
 // Command tracesum summarizes a solver telemetry trace — the JSONL written
 // by sdpfloor -trace or fetched from floorpland's /v1/jobs/{id}/trace. It
-// prints one aggregate row per solver (runs, iterations, wall time from the
-// event timestamps, terminal statuses) followed by a convergence table of
-// each solver's most recent run.
+// prints one aggregate row per solver (runs, warm-started runs, iterations,
+// wall time from the event timestamps, terminal statuses), a warm-vs-cold
+// iterations-to-converge comparison when a solver has both kinds of run, and
+// a convergence table of each solver's most recent run.
 //
 // Usage:
 //
@@ -77,6 +78,11 @@ type solverAgg struct {
 	wall     time.Duration
 	statuses []string // per closed run, in order
 	last     *solverRun
+	// Warm-start accounting, from the "warm" field on final events (runs
+	// whose final lacks the field — older traces, the core loop — count in
+	// neither bucket). Iterations-to-converge come from the final's Iter.
+	warmRuns, coldRuns   int
+	warmIters, coldIters int
 }
 
 // run parses the JSONL trace from in and writes the summary to out. Only
@@ -142,6 +148,15 @@ func run(in io.Reader, out io.Writer, solver string, tail int) error {
 			r.iters = ev.Iter
 			a.wall += r.wall()
 			a.statuses = append(a.statuses, r.status)
+			if found, isWarm := warmOf(ev); found {
+				if isWarm {
+					a.warmRuns++
+					a.warmIters += ev.Iter
+				} else {
+					a.coldRuns++
+					a.coldIters += ev.Iter
+				}
+			}
 		default:
 			return fmt.Errorf("line %d: unknown event kind %q", lineNo, ev.Kind)
 		}
@@ -156,13 +171,27 @@ func run(in io.Reader, out io.Writer, solver string, tail int) error {
 
 	fmt.Fprintf(out, "%d events\n\n", events)
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', tabwriter.AlignRight)
-	fmt.Fprintln(tw, "solver\truns\titers\twall\tstatuses\t")
+	fmt.Fprintln(tw, "solver\truns\twarm\titers\twall\tstatuses\t")
 	for _, name := range order {
 		a := aggs[name]
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t\n",
-			a.name, a.runs, a.iters, fmtWall(a.wall), statusCounts(a.statuses))
+		warm := "-"
+		if a.warmRuns+a.coldRuns > 0 {
+			warm = fmt.Sprintf("%d/%d", a.warmRuns, a.warmRuns+a.coldRuns)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%s\t%s\t\n",
+			a.name, a.runs, warm, a.iters, fmtWall(a.wall), statusCounts(a.statuses))
 	}
 	tw.Flush()
+	for _, name := range order {
+		a := aggs[name]
+		if a.warmRuns == 0 || a.coldRuns == 0 || a.coldIters == 0 {
+			continue
+		}
+		aw := float64(a.warmIters) / float64(a.warmRuns)
+		ac := float64(a.coldIters) / float64(a.coldRuns)
+		fmt.Fprintf(out, "%s: warm runs averaged %.1f iterations to converge vs %.1f cold (%.0f%% saved)\n",
+			a.name, aw, ac, (1-aw/ac)*100)
+	}
 
 	for _, name := range order {
 		a := aggs[name]
@@ -221,6 +250,17 @@ func writeConvergence(out io.Writer, evs []trace.Event, tail int) {
 		fmt.Fprintln(tw)
 	}
 	tw.Flush()
+}
+
+// warmOf reads the "warm" field of an event: found reports whether the
+// field exists, isWarm whether it flags a warm-started run.
+func warmOf(ev trace.Event) (found, isWarm bool) {
+	for _, f := range ev.Fields {
+		if f.Key == "warm" {
+			return true, f.Val > 0.5
+		}
+	}
+	return false, false
 }
 
 // fmtWall renders a TS delta; traces with stripped or synthetic timestamps

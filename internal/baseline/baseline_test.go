@@ -62,7 +62,7 @@ func TestQPWithoutPadsCollapses(t *testing.T) {
 	}
 	for i := 1; i < 3; i++ {
 		if res.Centers[i].Dist(res.Centers[0]) > 1e-6 {
-			t.Fatalf("expected collapapsed solution, got %v", res.Centers)
+			t.Fatalf("expected collapsed solution, got %v", res.Centers)
 		}
 	}
 	if res.Objective > 1e-9 {

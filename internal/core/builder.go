@@ -33,6 +33,12 @@ type builder struct {
 	// slackCount tracks consecutive convex iterations in which a working-set
 	// pair's constraint stayed far from active (lazy-constraint dropping).
 	slackCount map[pair]int
+	// warm carries the previous sub-problem solution and reuse caches across
+	// the solve sequence (nil until the first solve; see warmstart.go).
+	warm *warmState
+	// subSolves/warmStarts count sub-problem-1 solves and how many of them
+	// consumed a warm start — surfaced in Result and the service metrics.
+	subSolves, warmStarts int
 }
 
 func newBuilder(nl *netlist.Netlist, opt *Options) *builder {

@@ -42,8 +42,14 @@ type Result struct {
 	// of the final lazy round of every convex iteration — the dominant cost
 	// driver, exported as a service metric.
 	SolverIterations int
-	RankOK           bool
-	History          []IterRecord
+	// SubSolves counts sub-problem-1 SDP solves, lazy rounds included.
+	// WarmStarts counts how many of them actually consumed a warm start —
+	// the IPM may fall back to cold, so this is reported by the solver, not
+	// inferred from the options. Zero when Options.NoWarmStart is set.
+	SubSolves  int
+	WarmStarts int
+	RankOK     bool
+	History    []IterRecord
 }
 
 // Solve runs Algorithm 1 on the netlist: the convex iteration over
@@ -81,6 +87,7 @@ func Solve(nl *netlist.Netlist, opt Options) (res *Result, err error) {
 					{Key: "rank", Val: float64(res.Rank)},
 					{Key: "rankOK", Val: boolField(res.RankOK)},
 					{Key: "solverIters", Val: float64(res.SolverIterations)},
+					{Key: "warmStarts", Val: float64(res.WarmStarts)},
 				}
 			}
 			opt.Trace.Record(ev)
@@ -95,6 +102,14 @@ func Solve(nl *netlist.Netlist, opt Options) (res *Result, err error) {
 		})
 	}
 	bld := newBuilder(nl, &opt)
+	// The solve counters live on the builder; copy them onto every returned
+	// result. Registered after the trace defer, so it runs first (LIFO) and
+	// the final "core" trace event sees the counts.
+	defer func() {
+		if res != nil {
+			res.SubSolves, res.WarmStarts = bld.subSolves, bld.warmStarts
+		}
+	}()
 	b0 := netlist.BuildBP(bld.baseA, opt.Workers)
 
 	// Working set for the distance constraints.
@@ -113,7 +128,7 @@ func Solve(nl *netlist.Netlist, opt Options) (res *Result, err error) {
 	w := linalg.Identity(bld.dim) // W⁰ = I: trace heuristic (Algorithm 1 line 3)
 	var z *linalg.Dense
 	var centers []geom.Point
-	var warm *sdp.Solution
+	var sol *sdp.Solution
 
 	alpha := opt.Alpha0
 	if alpha == 0 {
@@ -144,7 +159,7 @@ func Solve(nl *netlist.Netlist, opt Options) (res *Result, err error) {
 			start := time.Now() //sdpvet:ignore detrand wall-clock SolveTime diagnostic in IterRecord; never feeds placement math
 			var err error
 			prevZ := z
-			z, warm, pairs, havePairs, err = bld.solveSub1(c, pairs, havePairs, warm)
+			z, sol, pairs, havePairs, err = bld.solveSub1(c, pairs, havePairs)
 			if err != nil {
 				if isContextErr(err) {
 					res.finalize(b0, prevZ, n)
@@ -156,9 +171,11 @@ func Solve(nl *netlist.Netlist, opt Options) (res *Result, err error) {
 			}
 			elapsed := time.Since(start) //sdpvet:ignore detrand wall-clock SolveTime diagnostic in IterRecord; never feeds placement math
 			solverIters := 0
-			if warm != nil {
-				solverIters = warm.Iterations
-				res.SolverIterations += warm.Iterations
+			solverWarm := false
+			if sol != nil {
+				solverIters = sol.Iterations
+				solverWarm = sol.Warm
+				res.SolverIterations += sol.Iterations
 			}
 
 			// Sub-problem 2: closed-form direction matrix.
@@ -189,6 +206,7 @@ func Solve(nl *netlist.Netlist, opt Options) (res *Result, err error) {
 						{Key: "trZ", Val: z.Trace()},
 						{Key: "cons", Val: float64(len(pairs))},
 						{Key: "solverIters", Val: float64(solverIters)},
+						{Key: "warm", Val: boolField(solverWarm)},
 					},
 				})
 			}
@@ -265,19 +283,22 @@ func isContextErr(err error) bool {
 // solveSub1 solves sub-problem 1 for the current objective, growing the lazy
 // working set until no distance constraint is violated and dropping pairs
 // that have stayed slack for several consecutive solves (they re-enter via
-// the violation scan if they ever matter again).
-func (b *builder) solveSub1(c *linalg.Dense, pairs []pair, have map[pair]bool,
-	warm *sdp.Solution) (*linalg.Dense, *sdp.Solution, []pair, map[pair]bool, error) {
+// the violation scan if they ever matter again). Each successful solve is
+// recorded on the builder as the warm-start source for the next one — both
+// across lazy rounds and across convex iterations.
+func (b *builder) solveSub1(c *linalg.Dense, pairs []pair, have map[pair]bool) (
+	*linalg.Dense, *sdp.Solution, []pair, map[pair]bool, error) {
 
 	for round := 0; ; round++ {
 		prob := b.buildProblem(c, pairs)
-		sol, err := b.solveProblem(prob, warm)
+		sol, err := b.solveProblem(prob, pairs)
 		if err != nil {
 			return nil, nil, nil, nil, err
 		}
 		if sol.Status == sdp.StatusNumericalFailure {
 			return nil, nil, nil, nil, fmt.Errorf("sdp solver: %v (gap %.2g)", sol.Status, sol.Gap)
 		}
+		b.noteSolution(sol, pairs)
 		z := sol.X[0].Clone()
 		z.Symmetrize()
 		if !b.opt.LazyConstraints || round >= b.opt.LazyMaxRounds {
@@ -296,7 +317,6 @@ func (b *builder) solveSub1(c *linalg.Dense, pairs []pair, have map[pair]bool,
 		if b.opt.Logf != nil {
 			b.opt.Logf("core: lazy round %d added %d violated pairs (total %d)", round, len(viol), len(pairs))
 		}
-		warm = sol // reuse the PSD block as a warm start where supported
 	}
 }
 
@@ -326,19 +346,49 @@ func (b *builder) dropSlackPairs(z *linalg.Dense, pairs []pair, have map[pair]bo
 	return kept, have
 }
 
-func (b *builder) solveProblem(prob *sdp.Problem, warm *sdp.Solution) (*sdp.Solution, error) {
+// solveProblem dispatches one sub-problem-1 solve, seeding it from the
+// recorded previous solution (projected onto the current working set) unless
+// warm starting is disabled.
+func (b *builder) solveProblem(prob *sdp.Problem, pairs []pair) (*sdp.Solution, error) {
+	b.subSolves++
+	var x0, s0 []*linalg.Dense
+	var y0, xlp0, slp0 []float64
+	if w := b.warm; w != nil && w.sol != nil && !b.opt.NoWarmStart {
+		if y0, xlp0, slp0 = b.projectWarm(w, pairs); y0 != nil {
+			x0, s0 = b.warmBlocks(w.sol)
+		}
+	}
+	var sol *sdp.Solution
+	var err error
 	switch b.opt.Solver {
 	case SolverADMM:
 		opt := sdp.ADMMOptions{Tol: b.opt.SolverTol, MaxIter: b.opt.SolverMaxIter,
 			Workers: b.opt.Workers, Context: b.opt.Context, Trace: b.opt.Trace}
-		if warm != nil && warm.X != nil && warm.X[0].Rows == b.dim {
-			opt.X0 = []*linalg.Dense{warm.X[0]}
+		if x0 != nil {
+			// Mu0 deliberately stays unset; see warmState's doc comment.
+			opt.X0, opt.S0 = x0, s0
+			opt.XLP0, opt.SLP0, opt.Y0 = xlp0, slp0, y0
 		}
-		return sdp.SolveADMM(prob, opt)
+		sol, err = sdp.SolveADMM(prob, opt)
 	default:
-		return sdp.SolveIPM(prob, sdp.IPMOptions{Tol: b.opt.SolverTol, MaxIter: b.opt.SolverMaxIter,
-			Workers: b.opt.Workers, Context: b.opt.Context, Trace: b.opt.Trace})
+		opt := sdp.IPMOptions{Tol: b.opt.SolverTol, MaxIter: b.opt.SolverMaxIter,
+			Workers: b.opt.Workers, Context: b.opt.Context, Trace: b.opt.Trace}
+		if x0 != nil && s0 != nil {
+			opt.X0, opt.S0 = x0, s0
+			opt.XLP0, opt.SLP0, opt.Y0 = xlp0, slp0, y0
+		}
+		if !b.opt.NoWarmStart {
+			if b.warm == nil {
+				b.warm = &warmState{}
+			}
+			opt.Reuse = b.warm.reuseFor(pairs)
+		}
+		sol, err = sdp.SolveIPM(prob, opt)
 	}
+	if sol != nil && sol.Warm {
+		b.warmStarts++
+	}
+	return sol, err
 }
 
 // DirectionMatrix solves sub-problem 2 (Eq. 19) in closed form: by the

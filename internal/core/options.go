@@ -99,6 +99,16 @@ type Options struct {
 
 	// Solver picks the sub-problem-1 SDP solver (default IPM).
 	Solver SolverKind
+	// NoWarmStart disables the warm-start/solve-sequence reuse layer, i.e.
+	// warm starting is ON by default. When off-switched, every
+	// sub-problem-1 solve starts from the solver's cold initial point and
+	// no constraint-assembly state is carried between solves. Warm starting
+	// changes iteration counts, never certified solutions (warm and cold
+	// solves of the same SDP agree to solver tolerance — see the parity
+	// tests); the switch exists for debugging and A/B timing. Result
+	// reports WarmStarts/SubSolves, and solver trace events carry a "warm"
+	// field, so the effect is observable end to end.
+	NoWarmStart bool
 	// Workers bounds the parallelism of one solve: the SDP Schur complement,
 	// dense factorizations, eigendecompositions, and netlist matrix assembly
 	// all split across the shared worker pool at this width. 0 uses the pool

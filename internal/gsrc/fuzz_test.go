@@ -1,18 +1,64 @@
 package gsrc
 
 import (
+	"bytes"
+	"io"
+	"math"
 	"strings"
 	"testing"
 )
 
-// FuzzParseBlocks checks the .blocks parser never panics and either errors
-// or produces modules with sane fields on arbitrary input.
+// builtinText renders one file of a bundled design through its writer, giving
+// the fuzzers realistic well-formed seeds alongside the hand-written
+// adversarial ones.
+func builtinText(f *testing.F, write func(io.Writer, *Design) error) string {
+	f.Helper()
+	d, err := Builtin("n10", 1, 0.15)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := write(&buf, d); err != nil {
+		f.Fatal(err)
+	}
+	return buf.String()
+}
+
+// floatEq compares round-tripped floats: bitwise equal, both NaN, or within
+// one part in 1e12 (the writer emits shortest-round-trip representations, but
+// derived quantities like MaxAspect pass through a 1/(1/k) reciprocal pair
+// that can move the last ulp).
+func floatEq(a, b float64) bool {
+	if math.Float64bits(a) == math.Float64bits(b) {
+		return true
+	}
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-12*(math.Abs(a)+math.Abs(b))
+}
+
+// writableName reports whether a parsed name survives a write→parse cycle:
+// the writers emit names verbatim, so a name that looks like a comment, a
+// format banner, or a "key : value" header line changes meaning on re-parse.
+func writableName(name string) bool {
+	return !strings.Contains(name, ":") &&
+		!strings.HasPrefix(name, "#") &&
+		!strings.HasPrefix(name, "UCSC") &&
+		!strings.HasPrefix(name, "UCLA")
+}
+
+// FuzzParseBlocks checks the .blocks parser never panics, produces modules
+// with sane fields on arbitrary input, and that every accepted input
+// round-trips through WriteBlocks: write → parse reproduces the same modules
+// and pads.
 func FuzzParseBlocks(f *testing.F) {
 	f.Add("sb0 softrectangular 4 0.333 3.0\np0 terminal\n")
 	f.Add("bk1 hardrectilinear 4 (0, 0) (0, 133) (336, 133) (336, 0)\n")
 	f.Add("UCSC blocks 1.0\nNumTerminals : 2\n")
 	f.Add("x softrectangular nan inf -1\n")
 	f.Add("x hardrectilinear 4 (((((\n")
+	f.Add(builtinText(f, WriteBlocks))
 	f.Fuzz(func(t *testing.T, in string) {
 		var d Design
 		d.Netlist = newEmptyNetlist()
@@ -24,34 +70,141 @@ func FuzzParseBlocks(f *testing.F) {
 				t.Fatalf("parsed module without a name from %q", in)
 			}
 		}
+		for _, m := range d.Netlist.Modules {
+			if !writableName(m.Name) {
+				return
+			}
+		}
+		for _, p := range d.Netlist.Pads {
+			if !writableName(p.Name) {
+				return
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteBlocks(&buf, &d); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		var d2 Design
+		d2.Netlist = newEmptyNetlist()
+		if err := parseBlocks(bytes.NewReader(buf.Bytes()), &d2); err != nil {
+			t.Fatalf("re-parse of written output failed: %v\ninput %q\nwrote %q", err, in, buf.String())
+		}
+		if len(d2.Netlist.Modules) != len(d.Netlist.Modules) || len(d2.Netlist.Pads) != len(d.Netlist.Pads) {
+			t.Fatalf("round trip changed counts: %d/%d modules, %d/%d pads",
+				len(d.Netlist.Modules), len(d2.Netlist.Modules), len(d.Netlist.Pads), len(d2.Netlist.Pads))
+		}
+		for i, m := range d.Netlist.Modules {
+			m2 := d2.Netlist.Modules[i]
+			if m2.Name != m.Name || !floatEq(m2.MinArea, m.MinArea) || !floatEq(m2.MaxAspect, m.MaxAspect) {
+				t.Fatalf("module %d changed in round trip: %+v -> %+v", i, m, m2)
+			}
+		}
+		for i, p := range d.Netlist.Pads {
+			if d2.Netlist.Pads[i].Name != p.Name {
+				t.Fatalf("pad %d changed in round trip: %q -> %q", i, p.Name, d2.Netlist.Pads[i].Name)
+			}
+		}
 	})
 }
 
-// FuzzParseNets checks the .nets parser never panics.
+// FuzzParseNets checks the .nets parser never panics and that accepted
+// inputs round-trip through WriteNets: the kept nets' endpoint lists are
+// reproduced exactly (net names are synthesized from position, so only the
+// connectivity is compared).
 func FuzzParseNets(f *testing.F) {
 	f.Add("NetDegree : 2\nsb0 B\nsb1 B\n")
 	f.Add("NetDegree : 0\n")
 	f.Add("junk\nNetDegree : 2\nsb0 B\n")
-	f.Fuzz(func(t *testing.T, in string) {
+	f.Add("NetDegree : 3\nsb0 B\np0 B\np0 B\n")
+	f.Add(builtinText(f, WriteNets))
+	harness := func() *Design {
 		var d Design
 		d.Netlist = newEmptyNetlist()
 		d.Netlist.Modules = append(d.Netlist.Modules,
 			netlistModule("sb0"), netlistModule("sb1"))
-		_ = parseNets(strings.NewReader(in), &d) // must not panic
+		d.Netlist.Pads = append(d.Netlist.Pads, netlistPad("p0"))
+		return &d
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		d := harness()
+		if err := parseNets(strings.NewReader(in), d); err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteNets(&buf, d); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		d2 := harness()
+		if err := parseNets(bytes.NewReader(buf.Bytes()), d2); err != nil {
+			t.Fatalf("re-parse of written output failed: %v\ninput %q\nwrote %q", err, in, buf.String())
+		}
+		if len(d2.Netlist.Nets) != len(d.Netlist.Nets) {
+			t.Fatalf("round trip changed net count: %d -> %d", len(d.Netlist.Nets), len(d2.Netlist.Nets))
+		}
+		for i, e := range d.Netlist.Nets {
+			e2 := d2.Netlist.Nets[i]
+			same := len(e2.Modules) == len(e.Modules) && len(e2.Pads) == len(e.Pads)
+			for j := 0; same && j < len(e.Modules); j++ {
+				same = e2.Modules[j] == e.Modules[j]
+			}
+			for j := 0; same && j < len(e.Pads); j++ {
+				same = e2.Pads[j] == e.Pads[j]
+			}
+			if !same {
+				t.Fatalf("net %d changed in round trip: %+v -> %+v", i, e, e2)
+			}
+		}
 	})
 }
 
-// FuzzParsePl checks the .pl parser never panics and keeps positions finite
-// strings it managed to parse.
+// FuzzParsePl checks the .pl parser never panics and that accepted inputs
+// round-trip through WritePl: pad positions, FIXED module placements, and
+// the outline are reproduced bit-for-bit (NaN included).
 func FuzzParsePl(f *testing.F) {
 	f.Add("p0 1.5 2.5\nsb0 0 0 FIXED\n# outline 0 0 5 5\n")
 	f.Add("# outline a b c d\n")
 	f.Add("p0\n")
-	f.Fuzz(func(t *testing.T, in string) {
+	f.Add("p0 nan -inf\nsb0 1e308 -4 fixed\n")
+	f.Add(builtinText(f, WritePl))
+	harness := func() *Design {
 		var d Design
 		d.Netlist = newEmptyNetlist()
 		d.Netlist.Modules = append(d.Netlist.Modules, netlistModule("sb0"))
 		d.Netlist.Pads = append(d.Netlist.Pads, netlistPad("p0"))
-		_ = parsePl(strings.NewReader(in), &d) // must not panic
+		return &d
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		d := harness()
+		if err := parsePl(strings.NewReader(in), d); err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WritePl(&buf, d); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		d2 := harness()
+		if err := parsePl(bytes.NewReader(buf.Bytes()), d2); err != nil {
+			t.Fatalf("re-parse of written output failed: %v\ninput %q\nwrote %q", err, in, buf.String())
+		}
+		for _, r := range [][2]float64{
+			{d.Outline.MinX, d2.Outline.MinX}, {d.Outline.MinY, d2.Outline.MinY},
+			{d.Outline.MaxX, d2.Outline.MaxX}, {d.Outline.MaxY, d2.Outline.MaxY},
+		} {
+			if !floatEq(r[0], r[1]) {
+				t.Fatalf("outline changed in round trip: %+v -> %+v", d.Outline, d2.Outline)
+			}
+		}
+		for i, p := range d.Netlist.Pads {
+			p2 := d2.Netlist.Pads[i]
+			if !floatEq(p.Pos.X, p2.Pos.X) || !floatEq(p.Pos.Y, p2.Pos.Y) {
+				t.Fatalf("pad %d moved in round trip: %+v -> %+v", i, p.Pos, p2.Pos)
+			}
+		}
+		for i, m := range d.Netlist.Modules {
+			m2 := d2.Netlist.Modules[i]
+			if m2.Fixed != m.Fixed || !floatEq(m.FixedPos.X, m2.FixedPos.X) || !floatEq(m.FixedPos.Y, m2.FixedPos.Y) {
+				t.Fatalf("module %d placement changed in round trip: %+v -> %+v", i, m, m2)
+			}
+		}
 	})
 }

@@ -20,10 +20,23 @@ type ADMMOptions struct {
 	// PSD projection. 0 picks the shared pool default; the iterate trajectory
 	// is bitwise identical for every value (see IPMOptions.Workers).
 	Workers int
-	// Warm start (optional): initial primal/dual iterates.
+	// Warm start (optional): initial primal/dual iterates and penalty. Each
+	// field is used only when its shape matches the problem (every PSD block
+	// for X0/S0, LPDim for XLP0/SLP0, the constraint count for Y0), so a
+	// stale iterate from a differently-shaped problem silently falls back to
+	// the cold default for that piece rather than failing the solve. Mu0 > 0
+	// resumes the adapted penalty reported in Solution.Mu by a previous run;
+	// it takes precedence over Mu. Mu0 is for resuming the SAME problem
+	// (e.g. continuing after a cancellation or iteration limit): on a
+	// changed objective the terminal penalty is mistuned for the new
+	// transient and can stall convergence, which is why the automatic
+	// warm-start layer in internal/core deliberately leaves it unset.
 	X0   []*linalg.Dense
 	XLP0 []float64
 	Y0   []float64
+	S0   []*linalg.Dense
+	SLP0 []float64
+	Mu0  float64
 	// Context, when non-nil, is checked at every iteration boundary; on
 	// cancellation or deadline the solver stops, returns the current iterate
 	// with StatusCancelled, and reports the context error.
@@ -66,32 +79,49 @@ func SolveADMM(p *Problem, opt ADMMOptions) (*Solution, error) {
 	b := p.rhsVector()
 	bn, cn := p.dataNorms()
 
-	// State.
+	// State. Warm-start fields are consumed piecewise: whatever matches the
+	// problem shape seeds the iterate, the rest keeps the cold default.
+	useX0 := blocksMatch(opt.X0, p.PSDDims)
+	useS0 := blocksMatch(opt.S0, p.PSDDims)
+	useXLP0 := p.LPDim > 0 && len(opt.XLP0) == p.LPDim
+	useSLP0 := p.LPDim > 0 && len(opt.SLP0) == p.LPDim
+	useY0 := m > 0 && len(opt.Y0) == m
+	warm := useX0 || useS0 || useXLP0 || useSLP0 || useY0 || opt.Mu0 > 0
 	x := make([]*linalg.Dense, nb)
 	s := make([]*linalg.Dense, nb)
 	for bi, d := range p.PSDDims {
-		if opt.X0 != nil {
+		if useX0 {
 			x[bi] = opt.X0[bi].Clone()
 		} else {
 			x[bi] = linalg.Identity(d)
 		}
-		s[bi] = linalg.Identity(d)
+		if useS0 {
+			s[bi] = opt.S0[bi].Clone()
+		} else {
+			s[bi] = linalg.Identity(d)
+		}
 	}
 	xlp := make([]float64, p.LPDim)
 	slp := make([]float64, p.LPDim)
 	for i := range xlp {
 		xlp[i] = 1
 		slp[i] = 1
-		if opt.XLP0 != nil {
+		if useXLP0 {
 			xlp[i] = opt.XLP0[i]
+		}
+		if useSLP0 {
+			slp[i] = opt.SLP0[i]
 		}
 	}
 	y := make([]float64, m)
-	if opt.Y0 != nil {
+	if useY0 {
 		copy(y, opt.Y0)
 	}
 
 	mu := opt.Mu
+	if opt.Mu0 > 0 {
+		mu = opt.Mu0
+	}
 	aty := make([]*linalg.Dense, nb)
 	for bi, d := range p.PSDDims {
 		aty[bi] = linalg.NewDense(d, d)
@@ -127,6 +157,7 @@ func SolveADMM(p *Problem, opt ADMMOptions) (*Solution, error) {
 					{Key: "pres", Val: sol.PrimalInfeas},
 					{Key: "dres", Val: sol.DualInfeas},
 					{Key: "relG", Val: sol.Gap},
+					{Key: "warm", Val: boolVal(warm)},
 				},
 			})
 		}()
@@ -136,6 +167,7 @@ func SolveADMM(p *Problem, opt ADMMOptions) (*Solution, error) {
 				{Key: "m", Val: float64(m)},
 				{Key: "tol", Val: opt.Tol},
 				{Key: "maxIter", Val: float64(opt.MaxIter)},
+				{Key: "warm", Val: boolVal(warm)},
 			},
 		})
 	}
@@ -267,6 +299,8 @@ func SolveADMM(p *Problem, opt ADMMOptions) (*Solution, error) {
 		}
 	}
 	sol.X, sol.XLP, sol.Y, sol.S, sol.SLP = x, xlp, y, s, slp
+	sol.Warm = warm
+	sol.Mu = mu
 	if sol.Status == StatusCancelled {
 		return sol, fmt.Errorf("sdp: admm cancelled after %d iterations: %w",
 			sol.Iterations, opt.Context.Err())

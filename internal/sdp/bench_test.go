@@ -35,7 +35,7 @@ func benchIPMState(b *testing.B, dim, m, workers int) *ipmState {
 	p := randomFeasibleSDP(rng, dim, m)
 	opt := IPMOptions{Workers: workers}
 	opt.setDefaults()
-	st := newIPMState(p, opt)
+	st := newIPMState(p, opt, nil)
 	for bidx := range st.s {
 		chol, err := linalg.NewCholesky(st.s[bidx])
 		if err != nil {
@@ -96,6 +96,98 @@ func BenchmarkSolveADMM(b *testing.B) {
 					b.Fatal(err)
 				}
 				benchSinkF = sol.PrimalObj
+			}
+		})
+	}
+}
+
+// benchSequence builds the convex-iteration solve pattern: one base problem
+// followed by perturbed-objective variants over identical constraints.
+func benchSequence(seed int64, n, m, extra int) []*Problem {
+	rng := rand.New(rand.NewSource(seed))
+	base := randomFeasibleSDP(rng, n, m)
+	seq := []*Problem{base}
+	for k := 0; k < extra; k++ {
+		seq = append(seq, perturbObjective(base, rng, 0.05))
+	}
+	return seq
+}
+
+// BenchmarkSolveSequenceIPM measures the warm-start win on the pattern that
+// dominates end-to-end solve time: consecutive sub-problem solves whose
+// objective moves while the constraints stay. cold solves each from scratch;
+// warm threads the full prior state plus the assembly-reuse handle — the
+// cold/warm ratio here is what the convex iteration saves per iterate.
+func BenchmarkSolveSequenceIPM(b *testing.B) {
+	for _, mode := range []string{"cold", "warm"} {
+		b.Run(mode, func(b *testing.B) {
+			seq := benchSequence(41, 30, 40, 3)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var prev *Solution
+				reuse := &IPMReuse{}
+				for _, p := range seq {
+					var opt IPMOptions
+					if mode == "warm" {
+						if prev != nil {
+							opt = warmIPMOptions(prev)
+						}
+						opt.Reuse = reuse
+					}
+					sol, err := SolveIPM(p, opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					prev = sol
+					benchSinkF = sol.PrimalObj
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolveSequenceADMM is the first-order counterpart, on a problem
+// family ADMM solves to optimality so the iteration count (and thus the
+// timing) reflects convergence, not an iteration cap.
+func BenchmarkSolveSequenceADMM(b *testing.B) {
+	for _, mode := range []string{"cold", "warm"} {
+		b.Run(mode, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(43))
+			n := 12
+			c := linalg.NewDense(n, n)
+			for i := 0; i < n; i++ {
+				for j := i; j < n; j++ {
+					v := rng.NormFloat64()
+					c.Set(i, j, v)
+					c.Set(j, i, v)
+				}
+			}
+			base := minEigProblem(c)
+			seq := []*Problem{base}
+			for k := 0; k < 3; k++ {
+				seq = append(seq, perturbObjective(base, rng, 0.05))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var prev *Solution
+				for _, p := range seq {
+					opt := ADMMOptions{Tol: 1e-6, MaxIter: 50000}
+					if mode == "warm" && prev != nil {
+						// Full prior state EXCEPT the penalty: resuming the
+						// terminal adapted Mu on a changed objective stalls
+						// the transient (see warmState in internal/core).
+						opt.X0, opt.S0, opt.XLP0, opt.SLP0 = prev.X, prev.S, prev.XLP, prev.SLP
+						opt.Y0 = prev.Y
+					}
+					sol, err := SolveADMM(p, opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					prev = sol
+					benchSinkF = sol.PrimalObj
+				}
 			}
 		})
 	}

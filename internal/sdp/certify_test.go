@@ -1,115 +1,19 @@
 package sdp
 
-import (
-	"fmt"
-	"math"
-	"testing"
+import "testing"
 
-	"sdpfloor/internal/linalg"
-)
-
-// assertKKT verifies the full KKT optimality certificate of sol for p, all
-// conditions relative within tol:
-//
-//   - primal feasibility:  ‖A(X)−b‖₂ ≤ tol·(1+‖b‖₂), λmin(X_b) ≥ −tol per
-//     PSD block, x_lp ≥ −tol componentwise
-//   - dual feasibility:    ‖C_b − (Aᵀy)_b − S_b‖_F ≤ tol·(1+‖C_b‖_F) per
-//     block (and the LP analogue componentwise), λmin(S_b) ≥ −tol, s_lp ≥ −tol
-//   - duality gap:         |pobj − dobj| ≤ tol·(1+|pobj|+|dobj|)
-//   - complementarity:     |Σ⟨X_b,S_b⟩ + x_lpᵀs_lp| ≤ tol·(1+|pobj|)
-//
-// IPM solutions certify at tol ~1e-5 (solver default 1e-7 plus unscaling
-// slack); ADMM at its looser first-order accuracy, typically 1e-3.
+// assertKKT is the test-helper form of CheckKKT: see that function for the
+// conditions and the solver-specific tolerances (IPM ~1e-5, ADMM ~1e-3).
 func assertKKT(t *testing.T, p *Problem, sol *Solution, tol float64) {
 	t.Helper()
-	if err := checkKKT(p, sol, tol); err != nil {
+	if err := CheckKKT(p, sol, tol); err != nil {
 		t.Fatalf("kkt: %v", err)
 	}
 }
 
-// checkKKT is the error-returning core of assertKKT.
-func checkKKT(p *Problem, sol *Solution, tol float64) error {
-	if sol == nil {
-		return fmt.Errorf("nil solution")
-	}
-
-	// Primal feasibility.
-	bnorm := linalg.Norm2(p.rhsVector())
-	if res := p.PrimalResidual(sol.X, sol.XLP); res > tol*(1+bnorm) {
-		return fmt.Errorf("primal residual ‖A(X)−b‖ = %g > %g", res, tol*(1+bnorm))
-	}
-	for b, x := range sol.X {
-		eg, err := linalg.NewSymEig(x)
-		if err != nil {
-			return fmt.Errorf("eig of X[%d]: %v", b, err)
-		}
-		if lam := eg.MinEigenvalue(); lam < -tol {
-			return fmt.Errorf("X[%d] not PSD: λmin = %g", b, lam)
-		}
-	}
-	for i, v := range sol.XLP {
-		if v < -tol {
-			return fmt.Errorf("x_lp[%d] = %g < 0", i, v)
-		}
-	}
-
-	// Dual feasibility: C − Aᵀy − S = 0 per block, S in the cone.
-	aty := make([]*linalg.Dense, len(p.PSDDims))
-	for b, d := range p.PSDDims {
-		aty[b] = linalg.NewDense(d, d)
-	}
-	atyLP := make([]float64, p.LPDim)
-	p.applyAT(sol.Y, aty, atyLP)
-	for b := range p.PSDDims {
-		r := p.C[b].Clone()
-		r.AddScaled(-1, aty[b])
-		r.AddScaled(-1, sol.S[b])
-		cn := p.C[b].FrobNorm()
-		if f := r.FrobNorm(); f > tol*(1+cn) {
-			return fmt.Errorf("dual residual block %d: ‖C−Aᵀy−S‖ = %g > %g", b, f, tol*(1+cn))
-		}
-		eg, err := linalg.NewSymEig(sol.S[b])
-		if err != nil {
-			return fmt.Errorf("eig of S[%d]: %v", b, err)
-		}
-		if lam := eg.MinEigenvalue(); lam < -tol {
-			return fmt.Errorf("S[%d] not PSD: λmin = %g", b, lam)
-		}
-	}
-	for i := 0; i < p.LPDim; i++ {
-		r := p.CLP[i] - atyLP[i] - sol.SLP[i]
-		if math.Abs(r) > tol*(1+math.Abs(p.CLP[i])) {
-			return fmt.Errorf("dual LP residual [%d] = %g", i, r)
-		}
-		if sol.SLP[i] < -tol {
-			return fmt.Errorf("s_lp[%d] = %g < 0", i, sol.SLP[i])
-		}
-	}
-
-	// Duality gap, on the reported and the recomputed primal objective (the
-	// two differ only by accumulated round-off).
-	pobj := p.primalObjective(sol.X, sol.XLP)
-	if math.Abs(pobj-sol.PrimalObj) > tol*(1+math.Abs(pobj)) {
-		return fmt.Errorf("reported pobj %g vs recomputed %g", sol.PrimalObj, pobj)
-	}
-	if gap := math.Abs(sol.PrimalObj - sol.DualObj); gap > tol*(1+math.Abs(sol.PrimalObj)+math.Abs(sol.DualObj)) {
-		return fmt.Errorf("duality gap %g (pobj %g, dobj %g)", gap, sol.PrimalObj, sol.DualObj)
-	}
-
-	// Complementarity ⟨X, S⟩ ≈ 0.
-	comp := linalg.Dot(sol.XLP, sol.SLP)
-	for b := range sol.X {
-		comp += linalg.InnerProd(sol.X[b], sol.S[b])
-	}
-	if math.Abs(comp) > tol*(1+math.Abs(sol.PrimalObj)) {
-		return fmt.Errorf("complementarity ⟨X,S⟩ = %g", comp)
-	}
-	return nil
-}
-
-// TestAssertKKTRejectsBogusCertificates guards the helper itself: an optimal
+// TestCheckKKTRejectsBogusCertificates guards the checker itself: an optimal
 // solution certifies, and corrupting any KKT ingredient trips the check.
-func TestAssertKKTRejectsBogusCertificates(t *testing.T) {
+func TestCheckKKTRejectsBogusCertificates(t *testing.T) {
 	solve := func() *Solution {
 		sol, err := SolveIPM(twoCircleProblem(), IPMOptions{})
 		if err != nil {
@@ -117,7 +21,7 @@ func TestAssertKKTRejectsBogusCertificates(t *testing.T) {
 		}
 		return sol
 	}
-	if err := checkKKT(twoCircleProblem(), solve(), 1e-5); err != nil {
+	if err := CheckKKT(twoCircleProblem(), solve(), 1e-5); err != nil {
 		t.Fatalf("optimal solution rejected: %v", err)
 	}
 	corruptions := map[string]func(*Solution){
@@ -131,7 +35,7 @@ func TestAssertKKTRejectsBogusCertificates(t *testing.T) {
 	for name, corrupt := range corruptions {
 		sol := solve()
 		corrupt(sol)
-		if err := checkKKT(twoCircleProblem(), sol, 1e-5); err == nil {
+		if err := CheckKKT(twoCircleProblem(), sol, 1e-5); err == nil {
 			t.Errorf("%s: corrupted certificate accepted", name)
 		}
 	}

@@ -24,6 +24,24 @@ type IPMOptions struct {
 	// requested count with element-disjoint writes, so the iterate trajectory
 	// is bitwise identical for every value of Workers.
 	Workers int
+	// Warm start (optional): a prior primal–dual iterate, typically the
+	// solution of a closely related problem (same constraints, perturbed
+	// objective). All five pieces must be present and shape-matched —
+	// X0/S0 one matrix per PSD block, XLP0/SLP0 of length LPDim, Y0 of
+	// length len(Cons) — or the solver starts cold. The iterate is pushed
+	// to the interior (blended with the centered scaled identity) before
+	// use, and the solver falls back to the cold start automatically when
+	// the blended point is still not safely positive definite; Solution.Warm
+	// reports what actually happened. Y0 is given against the original
+	// problem; the solver maps it onto the equilibrated rows itself.
+	X0, S0     []*linalg.Dense
+	XLP0, SLP0 []float64
+	Y0         []float64
+	// Reuse, when non-nil, caches the equilibration and the symmetric
+	// constraint-entry expansion across a sequence of solves whose
+	// constraint set is unchanged (see IPMReuse). Independent of the warm
+	// start: either can be used without the other.
+	Reuse *IPMReuse
 	// Context, when non-nil, is checked at every iteration boundary; on
 	// cancellation or deadline the solver stops, returns the current iterate
 	// with StatusCancelled, and reports the context error.
@@ -58,10 +76,11 @@ type ipmState struct {
 	opt     IPMOptions
 	workers int
 
-	nb  int // number of PSD blocks
-	m   int // number of constraints
-	nu  float64
-	sym [][][]Entry // sym[k][b]: constraint k's entries in block b, both orientations
+	nb   int // number of PSD blocks
+	m    int // number of constraints
+	nu   float64
+	sym  [][][]Entry // sym[k][b]: constraint k's entries in block b, both orientations
+	warm bool        // iterate seeded from IPMOptions.{X0,S0,Y0,...}
 
 	x, s     []*linalg.Dense
 	xlp, slp []float64
@@ -80,18 +99,46 @@ type ipmState struct {
 
 // SolveIPM solves the problem with a primal–dual interior-point method using
 // the HKM search direction and Mehrotra's predictor–corrector. It is an
-// infeasible-start method: the initial iterate is a scaled identity.
+// infeasible-start method: the initial iterate is a scaled identity, or a
+// pushed-to-interior blend of the caller's prior solution when the warm-start
+// options are set (with automatic fallback to the cold start).
 func SolveIPM(p *Problem, opt IPMOptions) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	opt.setDefaults()
+	orig := p
+	reuseHit := opt.Reuse != nil && opt.Reuse.matches(p, opt.NoScale)
 	var sp *scaledProblem
 	if !opt.NoScale {
-		sp = equilibrate(p)
+		if reuseHit {
+			// Same constraints as the cached solve: only the objective
+			// changed, and equilibrate shares C/CLP shallowly, so swapping
+			// them in revalidates the cached scaled problem.
+			sp = opt.Reuse.scaled
+			sp.p.C, sp.p.CLP = p.C, p.CLP
+		} else {
+			sp = equilibrate(p)
+		}
 		p = sp.p
+		if len(opt.Y0) == len(p.Cons) {
+			// The iterations run on the row-equilibrated problem; map the
+			// warm duals forward (unscaleDuals inverts this on the way out).
+			y0 := make([]float64, len(opt.Y0))
+			for k, v := range opt.Y0 {
+				y0[k] = v * sp.norms[k]
+			}
+			opt.Y0 = y0
+		}
 	}
-	st := newIPMState(p, opt)
+	var sym [][][]Entry
+	if reuseHit {
+		sym = opt.Reuse.sym
+	}
+	st := newIPMState(p, opt, sym)
+	if opt.Reuse != nil && !reuseHit {
+		opt.Reuse.store(orig, opt.NoScale, sp, st.sym)
+	}
 	sol := st.run()
 	if sp != nil {
 		sp.unscaleDuals(sol.Y)
@@ -108,7 +155,10 @@ func SolveIPM(p *Problem, opt IPMOptions) (*Solution, error) {
 	return sol, nil
 }
 
-func newIPMState(p *Problem, opt IPMOptions) *ipmState {
+// newIPMState prepares the working state. sym, when non-nil, is a cached
+// symmetric-entry expansion from IPMReuse (valid because the constraint set
+// is unchanged); nil builds it fresh.
+func newIPMState(p *Problem, opt IPMOptions, sym [][][]Entry) *ipmState {
 	st := &ipmState{p: p, opt: opt, nb: len(p.PSDDims), m: len(p.Cons)}
 	st.workers = parallel.Workers(opt.Workers)
 	st.nu = float64(p.coneDim())
@@ -116,18 +166,22 @@ func newIPMState(p *Problem, opt IPMOptions) *ipmState {
 	st.bn, st.cn = p.dataNorms()
 
 	// Expanded symmetric entries: both orientations for off-diagonal.
-	st.sym = make([][][]Entry, st.m)
-	for k := range p.Cons {
-		st.sym[k] = make([][]Entry, st.nb)
-		for bidx, es := range p.Cons[k].PSD {
-			out := make([]Entry, 0, 2*len(es))
-			for _, e := range es {
-				out = append(out, e)
-				if e.I != e.J {
-					out = append(out, Entry{I: e.J, J: e.I, V: e.V})
+	if sym != nil {
+		st.sym = sym
+	} else {
+		st.sym = make([][][]Entry, st.m)
+		for k := range p.Cons {
+			st.sym[k] = make([][]Entry, st.nb)
+			for bidx, es := range p.Cons[k].PSD {
+				out := make([]Entry, 0, 2*len(es))
+				for _, e := range es {
+					out = append(out, e)
+					if e.I != e.J {
+						out = append(out, Entry{I: e.J, J: e.I, V: e.V})
+					}
 				}
+				st.sym[k][bidx] = out
 			}
-			st.sym[k][bidx] = out
 		}
 	}
 
@@ -167,6 +221,9 @@ func newIPMState(p *Problem, opt IPMOptions) *ipmState {
 	st.sinv = make([]*linalg.Dense, st.nb)
 	st.xchol = make([]*linalg.Cholesky, st.nb)
 	st.schol = make([]*linalg.Cholesky, st.nb)
+	// Warm start, when requested: replaces the cold point just prepared,
+	// falling back to it automatically if the warmed iterate is unusable.
+	st.warm = st.tryWarmStart(xi, eta)
 	return st
 }
 
@@ -225,6 +282,7 @@ func (st *ipmState) run() *Solution {
 					{Key: "relP", Val: sol.PrimalInfeas},
 					{Key: "relD", Val: sol.DualInfeas},
 					{Key: "relG", Val: sol.Gap},
+					{Key: "warm", Val: boolVal(st.warm)},
 				},
 			})
 		}()
@@ -235,6 +293,7 @@ func (st *ipmState) run() *Solution {
 				{Key: "nu", Val: st.nu},
 				{Key: "tol", Val: opt.Tol},
 				{Key: "maxIter", Val: float64(opt.MaxIter)},
+				{Key: "warm", Val: boolVal(st.warm)},
 			},
 		})
 	}
@@ -421,6 +480,7 @@ func (st *ipmState) run() *Solution {
 }
 
 func (st *ipmState) fill(sol *Solution, pobj, dobj, relP, relD, relG float64) {
+	sol.Warm = st.warm
 	sol.X = st.x
 	sol.XLP = st.xlp
 	sol.Y = st.y

@@ -229,6 +229,16 @@ type Solution struct {
 	Iterations int
 	// Relative residuals at termination.
 	PrimalInfeas, DualInfeas, Gap float64
+	// Warm reports whether the solve actually consumed a warm start: the
+	// IPM falls back to a cold start when the pushed-to-interior iterate is
+	// not safely positive definite, so callers cannot infer this from the
+	// options they passed. Mirrored into the "warm" trace field.
+	Warm bool
+	// Mu is the ADMM penalty at termination (the solver adapts it during
+	// the run). Feeding it back as ADMMOptions.Mu0 lets a closely related
+	// follow-up solve resume the adapted penalty instead of re-learning it.
+	// Zero for IPM solves.
+	Mu float64
 }
 
 // Status describes how a solve terminated.

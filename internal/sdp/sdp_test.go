@@ -233,7 +233,7 @@ func TestIPMRandomFeasibleSDPs(t *testing.T) {
 		}
 		// The full KKT certificate subsumes weak duality, feasibility, and
 		// cone membership (see certify_test.go for the tolerance contract).
-		if err := checkKKT(p, sol, 1e-5); err != nil {
+		if err := CheckKKT(p, sol, 1e-5); err != nil {
 			t.Fatalf("trial %d: kkt: %v", trial, err)
 		}
 	}

@@ -7,3 +7,12 @@ import "sdpfloor/internal/trace"
 // any tracing work (benchmarked in internal/trace and gated by benchdiff
 // on the solver benchmarks, which run untraced).
 func traceOn(rec trace.Recorder) bool { return rec != nil && rec.Enabled() }
+
+// boolVal encodes a bool as a trace field value (1 or 0) — used for the
+// "warm" field on solver start/final events.
+func boolVal(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -34,6 +34,7 @@ type Metrics struct {
 	SolveMillis    atomic.Int64 // total solve wall-clock across finished jobs
 	ConvexIters    atomic.Int64 // convex-iteration count across SDP jobs
 	SubSolverIters atomic.Int64 // IPM/ADMM iterations across SDP jobs
+	WarmStarts     atomic.Int64 // warm-started sub-problem solves across SDP jobs
 	TraceEvents    atomic.Int64 // solver trace events captured across jobs
 
 	// IterLatency counts iteration latencies per iterLatencyBuckets bound.
@@ -63,6 +64,7 @@ func (m *Metrics) snapshot(gauges map[string]int64) map[string]int64 {
 		"solve_millis_total":      m.SolveMillis.Load(),
 		"convex_iterations_total": m.ConvexIters.Load(),
 		"solver_iterations_total": m.SubSolverIters.Load(),
+		"warm_starts_total":       m.WarmStarts.Load(),
 		"trace_events_total":      m.TraceEvents.Load(),
 	}
 	for i := range iterLatencyBuckets {

@@ -369,6 +369,7 @@ func (s *Server) runJob(j *Job) {
 	if fp != nil && fp.GlobalResult != nil {
 		s.metrics.ConvexIters.Add(int64(fp.GlobalResult.Iterations))
 		s.metrics.SubSolverIters.Add(int64(fp.GlobalResult.SolverIterations))
+		s.metrics.WarmStarts.Add(int64(fp.GlobalResult.WarmStarts))
 	}
 	switch state {
 	case StateDone:
