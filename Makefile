@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint sdpvet race cover bench bench-baseline benchdiff fuzz-smoke clean
+.PHONY: build test check lint sdpvet race cover bench bench-baseline benchdiff fuzz-smoke integration clean
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,13 @@ fuzz-smoke:
 	$(GO) test ./internal/gsrc/ -run '^$$' -fuzz FuzzParseBlocks -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/gsrc/ -run '^$$' -fuzz FuzzParseNets -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/gsrc/ -run '^$$' -fuzz FuzzParsePl -fuzztime $(FUZZTIME)
+
+# integration builds the real floorpland binary, starts it with -data-dir,
+# submits a batch, SIGKILLs the daemon mid-solve, restarts it on the same
+# journal, and asserts every job finishes exactly once. Behind a build tag
+# because it spawns processes and takes seconds; plain `make test` skips it.
+integration:
+	$(GO) test -tags integration -count=1 -timeout 600s ./cmd/floorpland/
 
 clean:
 	$(GO) clean ./...

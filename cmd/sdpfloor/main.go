@@ -22,6 +22,7 @@ import (
 	"sdpfloor/internal/gsrc"
 	"sdpfloor/internal/svg"
 	"sdpfloor/internal/trace"
+	"sdpfloor/internal/version"
 )
 
 // Exit statuses: 1 for errors, 2 for usage, 3 when -timeout expired.
@@ -55,8 +56,13 @@ func main() {
 		traceOut   = flag.String("trace", "", "write per-iteration solver telemetry as JSONL to this path (see docs/TRACING.md)")
 		timeout    = flag.Duration("timeout", 0, "abort the solve after this long (0 = no limit); exits with status 3")
 		verbose    = flag.Bool("v", false, "log solver progress")
+		showVer    = flag.Bool("version", false, "print the build stamp and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println("sdpfloor", version.Stamp())
+		return
+	}
 
 	// Validate the flag combination before touching any benchmark files so
 	// mistakes fail fast with a usable message.

@@ -1,15 +1,23 @@
-// Command tracesum summarizes a solver telemetry trace — the JSONL written
-// by sdpfloor -trace or fetched from floorpland's /v1/jobs/{id}/trace. It
-// prints one aggregate row per solver (runs, warm-started runs, iterations,
-// wall time from the event timestamps, terminal statuses), a warm-vs-cold
-// iterations-to-converge comparison when a solver has both kinds of run, and
-// a convergence table of each solver's most recent run.
+// Command tracesum summarizes solver telemetry and job journals.
+//
+// For a solver trace — the JSONL written by sdpfloor -trace or fetched from
+// floorpland's /v1/jobs/{id}/trace — it prints one aggregate row per solver
+// (runs, warm-started runs, iterations, wall time from the event
+// timestamps, terminal statuses), a warm-vs-cold iterations-to-converge
+// comparison when a solver has both kinds of run, and a convergence table
+// of each solver's most recent run.
+//
+// For a floorpland jobstore journal (a wal-*.jsonl segment from -data-dir)
+// it prints the per-job lifecycle instead: state, batch, replay count,
+// queue wait, solve wall, iteration checkpoint, and error, plus aggregate
+// counts. The input kind is auto-detected from the first record.
 //
 // Usage:
 //
 //	tracesum out.jsonl
 //	tracesum -solver ipm -tail 20 out.jsonl
 //	sdpfloor -bench n10 -trace /dev/stdout | tracesum
+//	tracesum /var/lib/floorpland/wal-00000001.jsonl
 package main
 
 import (
@@ -20,9 +28,11 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
+	"sdpfloor/internal/jobstore"
 	"sdpfloor/internal/trace"
 )
 
@@ -49,9 +59,129 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(in, os.Stdout, *solver, *tail); err != nil {
+	in, journal, err := sniffJournal(in)
+	if err != nil {
 		log.Fatal(err)
 	}
+	if journal {
+		err = runJournal(in, os.Stdout)
+	} else {
+		err = run(in, os.Stdout, *solver, *tail)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// sniffJournal peeks at the first non-empty line to decide whether the
+// input is a jobstore journal (records carry "job" and "event" keys solver
+// traces never have) and returns a reader that replays the consumed bytes.
+func sniffJournal(in io.Reader) (io.Reader, bool, error) {
+	br := bufio.NewReaderSize(in, 64<<10)
+	var consumed bytes.Buffer
+	for {
+		line, err := br.ReadString('\n')
+		consumed.WriteString(line)
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			if err != nil {
+				// Empty (or whitespace-only) input: either mode prints "no
+				// events"; treat as a trace.
+				return &consumed, false, nil
+			}
+			continue
+		}
+		_, perr := jobstore.ParseRecord([]byte(trimmed))
+		return io.MultiReader(&consumed, br), perr == nil, nil
+	}
+}
+
+// runJournal parses a jobstore journal from in and writes the per-job
+// lifecycle summary to out.
+func runJournal(in io.Reader, out io.Writer) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 128<<20)
+	red := jobstore.NewReducer()
+	lineNo, records := 0, 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := jobstore.ParseRecord(line)
+		if err != nil {
+			// Mirror the daemon's replay: a torn tail ends the journal.
+			fmt.Fprintf(out, "(stopping at line %d: %v)\n", lineNo, err)
+			break
+		}
+		red.Apply(rec)
+		records++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	states := red.Snapshot()
+	if len(states) == 0 {
+		fmt.Fprintln(out, "no events")
+		return nil
+	}
+
+	fmt.Fprintf(out, "%d journal records, %d jobs\n\n", records, len(states))
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "job\tbatch\tstate\treplays\tqueue wait\tsolve wall\titers\terror\t")
+	var counts []string
+	countOf := map[string]int{}
+	var totalWait, totalSolve time.Duration
+	for _, st := range states {
+		state := string(st.Event)
+		if st.Interrupted() {
+			state = "interrupted(" + state + ")"
+		}
+		if countOf[state] == 0 {
+			counts = append(counts, state)
+		}
+		countOf[state]++
+		wait, solve := spans(st)
+		totalWait += wait
+		totalSolve += solve
+		batch := st.Batch
+		if batch == "" {
+			batch = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%s\t%s\t%d\t%s\t\n",
+			st.ID, batch, state, st.Replays, fmtWall(wait), fmtWall(solve), st.Iters, clip(st.Error, 48))
+	}
+	tw.Flush()
+	fmt.Fprintf(out, "\nstates:")
+	for _, s := range counts {
+		fmt.Fprintf(out, " %s:%d", s, countOf[s])
+	}
+	fmt.Fprintf(out, "\ntotal queue wait %s, total solve wall %s\n", fmtWall(totalWait), fmtWall(totalSolve))
+	return nil
+}
+
+// spans derives a job's queue wait (submitted→started) and solve wall
+// (started→finished) from its record timestamps; unstarted or unfinished
+// phases report zero.
+func spans(st *jobstore.JobState) (wait, solve time.Duration) {
+	if st.Started > st.Submitted && st.Submitted > 0 {
+		wait = time.Duration(st.Started - st.Submitted)
+	}
+	if st.Finished > st.Started && st.Started > 0 {
+		solve = time.Duration(st.Finished - st.Started)
+	}
+	return wait, solve
+}
+
+func clip(s string, max int) string {
+	if s == "" {
+		return "-"
+	}
+	if len(s) > max {
+		return s[:max] + "…"
+	}
+	return s
 }
 
 // solverRun accumulates one start…final span of a single solver.

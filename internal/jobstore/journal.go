@@ -1,0 +1,476 @@
+package jobstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FsyncMode selects the journal's durability/latency trade-off.
+type FsyncMode string
+
+// Fsync policies, from most to least durable.
+const (
+	// FsyncAlways fsyncs after every append: accepted work survives
+	// kill -9 and power loss at the cost of one fsync per state change.
+	FsyncAlways FsyncMode = "always"
+	// FsyncInterval flushes every append to the OS and fsyncs at most once
+	// per FsyncEvery: survives process crash, bounds loss on power failure.
+	FsyncInterval FsyncMode = "interval"
+	// FsyncOff flushes to the OS and never fsyncs explicitly.
+	FsyncOff FsyncMode = "off"
+)
+
+// ParseFsyncMode validates a -fsync flag value.
+func ParseFsyncMode(s string) (FsyncMode, error) {
+	switch m := FsyncMode(s); m {
+	case FsyncAlways, FsyncInterval, FsyncOff:
+		return m, nil
+	}
+	return "", fmt.Errorf("jobstore: unknown fsync mode %q (valid: always, interval, off)", s)
+}
+
+// Options tunes a Journal.
+type Options struct {
+	// Dir is the data directory; created if missing.
+	Dir string
+	// Fsync is the durability policy (default FsyncInterval).
+	Fsync FsyncMode
+	// FsyncEvery bounds the fsync cadence under FsyncInterval (default 100ms).
+	FsyncEvery time.Duration
+	// SegmentBytes triggers compaction when the active segment outgrows it
+	// (default 8 MiB).
+	SegmentBytes int64
+	// RetainTerminal bounds how many finished jobs a compaction keeps
+	// (default 4096; the oldest beyond it are dropped).
+	RetainTerminal int
+	// Clock overrides the timestamp source; nil uses time.Now().UnixNano.
+	Clock func() int64
+	// Logf, when non-nil, receives recovery/compaction log lines.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) setDefaults() {
+	if o.Fsync == "" {
+		o.Fsync = FsyncInterval
+	}
+	if o.FsyncEvery <= 0 {
+		o.FsyncEvery = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	if o.RetainTerminal <= 0 {
+		o.RetainTerminal = 4096
+	}
+}
+
+// Stats is a point-in-time summary of the journal, exported on /metrics.
+type Stats struct {
+	// Records appended by this process (not counting replayed ones).
+	Records int64
+	// Live is the number of jobs whose newest record is non-terminal.
+	Live int64
+	// Terminal is the number of finished jobs currently retained.
+	Terminal int64
+	// Segments on disk, including the active one.
+	Segments int64
+	// ActiveBytes written to the active segment.
+	ActiveBytes int64
+	// Compactions run by this process (including the one on Open).
+	Compactions int64
+}
+
+// Journal is the append-only job journal. All methods are safe for
+// concurrent use.
+type Journal struct {
+	opts Options
+
+	mu          sync.Mutex
+	f           *os.File
+	w           *bufio.Writer
+	seg         int // index of the active segment
+	segBytes    int64
+	records     int64
+	compactions int64
+	lastSync    time.Time
+	closed      bool
+	buf         []byte
+	red         *Reducer
+}
+
+const segPrefix, segSuffix = "wal-", ".jsonl"
+
+func segName(i int) string { return fmt.Sprintf("%s%08d%s", segPrefix, i, segSuffix) }
+
+// Open replays every journal segment under opts.Dir, compacts the result
+// into a fresh snapshot segment, and returns the journal (positioned for
+// appending) together with the replayed job states in submission order.
+// States whose Event is non-terminal were interrupted by the previous
+// process's death and should be re-enqueued.
+func Open(opts Options) (*Journal, []*JobState, error) {
+	opts.setDefaults()
+	if opts.Dir == "" {
+		return nil, nil, errors.New("jobstore: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("jobstore: %w", err)
+	}
+	j := &Journal{opts: opts, red: NewReducer()}
+
+	segs, err := j.listSegments()
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, seg := range segs {
+		if err := j.replaySegment(seg); err != nil {
+			return nil, nil, err
+		}
+	}
+	states := j.red.Snapshot()
+
+	// Compact: write the reduced state as a fresh snapshot segment, fsync
+	// it, then delete the replayed segments. A crash between the two steps
+	// leaves overlapping segments, which the Reducer tolerates (newer facts
+	// win, duplicates collapse).
+	next := 1
+	if n := len(segs); n > 0 {
+		next = segs[n-1].index + 1
+	}
+	if err := j.compactLocked(next, segs); err != nil {
+		return nil, nil, err
+	}
+	if n := len(states); n > 0 {
+		j.logf("jobstore: replayed %d jobs (%d interrupted) from %s", n, countInterrupted(states), opts.Dir)
+	}
+	return j, states, nil
+}
+
+func countInterrupted(states []*JobState) int {
+	n := 0
+	for _, st := range states {
+		if st.Interrupted() {
+			n++
+		}
+	}
+	return n
+}
+
+type segment struct {
+	index int
+	path  string
+}
+
+func (j *Journal) listSegments() ([]segment, error) {
+	entries, err := os.ReadDir(j.opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: %w", err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		idx, err := strconv.Atoi(name[len(segPrefix) : len(name)-len(segSuffix)])
+		if err != nil {
+			continue
+		}
+		segs = append(segs, segment{index: idx, path: filepath.Join(j.opts.Dir, name)})
+	}
+	sort.Slice(segs, func(i, k int) bool { return segs[i].index < segs[k].index })
+	return segs, nil
+}
+
+// replaySegment folds one segment's records into the Reducer. A line that
+// fails to parse ends the segment: after a crash only the final line can
+// be torn, and anything after unreadable bytes is unrecoverable anyway.
+func (j *Journal) replaySegment(seg segment) error {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), maxRecordBytes)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		rec, err := ParseRecord(b)
+		if err != nil {
+			j.logf("jobstore: %s:%d: truncating replay at unreadable record: %v", seg.path, line, err)
+			return nil
+		}
+		j.red.Apply(rec)
+	}
+	if err := sc.Err(); err != nil {
+		j.logf("jobstore: %s:%d: truncating replay: %v", seg.path, line, err)
+	}
+	return nil
+}
+
+// maxRecordBytes bounds one journal line; it tracks the service's 64 MiB
+// request-body cap with headroom for the record envelope.
+const maxRecordBytes = 96 << 20
+
+// compactLocked writes the Reducer's state as snapshot segment `next`,
+// makes it the active segment, and deletes old. Caller must hold mu or be
+// the only goroutine with journal access (Open).
+func (j *Journal) compactLocked(next int, old []segment) error {
+	path := filepath.Join(j.opts.Dir, segName(next))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+
+	states := j.red.Snapshot()
+	dropTerminal := 0
+	if terminal := len(states) - countInterrupted(states); terminal > j.opts.RetainTerminal {
+		dropTerminal = terminal - j.opts.RetainTerminal
+	}
+	written := int64(0)
+	kept := NewReducer()
+	for _, st := range states {
+		if st.Event.Terminal() && dropTerminal > 0 {
+			dropTerminal-- // oldest terminal jobs beyond RetainTerminal are forgotten
+			continue
+		}
+		recs := snapshotRecords(st)
+		for _, rec := range recs {
+			j.buf = j.buf[:0]
+			j.buf, err = AppendRecord(j.buf, rec)
+			if err != nil {
+				f.Close()
+				return err
+			}
+			j.buf = append(j.buf, '\n')
+			n, err := w.Write(j.buf)
+			if err != nil {
+				f.Close()
+				return fmt.Errorf("jobstore: %w", err)
+			}
+			written += int64(n)
+			kept.Apply(rec)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	// The snapshot is durable; retire the inputs.
+	for _, seg := range old {
+		if err := os.Remove(seg.path); err != nil {
+			j.logf("jobstore: remove %s: %v", seg.path, err)
+		}
+	}
+	syncDir(j.opts.Dir)
+
+	if j.f != nil {
+		j.f.Close()
+	}
+	j.f, j.w = f, bufio.NewWriterSize(f, 64<<10)
+	j.seg, j.segBytes = next, written
+	j.red = kept
+	j.lastSync = time.Now()
+	j.compactions++
+	if len(old) > 0 {
+		j.logf("jobstore: compacted %d segment(s) into %s (%d bytes)", len(old), segName(next), written)
+	}
+	return nil
+}
+
+// snapshotRecords re-states one job as at most four records whose
+// reduction reproduces st. Terminal jobs drop the netlist from their spec:
+// they will never re-run, and the key plus result is all replay needs to
+// repopulate the cache.
+func snapshotRecords(st *JobState) []Record {
+	spec := st.Spec
+	if spec != nil && st.Event.Terminal() {
+		lite := *spec
+		lite.Netlist = nil
+		spec = &lite
+	}
+	recs := []Record{{
+		TS: st.Submitted, Job: st.ID, Event: EventSubmitted,
+		Batch: st.Batch, Replays: st.Replays, Spec: spec,
+	}}
+	if st.Started > 0 {
+		recs = append(recs, Record{TS: st.Started, Job: st.ID, Event: EventStarted, Replays: st.Replays})
+	}
+	if st.Iters > 0 && !st.Event.Terminal() {
+		recs = append(recs, Record{TS: st.Started, Job: st.ID, Event: EventProgress, Iters: st.Iters})
+	}
+	if st.Event.Terminal() {
+		recs = append(recs, Record{
+			TS: st.Finished, Job: st.ID, Event: st.Event,
+			Iters: st.Iters, Error: st.Error, Result: st.Result,
+		})
+	}
+	return recs
+}
+
+// syncDir fsyncs a directory so file creation/deletion is durable; errors
+// are ignored (not all filesystems support it).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Append stamps (when TS is zero) and durably appends one record,
+// according to the fsync policy. It returns after the record is at least
+// in the OS page cache; under FsyncAlways, after it is on disk.
+func (j *Journal) Append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("jobstore: journal closed")
+	}
+	if rec.TS == 0 {
+		rec.TS = j.now()
+	}
+	var err error
+	j.buf = j.buf[:0]
+	j.buf, err = AppendRecord(j.buf, rec)
+	if err != nil {
+		return err
+	}
+	j.buf = append(j.buf, '\n')
+	n, err := j.w.Write(j.buf)
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	j.segBytes += int64(n)
+	j.records++
+	j.red.Apply(rec)
+
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	switch j.opts.Fsync {
+	case FsyncAlways:
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("jobstore: %w", err)
+		}
+		j.lastSync = time.Now()
+	case FsyncInterval:
+		if now := time.Now(); now.Sub(j.lastSync) >= j.opts.FsyncEvery {
+			if err := j.f.Sync(); err != nil {
+				return fmt.Errorf("jobstore: %w", err)
+			}
+			j.lastSync = now
+		}
+	}
+
+	if j.segBytes > j.opts.SegmentBytes {
+		segs, err := j.listSegments()
+		if err != nil {
+			return err
+		}
+		return j.compactLocked(j.seg+1, segs)
+	}
+	return nil
+}
+
+func (j *Journal) now() int64 {
+	if j.opts.Clock != nil {
+		return j.opts.Clock()
+	}
+	return time.Now().UnixNano()
+}
+
+// Sync flushes buffered records and fsyncs the active segment regardless
+// of the fsync policy — the drain path calls it before exit.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	j.lastSync = time.Now()
+	return nil
+}
+
+// Close flushes, fsyncs, and closes the journal. Safe to call twice.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	var firstErr error
+	if err := j.w.Flush(); err != nil {
+		firstErr = err
+	}
+	if err := j.f.Sync(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := j.f.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		return fmt.Errorf("jobstore: %w", firstErr)
+	}
+	return nil
+}
+
+// Stats snapshots the journal's size and activity counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	live, terminal := int64(0), int64(0)
+	for _, id := range j.red.order {
+		if st, ok := j.red.states[id]; ok {
+			if st.Event.Terminal() {
+				terminal++
+			} else {
+				live++
+			}
+		}
+	}
+	segments := int64(0)
+	if segs, err := j.listSegments(); err == nil {
+		segments = int64(len(segs))
+	}
+	return Stats{
+		Records:     j.records,
+		Live:        live,
+		Terminal:    terminal,
+		Segments:    segments,
+		ActiveBytes: j.segBytes,
+		Compactions: j.compactions,
+	}
+}
+
+// Dir returns the journal's data directory.
+func (j *Journal) Dir() string { return j.opts.Dir }
+
+func (j *Journal) logf(format string, args ...any) {
+	if j.opts.Logf != nil {
+		j.opts.Logf(format, args...)
+	}
+}

@@ -1,0 +1,388 @@
+package jobstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock hands out strictly increasing timestamps.
+func fakeClock() func() int64 {
+	var t int64
+	return func() int64 { t++; return t }
+}
+
+func openTest(t *testing.T, dir string, opts Options) (*Journal, []*JobState) {
+	t.Helper()
+	opts.Dir = dir
+	if opts.Clock == nil {
+		opts.Clock = fakeClock()
+	}
+	j, states, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return j, states
+}
+
+func spec(key string) *Spec {
+	return &Spec{
+		Netlist: json.RawMessage(`{"modules":[{"name":"a","minArea":1}],"nets":[]}`),
+		MaxX:    10, MaxY: 10, Method: "sdp", TimeoutSec: 30, Key: key,
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	rec := Record{
+		TS: 42, Job: "job-000001", Event: EventSubmitted, Batch: "batch-000001",
+		Replays: 2, Spec: spec("k1"),
+	}
+	b, err := AppendRecord(nil, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), `{"ts":42,`) {
+		t.Errorf("ts is not the first key: %s", b)
+	}
+	got, err := ParseRecord(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Job != rec.Job || got.Event != rec.Event || got.Batch != rec.Batch || got.Replays != rec.Replays {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, rec)
+	}
+	if got.Spec == nil || got.Spec.Key != "k1" || got.Spec.Method != "sdp" {
+		t.Errorf("spec lost in round trip: %+v", got.Spec)
+	}
+	// Encoding is deterministic.
+	b2, _ := AppendRecord(nil, rec)
+	if string(b) != string(b2) {
+		t.Errorf("encoding not deterministic:\n%s\n%s", b, b2)
+	}
+}
+
+func TestParseRecordRejectsNonJournalLines(t *testing.T) {
+	for _, line := range []string{
+		`{"ts":1,"solver":"ipm","kind":"iter","iter":3,"mu":0.5}`, // a solver-trace line
+		`{"ts":1,"job":"job-000001","event":"exploded"}`,          // unknown event
+		`{"ts":1,"event":"done"}`,                                 // missing job
+		`not json`,
+	} {
+		if _, err := ParseRecord([]byte(line)); err == nil {
+			t.Errorf("ParseRecord accepted %q", line)
+		}
+	}
+}
+
+func TestReplayEmptyDir(t *testing.T) {
+	j, states := openTest(t, t.TempDir(), Options{})
+	defer j.Close()
+	if len(states) != 0 {
+		t.Fatalf("fresh dir replayed %d states", len(states))
+	}
+}
+
+func TestReplayLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openTest(t, dir, Options{Fsync: FsyncAlways})
+
+	// Job 1 completes; job 2 is mid-run; job 3 never starts; job 4 fails.
+	append8 := func(rec Record) {
+		t.Helper()
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	append8(Record{Job: "job-000001", Event: EventSubmitted, Spec: spec("k1")})
+	append8(Record{Job: "job-000001", Event: EventStarted})
+	append8(Record{Job: "job-000001", Event: EventDone, Result: json.RawMessage(`{"hpwl":4.5}`)})
+	append8(Record{Job: "job-000002", Event: EventSubmitted, Batch: "batch-000001", Spec: spec("k2")})
+	append8(Record{Job: "job-000002", Event: EventStarted})
+	append8(Record{Job: "job-000002", Event: EventProgress, Iters: 120})
+	append8(Record{Job: "job-000003", Event: EventSubmitted, Batch: "batch-000001", Spec: spec("k3")})
+	append8(Record{Job: "job-000004", Event: EventSubmitted, Spec: spec("k4")})
+	append8(Record{Job: "job-000004", Event: EventStarted})
+	append8(Record{Job: "job-000004", Event: EventFailed, Error: "solver blew up"})
+	j.Close()
+
+	j2, states := openTest(t, dir, Options{})
+	defer j2.Close()
+	if len(states) != 4 {
+		t.Fatalf("replayed %d states, want 4", len(states))
+	}
+	byID := map[string]*JobState{}
+	for _, st := range states {
+		byID[st.ID] = st
+	}
+	if st := byID["job-000001"]; st.Event != EventDone || st.Interrupted() {
+		t.Errorf("job 1: %+v, want done", st)
+	} else if string(st.Result) != `{"hpwl":4.5}` {
+		t.Errorf("job 1 result %s", st.Result)
+	}
+	if st := byID["job-000002"]; !st.Interrupted() || st.Event != EventProgress || st.Iters != 120 {
+		t.Errorf("job 2: %+v, want interrupted at iters=120", st)
+	} else if st.Batch != "batch-000001" {
+		t.Errorf("job 2 lost batch: %+v", st)
+	}
+	if st := byID["job-000003"]; !st.Interrupted() || st.Event != EventSubmitted {
+		t.Errorf("job 3: %+v, want interrupted before start", st)
+	}
+	if st := byID["job-000004"]; st.Event != EventFailed || st.Error != "solver blew up" {
+		t.Errorf("job 4: %+v, want failed", st)
+	}
+	// Interrupted jobs keep their full spec (netlist included) for re-run.
+	if st := byID["job-000002"]; st.Spec == nil || len(st.Spec.Netlist) == 0 {
+		t.Errorf("job 2 lost its netlist: %+v", st.Spec)
+	}
+	// Submission order is preserved.
+	for i, want := range []string{"job-000001", "job-000002", "job-000003", "job-000004"} {
+		if states[i].ID != want {
+			t.Errorf("states[%d] = %s, want %s", i, states[i].ID, want)
+		}
+	}
+}
+
+// TestReplayIdempotent re-opens a journal twice without appending: the
+// second replay must see the identical state (compaction must not lose or
+// duplicate anything).
+func TestReplayIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openTest(t, dir, Options{Fsync: FsyncAlways})
+	j.Append(Record{Job: "job-000001", Event: EventSubmitted, Spec: spec("k1")})
+	j.Append(Record{Job: "job-000001", Event: EventStarted})
+	j.Append(Record{Job: "job-000001", Event: EventDone, Result: json.RawMessage(`{"hpwl":1}`)})
+	j.Append(Record{Job: "job-000002", Event: EventSubmitted, Spec: spec("k2")})
+	j.Close()
+
+	j2, states1 := openTest(t, dir, Options{})
+	j2.Close()
+	j3, states2 := openTest(t, dir, Options{})
+	j3.Close()
+	if len(states1) != 2 || len(states2) != 2 {
+		t.Fatalf("replays saw %d and %d states, want 2", len(states1), len(states2))
+	}
+	for i := range states1 {
+		a, b := states1[i], states2[i]
+		if a.ID != b.ID || a.Event != b.Event || a.Replays != b.Replays ||
+			a.Submitted != b.Submitted || a.Finished != b.Finished || string(a.Result) != string(b.Result) {
+			t.Errorf("replay %d not idempotent:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+// TestTornTailTolerated simulates a crash mid-write: a final torn line
+// must not poison the preceding records.
+func TestTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openTest(t, dir, Options{Fsync: FsyncAlways})
+	j.Append(Record{Job: "job-000001", Event: EventSubmitted, Spec: spec("k1")})
+	j.Append(Record{Job: "job-000001", Event: EventStarted})
+	j.Close()
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.jsonl"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	f, err := os.OpenFile(segs[0], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"ts":99,"job":"job-000001","event":"do`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var logs []string
+	j2, states := openTest(t, dir, Options{Logf: func(f string, a ...any) {
+		logs = append(logs, fmt.Sprintf(f, a...))
+	}})
+	defer j2.Close()
+	if len(states) != 1 || states[0].Event != EventStarted || !states[0].Interrupted() {
+		t.Fatalf("torn tail: states %+v, want one interrupted job at started", states)
+	}
+	found := false
+	for _, l := range logs {
+		if strings.Contains(l, "truncating replay") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("torn tail not logged: %v", logs)
+	}
+}
+
+// TestCompactionBoundsJournal floods the journal past SegmentBytes with
+// terminal jobs and checks that compaction keeps the directory bounded
+// and retains only RetainTerminal finished jobs.
+func TestCompactionBoundsJournal(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openTest(t, dir, Options{SegmentBytes: 4 << 10, RetainTerminal: 5, Fsync: FsyncOff})
+	for i := 1; i <= 60; i++ {
+		id := fmt.Sprintf("job-%06d", i)
+		j.Append(Record{Job: id, Event: EventSubmitted, Spec: spec(fmt.Sprintf("k%d", i))})
+		j.Append(Record{Job: id, Event: EventStarted})
+		j.Append(Record{Job: id, Event: EventDone, Result: json.RawMessage(`{"hpwl":1}`)})
+	}
+	st := j.Stats()
+	if st.Compactions < 1 {
+		t.Fatalf("no compaction after %d bytes of terminal records", 60*3*100)
+	}
+	if st.Segments != 1 {
+		t.Errorf("%d segments on disk, want 1 after compaction", st.Segments)
+	}
+	j.Close()
+
+	// Open replays whatever the last compaction retained plus the appends
+	// after it; its own compaction then re-applies the bound, so a second
+	// cycle must see at most RetainTerminal jobs and no live ones.
+	j2, _ := openTest(t, dir, Options{RetainTerminal: 5})
+	j2.Close()
+	j3, states := openTest(t, dir, Options{})
+	defer j3.Close()
+	if len(states) > 5 {
+		t.Fatalf("replayed %d terminal jobs, want ≤ 5", len(states))
+	}
+	for _, s := range states {
+		if s.Interrupted() {
+			t.Errorf("terminal-only journal replayed live job %s", s.ID)
+		}
+	}
+	// The newest job must be among the survivors.
+	found := false
+	for _, s := range states {
+		if s.ID == "job-000060" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("newest job dropped by compaction; kept %v", ids(states))
+	}
+}
+
+// TestCompactionKeepsLiveJobs: compaction must never drop an unfinished
+// job, no matter how many terminal ones crowd it.
+func TestCompactionKeepsLiveJobs(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openTest(t, dir, Options{SegmentBytes: 2 << 10, RetainTerminal: 2, Fsync: FsyncOff})
+	j.Append(Record{Job: "job-000001", Event: EventSubmitted, Spec: spec("live")})
+	for i := 2; i <= 40; i++ {
+		id := fmt.Sprintf("job-%06d", i)
+		j.Append(Record{Job: id, Event: EventSubmitted, Spec: spec(fmt.Sprintf("k%d", i))})
+		j.Append(Record{Job: id, Event: EventDone})
+	}
+	j.Close()
+
+	j2, states := openTest(t, dir, Options{})
+	defer j2.Close()
+	var live []*JobState
+	for _, s := range states {
+		if s.Interrupted() {
+			live = append(live, s)
+		}
+	}
+	if len(live) != 1 || live[0].ID != "job-000001" {
+		t.Fatalf("live jobs after compaction: %v, want [job-000001]", ids(live))
+	}
+	if live[0].Spec == nil || len(live[0].Spec.Netlist) == 0 {
+		t.Errorf("live job lost its netlist through compaction")
+	}
+}
+
+// TestTerminalSnapshotDropsNetlist: compacted done records shed the
+// netlist but keep the cache key and result.
+func TestTerminalSnapshotDropsNetlist(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openTest(t, dir, Options{Fsync: FsyncOff})
+	j.Append(Record{Job: "job-000001", Event: EventSubmitted, Spec: spec("k1")})
+	j.Append(Record{Job: "job-000001", Event: EventDone, Result: json.RawMessage(`{"hpwl":2}`)})
+	j.Close()
+
+	j2, states := openTest(t, dir, Options{}) // Open compacts
+	j2.Close()
+	if len(states) != 1 {
+		t.Fatal("lost the job")
+	}
+	j3, states := openTest(t, dir, Options{}) // replay of the compacted form
+	defer j3.Close()
+	st := states[0]
+	if st.Spec == nil || st.Spec.Key != "k1" {
+		t.Fatalf("compacted record lost the key: %+v", st.Spec)
+	}
+	if len(st.Spec.Netlist) != 0 {
+		t.Errorf("compacted terminal record still carries the netlist")
+	}
+	if string(st.Result) != `{"hpwl":2}` {
+		t.Errorf("compacted record lost the result: %s", st.Result)
+	}
+}
+
+func TestFsyncModes(t *testing.T) {
+	for _, mode := range []FsyncMode{FsyncAlways, FsyncInterval, FsyncOff} {
+		t.Run(string(mode), func(t *testing.T) {
+			dir := t.TempDir()
+			j, _ := openTest(t, dir, Options{Fsync: mode, FsyncEvery: time.Millisecond})
+			for i := 1; i <= 10; i++ {
+				if err := j.Append(Record{Job: fmt.Sprintf("job-%06d", i), Event: EventSubmitted, Spec: spec("k")}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := j.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			j2, states := openTest(t, dir, Options{})
+			defer j2.Close()
+			if len(states) != 10 {
+				t.Fatalf("mode %s: replayed %d states, want 10", mode, len(states))
+			}
+		})
+	}
+}
+
+func TestParseFsyncMode(t *testing.T) {
+	for _, ok := range []string{"always", "interval", "off"} {
+		if _, err := ParseFsyncMode(ok); err != nil {
+			t.Errorf("ParseFsyncMode(%q): %v", ok, err)
+		}
+	}
+	if _, err := ParseFsyncMode("sometimes"); err == nil {
+		t.Error("ParseFsyncMode accepted junk")
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	j, _ := openTest(t, t.TempDir(), Options{})
+	j.Close()
+	if err := j.Append(Record{Job: "job-000001", Event: EventSubmitted}); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestReducerMaxReplays: the replay counter is the max across records, so
+// a compaction snapshot overlapping an old segment cannot roll it back.
+func TestReducerMaxReplays(t *testing.T) {
+	r := NewReducer()
+	r.Apply(Record{TS: 1, Job: "j", Event: EventSubmitted, Replays: 2})
+	r.Apply(Record{TS: 2, Job: "j", Event: EventStarted, Replays: 1})
+	st := r.Snapshot()[0]
+	if st.Replays != 2 {
+		t.Fatalf("replays = %d, want max 2", st.Replays)
+	}
+}
+
+func ids(states []*JobState) []string {
+	out := make([]string, len(states))
+	for i, s := range states {
+		out[i] = s.ID
+	}
+	return out
+}

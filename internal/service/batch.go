@@ -1,0 +1,168 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// batch groups the fan-out jobs of one POST /v1/batches submission.
+// Guarded by the owning Server's mutex.
+type batch struct {
+	id        string
+	submitted time.Time
+	jobs      []string // job IDs in fan-out order
+}
+
+// BatchStatus aggregates one batch: per-state job counts plus the member
+// job snapshots.
+type BatchStatus struct {
+	ID        string    `json:"id"`
+	Submitted time.Time `json:"submitted"`
+	Total     int       `json:"total"`
+	Queued    int       `json:"queued"`
+	Running   int       `json:"running"`
+	Done      int       `json:"done"`
+	Failed    int       `json:"failed"`
+	Cancelled int       `json:"cancelled"`
+	// Interrupted jobs were stopped by a graceful drain; they re-run after
+	// the next restart of the daemon.
+	Interrupted int `json:"interrupted,omitempty"`
+	FromCache   int `json:"fromCache,omitempty"`
+	// Terminal reports that every member job has finished (within this
+	// process).
+	Terminal bool     `json:"terminal"`
+	Jobs     []Status `json:"jobs,omitempty"`
+}
+
+// SubmitBatch validates and admits a set of requests as one batch,
+// all-or-nothing: either every request is admitted (cache hits finish
+// immediately, the rest are enqueued) or none is and the queue is left
+// untouched. The caller builds the fan-out (one request per
+// outline × method × seed combination) — see Handler's POST /v1/batches.
+func (s *Server) SubmitBatch(reqs []*Request) (BatchStatus, error) {
+	if len(reqs) == 0 {
+		return BatchStatus{}, errors.New("service: empty batch")
+	}
+	keys := make([]string, len(reqs))
+	//sdpvet:ignore ctxloop bounded validation over <=maxBatchJobs requests; admission is all-or-nothing, no solve runs here
+	for i, req := range reqs {
+		key, err := s.validateRequest(req)
+		if err != nil {
+			return BatchStatus{}, fmt.Errorf("service: batch job %d: %w", i, err)
+		}
+		keys[i] = key
+	}
+
+	now := time.Now()
+	jobs := make([]*Job, len(reqs))
+	hits := make([]*Result, len(reqs))
+	need := 0
+	for i, req := range reqs {
+		jobs[i] = &Job{key: keys[i], req: req, submitted: now, done: make(chan struct{})}
+		if res, ok := s.cache.get(keys[i]); ok {
+			hits[i] = res
+		} else {
+			need++
+		}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return BatchStatus{}, ErrClosed
+	}
+	if free := cap(s.queue) - len(s.queue); need > free {
+		s.mu.Unlock()
+		s.metrics.JobsRejected.Add(int64(len(reqs)))
+		return BatchStatus{}, fmt.Errorf("%w (batch needs %d slots, %d free)", ErrQueueFull, need, free)
+	}
+	s.batchSeq++
+	b := &batch{id: fmt.Sprintf("batch-%06d", s.batchSeq), submitted: now}
+	s.batches[b.id] = b
+	s.batchOrder = append(s.batchOrder, b.id)
+	cached := 0
+	for i, j := range jobs {
+		j.req.Batch = b.id
+		if hits[i] != nil {
+			s.finishFromCacheLocked(j, now, hits[i])
+			cached++
+		} else {
+			s.enqueueLocked(j) // cannot fail: slots checked above under the same lock
+		}
+		b.jobs = append(b.jobs, j.id)
+	}
+	st := s.batchStatusLocked(b, now)
+	s.mu.Unlock()
+
+	s.metrics.BatchesSubmitted.Add(1)
+	s.metrics.BatchJobs.Add(int64(len(reqs)))
+	s.metrics.JobsSubmitted.Add(int64(len(reqs)))
+	s.metrics.CacheHits.Add(int64(cached))
+	s.metrics.CacheMisses.Add(int64(len(reqs) - cached))
+	s.metrics.JobsDone.Add(int64(cached))
+	s.logf("service: batch %s submitted (%d jobs, %d from cache)", b.id, len(reqs), cached)
+	return st, nil
+}
+
+// BatchStatus returns the aggregate status of one batch, including member
+// job snapshots.
+func (s *Server) BatchStatus(id string) (BatchStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.batches[id]
+	if !ok {
+		return BatchStatus{}, ErrNotFound
+	}
+	return s.batchStatusLocked(b, time.Now()), nil
+}
+
+// ListBatches snapshots every batch in submission order, without member
+// job details.
+func (s *Server) ListBatches() []BatchStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	out := make([]BatchStatus, 0, len(s.batchOrder))
+	//sdpvet:ignore ctxloop bounded snapshot of the in-memory batch table; no solver work runs here
+	for _, id := range s.batchOrder {
+		st := s.batchStatusLocked(s.batches[id], now)
+		st.Jobs = nil
+		out = append(out, st)
+	}
+	return out
+}
+
+// batchStatusLocked aggregates one batch; the server mutex must be held.
+func (s *Server) batchStatusLocked(b *batch, now time.Time) BatchStatus {
+	st := BatchStatus{ID: b.id, Submitted: b.submitted, Total: len(b.jobs), Terminal: true}
+	//sdpvet:ignore ctxloop bounded aggregation over the batch's member jobs
+	for _, id := range b.jobs {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		js := j.statusLocked(now)
+		st.Jobs = append(st.Jobs, js)
+		switch js.State {
+		case StateQueued:
+			st.Queued++
+			st.Terminal = false
+		case StateRunning:
+			st.Running++
+			st.Terminal = false
+		case StateDone:
+			st.Done++
+		case StateFailed:
+			st.Failed++
+		case StateCancelled:
+			st.Cancelled++
+		case StateInterrupted:
+			st.Interrupted++
+		}
+		if js.FromCache {
+			st.FromCache++
+		}
+	}
+	return st
+}

@@ -1,0 +1,213 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sdpfloor"
+)
+
+// TestSubmitBatchFanout: a batch fans out, aggregates per-state counts,
+// and reaches terminal once every member does.
+func TestSubmitBatchFanout(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, QueueDepth: 16},
+		func(ctx context.Context, nl *sdpfloor.Netlist, c sdpfloor.Config) (*sdpfloor.Floorplan, error) {
+			return fakeFloorplan(nl), nil
+		})
+	var reqs []*Request
+	for seed := int64(0); seed < 4; seed++ {
+		reqs = append(reqs, testRequest(4, seed))
+	}
+	st, err := s.SubmitBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Total != 4 || len(st.Jobs) != 4 {
+		t.Fatalf("batch submit: %+v", st)
+	}
+	for _, js := range st.Jobs {
+		if js.Batch != st.ID {
+			t.Fatalf("member job %s carries batch %q, want %q", js.ID, js.Batch, st.ID)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err = s.BatchStatus(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Terminal {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batch never terminal: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st.Done != 4 || st.Failed != 0 {
+		t.Fatalf("terminal batch: %+v", st)
+	}
+
+	// Resubmitting the same fan-out is answered wholly from the cache.
+	var again []*Request
+	for seed := int64(0); seed < 4; seed++ {
+		again = append(again, testRequest(4, seed))
+	}
+	st2, err := s.SubmitBatch(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Terminal || st2.FromCache != 4 {
+		t.Fatalf("cached batch: %+v", st2)
+	}
+
+	if got := s.ListBatches(); len(got) != 2 || got[0].ID != st.ID {
+		t.Fatalf("list batches: %+v", got)
+	}
+	snap := s.MetricsSnapshot()
+	if snap["batches_submitted_total"] != 2 || snap["batch_jobs_total"] != 8 {
+		t.Fatalf("batch metrics: submitted=%d jobs=%d", snap["batches_submitted_total"], snap["batch_jobs_total"])
+	}
+}
+
+// TestSubmitBatchAllOrNothing: a batch that does not fit the queue is
+// rejected whole, leaving room for smaller work.
+func TestSubmitBatchAllOrNothing(t *testing.T) {
+	block := make(chan struct{})
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 2},
+		func(ctx context.Context, nl *sdpfloor.Netlist, c sdpfloor.Config) (*sdpfloor.Floorplan, error) {
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+			return fakeFloorplan(nl), nil
+		})
+	defer close(block)
+
+	// Occupy the single worker so queue slots are the only capacity.
+	first, err := s.Submit(testRequest(4, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, first.ID, StateRunning)
+
+	var big []*Request
+	for seed := int64(0); seed < 3; seed++ {
+		big = append(big, testRequest(4, seed))
+	}
+	if _, err := s.SubmitBatch(big); err == nil || !strings.Contains(err.Error(), "queue full") {
+		t.Fatalf("oversized batch: %v, want queue full", err)
+	}
+	// Nothing from the rejected batch occupies the queue: a 2-job batch
+	// still fits.
+	small := []*Request{testRequest(4, 10), testRequest(4, 11)}
+	if _, err := s.SubmitBatch(small); err != nil {
+		t.Fatalf("small batch after rejection: %v", err)
+	}
+}
+
+// TestBatchHTTP drives POST /v1/batches and the batch status endpoints,
+// including the structured error body and 429 backpressure.
+func TestBatchHTTP(t *testing.T) {
+	block := make(chan struct{})
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 2},
+		func(ctx context.Context, nl *sdpfloor.Netlist, c sdpfloor.Config) (*sdpfloor.Floorplan, error) {
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+			return fakeFloorplan(nl), nil
+		})
+	defer close(block)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	nl := testNetlist(4)
+	var nlJSON strings.Builder
+	if err := sdpfloor.WriteNetlistJSON(&nlJSON, nl); err != nil {
+		t.Fatal(err)
+	}
+
+	body := fmt.Sprintf(`{"netlist": %s, "seeds": [1, 2], "timeoutSec": 30}`, nlJSON.String())
+	resp, err := http.Post(ts.URL+"/v1/batches", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bst BatchStatus
+	decodeBody(t, resp, http.StatusAccepted, &bst)
+	if bst.Total != 2 || bst.ID == "" {
+		t.Fatalf("batch response: %+v", bst)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/batches/" + bst.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, http.StatusOK, &bst)
+	if bst.Total != 2 || len(bst.Jobs) != 2 {
+		t.Fatalf("batch status: %+v", bst)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/batches")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Batches []BatchStatus `json:"batches"`
+	}
+	decodeBody(t, resp, http.StatusOK, &list)
+	if len(list.Batches) != 1 {
+		t.Fatalf("batch list: %+v", list)
+	}
+
+	// Queue is now full (1 running + 1 queued from the batch, + 1 slot):
+	// an oversized batch answers 429 with Retry-After and a structured
+	// error body.
+	big := fmt.Sprintf(`{"netlist": %s, "seeds": [10, 11, 12, 13]}`, nlJSON.String())
+	resp, err = http.Post(ts.URL+"/v1/batches", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("oversized batch: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	var eb errorJSON
+	decodeBody(t, resp, http.StatusTooManyRequests, &eb)
+	if eb.Error.Code != codeQueueFull || eb.Error.Message == "" {
+		t.Fatalf("429 body: %+v", eb)
+	}
+
+	// Unknown batch: structured 404.
+	resp, err = http.Get(ts.URL + "/v1/batches/batch-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, http.StatusNotFound, &eb)
+	if eb.Error.Code != codeNotFound {
+		t.Fatalf("404 body: %+v", eb)
+	}
+
+	// Fan-out beyond the cap is a 400.
+	seeds := make([]string, 300)
+	for i := range seeds {
+		seeds[i] = fmt.Sprint(i)
+	}
+	huge := fmt.Sprintf(`{"netlist": %s, "seeds": [%s]}`, nlJSON.String(), strings.Join(seeds, ","))
+	resp, err = http.Post(ts.URL+"/v1/batches", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, http.StatusBadRequest, &eb)
+	if eb.Error.Code != codeBadRequest || !strings.Contains(eb.Error.Message, "fans out") {
+		t.Fatalf("oversize fan-out body: %+v", eb)
+	}
+}

@@ -1,0 +1,242 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sdpfloor"
+	"sdpfloor/internal/trace"
+)
+
+// TestTraceFollowStreamsUntilTerminal: ?follow=1 delivers events recorded
+// after the request began and ends when the job does.
+func TestTraceFollowStreamsUntilTerminal(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4},
+		func(ctx context.Context, nl *sdpfloor.Netlist, c sdpfloor.Config) (*sdpfloor.Floorplan, error) {
+			for i := 0; i < 5; i++ {
+				c.Trace.Record(trace.Event{Solver: "ipm", Kind: trace.KindIter, Iter: i})
+			}
+			close(started)
+			<-release
+			for i := 5; i < 10; i++ {
+				c.Trace.Record(trace.Event{Solver: "ipm", Kind: trace.KindIter, Iter: i})
+			}
+			return fakeFloorplan(nl), nil
+		})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	st, err := s.Submit(testRequest(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/trace?follow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follow status %d", resp.StatusCode)
+	}
+	go close(release)
+
+	var iters []int
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		ev, err := trace.ParseLine([]byte(line))
+		if err != nil {
+			t.Fatalf("follow line %q: %v", line, err)
+		}
+		iters = append(iters, ev.Iter)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// The stream must include the events recorded after the follower
+	// connected and terminate on its own once the job is done.
+	if len(iters) < 10 || iters[len(iters)-1] != 9 {
+		t.Fatalf("followed %d events ending at %v, want ≥10 ending at 9", len(iters), iters)
+	}
+	for i := 1; i < len(iters); i++ {
+		if iters[i] <= iters[i-1] {
+			t.Fatalf("follow stream out of order at %d: %v", i, iters)
+		}
+	}
+}
+
+// TestTraceFollowQueuedJob: following a job that has not started yet picks
+// up events once the solve begins.
+func TestTraceFollowQueuedJob(t *testing.T) {
+	release := make(chan struct{})
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4},
+		func(ctx context.Context, nl *sdpfloor.Netlist, c sdpfloor.Config) (*sdpfloor.Floorplan, error) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			c.Trace.Record(trace.Event{Solver: "ipm", Kind: trace.KindIter, Iter: 1})
+			return fakeFloorplan(nl), nil
+		})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Fill the worker, then queue a second job.
+	first, err := s.Submit(testRequest(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, first.ID, StateRunning)
+	second, err := s.Submit(testRequest(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan []byte, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + second.ID + "/trace?follow=1")
+		if err != nil {
+			done <- nil
+			return
+		}
+		defer resp.Body.Close()
+		var out []byte
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			out = append(out, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- out
+	}()
+
+	time.Sleep(20 * time.Millisecond) // follower attaches while job is queued
+	close(release)                    // both jobs run and finish
+
+	select {
+	case body := <-done:
+		if !strings.Contains(string(body), `"iter":1`) && !strings.Contains(string(body), `"iter": 1`) {
+			t.Fatalf("follow of queued job missed its events: %q", body)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follow of queued job never terminated")
+	}
+}
+
+// TestStructuredErrors: every error path answers the {"error":{code,
+// message}} envelope.
+func TestStructuredErrors(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1},
+		func(ctx context.Context, nl *sdpfloor.Netlist, c sdpfloor.Config) (*sdpfloor.Floorplan, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var eb errorJSON
+	resp, err := http.Get(ts.URL + "/v1/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, http.StatusNotFound, &eb)
+	if eb.Error.Code != codeNotFound || eb.Error.Message == "" {
+		t.Fatalf("404 body: %+v", eb)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, http.StatusBadRequest, &eb)
+	if eb.Error.Code != codeBadRequest {
+		t.Fatalf("bad body: %+v", eb)
+	}
+
+	// Fill the worker and the queue, then overflow: 429 + Retry-After.
+	nl := testNetlist(4)
+	var nlJSON strings.Builder
+	if err := sdpfloor.WriteNetlistJSON(&nlJSON, nl); err != nil {
+		t.Fatal(err)
+	}
+	submit := func(seed int) *http.Response {
+		body := fmt.Sprintf(`{"netlist": %s, "seed": %d}`, nlJSON.String(), seed)
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	var st Status
+	decodeBody(t, submit(1), http.StatusAccepted, &st)
+	waitState(t, s, st.ID, StateRunning)
+	decodeBody(t, submit(2), http.StatusAccepted, &st)
+
+	resp = submit(3)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status %d, want 429", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	decodeBody(t, resp, http.StatusTooManyRequests, &eb)
+	if eb.Error.Code != codeQueueFull {
+		t.Fatalf("429 body: %+v", eb)
+	}
+}
+
+// TestHealthzReportsVersionAndDurability: /healthz carries the build
+// stamp, durability mode, and drain state.
+func TestHealthzReportsVersionAndDurability(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1}, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	decodeBody(t, resp, http.StatusOK, &health)
+	if health["status"] != "ok" {
+		t.Fatalf("healthz status: %+v", health)
+	}
+	v, ok := health["version"].(string)
+	if !ok || v == "" {
+		t.Fatalf("healthz missing version: %+v", health)
+	}
+	if durable, ok := health["durable"].(bool); !ok || durable {
+		t.Fatalf("healthz durable = %v, want false without -data-dir", health["durable"])
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, http.StatusOK, &health)
+	if health["status"] != "draining" {
+		t.Fatalf("healthz during drain: %+v", health)
+	}
+}

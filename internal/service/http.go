@@ -13,6 +13,7 @@ import (
 
 	"sdpfloor"
 	"sdpfloor/internal/trace"
+	"sdpfloor/internal/version"
 )
 
 // jobRequestJSON is the wire form of a job submission.
@@ -38,8 +39,65 @@ type rectWireJSON struct {
 	MaxY float64 `json:"maxY"`
 }
 
+// errorJSON is the structured error envelope every non-2xx response uses:
+// a stable machine-readable code plus a human-readable message.
 type errorJSON struct {
-	Error string `json:"error"`
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error codes; stable API surface, documented in docs/SERVICE.md.
+const (
+	codeBadRequest   = "bad_request"
+	codeNotFound     = "not_found"
+	codeConflict     = "conflict"
+	codeQueueFull    = "queue_full"
+	codeShuttingDown = "shutting_down"
+)
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorJSON{Error: errorBody{Code: code, Message: msg}})
+}
+
+// writeSubmitError maps Submit/SubmitBatch errors to HTTP. Queue-full gets
+// 429 with a Retry-After derived from the current backlog, so batch
+// submitters can implement polite backoff without parsing anything.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests, codeQueueFull, err.Error())
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, codeShuttingDown, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
+	}
+}
+
+// retryAfterSeconds estimates when a queue slot should free up: the
+// backlog ahead of a new submission divided across the worker pool, paced
+// by the average solve time observed so far, clamped to [1s, 60s].
+func (s *Server) retryAfterSeconds() int {
+	s.mu.Lock()
+	backlog := int64(len(s.queue))
+	s.mu.Unlock()
+	finished := s.metrics.JobsDone.Load() + s.metrics.JobsFailed.Load() + s.metrics.JobsCancelled.Load()
+	avgMillis := int64(1000)
+	if finished > 0 {
+		avgMillis = s.metrics.SolveMillis.Load() / finished
+	}
+	secs := (backlog/int64(s.cfg.Workers) + 1) * avgMillis / 1000
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return int(secs)
 }
 
 // Handler returns the service's HTTP API:
@@ -49,10 +107,17 @@ type errorJSON struct {
 //	GET    /v1/jobs/{id}      job status
 //	GET    /v1/jobs/{id}/result  result of a done job (409 while unfinished)
 //	GET    /v1/jobs/{id}/trace   captured solver telemetry as JSONL
+//	                          (?follow=1 streams live until the job finishes)
 //	DELETE /v1/jobs/{id}      cancel a queued or running job
-//	GET    /healthz           liveness + pool info
+//	POST   /v1/batches        submit one netlist × methods × seeds fan-out
+//	GET    /v1/batches        list all batches (aggregate counts)
+//	GET    /v1/batches/{id}   batch status with member job snapshots
+//	GET    /healthz           liveness, build stamp, pool + durability info
 //	GET    /metrics           expvar-style JSON counters
 //	GET    /debug/pprof/...   runtime profiling (CPU, heap, goroutines)
+//
+// Errors are JSON envelopes {"error":{"code","message"}}; a full queue
+// answers 429 with a Retry-After estimate.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -61,6 +126,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/batches", s.handleBatchSubmit)
+	mux.HandleFunc("GET /v1/batches", s.handleBatchList)
+	mux.HandleFunc("GET /v1/batches/{id}", s.handleBatchStatus)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -73,11 +141,18 @@ func (s *Server) Handler() http.Handler {
 
 // handleTrace streams a job's captured telemetry as JSONL (one event per
 // line, oldest first). Events the bounded ring already discarded are counted
-// in the X-Trace-Dropped header.
+// in the X-Trace-Dropped header. With ?follow=1 the response stays open and
+// streams new events as the solver produces them, ending when the job
+// reaches a terminal state (long-poll friendly: each event is flushed as a
+// complete line).
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("follow") != "" {
+		s.handleTraceFollow(w, r)
+		return
+	}
 	evs, dropped, err := s.Trace(r.PathValue("id"))
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, errorJSON{Error: err.Error()})
+		writeError(w, http.StatusNotFound, codeNotFound, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -99,20 +174,88 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+func (s *Server) handleTraceFollow(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, _, err := s.traceFollow(id); err != nil {
+		writeError(w, http.StatusNotFound, codeNotFound, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	ctx := r.Context()
+	var buf []byte
+	var seen int64
+	emit := func(evs []trace.Event) bool {
+		for _, ev := range evs {
+			buf = trace.AppendJSON(buf[:0], ev)
+			buf = append(buf, '\n')
+			if _, err := w.Write(buf); err != nil {
+				return false
+			}
+		}
+		if len(evs) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	for {
+		ring, done, err := s.traceFollow(id)
+		if err != nil {
+			return
+		}
+		if ring == nil {
+			// Queued (no ring yet) or finished without ever solving (cache
+			// hit, cancelled while queued). Wait for either the solve to
+			// start or the job to end.
+			select {
+			case <-done:
+				if ring, _, err = s.traceFollow(id); err != nil || ring == nil {
+					return
+				}
+				evs, _ := ring.SnapshotSince(seen)
+				emit(evs)
+				return
+			case <-ctx.Done():
+				return
+			case <-time.After(50 * time.Millisecond):
+				continue
+			}
+		}
+		// Arm the wakeup before snapshotting so an event recorded between
+		// the snapshot and the wait below cannot be missed.
+		updated := ring.Updated()
+		evs, next := ring.SnapshotSince(seen)
+		seen = next
+		if !emit(evs) {
+			return
+		}
+		select {
+		case <-done:
+			evs, _ := ring.SnapshotSince(seen) // final drain
+			emit(evs)
+			return
+		case <-updated:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var in jobRequestJSON
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	if err := dec.Decode(&in); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
+		writeError(w, http.StatusBadRequest, codeBadRequest, "bad request body: "+err.Error())
 		return
 	}
 	if len(in.Netlist) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "missing netlist"})
+		writeError(w, http.StatusBadRequest, codeBadRequest, "missing netlist")
 		return
 	}
 	nl, err := sdpfloor.ReadNetlistJSON(bytes.NewReader(in.Netlist))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
 		return
 	}
 	req := &Request{
@@ -129,20 +272,106 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	st, err := s.Submit(req)
-	switch {
-	case err == nil:
-		code := http.StatusAccepted
-		if st.FromCache {
-			code = http.StatusOK
-		}
-		writeJSON(w, code, st)
-	case errors.Is(err, ErrQueueFull):
-		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: err.Error()})
-	case errors.Is(err, ErrClosed):
-		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: err.Error()})
-	default:
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
 	}
+	code := http.StatusAccepted
+	if st.FromCache {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+// batchRequestJSON is the wire form of POST /v1/batches: one netlist plus
+// the fan-out axes. Every methods × seeds combination becomes one job;
+// absent axes default to [sdp] × [0].
+type batchRequestJSON struct {
+	Netlist    json.RawMessage `json:"netlist"`
+	Outline    *rectWireJSON   `json:"outline,omitempty"`
+	Aspect     float64         `json:"aspect,omitempty"`
+	Whitespace float64         `json:"whitespace,omitempty"`
+	Methods    []string        `json:"methods,omitempty"`
+	Seeds      []int64         `json:"seeds,omitempty"`
+	Basic      bool            `json:"basic,omitempty"`
+	TimeoutSec float64         `json:"timeoutSec,omitempty"`
+}
+
+// maxBatchJobs bounds one batch's fan-out; larger sweeps should be split
+// so backpressure applies per request.
+const maxBatchJobs = 256
+
+func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
+	var in batchRequestJSON
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(&in); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(in.Netlist) == 0 {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "missing netlist")
+		return
+	}
+	nl, err := sdpfloor.ReadNetlistJSON(bytes.NewReader(in.Netlist))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		return
+	}
+	outline := sdpfloor.OutlineFor(nl, in.Aspect, in.Whitespace)
+	if in.Outline != nil {
+		outline = sdpfloor.Rect{MinX: in.Outline.MinX, MinY: in.Outline.MinY, MaxX: in.Outline.MaxX, MaxY: in.Outline.MaxY}
+	}
+	methods := in.Methods
+	if len(methods) == 0 {
+		methods = []string{string(sdpfloor.MethodSDP)}
+	}
+	seeds := in.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{0}
+	}
+	if n := len(methods) * len(seeds); n > maxBatchJobs {
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			fmt.Sprintf("batch fans out to %d jobs, limit %d", n, maxBatchJobs))
+		return
+	}
+	var reqs []*Request
+	for _, m := range methods {
+		for _, seed := range seeds {
+			reqs = append(reqs, &Request{
+				Netlist: nl,
+				Outline: outline,
+				Method:  sdpfloor.Method(m),
+				Seed:    seed,
+				Basic:   in.Basic,
+				Timeout: time.Duration(in.TimeoutSec * float64(time.Second)),
+			})
+		}
+	}
+	st, err := s.SubmitBatch(reqs)
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	code := http.StatusAccepted
+	if st.Terminal {
+		code = http.StatusOK // every job answered from the cache
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleBatchList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Batches []BatchStatus `json:"batches"`
+	}{Batches: s.ListBatches()})
+}
+
+func (s *Server) handleBatchStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.BatchStatus(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, codeNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -154,7 +383,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st, err := s.Status(r.PathValue("id"))
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, errorJSON{Error: err.Error()})
+		writeError(w, http.StatusNotFound, codeNotFound, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -163,13 +392,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	res, st, err := s.Result(r.PathValue("id"))
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, errorJSON{Error: err.Error()})
+		writeError(w, http.StatusNotFound, codeNotFound, err.Error())
 		return
 	}
 	if st.State != StateDone {
-		writeJSON(w, http.StatusConflict, errorJSON{
-			Error: fmt.Sprintf("job %s is %s, not done", st.ID, st.State),
-		})
+		writeError(w, http.StatusConflict, codeConflict,
+			fmt.Sprintf("job %s is %s, not done", st.ID, st.State))
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -178,19 +406,29 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	st, err := s.Cancel(r.PathValue("id"))
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, errorJSON{Error: err.Error()})
+		writeError(w, http.StatusNotFound, codeNotFound, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":        "ok",
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	out := map[string]any{
+		"status":        status,
+		"version":       version.Stamp(),
 		"workers":       s.cfg.Workers,
 		"solve_workers": s.cfg.SolveWorkers,
 		"queue":         s.cfg.QueueDepth,
-	})
+		"durable":       s.journal != nil,
+	}
+	if s.journal != nil {
+		out["data_dir"] = s.journal.Dir()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -11,7 +11,7 @@ import (
 )
 
 // State is a job's position in the lifecycle
-// submitted → queued → running → done | failed | cancelled.
+// submitted → queued → running → done | failed | cancelled | interrupted.
 type State string
 
 // Job lifecycle states.
@@ -21,11 +21,17 @@ const (
 	StateDone      State = "done"
 	StateFailed    State = "failed"
 	StateCancelled State = "cancelled"
+	// StateInterrupted marks a running job that a graceful drain stopped
+	// mid-solve: terminal for this process, but journaled as live so the
+	// next start replays it (see docs/SERVICE.md on durability).
+	StateInterrupted State = "interrupted"
 )
 
-// Terminal reports whether a job in this state will never change again.
+// Terminal reports whether a job in this state will never change again
+// within this process. Interrupted jobs are terminal here but resume in
+// the next process via journal replay.
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
+	return s == StateDone || s == StateFailed || s == StateCancelled || s == StateInterrupted
 }
 
 // Request is a fully-parsed floorplanning job specification.
@@ -38,6 +44,9 @@ type Request struct {
 	Basic bool
 	// Timeout bounds the solve wall-clock; 0 uses the server default.
 	Timeout time.Duration
+	// Batch is the batch ID this request belongs to; set by SubmitBatch
+	// and by journal replay, empty for standalone jobs.
+	Batch string
 }
 
 // Key returns the content-addressed cache key: a hash over every field that
@@ -121,6 +130,9 @@ type Job struct {
 	err       string
 	result    *Result
 	fromCache bool
+	// replays counts how many crash-recovery replays re-enqueued this job
+	// (0 on first submission); carried through the journal.
+	replays int
 
 	cancel      func() // non-nil while running
 	cancelAsked bool
@@ -148,6 +160,10 @@ type Status struct {
 	Error       string `json:"error,omitempty"`
 	FromCache   bool   `json:"fromCache,omitempty"`
 	CacheKey    string `json:"cacheKey"`
+	// Batch is the owning batch ID for jobs submitted via POST /v1/batches.
+	Batch string `json:"batch,omitempty"`
+	// Replays counts crash-recovery re-runs of this job.
+	Replays int `json:"replays,omitempty"`
 }
 
 // statusLocked snapshots the job; the server mutex must be held.
@@ -161,6 +177,8 @@ func (j *Job) statusLocked(now time.Time) Status {
 		Error:     j.err,
 		FromCache: j.fromCache,
 		CacheKey:  j.key,
+		Batch:     j.req.Batch,
+		Replays:   j.replays,
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -24,18 +24,24 @@ var iterLatencyBuckets = [...]struct {
 // flat JSON on /metrics. Gauges derived from live state (jobs by state,
 // queue length, cache entries) are merged in at render time.
 type Metrics struct {
-	JobsSubmitted  atomic.Int64
-	JobsDone       atomic.Int64
-	JobsFailed     atomic.Int64
-	JobsCancelled  atomic.Int64
-	JobsRejected   atomic.Int64 // queue-full rejections
-	CacheHits      atomic.Int64
-	CacheMisses    atomic.Int64
-	SolveMillis    atomic.Int64 // total solve wall-clock across finished jobs
-	ConvexIters    atomic.Int64 // convex-iteration count across SDP jobs
-	SubSolverIters atomic.Int64 // IPM/ADMM iterations across SDP jobs
-	WarmStarts     atomic.Int64 // warm-started sub-problem solves across SDP jobs
-	TraceEvents    atomic.Int64 // solver trace events captured across jobs
+	JobsSubmitted    atomic.Int64
+	JobsDone         atomic.Int64
+	JobsFailed       atomic.Int64
+	JobsCancelled    atomic.Int64
+	JobsRejected     atomic.Int64 // queue-full rejections
+	JobsInterrupted  atomic.Int64 // jobs stopped by drain/shutdown, journaled for replay
+	JobsReplayed     atomic.Int64 // jobs re-enqueued by journal replay at startup
+	BatchesSubmitted atomic.Int64
+	BatchJobs        atomic.Int64 // jobs admitted via POST /v1/batches
+	JournalRecords   atomic.Int64 // journal records appended by this process
+	JournalErrors    atomic.Int64 // journal append failures (job kept running)
+	CacheHits        atomic.Int64
+	CacheMisses      atomic.Int64
+	SolveMillis      atomic.Int64 // total solve wall-clock across finished jobs
+	ConvexIters      atomic.Int64 // convex-iteration count across SDP jobs
+	SubSolverIters   atomic.Int64 // IPM/ADMM iterations across SDP jobs
+	WarmStarts       atomic.Int64 // warm-started sub-problem solves across SDP jobs
+	TraceEvents      atomic.Int64 // solver trace events captured across jobs
 
 	// IterLatency counts iteration latencies per iterLatencyBuckets bound.
 	IterLatency [len(iterLatencyBuckets)]atomic.Int64
@@ -59,6 +65,12 @@ func (m *Metrics) snapshot(gauges map[string]int64) map[string]int64 {
 		"jobs_failed_total":       m.JobsFailed.Load(),
 		"jobs_cancelled_total":    m.JobsCancelled.Load(),
 		"jobs_rejected_total":     m.JobsRejected.Load(),
+		"jobs_interrupted_total":  m.JobsInterrupted.Load(),
+		"replayed_jobs_total":     m.JobsReplayed.Load(),
+		"batches_submitted_total": m.BatchesSubmitted.Load(),
+		"batch_jobs_total":        m.BatchJobs.Load(),
+		"journal_records_total":   m.JournalRecords.Load(),
+		"journal_errors_total":    m.JournalErrors.Load(),
 		"cache_hits_total":        m.CacheHits.Load(),
 		"cache_misses_total":      m.CacheMisses.Load(),
 		"solve_millis_total":      m.SolveMillis.Load(),

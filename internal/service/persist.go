@@ -1,0 +1,263 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"sdpfloor"
+	"sdpfloor/internal/jobstore"
+)
+
+// This file is the bridge between the in-memory job table and the durable
+// jobstore journal: translating requests to specs and back, appending
+// lifecycle records, and restoring replayed state on startup.
+//
+// Journal failures after a job has been accepted are logged and counted
+// (JournalErrors) but never fail the job: once the service has taken the
+// work, availability wins over durability. The only hard dependency on the
+// journal is at startup, where jobstore.Open refusing to read the data dir
+// aborts the daemon before it accepts anything.
+
+// specFor converts an accepted request into its durable form. The netlist
+// is serialized with the same canonical encoder the cache key hashes, so a
+// replayed job reproduces its content address exactly.
+func specFor(req *Request, key string) *jobstore.Spec {
+	spec := &jobstore.Spec{
+		MinX:       req.Outline.MinX,
+		MinY:       req.Outline.MinY,
+		MaxX:       req.Outline.MaxX,
+		MaxY:       req.Outline.MaxY,
+		Method:     string(req.Method),
+		Seed:       req.Seed,
+		Basic:      req.Basic,
+		TimeoutSec: req.Timeout.Seconds(),
+		Key:        key,
+	}
+	var buf bytes.Buffer
+	if err := req.Netlist.WriteJSON(&buf); err == nil {
+		spec.Netlist = json.RawMessage(buf.Bytes())
+	}
+	return spec
+}
+
+// requestFromSpec rebuilds a runnable request from a journal spec; it fails
+// when the spec has no netlist (a compacted terminal record) or the netlist
+// no longer parses.
+func requestFromSpec(spec *jobstore.Spec, batch string) (*Request, error) {
+	if spec == nil || len(spec.Netlist) == 0 {
+		return nil, fmt.Errorf("service: journal spec has no netlist")
+	}
+	nl, err := sdpfloor.ReadNetlistJSON(bytes.NewReader(spec.Netlist))
+	if err != nil {
+		return nil, fmt.Errorf("service: journal netlist: %w", err)
+	}
+	req := &Request{
+		Netlist: nl,
+		Outline: sdpfloor.Rect{MinX: spec.MinX, MinY: spec.MinY, MaxX: spec.MaxX, MaxY: spec.MaxY},
+		Method:  sdpfloor.Method(spec.Method),
+		Seed:    spec.Seed,
+		Basic:   spec.Basic,
+		Timeout: time.Duration(spec.TimeoutSec * float64(time.Second)),
+		Batch:   batch,
+	}
+	if req.Method == "" {
+		req.Method = sdpfloor.MethodSDP
+	}
+	return req, nil
+}
+
+// journalAppend appends one record when a journal is attached. Errors are
+// absorbed: logged once per failure and counted, never propagated to the
+// job lifecycle.
+func (s *Server) journalAppend(rec jobstore.Record) {
+	j := s.journal
+	if j == nil {
+		return
+	}
+	if err := j.Append(rec); err != nil {
+		s.metrics.JournalErrors.Add(1)
+		s.logf("service: journal append (%s %s): %v", rec.Job, rec.Event, err)
+		return
+	}
+	s.metrics.JournalRecords.Add(1)
+}
+
+// journalSubmittedLocked records a job's acceptance; the server mutex must
+// be held so the record lands before any started record the worker appends
+// (the worker takes the same mutex before running the job).
+func (s *Server) journalSubmittedLocked(j *Job) {
+	if s.journal == nil {
+		return
+	}
+	s.journalAppend(jobstore.Record{
+		Job:     j.id,
+		Event:   jobstore.EventSubmitted,
+		Batch:   j.req.Batch,
+		Replays: j.replays,
+		Spec:    specFor(j.req, j.key),
+	})
+}
+
+// journalTerminalLocked records a job's terminal state (done/failed/
+// cancelled). Interrupted jobs deliberately get no terminal record — their
+// newest journal event stays non-terminal, which is exactly what marks
+// them for replay on the next start.
+func (s *Server) journalTerminalLocked(j *Job, iters int) {
+	if s.journal == nil {
+		return
+	}
+	rec := jobstore.Record{Job: j.id, Iters: iters, Error: j.err}
+	switch j.state {
+	case StateDone:
+		rec.Event = jobstore.EventDone
+		if j.result != nil {
+			if enc, err := json.Marshal(j.result); err == nil {
+				rec.Result = enc
+			}
+		}
+	case StateFailed:
+		rec.Event = jobstore.EventFailed
+	case StateCancelled:
+		rec.Event = jobstore.EventCancelled
+	default:
+		return
+	}
+	s.journalAppend(rec)
+}
+
+// restore rebuilds the job table from replayed journal states: terminal
+// jobs come back as finished history (done results repopulate the cache),
+// interrupted jobs are re-enqueued with an incremented replay count. Runs
+// from New before the workers start, so no locking is needed.
+func (s *Server) restore(states []*jobstore.JobState) {
+	replayed := 0
+	//sdpvet:ignore ctxloop bounded startup replay before workers start; enqueues only, no solve runs here
+	for _, st := range states {
+		var seq int
+		if _, err := fmt.Sscanf(st.ID, "job-%d", &seq); err == nil && seq > s.seq {
+			s.seq = seq
+		}
+		j := &Job{
+			id:        st.ID,
+			state:     StateQueued,
+			submitted: time.Unix(0, st.Submitted),
+			replays:   st.Replays,
+			done:      make(chan struct{}),
+		}
+		if st.Spec != nil {
+			j.key = st.Spec.Key
+		}
+		if st.Interrupted() {
+			req, err := requestFromSpec(st.Spec, st.Batch)
+			if err != nil {
+				// The spec is unusable (torn record, compaction artifact):
+				// surface the loss as a failed job instead of dropping it
+				// silently.
+				j.req = &Request{Netlist: &sdpfloor.Netlist{}, Batch: st.Batch}
+				j.state = StateFailed
+				j.err = fmt.Sprintf("replay failed: %v", err)
+				j.finished = time.Now()
+				close(j.done)
+				s.metrics.JobsFailed.Add(1)
+				s.registerReplayedLocked(j, st.Batch)
+				s.journalTerminalLocked(j, st.Iters)
+				s.logf("service: job %s unrecoverable after restart: %v", j.id, err)
+				continue
+			}
+			j.req = req
+			if j.key == "" {
+				j.key = req.Key()
+			}
+			j.replays = st.Replays + 1
+			s.registerReplayedLocked(j, st.Batch)
+			// Re-state the submission with the bumped replay count so the
+			// journal's newest fact about the job reflects this enqueue.
+			s.journalAppend(jobstore.Record{
+				Job: j.id, Event: jobstore.EventSubmitted,
+				Batch: st.Batch, Replays: j.replays, Spec: st.Spec,
+			})
+			s.queue <- j // capacity reserved in New for every interrupted job
+			s.metrics.JobsReplayed.Add(1)
+			replayed++
+			continue
+		}
+
+		// Terminal history: restore status (and the cache, for done jobs)
+		// without re-running anything.
+		j.req = s.historyRequest(st)
+		j.err = st.Error
+		if st.Started > 0 {
+			j.started = time.Unix(0, st.Started)
+		}
+		if st.Finished > 0 {
+			j.finished = time.Unix(0, st.Finished)
+		}
+		switch st.Event {
+		case jobstore.EventDone:
+			j.state = StateDone
+			if len(st.Result) > 0 {
+				res := &Result{}
+				if err := json.Unmarshal(st.Result, res); err == nil {
+					j.result = res
+					if j.key != "" {
+						s.cache.put(j.key, res)
+					}
+				}
+			}
+		case jobstore.EventFailed:
+			j.state = StateFailed
+		case jobstore.EventCancelled:
+			j.state = StateCancelled
+		}
+		close(j.done)
+		s.registerReplayedLocked(j, st.Batch)
+	}
+	if len(states) > 0 {
+		s.logf("service: restored %d jobs from journal (%d re-enqueued)", len(states), replayed)
+	}
+}
+
+// historyRequest builds the display-only request for a restored terminal
+// job. Terminal specs may have had their netlist compacted away; modules=0
+// in listings is acceptable for history.
+func (s *Server) historyRequest(st *jobstore.JobState) *Request {
+	req := &Request{Netlist: &sdpfloor.Netlist{}, Batch: st.Batch}
+	if st.Spec != nil {
+		req.Method = sdpfloor.Method(st.Spec.Method)
+		req.Seed = st.Spec.Seed
+		req.Basic = st.Spec.Basic
+		req.Outline = sdpfloor.Rect{MinX: st.Spec.MinX, MinY: st.Spec.MinY, MaxX: st.Spec.MaxX, MaxY: st.Spec.MaxY}
+		if len(st.Spec.Netlist) > 0 {
+			if nl, err := sdpfloor.ReadNetlistJSON(bytes.NewReader(st.Spec.Netlist)); err == nil {
+				req.Netlist = nl
+			}
+		}
+	}
+	return req
+}
+
+// registerReplayedLocked records a restored job under its original ID and
+// rebuilds its batch membership.
+func (s *Server) registerReplayedLocked(j *Job, batchID string) {
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	if batchID == "" {
+		return
+	}
+	var seq int
+	if _, err := fmt.Sscanf(batchID, "batch-%d", &seq); err == nil && seq > s.batchSeq {
+		s.batchSeq = seq
+	}
+	b := s.batches[batchID]
+	if b == nil {
+		b = &batch{id: batchID, submitted: j.submitted}
+		s.batches[batchID] = b
+		s.batchOrder = append(s.batchOrder, batchID)
+	}
+	if j.submitted.Before(b.submitted) {
+		b.submitted = j.submitted
+	}
+	b.jobs = append(b.jobs, j.id)
+}

@@ -1,0 +1,384 @@
+package service
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sdpfloor"
+	"sdpfloor/internal/jobstore"
+)
+
+// openTestJournal opens (or reopens) a journal under dir with synchronous
+// fsync, so every appended record is durable the moment Append returns —
+// the strictest setting, which makes the simulated crashes below exact.
+func openTestJournal(t *testing.T, dir string) (*jobstore.Journal, []*jobstore.JobState) {
+	t.Helper()
+	j, states, err := jobstore.Open(jobstore.Options{Dir: dir, Fsync: jobstore.FsyncAlways, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	return j, states
+}
+
+// solveCounter counts placeFn invocations per seed, so replay tests can
+// assert exactly-once semantics.
+type solveCounter struct {
+	mu     sync.Mutex
+	counts map[int64]int
+}
+
+func newSolveCounter() *solveCounter { return &solveCounter{counts: make(map[int64]int)} }
+
+func (c *solveCounter) inc(seed int64) {
+	c.mu.Lock()
+	c.counts[seed]++
+	c.mu.Unlock()
+}
+
+func (c *solveCounter) get(seed int64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[seed]
+}
+
+// TestCrashRecoveryReplaysExactlyOnce is the acceptance scenario: submit
+// ≥8 jobs, let some finish, crash the daemon (journal file handle dies
+// with no drain, like kill -9 under fsync=always), restart against the
+// same data dir, and verify every job reaches a terminal state with no
+// duplicated solves and no lost results.
+func TestCrashRecoveryReplaysExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	j1, states := openTestJournal(t, dir)
+	if len(states) != 0 {
+		t.Fatalf("fresh journal replayed %d states", len(states))
+	}
+
+	const fastSeeds, slowSeeds = 4, 6 // 10 jobs total, ≥8 required
+	counter := newSolveCounter()
+	s1 := newServer(Config{Workers: 2, QueueDepth: 16, Journal: j1, Replay: states},
+		func(ctx context.Context, nl *sdpfloor.Netlist, c sdpfloor.Config) (*sdpfloor.Floorplan, error) {
+			counter.inc(c.Seed)
+			if c.Seed < fastSeeds {
+				return fakeFloorplan(nl), nil
+			}
+			<-ctx.Done() // "long solve": runs until the crash
+			return nil, ctx.Err()
+		})
+
+	var ids []string
+	for seed := int64(0); seed < fastSeeds+slowSeeds; seed++ {
+		st, err := s1.Submit(testRequest(4, seed))
+		if err != nil {
+			t.Fatalf("submit seed %d: %v", seed, err)
+		}
+		ids = append(ids, st.ID)
+	}
+	for i := 0; i < fastSeeds; i++ {
+		waitState(t, s1, ids[i], StateDone)
+	}
+	// The slow jobs are now running (2 workers) or queued; the journal has
+	// their submitted/started records but no terminal ones.
+
+	// Crash: the journal dies first (no drain checkpointing reaches disk),
+	// then the process "exits". Post-crash journal appends fail and are
+	// absorbed — exactly the kill -9 picture under fsync=always.
+	if err := j1.Close(); err != nil {
+		t.Fatalf("close journal: %v", err)
+	}
+	s1.Close()
+
+	// Restart against the same data dir.
+	j2, states2 := openTestJournal(t, dir)
+	defer j2.Close()
+	if len(states2) != fastSeeds+slowSeeds {
+		t.Fatalf("replayed %d states, want %d", len(states2), fastSeeds+slowSeeds)
+	}
+	interrupted := 0
+	for _, st := range states2 {
+		if st.Interrupted() {
+			interrupted++
+		}
+	}
+	if interrupted != slowSeeds {
+		t.Fatalf("replay found %d interrupted jobs, want %d", interrupted, slowSeeds)
+	}
+
+	// Snapshot pre-restart counts: running slow jobs solved once already,
+	// queued ones zero times.
+	preRestart := make(map[int64]int)
+	for seed := int64(0); seed < fastSeeds+slowSeeds; seed++ {
+		preRestart[seed] = counter.get(seed)
+	}
+
+	s2 := newServer(Config{Workers: 2, QueueDepth: 16, Journal: j2, Replay: states2},
+		func(ctx context.Context, nl *sdpfloor.Netlist, c sdpfloor.Config) (*sdpfloor.Floorplan, error) {
+			counter.inc(c.Seed)
+			return fakeFloorplan(nl), nil
+		})
+	defer s2.Close()
+
+	// Every job — replayed history and re-enqueued — reaches a terminal
+	// state, under its original ID.
+	for _, id := range ids {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		st, err := s2.Wait(ctx, id)
+		cancel()
+		if err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+		if st.State != StateDone {
+			t.Fatalf("job %s: state %s (%s), want done", id, st.State, st.Error)
+		}
+	}
+
+	// Exactly-once: finished jobs were not re-solved, every interrupted job
+	// (whether it was running or still queued at the crash) was solved
+	// exactly once after the restart.
+	for seed := int64(0); seed < fastSeeds; seed++ {
+		if n := counter.get(seed); n != 1 {
+			t.Errorf("fast seed %d solved %d times, want 1", seed, n)
+		}
+	}
+	for seed := int64(fastSeeds); seed < fastSeeds+slowSeeds; seed++ {
+		if delta := counter.get(seed) - preRestart[seed]; delta != 1 {
+			t.Errorf("slow seed %d solved %d times after restart, want exactly 1", seed, delta)
+		}
+	}
+
+	// Replayed jobs carry their replay count; restored history does not.
+	for i, id := range ids {
+		st, err := s2.Status(id)
+		if err != nil {
+			t.Fatalf("status %s: %v", id, err)
+		}
+		wantReplays := 0
+		if i >= fastSeeds {
+			wantReplays = 1
+		}
+		if st.Replays != wantReplays {
+			t.Errorf("job %s replays = %d, want %d", id, st.Replays, wantReplays)
+		}
+	}
+
+	// Durable cache: results recorded before the crash answer resubmissions
+	// without solving (no duplicate results either — one cache entry per key).
+	st, err := s2.Submit(testRequest(4, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.FromCache {
+		t.Fatalf("pre-crash result not restored to cache: %+v", st)
+	}
+	if n := counter.get(0); n != 1 {
+		t.Fatalf("cache-restored seed 0 re-solved (%d times)", n)
+	}
+
+	if snap := s2.MetricsSnapshot(); snap["replayed_jobs_total"] != int64(slowSeeds) {
+		t.Fatalf("replayed_jobs_total = %d, want %d", snap["replayed_jobs_total"], slowSeeds)
+	}
+}
+
+// TestDrainCheckpointsRunningJobs: a graceful drain whose deadline expires
+// leaves running and queued jobs journaled as live, so the next start
+// replays all of them.
+func TestDrainCheckpointsRunningJobs(t *testing.T) {
+	dir := t.TempDir()
+	j1, states := openTestJournal(t, dir)
+	s1 := newServer(Config{Workers: 1, QueueDepth: 8, Journal: j1, Replay: states},
+		func(ctx context.Context, nl *sdpfloor.Netlist, c sdpfloor.Config) (*sdpfloor.Floorplan, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		})
+
+	var ids []string
+	for seed := int64(0); seed < 3; seed++ {
+		st, err := s1.Submit(testRequest(4, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	waitState(t, s1, ids[0], StateRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s1.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, id := range ids {
+		st, err := s1.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateInterrupted {
+			t.Fatalf("job %s after drain: %s, want interrupted", id, st.State)
+		}
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, states2 := openTestJournal(t, dir)
+	defer j2.Close()
+	if len(states2) != 3 {
+		t.Fatalf("replayed %d states, want 3", len(states2))
+	}
+	for _, st := range states2 {
+		if !st.Interrupted() {
+			t.Fatalf("job %s journaled terminal (%s) by drain, want live", st.ID, st.Event)
+		}
+	}
+
+	// After a bounced restart they all complete.
+	s2 := newServer(Config{Workers: 2, QueueDepth: 8, Journal: j2, Replay: states2},
+		func(ctx context.Context, nl *sdpfloor.Netlist, c sdpfloor.Config) (*sdpfloor.Floorplan, error) {
+			return fakeFloorplan(nl), nil
+		})
+	defer s2.Close()
+	for _, id := range ids {
+		wctx, wcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		st, err := s2.Wait(wctx, id)
+		wcancel()
+		if err != nil || st.State != StateDone {
+			t.Fatalf("job %s after restart: %v %s (%s)", id, err, st.State, st.Error)
+		}
+	}
+}
+
+// TestDrainLetsRunningJobsFinish: within the grace period a running solve
+// completes normally and is journaled terminal — nothing replays.
+func TestDrainLetsRunningJobsFinish(t *testing.T) {
+	dir := t.TempDir()
+	j1, states := openTestJournal(t, dir)
+	release := make(chan struct{})
+	s1 := newServer(Config{Workers: 1, QueueDepth: 4, Journal: j1, Replay: states},
+		func(ctx context.Context, nl *sdpfloor.Netlist, c sdpfloor.Config) (*sdpfloor.Floorplan, error) {
+			select {
+			case <-release:
+				return fakeFloorplan(nl), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		})
+
+	st, err := s1.Submit(testRequest(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s1, st.ID, StateRunning)
+
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(release)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s1.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got, _ := s1.Status(st.ID); got.State != StateDone {
+		t.Fatalf("job after graceful drain: %s, want done", got.State)
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, states2 := openTestJournal(t, dir)
+	defer j2.Close()
+	if len(states2) != 1 || states2[0].Interrupted() {
+		t.Fatalf("journal after graceful drain: %d states, interrupted=%v",
+			len(states2), len(states2) == 1 && states2[0].Interrupted())
+	}
+	if states2[0].Event != jobstore.EventDone || len(states2[0].Result) == 0 {
+		t.Fatalf("done record incomplete: event %s, result %d bytes",
+			states2[0].Event, len(states2[0].Result))
+	}
+}
+
+// TestSubmitAfterDrainRefused: a draining server rejects new work with
+// ErrClosed.
+func TestSubmitAfterDrainRefused(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1}, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Draining() {
+		t.Fatal("Draining() false after Drain")
+	}
+	if _, err := s.Submit(testRequest(3, 1)); err != ErrClosed {
+		t.Fatalf("submit after drain: %v, want ErrClosed", err)
+	}
+}
+
+// TestReplayUnrecoverableSpec: a live journal state whose spec cannot be
+// rebuilt surfaces as a failed job instead of vanishing.
+func TestReplayUnrecoverableSpec(t *testing.T) {
+	dir := t.TempDir()
+	j1, _ := openTestJournal(t, dir)
+	// A live job whose submitted record lost its netlist.
+	if err := j1.Append(jobstore.Record{
+		Job: "job-000007", Event: jobstore.EventSubmitted,
+		Spec: &jobstore.Spec{Method: "sdp", Key: "k7"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, states := openTestJournal(t, dir)
+	defer j2.Close()
+	s := newServer(Config{Workers: 1, Journal: j2, Replay: states}, nil)
+	defer s.Close()
+	st, err := s.Status("job-000007")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateFailed || !strings.Contains(st.Error, "replay failed") {
+		t.Fatalf("unrecoverable job: %s (%q), want failed with replay error", st.State, st.Error)
+	}
+}
+
+// TestReplayedIDsDoNotCollide: new submissions after a replay continue the
+// job-ID sequence instead of reusing replayed IDs.
+func TestReplayedIDsDoNotCollide(t *testing.T) {
+	dir := t.TempDir()
+	j1, states := openTestJournal(t, dir)
+	s1 := newServer(Config{Workers: 1, Journal: j1, Replay: states},
+		func(ctx context.Context, nl *sdpfloor.Netlist, c sdpfloor.Config) (*sdpfloor.Floorplan, error) {
+			return fakeFloorplan(nl), nil
+		})
+	st1, err := s1.Submit(testRequest(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if _, err := s1.Wait(ctx, st1.ID); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	j2, states2 := openTestJournal(t, dir)
+	defer j2.Close()
+	s2 := newServer(Config{Workers: 1, Journal: j2, Replay: states2},
+		func(ctx context.Context, nl *sdpfloor.Netlist, c sdpfloor.Config) (*sdpfloor.Floorplan, error) {
+			return fakeFloorplan(nl), nil
+		})
+	defer s2.Close()
+	st2, err := s2.Submit(testRequest(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ID == st1.ID {
+		t.Fatalf("new job reused replayed ID %s", st1.ID)
+	}
+}

@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sdpfloor"
+	"sdpfloor/internal/jobstore"
 	"sdpfloor/internal/trace"
 )
 
@@ -42,6 +44,15 @@ type Config struct {
 	// GET /v1/jobs/{id}/trace: the newest TraceDepth events are retained,
 	// older ones are dropped and counted (default 4096).
 	TraceDepth int
+	// Journal, when non-nil, makes the job table durable: every state
+	// transition is appended to the write-ahead journal, and Replay (the
+	// states jobstore.Open returned from the same journal) restores the
+	// previous process's jobs — finished ones as history (their results
+	// repopulate the cache), interrupted ones re-enqueued exactly once.
+	Journal *jobstore.Journal
+	// Replay holds the job states recovered by jobstore.Open; ignored when
+	// Journal is nil.
+	Replay []*jobstore.JobState
 	// Logf, when non-nil, receives service log lines.
 	Logf func(format string, args ...any)
 }
@@ -73,22 +84,33 @@ func (c *Config) setDefaults() {
 	}
 }
 
-// Server owns the job table, queue, worker pool, cache, and metrics.
+// Server owns the job table, queue, worker pool, cache, journal, and
+// metrics.
 type Server struct {
 	cfg     Config
 	metrics Metrics
 	cache   *cache
+	started time.Time
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string // submission order, for listing
-	queue  chan *Job
-	seq    int
-	closed bool
+	// draining flips on when a graceful drain (or Close) begins: workers
+	// stop picking up queued jobs (they stay journaled for replay) and
+	// interrupted solves checkpoint instead of recording terminal states.
+	draining atomic.Bool
+
+	mu         sync.Mutex
+	jobs       map[string]*Job
+	order      []string // submission order, for listing
+	queue      chan *Job
+	seq        int
+	closed     bool
+	journal    *jobstore.Journal
+	batches    map[string]*batch
+	batchOrder []string
+	batchSeq   int
 
 	// placeFn runs one solve; swapped out by tests for deterministic
 	// control over solve duration and cancellation behavior.
@@ -102,18 +124,43 @@ var (
 	ErrNotFound  = errors.New("service: no such job")
 )
 
-// New starts a server with cfg.Workers solver goroutines.
-func New(cfg Config) *Server {
+// New starts a server with cfg.Workers solver goroutines. When cfg.Journal
+// is set, cfg.Replay is restored into the job table before the workers
+// start, so replayed jobs keep their IDs and run before anything submitted
+// later.
+func New(cfg Config) *Server { return newServer(cfg, sdpfloor.PlaceContext) }
+
+// newServer is New with an explicit solve function; tests use it to install
+// a stub before the workers (which may immediately pick up replayed jobs)
+// start.
+func newServer(cfg Config, placeFn func(ctx context.Context, nl *sdpfloor.Netlist, cfg sdpfloor.Config) (*sdpfloor.Floorplan, error)) *Server {
 	cfg.setDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	// The queue must absorb every interrupted replayed job on top of the
+	// configured client-facing depth, or recovery itself could hit the
+	// backpressure limit and lose accepted work.
+	replayable := 0
+	if cfg.Journal != nil {
+		for _, st := range cfg.Replay {
+			if st.Interrupted() {
+				replayable++
+			}
+		}
+	}
 	s := &Server{
 		cfg:        cfg,
 		cache:      newCache(cfg.CacheSize),
+		started:    time.Now(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
-		queue:      make(chan *Job, cfg.QueueDepth),
-		placeFn:    sdpfloor.PlaceContext,
+		queue:      make(chan *Job, cfg.QueueDepth+replayable),
+		journal:    cfg.Journal,
+		batches:    make(map[string]*batch),
+		placeFn:    placeFn,
+	}
+	if cfg.Journal != nil {
+		s.restore(cfg.Replay)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -123,7 +170,9 @@ func New(cfg Config) *Server {
 }
 
 // Close stops accepting jobs, cancels everything in flight, and waits for
-// the workers to drain. Safe to call more than once.
+// the workers to drain. Safe to call more than once. With a journal
+// attached, interrupted jobs are checkpointed (not terminally recorded) so
+// the next start replays them; for a bounded graceful wait use Drain.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -131,29 +180,85 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	s.draining.Store(true)
 	close(s.queue)
 	s.mu.Unlock()
 	s.baseCancel() // running solves observe this at their next iteration
 	s.wg.Wait()
 }
 
+// Drain gracefully shuts the server down: it stops accepting submissions,
+// leaves queued jobs untouched (journaled, they replay on the next start),
+// and gives running solves until ctx expires to finish. Solves still
+// running at the deadline are cancelled and checkpointed to the journal as
+// interrupted. The journal is flushed and fsynced before Drain returns.
+// Safe to call more than once; concurrent with Close the first caller
+// wins.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return s.syncJournal()
+	}
+	s.closed = true
+	s.draining.Store(true)
+	close(s.queue)
+	s.mu.Unlock()
+	s.logf("service: draining (running jobs get %s)", durUntil(ctx))
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.logf("service: drain deadline reached, interrupting running jobs")
+		s.baseCancel()
+		<-done
+	}
+	return s.syncJournal()
+}
+
+func durUntil(ctx context.Context) string {
+	if dl, ok := ctx.Deadline(); ok {
+		return time.Until(dl).Round(time.Millisecond).String()
+	}
+	return "unbounded time"
+}
+
+func (s *Server) syncJournal() error {
+	s.mu.Lock()
+	j := s.journal
+	s.mu.Unlock()
+	if j == nil {
+		return nil
+	}
+	return j.Sync()
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Workers returns the configured pool width.
 func (s *Server) Workers() int { return s.cfg.Workers }
 
-// Submit validates and enqueues a request. A request whose cache key matches
-// a previously completed solve finishes immediately from the cache.
-func (s *Server) Submit(req *Request) (Status, error) {
+// validateRequest normalizes a request in place (default method, timeout
+// clamping) and returns its content-addressed cache key.
+func (s *Server) validateRequest(req *Request) (string, error) {
 	if req == nil || req.Netlist == nil || req.Netlist.N() == 0 {
-		return Status{}, errors.New("service: empty netlist")
+		return "", errors.New("service: empty netlist")
 	}
 	if req.Outline.W() <= 0 || req.Outline.H() <= 0 {
-		return Status{}, errors.New("service: outline must have positive area")
+		return "", errors.New("service: outline must have positive area")
 	}
 	if req.Method == "" {
 		req.Method = sdpfloor.MethodSDP
 	}
 	if !validMethod(req.Method) {
-		return Status{}, fmt.Errorf("service: unknown method %q (valid: %v)", req.Method, sdpfloor.Methods)
+		return "", fmt.Errorf("service: unknown method %q (valid: %v)", req.Method, sdpfloor.Methods)
 	}
 	if req.Timeout <= 0 {
 		req.Timeout = s.cfg.DefaultTimeout
@@ -161,8 +266,16 @@ func (s *Server) Submit(req *Request) (Status, error) {
 	if req.Timeout > s.cfg.MaxTimeout {
 		req.Timeout = s.cfg.MaxTimeout
 	}
+	return req.Key(), nil
+}
 
-	key := req.Key()
+// Submit validates and enqueues a request. A request whose cache key matches
+// a previously completed solve finishes immediately from the cache.
+func (s *Server) Submit(req *Request) (Status, error) {
+	key, err := s.validateRequest(req)
+	if err != nil {
+		return Status{}, err
+	}
 	now := time.Now()
 	j := &Job{
 		key:       key,
@@ -170,19 +283,15 @@ func (s *Server) Submit(req *Request) (Status, error) {
 		submitted: now,
 		done:      make(chan struct{}),
 	}
+	res, hit := s.cache.get(key)
 
-	if res, ok := s.cache.get(key); ok {
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			return Status{}, ErrClosed
-		}
-		s.registerLocked(j)
-		j.state = StateDone
-		j.finished = now
-		j.result = res
-		j.fromCache = true
-		close(j.done)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Status{}, ErrClosed
+	}
+	if hit {
+		s.finishFromCacheLocked(j, now, res)
 		st := j.statusLocked(now)
 		s.mu.Unlock()
 		s.metrics.CacheHits.Add(1)
@@ -191,20 +300,7 @@ func (s *Server) Submit(req *Request) (Status, error) {
 		s.logf("service: job %s served from cache (%s)", st.ID, req.Method)
 		return st, nil
 	}
-
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return Status{}, ErrClosed
-	}
-	j.state = StateQueued
-	select {
-	case s.queue <- j:
-		// Register while still holding the mutex: a worker popping the job
-		// blocks on the same mutex, so it cannot run before the record and
-		// ID exist.
-		s.registerLocked(j)
-	default:
+	if !s.enqueueLocked(j) {
 		s.mu.Unlock()
 		s.metrics.JobsRejected.Add(1)
 		return Status{}, ErrQueueFull
@@ -215,6 +311,37 @@ func (s *Server) Submit(req *Request) (Status, error) {
 	s.metrics.JobsSubmitted.Add(1)
 	s.logf("service: job %s queued (%s, n=%d, timeout=%s)", st.ID, req.Method, req.Netlist.N(), req.Timeout)
 	return st, nil
+}
+
+// finishFromCacheLocked registers a job and completes it immediately from a
+// cached result, journaling the full submitted→done lifecycle so the hit is
+// durable history too.
+func (s *Server) finishFromCacheLocked(j *Job, now time.Time, res *Result) {
+	s.registerLocked(j)
+	j.state = StateDone
+	j.finished = now
+	j.result = res
+	j.fromCache = true
+	close(j.done)
+	s.journalSubmittedLocked(j)
+	s.journalTerminalLocked(j, 0)
+}
+
+// enqueueLocked registers a job and pushes it onto the worker queue,
+// reporting false when the queue is full. Registration and the journal
+// append happen while still holding the mutex: a worker popping the job
+// blocks on the same mutex, so it cannot run (or journal "started") before
+// the ID and the "submitted" record exist.
+func (s *Server) enqueueLocked(j *Job) bool {
+	j.state = StateQueued
+	select {
+	case s.queue <- j:
+		s.registerLocked(j)
+		s.journalSubmittedLocked(j)
+		return true
+	default:
+		return false
+	}
 }
 
 // registerLocked assigns the next job ID and records the job.
@@ -317,6 +444,24 @@ func (s *Server) worker() {
 
 // runJob executes one job end to end.
 func (s *Server) runJob(j *Job) {
+	// A drain that started while the job sat in the channel: with a journal
+	// the job is already durable as "submitted", so skip the solve and let
+	// the next start replay it. Without a journal fall through — Close has
+	// cancelled the base context and the solve unwinds as cancelled.
+	if s.draining.Load() && s.journal != nil {
+		s.mu.Lock()
+		if j.state == StateQueued {
+			j.state = StateInterrupted
+			j.err = "interrupted by shutdown; replays on next start"
+			j.finished = time.Now()
+			close(j.done)
+			s.metrics.JobsInterrupted.Add(1)
+			s.logf("service: job %s left queued for replay (drain)", j.id)
+		}
+		s.mu.Unlock()
+		return
+	}
+
 	s.mu.Lock()
 	if j.state != StateQueued { // cancelled while waiting in the channel
 		s.mu.Unlock()
@@ -328,7 +473,8 @@ func (s *Server) runJob(j *Job) {
 	j.cancel = cancel
 	j.trace = trace.NewRing(s.cfg.TraceDepth)
 	req := j.req
-	ring := j.trace
+	rec := &jobRecorder{ring: j.trace, m: &s.metrics, srv: s, jobID: j.id}
+	s.journalAppend(jobstore.Record{Job: j.id, Event: jobstore.EventStarted, Replays: j.replays})
 	s.mu.Unlock()
 	defer cancel()
 
@@ -337,12 +483,13 @@ func (s *Server) runJob(j *Job) {
 		Method:           req.Method,
 		Seed:             req.Seed,
 		SkipEnhancements: req.Basic,
-		Trace:            &jobRecorder{ring: ring, m: &s.metrics},
+		Trace:            rec,
 	}
 	cfg.Global.Workers = s.cfg.SolveWorkers
 	fp, err := s.placeFn(ctx, req.Netlist, cfg)
 
 	now := time.Now()
+	iters := int(rec.iters.Load())
 	s.mu.Lock()
 	j.finished = now
 	solveMillis := now.Sub(j.started).Milliseconds()
@@ -350,6 +497,12 @@ func (s *Server) runJob(j *Job) {
 	case err == nil:
 		j.state = StateDone
 		j.result = newResult(req.Netlist, fp)
+	case s.draining.Load() && s.journal != nil && !j.cancelAsked && errors.Is(err, context.Canceled):
+		// Drain deadline cancelled the base context mid-solve. The journal
+		// keeps the job live (checkpoint only, no terminal record), so the
+		// next start re-runs it.
+		j.state = StateInterrupted
+		j.err = "interrupted by shutdown; replays on next start"
 	case j.cancelAsked || errors.Is(err, context.Canceled):
 		j.state = StateCancelled
 		j.err = err.Error()
@@ -363,6 +516,11 @@ func (s *Server) runJob(j *Job) {
 	state := j.state
 	result := j.result
 	close(j.done)
+	if state == StateInterrupted {
+		s.journalAppend(jobstore.Record{Job: j.id, Event: jobstore.EventProgress, Iters: iters})
+	} else {
+		s.journalTerminalLocked(j, iters)
+	}
 	s.mu.Unlock()
 
 	s.metrics.SolveMillis.Add(solveMillis)
@@ -377,6 +535,8 @@ func (s *Server) runJob(j *Job) {
 		s.cache.put(j.key, result)
 	case StateCancelled:
 		s.metrics.JobsCancelled.Add(1)
+	case StateInterrupted:
+		s.metrics.JobsInterrupted.Add(1)
 	default:
 		s.metrics.JobsFailed.Add(1)
 	}
@@ -386,7 +546,7 @@ func (s *Server) runJob(j *Job) {
 // MetricsSnapshot merges the counters with live gauges.
 func (s *Server) MetricsSnapshot() map[string]int64 {
 	s.mu.Lock()
-	var queued, running, done, failed, cancelled int64
+	var queued, running, done, failed, cancelled, interrupted int64
 	for _, j := range s.jobs {
 		switch j.state {
 		case StateQueued:
@@ -399,19 +559,41 @@ func (s *Server) MetricsSnapshot() map[string]int64 {
 			failed++
 		case StateCancelled:
 			cancelled++
+		case StateInterrupted:
+			interrupted++
 		}
 	}
+	queueLen := int64(len(s.queue))
+	batches := int64(len(s.batches))
+	journal := s.journal
 	s.mu.Unlock()
 	gauges := map[string]int64{
-		"jobs_queued":    queued,
-		"jobs_running":   running,
-		"jobs_done":      done,
-		"jobs_failed":    failed,
-		"jobs_cancelled": cancelled,
-		"workers":        int64(s.cfg.Workers),
-		"solve_workers":  int64(s.cfg.SolveWorkers),
-		"queue_capacity": int64(s.cfg.QueueDepth),
-		"cache_entries":  int64(s.cache.len()),
+		"jobs_queued":                queued,
+		"jobs_running":               running,
+		"jobs_done":                  done,
+		"jobs_failed":                failed,
+		"jobs_cancelled":             cancelled,
+		"jobs_interrupted":           interrupted,
+		"workers":                    int64(s.cfg.Workers),
+		"solve_workers":              int64(s.cfg.SolveWorkers),
+		"queue_capacity":             int64(s.cfg.QueueDepth),
+		"queue_length":               queueLen,
+		"cache_entries":              int64(s.cache.len()),
+		"batches":                    batches,
+		"process_start_unix_seconds": s.started.Unix(),
+	}
+	if s.draining.Load() {
+		gauges["draining"] = 1
+	} else {
+		gauges["draining"] = 0
+	}
+	if journal != nil {
+		js := journal.Stats()
+		gauges["journal_live_jobs"] = js.Live
+		gauges["journal_terminal_jobs"] = js.Terminal
+		gauges["journal_segments"] = js.Segments
+		gauges["journal_active_bytes"] = js.ActiveBytes
+		gauges["journal_compactions_total"] = js.Compactions
 	}
 	return s.metrics.snapshot(gauges)
 }

@@ -2,20 +2,33 @@ package service
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"sdpfloor/internal/jobstore"
 	"sdpfloor/internal/trace"
 )
+
+// progressCheckpointEvery is the solver-iteration cadence of journal
+// progress records: frequent enough that a replayed daemon knows roughly
+// how far an interrupted solve got, rare enough that checkpoints are noise
+// relative to the solve itself.
+const progressCheckpointEvery = 2000
 
 // jobRecorder is the trace.Recorder handed to each solve: it forwards every
 // event into the job's bounded ring buffer (served by GET /v1/jobs/{id}/trace)
 // and feeds the service-level iteration-latency histogram with the wall-clock
 // gap between consecutive per-iteration events. Latency is measured here with
 // the recorder's own clock rather than taken from event content, which stays
-// free of timing data so traces remain deterministic.
+// free of timing data so traces remain deterministic. With a journal
+// attached it also checkpoints the iteration count every
+// progressCheckpointEvery iterations.
 type jobRecorder struct {
-	ring *trace.Ring
-	m    *Metrics
+	ring  *trace.Ring
+	m     *Metrics
+	srv   *Server // nil in isolated tests
+	jobID string
+	iters atomic.Int64
 
 	mu       sync.Mutex
 	lastIter time.Time
@@ -28,6 +41,9 @@ func (r *jobRecorder) Record(ev trace.Event) {
 	r.m.TraceEvents.Add(1)
 	if ev.Kind != trace.KindIter {
 		return
+	}
+	if n := r.iters.Add(1); r.srv != nil && n%progressCheckpointEvery == 0 {
+		r.srv.journalAppend(jobstore.Record{Job: r.jobID, Event: jobstore.EventProgress, Iters: int(n)})
 	}
 	now := time.Now()
 	r.mu.Lock()
@@ -58,4 +74,17 @@ func (s *Server) Trace(id string) ([]trace.Event, int64, error) {
 		return nil, 0, nil
 	}
 	return ring.Snapshot(), ring.Dropped(), nil
+}
+
+// traceFollow returns the live handles a streaming trace follower needs:
+// the job's ring (nil while the job has not started solving) and its done
+// channel. The follower re-calls this until the ring appears.
+func (s *Server) traceFollow(id string) (*trace.Ring, <-chan struct{}, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	return j.trace, j.done, nil
 }

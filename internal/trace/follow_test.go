@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSnapshotSinceIncremental reads a ring in increments and checks the
+// pieces reassemble the full stream without gaps or duplicates.
+func TestSnapshotSinceIncremental(t *testing.T) {
+	r := NewRing(8)
+	var seen int64
+	var got []int
+	read := func() {
+		evs, next := r.SnapshotSince(seen)
+		for _, ev := range evs {
+			got = append(got, ev.Iter)
+		}
+		seen = next
+	}
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Solver: "ipm", Kind: KindIter, Iter: i})
+	}
+	read()
+	for i := 5; i < 8; i++ {
+		r.Record(Event{Solver: "ipm", Kind: KindIter, Iter: i})
+	}
+	read()
+	read() // nothing new: must be empty, not a repeat
+	for i, want := range []int{0, 1, 2, 3, 4, 5, 6, 7} {
+		if i >= len(got) || got[i] != want {
+			t.Fatalf("incremental reads got %v, want 0..7", got)
+		}
+	}
+	if len(got) != 8 {
+		t.Fatalf("incremental reads got %d events, want 8", len(got))
+	}
+}
+
+// TestSnapshotSinceAfterEviction: a slow follower skips evicted events and
+// resumes at the oldest retained one.
+func TestSnapshotSinceAfterEviction(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Solver: "ipm", Kind: KindIter, Iter: i})
+	}
+	evs, next := r.SnapshotSince(2) // events 2..5 already evicted
+	if len(evs) != 4 || evs[0].Iter != 6 || evs[3].Iter != 9 {
+		t.Fatalf("got %d events starting at %d, want 4 starting at 6", len(evs), evs[0].Iter)
+	}
+	if next != 10 {
+		t.Fatalf("next = %d, want 10", next)
+	}
+}
+
+// TestSnapshotSinceMatchesSnapshot: from zero, SnapshotSince agrees with
+// Snapshot.
+func TestSnapshotSinceMatchesSnapshot(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 6; i++ {
+		r.Record(Event{Solver: "admm", Kind: KindIter, Iter: i})
+	}
+	a := r.Snapshot()
+	b, _ := r.SnapshotSince(0)
+	if len(a) != len(b) {
+		t.Fatalf("Snapshot %d events, SnapshotSince 0 %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Iter != b[i].Iter {
+			t.Fatalf("event %d differs: %d vs %d", i, a[i].Iter, b[i].Iter)
+		}
+	}
+}
+
+// TestUpdatedWakesFollower: the channel taken before a snapshot is closed
+// by the next Record, even across the snapshot/wait gap.
+func TestUpdatedWakesFollower(t *testing.T) {
+	r := NewRing(4)
+	ch := r.Updated()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			t.Error("Updated channel never closed")
+		}
+	}()
+	r.Record(Event{Solver: "ipm", Kind: KindIter, Iter: 0})
+	wg.Wait()
+
+	// A fresh channel is armed for the next event.
+	ch2 := r.Updated()
+	select {
+	case <-ch2:
+		t.Fatal("new Updated channel closed before any Record")
+	default:
+	}
+	r.Record(Event{Solver: "ipm", Kind: KindIter, Iter: 1})
+	select {
+	case <-ch2:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second Updated channel never closed")
+	}
+}

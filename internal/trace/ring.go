@@ -14,10 +14,11 @@ type Ring struct {
 	// before the first Record (it is read without locking).
 	Clock func() int64
 
-	mu    sync.Mutex
-	buf   []Event
-	next  int   // index of the slot the next event lands in
-	total int64 // events ever recorded, including dropped ones
+	mu     sync.Mutex
+	buf    []Event
+	next   int           // index of the slot the next event lands in
+	total  int64         // events ever recorded, including dropped ones
+	notify chan struct{} // closed on the next Record; see Updated
 }
 
 // NewRing returns a ring holding the last cap events (minimum 1).
@@ -42,7 +43,55 @@ func (r *Ring) Record(ev Event) {
 		r.next = (r.next + 1) % cap(r.buf)
 	}
 	r.total++
+	if r.notify != nil {
+		close(r.notify)
+		r.notify = nil
+	}
 	r.mu.Unlock()
+}
+
+// Updated returns a channel that is closed by the next Record call. A
+// follower takes the channel *before* snapshotting, so an event landing
+// between the snapshot and the wait still wakes it — the pattern behind
+// GET /v1/jobs/{id}/trace?follow=1:
+//
+//	ch := ring.Updated()
+//	evs, next := ring.SnapshotSince(seen)
+//	... write evs ...
+//	select { case <-ch: case <-done: }
+func (r *Ring) Updated() <-chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.notify == nil {
+		r.notify = make(chan struct{})
+	}
+	return r.notify
+}
+
+// SnapshotSince returns the retained events with sequence number ≥ after
+// (the sequence number of an event is its position in the full stream,
+// starting at 0), plus the stream length so far — pass it back as the next
+// call's after. Events the bounded ring already evicted are skipped; the
+// missed count is the difference between after and the first returned
+// event's sequence, available as max(0, total-len(buf)-after).
+func (r *Ring) SnapshotSince(after int64) (evs []Event, total int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	oldest := r.total - int64(len(r.buf)) // sequence of the oldest retained event
+	if after < oldest {
+		after = oldest
+	}
+	n := r.total - after // events to return, all retained
+	if n <= 0 {
+		return nil, r.total
+	}
+	evs = make([]Event, 0, n)
+	// Retained events oldest-first start at r.next when the ring is full.
+	start := int64(len(r.buf)) - n // offset into the oldest-first view
+	for i := start; i < int64(len(r.buf)); i++ {
+		evs = append(evs, r.buf[(int64(r.next)+i)%int64(len(r.buf))])
+	}
+	return evs, r.total
 }
 
 // Snapshot returns the retained events oldest-first. Safe to call while a

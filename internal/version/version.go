@@ -1,0 +1,60 @@
+// Package version derives a build/version stamp from the information the
+// Go toolchain embeds in every binary (runtime/debug.ReadBuildInfo), so
+// deployments report what they are running without a hand-maintained
+// version constant. floorpland exposes the stamp on /healthz and logs it
+// at startup; sdpfloor and floorpland print it under -version. Restarted
+// or replayed deployments are thereby distinguishable in logs even when
+// the binary path is identical.
+package version
+
+import (
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+// stampOnce caches the stamp: build info never changes within a process.
+var stampOnce = sync.OnceValue(func() string { return stampFrom(debug.ReadBuildInfo()) })
+
+// Stamp returns a one-line build identifier:
+//
+//	v1.2.3 go1.22.1                      (released module build)
+//	(devel) go1.22.1 rev 0123abcd4567    (VCS build)
+//	(devel) go1.22.1 rev 0123abcd4567+dirty
+//	unknown                              (stripped binary)
+func Stamp() string { return stampOnce() }
+
+func stampFrom(bi *debug.BuildInfo, ok bool) string {
+	if !ok || bi == nil {
+		return "unknown"
+	}
+	parts := []string{}
+	if v := bi.Main.Version; v != "" {
+		parts = append(parts, v)
+	}
+	if bi.GoVersion != "" {
+		parts = append(parts, bi.GoVersion)
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if modified == "true" {
+			rev += "+dirty"
+		}
+		parts = append(parts, "rev "+rev)
+	}
+	if len(parts) == 0 {
+		return "unknown"
+	}
+	return strings.Join(parts, " ")
+}

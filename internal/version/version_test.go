@@ -1,0 +1,39 @@
+package version
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestStampNonEmpty(t *testing.T) {
+	s := Stamp()
+	if s == "" {
+		t.Fatal("Stamp returned an empty string")
+	}
+	if s == Stamp() != true {
+		t.Fatal("Stamp is not stable")
+	}
+}
+
+func TestStampFrom(t *testing.T) {
+	if got := stampFrom(nil, false); got != "unknown" {
+		t.Errorf("no build info: %q, want unknown", got)
+	}
+	bi := &debug.BuildInfo{GoVersion: "go1.22.1"}
+	bi.Main.Version = "v1.2.3"
+	if got := stampFrom(bi, true); got != "v1.2.3 go1.22.1" {
+		t.Errorf("released build: %q", got)
+	}
+	bi.Settings = []debug.BuildSetting{
+		{Key: "vcs.revision", Value: "0123abcd4567deadbeef"},
+		{Key: "vcs.modified", Value: "true"},
+	}
+	got := stampFrom(bi, true)
+	if !strings.Contains(got, "rev 0123abcd4567+dirty") {
+		t.Errorf("vcs build: %q, want truncated dirty revision", got)
+	}
+	if strings.Contains(got, "deadbeef") {
+		t.Errorf("revision not truncated: %q", got)
+	}
+}
