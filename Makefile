@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint sdpvet race cover bench bench-baseline benchdiff fuzz-smoke integration clean
+.PHONY: build test check lint sdpvet race cover bench bench-baseline bench-allocs benchdiff fuzz-smoke integration clean
 
 build:
 	$(GO) build ./...
@@ -41,9 +41,19 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 # bench-baseline refreshes the committed benchmark snapshot that CI's
-# benchdiff job compares against; see docs/PERFORMANCE.md before updating.
+# benchdiff and alloc-gate jobs compare against; the snapshot carries both
+# the timing and the allocs/op + B/op columns. See docs/PERFORMANCE.md
+# before updating.
 bench-baseline:
 	$(GO) run ./cmd/benchdiff run -o BENCH_baseline.json
+
+# bench-allocs mirrors CI's hard alloc gate: one iteration per benchmark
+# (allocation counts are deterministic, so one is enough), then a
+# zero-tolerance comparison of allocs/op and B/op against the committed
+# baseline. Timing is ignored entirely.
+bench-allocs:
+	$(GO) run ./cmd/benchdiff run -benchtime 1x -o BENCH_current.json
+	$(GO) run ./cmd/benchdiff compare -gate allocs -baseline BENCH_baseline.json -current BENCH_current.json
 
 # benchdiff runs the kernel benchmarks and compares against the committed
 # baseline, failing on >25% ns/op regressions.

@@ -9,11 +9,16 @@
 //	benchdiff parse -o out.json < bench-output.txt # snapshot existing output
 //	benchdiff compare -baseline BENCH_baseline.json -current BENCH_current.json
 //	benchdiff compare -tolerance 0.30 -warn-only ...
+//	benchdiff compare -gate allocs ...             # exact allocs/op + B/op gate
 //
 // compare exits nonzero when any benchmark's ns/op regressed beyond the
-// tolerance (default 25%), unless -warn-only is set; CI runs with -warn-only
-// because shared runners are noisy, so regressions surface as warnings
-// while build/test failures stay hard. Refresh the committed baseline with:
+// tolerance (default 25%), unless -warn-only is set; CI runs the timing gate
+// with -warn-only because shared runners are noisy, so timing regressions
+// surface as warnings while build/test failures stay hard. The allocation
+// gate (-gate allocs) is the opposite: allocation counts are deterministic,
+// so it hard-fails on ANY allocs/op or B/op growth with no tolerance and
+// ignores ns/op entirely — CI runs it as a required job. Refresh the
+// committed baseline with:
 //
 //	go run ./cmd/benchdiff run -o BENCH_baseline.json
 //
@@ -237,6 +242,9 @@ type diffEntry struct {
 	Ratio       float64 // cur/base
 	Regression  bool
 	AllocGrowth float64 // cur − base allocs/op
+	BytesGrowth float64 // cur − base B/op
+	BaseAllocs  float64
+	CurAllocs   float64
 }
 
 // compareSnapshots pairs up the two snapshots' benchmarks and flags every
@@ -256,7 +264,9 @@ func compareSnapshots(base, cur *Snapshot, tolerance float64) (entries []diffEnt
 			continue
 		}
 		e := diffEntry{Name: name, Base: b.NsPerOp, Cur: c.NsPerOp,
-			AllocGrowth: c.AllocsPerOp - b.AllocsPerOp}
+			AllocGrowth: c.AllocsPerOp - b.AllocsPerOp,
+			BytesGrowth: c.BytesPerOp - b.BytesPerOp,
+			BaseAllocs:  b.AllocsPerOp, CurAllocs: c.AllocsPerOp}
 		if b.NsPerOp > 0 {
 			e.Ratio = c.NsPerOp / b.NsPerOp
 			e.Regression = e.Ratio > 1+tolerance
@@ -276,10 +286,14 @@ func cmdCompare(args []string) error {
 		curPath   = fs.String("current", "", "current snapshot (required)")
 		tolerance = fs.Float64("tolerance", 0.25, "allowed fractional ns/op growth before a benchmark counts as regressed")
 		warnOnly  = fs.Bool("warn-only", false, "report regressions but exit 0")
+		gate      = fs.String("gate", "timing", "regression criterion: timing (ns/op growth beyond -tolerance) or allocs (ANY allocs/op or B/op growth, no tolerance)")
 	)
 	fs.Parse(args)
 	if *curPath == "" {
 		return fmt.Errorf("compare: -current is required")
+	}
+	if *gate != "timing" && *gate != "allocs" {
+		return fmt.Errorf("compare: -gate must be timing or allocs, got %q", *gate)
 	}
 	base, err := readSnapshot(*basePath)
 	if err != nil {
@@ -296,22 +310,48 @@ func cmdCompare(args []string) error {
 
 	entries, onlyBase, onlyCur := compareSnapshots(base, cur, *tolerance)
 	regressions := 0
-	for _, e := range entries {
-		mark := " "
-		if e.Regression {
-			mark = "!"
-			regressions++
-		} else if e.Ratio > 0 && e.Ratio < 1-*tolerance {
-			mark = "+"
+	if *gate == "allocs" {
+		// Allocation gate: exact, no tolerance. Allocation counts are
+		// deterministic (the arena and the parallel pool recycle everything
+		// in the steady state), so ANY growth in allocs/op or B/op is a real
+		// regression, never noise — unlike ns/op on shared runners.
+		for _, e := range entries {
+			mark := " "
+			if e.AllocGrowth > 0 || e.BytesGrowth > 0 {
+				mark = "!"
+				regressions++
+			} else if e.AllocGrowth < 0 || e.BytesGrowth < 0 {
+				mark = "+"
+			}
+			fmt.Printf("%s %-60s %10.0f -> %10.0f allocs/op  (%+.0f allocs, %+.0f B)\n",
+				mark, e.Name, e.BaseAllocs, e.CurAllocs, e.AllocGrowth, e.BytesGrowth)
 		}
-		fmt.Printf("%s %-60s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
-			mark, e.Name, e.Base, e.Cur, 100*(e.Ratio-1))
+	} else {
+		for _, e := range entries {
+			mark := " "
+			if e.Regression {
+				mark = "!"
+				regressions++
+			} else if e.Ratio > 0 && e.Ratio < 1-*tolerance {
+				mark = "+"
+			}
+			fmt.Printf("%s %-60s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
+				mark, e.Name, e.Base, e.Cur, 100*(e.Ratio-1))
+		}
 	}
 	for _, n := range onlyBase {
 		fmt.Printf("? %-60s only in baseline\n", n)
 	}
 	for _, n := range onlyCur {
 		fmt.Printf("? %-60s only in current (baseline refresh needed)\n", n)
+	}
+	if *gate == "allocs" {
+		fmt.Printf("benchdiff: %d benchmarks compared, %d regressed (alloc gate, zero tolerance)\n",
+			len(entries), regressions)
+		if regressions > 0 && !*warnOnly {
+			return fmt.Errorf("%d benchmark(s) grew allocs/op or B/op", regressions)
+		}
+		return nil
 	}
 	fmt.Printf("benchdiff: %d benchmarks compared, %d regressed (tolerance %.0f%%)\n",
 		len(entries), regressions, 100**tolerance)

@@ -122,6 +122,76 @@ func TestCompareSnapshotsTolerance(t *testing.T) {
 	}
 }
 
+// TestCompareAllocGate pins the -gate allocs contract: any allocs/op or B/op
+// growth fails with no tolerance, ns/op changes are ignored entirely, and the
+// usual baselineError/warn-only semantics carry over unchanged.
+func TestCompareAllocGate(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", `{"goos":"linux","goarch":"amd64","benchmarks":{
+		"BenchmarkA":{"iterations":1,"ns_per_op":100,"bytes_per_op":64,"allocs_per_op":2},
+		"BenchmarkB":{"iterations":1,"ns_per_op":100}}}`)
+
+	// Much slower but allocation-identical: the alloc gate must pass.
+	slowSame := write("slow.json", `{"goos":"linux","goarch":"amd64","benchmarks":{
+		"BenchmarkA":{"iterations":1,"ns_per_op":900,"bytes_per_op":64,"allocs_per_op":2},
+		"BenchmarkB":{"iterations":1,"ns_per_op":900}}}`)
+	if err := cmdCompare([]string{"-gate", "allocs", "-baseline", base, "-current", slowSame}); err != nil {
+		t.Fatalf("alloc gate failed on a timing-only change: %v", err)
+	}
+
+	// One extra alloc/op, even faster: hard failure, plain error (exit 1).
+	oneMore := write("onemore.json", `{"goos":"linux","goarch":"amd64","benchmarks":{
+		"BenchmarkA":{"iterations":1,"ns_per_op":50,"bytes_per_op":64,"allocs_per_op":3},
+		"BenchmarkB":{"iterations":1,"ns_per_op":50}}}`)
+	err := cmdCompare([]string{"-gate", "allocs", "-baseline", base, "-current", oneMore})
+	var be *baselineError
+	if err == nil || errors.As(err, &be) {
+		t.Fatalf("allocs/op growth: err = %v, want plain regression error", err)
+	}
+	if !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("alloc regression error text: %v", err)
+	}
+
+	// Bytes growth alone (same alloc count) also fails.
+	moreBytes := write("morebytes.json", `{"goos":"linux","goarch":"amd64","benchmarks":{
+		"BenchmarkA":{"iterations":1,"ns_per_op":100,"bytes_per_op":128,"allocs_per_op":2},
+		"BenchmarkB":{"iterations":1,"ns_per_op":100}}}`)
+	if err := cmdCompare([]string{"-gate", "allocs", "-baseline", base, "-current", moreBytes}); err == nil {
+		t.Fatal("B/op growth passed the alloc gate")
+	}
+
+	// -warn-only downgrades the failure to exit 0, as with the timing gate.
+	if err := cmdCompare([]string{"-gate", "allocs", "-warn-only", "-baseline", base, "-current", oneMore}); err != nil {
+		t.Fatalf("-warn-only alloc gate: %v", err)
+	}
+
+	// Fewer allocations must pass (improvements never fail the gate).
+	fewer := write("fewer.json", `{"goos":"linux","goarch":"amd64","benchmarks":{
+		"BenchmarkA":{"iterations":1,"ns_per_op":100,"bytes_per_op":0,"allocs_per_op":0},
+		"BenchmarkB":{"iterations":1,"ns_per_op":100}}}`)
+	if err := cmdCompare([]string{"-gate", "allocs", "-baseline", base, "-current", fewer}); err != nil {
+		t.Fatalf("alloc improvement failed the gate: %v", err)
+	}
+
+	// Missing baseline keeps the exit-3 classification under -gate allocs.
+	err = cmdCompare([]string{"-gate", "allocs", "-baseline", filepath.Join(dir, "nope.json"), "-current", slowSame})
+	if err == nil || !errors.As(err, &be) {
+		t.Fatalf("missing baseline under -gate allocs: err = %v, want *baselineError", err)
+	}
+
+	// An unknown gate name is rejected up front.
+	if err := cmdCompare([]string{"-gate", "nonsense", "-baseline", base, "-current", slowSame}); err == nil {
+		t.Fatal("unknown -gate value accepted")
+	}
+}
+
 // TestCompareBaselineErrors pins the exit-status contract: a missing or
 // unparsable baseline is a *baselineError (exit 3 in main), never conflated
 // with a regression or an ordinary failure (exit 1).

@@ -39,6 +39,11 @@ type builder struct {
 	// subSolves/warmStarts count sub-problem-1 solves and how many of them
 	// consumed a warm start — surfaced in Result and the service metrics.
 	subSolves, warmStarts int
+	// arena supplies iteration-scoped solver scratch, shared by every
+	// sub-problem solve of the sequence so that repeated solves of
+	// same-shaped problems allocate nothing in the steady state. Solves are
+	// strictly sequential within a builder, which the arena requires.
+	arena *linalg.Arena
 }
 
 func newBuilder(nl *netlist.Netlist, opt *Options) *builder {
@@ -51,6 +56,7 @@ func newBuilder(nl *netlist.Netlist, opt *Options) *builder {
 		radii:  nl.Radii(opt.NonSquare),
 		aspect: make([]float64, n),
 		baseA:  nl.AdjacencyP(opt.Workers),
+		arena:  linalg.NewArena(),
 	}
 	for i, m := range nl.Modules {
 		b.aspect[i] = m.MaxAspect

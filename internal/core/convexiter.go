@@ -363,7 +363,8 @@ func (b *builder) solveProblem(prob *sdp.Problem, pairs []pair) (*sdp.Solution, 
 	switch b.opt.Solver {
 	case SolverADMM:
 		opt := sdp.ADMMOptions{Tol: b.opt.SolverTol, MaxIter: b.opt.SolverMaxIter,
-			Workers: b.opt.Workers, Context: b.opt.Context, Trace: b.opt.Trace}
+			Workers: b.opt.Workers, Context: b.opt.Context, Trace: b.opt.Trace,
+			Arena: b.arena}
 		if x0 != nil {
 			// Mu0 deliberately stays unset; see warmState's doc comment.
 			opt.X0, opt.S0 = x0, s0
@@ -372,7 +373,8 @@ func (b *builder) solveProblem(prob *sdp.Problem, pairs []pair) (*sdp.Solution, 
 		sol, err = sdp.SolveADMM(prob, opt)
 	default:
 		opt := sdp.IPMOptions{Tol: b.opt.SolverTol, MaxIter: b.opt.SolverMaxIter,
-			Workers: b.opt.Workers, Context: b.opt.Context, Trace: b.opt.Trace}
+			Workers: b.opt.Workers, Context: b.opt.Context, Trace: b.opt.Trace,
+			Arena: b.arena}
 		if x0 != nil && s0 != nil {
 			opt.X0, opt.S0 = x0, s0
 			opt.XLP0, opt.SLP0, opt.Y0 = xlp0, slp0, y0

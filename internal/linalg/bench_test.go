@@ -25,7 +25,9 @@ func BenchmarkMatMul(b *testing.B) {
 		dst := NewDense(n, n)
 		for _, w := range benchWorkerCounts() {
 			b.Run(fmt.Sprintf("n%d/w%d", n, w), func(b *testing.B) {
+				MatMulIntoP(dst, x, y, w) // warm the dispatch free list
 				b.ReportAllocs()
+				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					MatMulIntoP(dst, x, y, w)
 				}
@@ -43,7 +45,9 @@ func BenchmarkMulABt(b *testing.B) {
 		dst := NewDense(n, n)
 		for _, w := range benchWorkerCounts() {
 			b.Run(fmt.Sprintf("n%d/w%d", n, w), func(b *testing.B) {
+				MulABtIntoP(dst, x, y, w) // warm the dispatch free list
 				b.ReportAllocs()
+				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					MulABtIntoP(dst, x, y, w)
 				}
@@ -79,6 +83,7 @@ func BenchmarkCholInverse(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		benchSink = c.Inverse().Data[0] // warm the lazily built Lᵀ so allocs/op is benchtime-independent
 		for _, w := range benchWorkerCounts() {
 			b.Run(fmt.Sprintf("n%d/w%d", n, w), func(b *testing.B) {
 				b.ReportAllocs()

@@ -14,18 +14,24 @@ type CGResult struct {
 // conjugate-gradient method, starting from x (which is updated in place).
 // It stops when ‖r‖ ≤ tol·max(1, ‖b‖) or after maxIter iterations.
 func CG(mul MulVecFn, b, x []float64, tol float64, maxIter int) CGResult {
+	var w CGWork
+	return CGWith(&w, mul, b, x, tol, maxIter)
+}
+
+// CGWith is CG with the iteration vectors taken from a reusable workspace,
+// so repeated solves allocate nothing after the first.
+func CGWith(w *CGWork, mul MulVecFn, b, x []float64, tol float64, maxIter int) CGResult {
 	n := len(b)
 	if len(x) != n {
 		panic("linalg: CG dimension mismatch")
 	}
-	r := make([]float64, n)
-	ax := make([]float64, n)
+	w.ensure(n)
+	r, ax, p, ap := w.r, w.ax, w.p, w.ap
 	mul(ax, x)
 	for i := range r {
 		r[i] = b[i] - ax[i]
 	}
-	p := CloneVec(r)
-	ap := make([]float64, n)
+	copy(p, r)
 	rr := Dot(r, r)
 	bnorm := Norm2(b)
 	if bnorm < 1 {

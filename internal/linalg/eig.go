@@ -3,7 +3,6 @@ package linalg
 import (
 	"errors"
 	"math"
-	"sort"
 
 	"sdpfloor/internal/parallel"
 )
@@ -35,23 +34,99 @@ func NewSymEig(a *Dense) (*SymEig, error) {
 // preserves the per-element operation order, so the decomposition is bitwise
 // identical to NewSymEig for every worker count.
 func NewSymEigP(a *Dense, workers int) (*SymEig, error) {
+	w := &EigWork{}
+	eg, err := w.Factor(a, workers)
+	if err != nil {
+		return nil, err
+	}
+	// The view aliases w's buffers; w goes out of scope here, so the caller
+	// owns them.
+	return eg, nil
+}
+
+// EigWork is a reusable eigendecomposition workspace: the tridiagonal
+// vectors, sort permutation, and low-rank reconstruction buffers are
+// recycled across Factor calls, and the parallel dispatch closures are
+// bound once — so repeated same-sized decompositions (the ADMM projection
+// loop, the IPM step-length checks) allocate nothing after the first call.
+// Not safe for concurrent use.
+type EigWork struct {
+	eig  SymEig
+	v    *Dense
+	d, e []float64
+
+	// sort scratch
+	idx []int
+	dd  []float64
+	vv  *Dense
+
+	// low-rank reconstruction scratch (applyFnInto)
+	cols       []int
+	scaled     []float64
+	wbuf, ubuf []float64
+	wm, um     Dense
+	mm         MatMulWork
+
+	// dispatch state for the Householder phase
+	workers         int
+	i               int
+	updateFn, accFn func(lo, hi int)
+}
+
+func (w *EigWork) ensure(n int) {
+	if w.updateFn == nil {
+		// Column j of the rank-2 update costs i−j: ForTri balances on the
+		// reversed index, so map its [lo, hi) back through i.
+		w.updateFn = func(lo, hi int) { w.update(w.i-hi, w.i-lo) }
+		w.accFn = func(lo, hi int) { w.acc(lo, hi) }
+	}
+	if w.v != nil && w.v.Rows == n {
+		return
+	}
+	w.v = NewDense(n, n)
+	w.vv = NewDense(n, n)
+	w.d = make([]float64, n)
+	w.e = make([]float64, n)
+	w.dd = make([]float64, n)
+	w.idx = make([]int, n)
+	w.cols = make([]int, n)
+	w.scaled = make([]float64, n)
+	w.wbuf = make([]float64, n*n)
+	w.ubuf = make([]float64, n*n)
+}
+
+// dim returns the dimension the workspace is currently sized for.
+func (w *EigWork) dim() int {
+	if w.v == nil {
+		return 0
+	}
+	return w.v.Rows
+}
+
+// Factor decomposes the symmetric matrix a (only the lower triangle is
+// read; the input is symmetrized into the workspace) and returns a view of
+// the result. The view — Values, V, and anything reconstructed from them —
+// is invalidated by the next Factor call on the same workspace.
+func (w *EigWork) Factor(a *Dense, workers int) (*SymEig, error) {
 	if a.Rows != a.Cols {
 		panic("linalg: SymEig of non-square matrix")
 	}
 	n := a.Rows
 	if n == 0 {
-		return &SymEig{Values: nil, V: NewDense(0, 0)}, nil
+		w.eig = SymEig{Values: nil, V: NewDense(0, 0)}
+		return &w.eig, nil
 	}
-	v := a.Clone()
-	v.Symmetrize()
-	d := make([]float64, n)
-	e := make([]float64, n)
-	tred2(v, d, e, workers)
-	if err := tql2(v, d, e); err != nil {
+	w.ensure(n)
+	w.workers = workers
+	w.v.CopyFrom(a)
+	w.v.Symmetrize()
+	w.tred2()
+	if err := tql2(w.v, w.d, w.e); err != nil {
 		return nil, err
 	}
-	sortEig(v, d)
-	return &SymEig{Values: d, V: v}, nil
+	w.sortEig()
+	w.eig = SymEig{Values: w.d, V: w.v}
+	return &w.eig, nil
 }
 
 // eigParGrain is the approximate per-step flop count below which the tred2
@@ -59,14 +134,15 @@ func NewSymEigP(a *Dense, workers int) (*SymEig, error) {
 // progresses, so each i decides independently).
 const eigParGrain = 16384
 
-// tred2 reduces the symmetric matrix stored in v to tridiagonal form using
+// tred2 reduces the symmetric matrix stored in w.v to tridiagonal form using
 // Householder transformations, accumulating the orthogonal transform in v.
-// On return d holds the diagonal and e the subdiagonal (e[0] == 0).
+// On return w.d holds the diagonal and w.e the subdiagonal (e[0] == 0).
 // This is the classic Bowdler–Martin–Reinsch–Wilkinson procedure. The
 // similarity rank-2 update and the transform accumulation are parallelized
 // over their independent columns; everything with cross-column coupling (the
 // e-vector accumulation) stays sequential.
-func tred2(v *Dense, d, e []float64, workers int) {
+func (w *EigWork) tred2() {
+	v, d, e, workers := w.v, w.d, w.e, w.workers
 	n := v.Rows
 	for j := 0; j < n; j++ {
 		d[j] = v.At(n-1, j)
@@ -122,29 +198,11 @@ func tred2(v *Dense, d, e []float64, workers int) {
 			// writes rows j…i−1 of column j, so columns are independent. The
 			// d[j] rewrite stays in the sequential epilogue — inside the
 			// parallel loop it would race with other columns' d[k] reads.
-			update := func(lo, hi int) {
-				for j := lo; j < hi; j++ {
-					fj := d[j]
-					gj := e[j]
-					for k := j; k <= i-1; k++ {
-						v.Add(k, j, -(fj*e[k] + gj*d[k]))
-					}
-				}
-			}
+			w.i = i
 			if workers <= 1 || i*i/2 < eigParGrain {
-				update(0, i)
+				w.update(0, i)
 			} else {
-				// Column j costs i−j: balance chunks on the reversed index
-				// with the triangular row split.
-				b := parallel.TriRanges(i, workers)
-				thunks := make([]func(), 0, len(b)-1)
-				for c := 0; c+1 < len(b); c++ {
-					lo, hi := i-b[c+1], i-b[c]
-					if lo < hi {
-						thunks = append(thunks, func() { update(lo, hi) })
-					}
-				}
-				parallel.Do(thunks...)
+				parallel.ForTri(workers, i, 0, w.updateFn)
 			}
 			for j := 0; j < i; j++ {
 				d[j] = v.At(i-1, j)
@@ -165,21 +223,11 @@ func tred2(v *Dense, d, e []float64, workers int) {
 			// Accumulation: column j reads column i+1 and d, writes rows
 			// 0…i of column j (j ≤ i), so columns are independent and the
 			// per-column cost is uniform.
-			acc := func(lo, hi int) {
-				for j := lo; j < hi; j++ {
-					g := 0.0
-					for k := 0; k <= i; k++ {
-						g += v.At(k, i+1) * v.At(k, j)
-					}
-					for k := 0; k <= i; k++ {
-						v.Add(k, j, -g*d[k])
-					}
-				}
-			}
+			w.i = i
 			if workers <= 1 || (i+1)*(i+1) < eigParGrain {
-				acc(0, i+1)
+				w.acc(0, i+1)
 			} else {
-				parallel.For(workers, i+1, 1, acc)
+				parallel.For(workers, i+1, 1, w.accFn)
 			}
 		}
 		for k := 0; k <= i; k++ {
@@ -192,6 +240,64 @@ func tred2(v *Dense, d, e []float64, workers int) {
 	}
 	v.Set(n-1, n-1, 1)
 	e[0] = 0
+}
+
+// update applies the rank-2 similarity update to columns [lo, hi) of the
+// current Householder step w.i.
+func (w *EigWork) update(lo, hi int) {
+	v, d, e, i := w.v, w.d, w.e, w.i
+	for j := lo; j < hi; j++ {
+		fj := d[j]
+		gj := e[j]
+		for k := j; k <= i-1; k++ {
+			v.Add(k, j, -(fj*e[k] + gj*d[k]))
+		}
+	}
+}
+
+// acc accumulates the transform for columns [lo, hi) of step w.i.
+func (w *EigWork) acc(lo, hi int) {
+	v, d, i := w.v, w.d, w.i
+	for j := lo; j < hi; j++ {
+		g := 0.0
+		for k := 0; k <= i; k++ {
+			g += v.At(k, i+1) * v.At(k, j)
+		}
+		for k := 0; k <= i; k++ {
+			v.Add(k, j, -g*d[k])
+		}
+	}
+}
+
+// sortEig sorts eigenvalues ascending (stable insertion sort on a
+// persistent index permutation — the decomposition is O(n³), the sort is
+// noise, and unlike sort.Slice it allocates nothing) and permutes the
+// eigenvector columns to match.
+func (w *EigWork) sortEig() {
+	v, d, idx := w.v, w.d, w.idx
+	n := len(d)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ {
+		id := idx[i]
+		key := d[id]
+		j := i - 1
+		for j >= 0 && d[idx[j]] > key {
+			idx[j+1] = idx[j]
+			j--
+		}
+		idx[j+1] = id
+	}
+	for j := 0; j < n; j++ {
+		src := idx[j]
+		w.dd[j] = d[src]
+		for k := 0; k < n; k++ {
+			w.vv.Set(k, j, v.At(k, src))
+		}
+	}
+	copy(d, w.dd)
+	v.CopyFrom(w.vv)
 }
 
 // tql2 diagonalizes the symmetric tridiagonal matrix (d, e) with the
@@ -270,25 +376,64 @@ func tql2(v *Dense, d, e []float64) error {
 	return nil
 }
 
-// sortEig sorts eigenvalues ascending and permutes the eigenvector columns
-// of v to match.
-func sortEig(v *Dense, d []float64) {
-	n := len(d)
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+// ApplyFnInto writes V diag(f(Values)) Vᵀ for the workspace's current
+// decomposition into dst, building the low-rank factors in the workspace's
+// persistent buffers — the zero-allocation counterpart of applyFnP. dst
+// must be n×n and must not alias the decomposition. Bitwise identical for
+// every worker count.
+func (w *EigWork) ApplyFnInto(dst *Dense, f func(float64) float64, workers int) {
+	eg := &w.eig
+	n := len(eg.Values)
+	if dst.Rows != n || dst.Cols != n {
+		panic("linalg: ApplyFnInto dimension mismatch")
 	}
-	sort.Slice(idx, func(a, b int) bool { return d[idx[a]] < d[idx[b]] })
-	dd := make([]float64, n)
-	vv := NewDense(n, n)
-	for j, src := range idx {
-		dd[j] = d[src]
-		for k := 0; k < n; k++ {
-			vv.Set(k, j, v.At(k, src))
+	cols := w.cols[:0]
+	scaled := w.scaled[:0]
+	for j := 0; j < n; j++ {
+		if lj := f(eg.Values[j]); lj != 0 {
+			cols = append(cols, j)
+			scaled = append(scaled, lj)
 		}
 	}
-	copy(d, dd)
-	v.CopyFrom(vv)
+	r := len(cols)
+	if r == 0 {
+		dst.Zero()
+		return
+	}
+	w.wm = Dense{Rows: n, Cols: r, Data: w.wbuf[:n*r]}
+	w.um = Dense{Rows: n, Cols: r, Data: w.ubuf[:n*r]}
+	fillLowRank(&w.wm, &w.um, eg.V, cols, scaled)
+	w.mm.MulABtInto(dst, &w.wm, &w.um, workers)
+	dst.Symmetrize()
+}
+
+// PSDProjectInto writes the PSD-cone projection of the decomposed matrix
+// into dst without allocating: negative eigenvalues are clipped at zero.
+func (w *EigWork) PSDProjectInto(dst *Dense, workers int) {
+	w.ApplyFnInto(dst, psdClip, workers)
+}
+
+// psdClip is the PSD projection spectrum map. Package-level so taking its
+// value does not allocate.
+func psdClip(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return x
+}
+
+// fillLowRank gathers the selected eigenvector columns into the n×r factor
+// pair (wm scaled by f(λ), um raw).
+func fillLowRank(wm, um, v *Dense, cols []int, scaled []float64) {
+	n := v.Rows
+	for i := 0; i < n; i++ {
+		vrow := v.Row(i)
+		wrow, urow := wm.Row(i), um.Row(i)
+		for jj, j := range cols {
+			urow[jj] = vrow[j]
+			wrow[jj] = scaled[jj] * vrow[j]
+		}
+	}
 }
 
 // Reconstruct returns V diag(Values) Vᵀ — the matrix represented by the
@@ -324,14 +469,7 @@ func (eg *SymEig) applyFnP(f func(float64) float64, workers int) *Dense {
 	}
 	w := NewDense(n, r)
 	u := NewDense(n, r)
-	for i := 0; i < n; i++ {
-		vrow := eg.V.Row(i)
-		wrow, urow := w.Row(i), u.Row(i)
-		for jj, j := range cols {
-			urow[jj] = vrow[j]
-			wrow[jj] = scaled[jj] * vrow[j]
-		}
-	}
+	fillLowRank(w, u, eg.V, cols, scaled)
 	MulABtIntoP(out, w, u, workers)
 	out.Symmetrize()
 	return out
@@ -346,12 +484,7 @@ func (eg *SymEig) PSDProject() *Dense {
 // PSDProjectP is PSDProject with the reconstruction product parallelized
 // over the worker pool.
 func (eg *SymEig) PSDProjectP(workers int) *Dense {
-	return eg.applyFnP(func(x float64) float64 {
-		if x < 0 {
-			return 0
-		}
-		return x
-	}, workers)
+	return eg.applyFnP(psdClip, workers)
 }
 
 // Sqrt returns the symmetric PSD square root A^{1/2}; eigenvalues below zero

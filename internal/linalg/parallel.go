@@ -72,13 +72,77 @@ func MulABtIntoP(dst, a, b *Dense, workers int) {
 	})
 }
 
-// mulABtRows computes rows [lo, hi) of dst = a·bᵀ.
+// MatMulWork owns the dispatch state for zero-allocation parallel matrix
+// products: the closure handed to the worker pool is bound once and reads the
+// operand fields, so repeated products allocate nothing in the steady state —
+// unlike MatMulIntoP/MulABtIntoP, whose per-call closures allocate when the
+// parallel branch is taken. Results are bitwise identical to the package
+// functions. Not safe for concurrent use; each solver loop owns its own.
+type MatMulWork struct {
+	dst, a, b   *Dense
+	mmFn, abtFn func(lo, hi int)
+}
+
+func (w *MatMulWork) bind() {
+	if w.mmFn == nil {
+		w.mmFn = func(lo, hi int) { matMulRows(w.dst, w.a, w.b, lo, hi) }
+		w.abtFn = func(lo, hi int) { mulABtRows(w.dst, w.a, w.b, lo, hi) }
+	}
+}
+
+// MatMulInto computes dst = a·b through the recycled dispatch state.
+// Bitwise identical to MatMulIntoP for every worker count.
+func (w *MatMulWork) MatMulInto(dst, a, b *Dense, workers int) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("linalg: MatMulInto dimension mismatch")
+	}
+	if workers <= 1 || a.Rows*a.Cols*b.Cols < minParFlops {
+		matMulRows(dst, a, b, 0, a.Rows)
+		return
+	}
+	w.bind()
+	w.dst, w.a, w.b = dst, a, b
+	parallel.For(workers, a.Rows, 1, w.mmFn)
+	w.dst, w.a, w.b = nil, nil, nil
+}
+
+// MulABtInto computes dst = a·bᵀ through the recycled dispatch state.
+// Bitwise identical to MulABtIntoP for every worker count.
+func (w *MatMulWork) MulABtInto(dst, a, b *Dense, workers int) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("linalg: MulABtInto dimension mismatch")
+	}
+	if workers <= 1 || a.Rows*b.Rows*a.Cols < minParFlops {
+		mulABtRows(dst, a, b, 0, a.Rows)
+		return
+	}
+	w.bind()
+	w.dst, w.a, w.b = dst, a, b
+	parallel.For(workers, a.Rows, 1, w.abtFn)
+	w.dst, w.a, w.b = nil, nil, nil
+}
+
+// mulABtRows computes rows [lo, hi) of dst = a·bᵀ, tiled over the rows of b
+// so the active b panel stays L1-resident across consecutive rows of a.
+// Each output element is still one sequential dot product, so the tiled
+// kernel is bitwise identical to the untiled one.
 func mulABtRows(dst, a, b *Dense, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			drow[j] = dotPrefix(arow, b.Row(j))
+	tile := mulTileCols(a.Cols) // rows of b per panel: same cache budget
+	for j0 := 0; j0 < b.Rows; j0 += tile {
+		j1 := j0 + tile
+		if j1 > b.Rows {
+			j1 = b.Rows
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			j := j0
+			for ; j+1 < j1; j += 2 {
+				drow[j], drow[j+1] = dotPrefix2(arow, b.Row(j), b.Row(j+1))
+			}
+			for ; j < j1; j++ {
+				drow[j] = dotPrefix(arow, b.Row(j))
+			}
 		}
 	}
 }

@@ -1,0 +1,181 @@
+package linalg
+
+// Arena is a shape-keyed free list for the iteration-scoped matrices,
+// vectors, and factorization workspaces of a solver loop. Solvers check
+// scratch out once at warm-up and return it when the solve finishes; a
+// convex-iteration driver that re-solves closely related problems hands the
+// same arena to every sub-solve, so the steady state allocates nothing.
+//
+// The arena is deliberately simple: free lists never shrink (bounded by the
+// peak working set of the owning solve sequence, typically a few matrices
+// per shape) and are plain slices rather than sync.Pools, so the GC never
+// drains them and allocation counts stay deterministic — the property the
+// alloc-gate CI check asserts.
+//
+// An Arena is NOT safe for concurrent use. Ownership model: one goroutine
+// (the solver's top-level loop) checks scratch in and out; parallelism lives
+// inside the dense kernels, which never touch the arena. Checked-out
+// matrices are tracked, and Put panics on a double return or on a matrix the
+// arena never handed out — a matrix checked back in must never be live.
+type Arena struct {
+	mats  map[[2]int][]*Dense
+	out   map[*Dense][2]int
+	vecs  map[int][][]float64
+	vout  map[*float64]int
+	chols map[int][]*CholWork
+	eigs  map[int][]*EigWork
+	cgs   []*CGWork
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{
+		mats:  make(map[[2]int][]*Dense),
+		out:   make(map[*Dense][2]int),
+		vecs:  make(map[int][][]float64),
+		vout:  make(map[*float64]int),
+		chols: make(map[int][]*CholWork),
+		eigs:  make(map[int][]*EigWork),
+	}
+}
+
+// Mat checks out a zeroed r×c matrix, reusing a previously returned one of
+// the same shape when available.
+func (a *Arena) Mat(r, c int) *Dense {
+	key := [2]int{r, c}
+	var m *Dense
+	if free := a.mats[key]; len(free) > 0 {
+		m = free[len(free)-1]
+		a.mats[key] = free[:len(free)-1]
+		m.Zero()
+	} else {
+		m = NewDense(r, c)
+	}
+	a.out[m] = key
+	return m
+}
+
+// Put returns a matrix checked out with Mat. It panics if the matrix is not
+// currently checked out (double return, or foreign matrix): a returned
+// matrix may be handed to the next Mat caller, so it must never still be
+// referenced.
+func (a *Arena) Put(m *Dense) {
+	if m == nil {
+		return
+	}
+	key, ok := a.out[m]
+	if !ok {
+		panic("linalg: Arena.Put of a matrix that is not checked out")
+	}
+	delete(a.out, m)
+	a.mats[key] = append(a.mats[key], m)
+}
+
+// Vec checks out a zeroed vector of length n.
+func (a *Arena) Vec(n int) []float64 {
+	if free := a.vecs[n]; len(free) > 0 {
+		v := free[len(free)-1]
+		a.vecs[n] = free[:len(free)-1]
+		for i := range v {
+			v[i] = 0
+		}
+		if n > 0 {
+			a.vout[&v[0]] = n
+		}
+		return v
+	}
+	v := make([]float64, n)
+	if n > 0 {
+		a.vout[&v[0]] = n
+	}
+	return v
+}
+
+// PutVec returns a vector checked out with Vec, with the same liveness
+// contract as Put.
+func (a *Arena) PutVec(v []float64) {
+	if len(v) == 0 {
+		return
+	}
+	n, ok := a.vout[&v[0]]
+	if !ok || n != len(v) {
+		panic("linalg: Arena.PutVec of a vector that is not checked out")
+	}
+	delete(a.vout, &v[0])
+	a.vecs[n] = append(a.vecs[n], v)
+}
+
+// Chol checks out a Cholesky workspace for n×n factorizations.
+func (a *Arena) Chol(n int) *CholWork {
+	if free := a.chols[n]; len(free) > 0 {
+		w := free[len(free)-1]
+		a.chols[n] = free[:len(free)-1]
+		return w
+	}
+	return &CholWork{}
+}
+
+// PutChol returns a Cholesky workspace. The *Cholesky views it produced are
+// invalidated.
+func (a *Arena) PutChol(w *CholWork) {
+	if w == nil {
+		return
+	}
+	a.chols[w.dim()] = append(a.chols[w.dim()], w)
+}
+
+// Eig checks out a symmetric-eigendecomposition workspace for n×n input.
+func (a *Arena) Eig(n int) *EigWork {
+	if free := a.eigs[n]; len(free) > 0 {
+		w := free[len(free)-1]
+		a.eigs[n] = free[:len(free)-1]
+		return w
+	}
+	return &EigWork{}
+}
+
+// PutEig returns an eigendecomposition workspace. The *SymEig views it
+// produced are invalidated.
+func (a *Arena) PutEig(w *EigWork) {
+	if w == nil {
+		return
+	}
+	a.eigs[w.dim()] = append(a.eigs[w.dim()], w)
+}
+
+// CG checks out a conjugate-gradient workspace (any length; it resizes).
+func (a *Arena) CG() *CGWork {
+	if n := len(a.cgs); n > 0 {
+		w := a.cgs[n-1]
+		a.cgs = a.cgs[:n-1]
+		return w
+	}
+	return &CGWork{}
+}
+
+// PutCG returns a conjugate-gradient workspace.
+func (a *Arena) PutCG(w *CGWork) {
+	if w == nil {
+		return
+	}
+	a.cgs = append(a.cgs, w)
+}
+
+// CGWork holds the four iteration vectors of a conjugate-gradient solve so
+// repeated solves of same-sized systems allocate nothing.
+type CGWork struct {
+	r, ax, p, ap []float64
+}
+
+func (w *CGWork) ensure(n int) {
+	if cap(w.r) < n {
+		w.r = make([]float64, n)
+		w.ax = make([]float64, n)
+		w.p = make([]float64, n)
+		w.ap = make([]float64, n)
+	}
+	w.r = w.r[:n]
+	w.ax = w.ax[:n]
+	w.p = w.p[:n]
+	w.ap = w.ap[:n]
+}

@@ -1,0 +1,175 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestArenaMatReuseAndZeroing(t *testing.T) {
+	a := NewArena()
+	m1 := a.Mat(3, 4)
+	if m1.Rows != 3 || m1.Cols != 4 {
+		t.Fatalf("Mat(3,4) returned %dx%d", m1.Rows, m1.Cols)
+	}
+	m1.Set(1, 2, 7)
+	a.Put(m1)
+	m2 := a.Mat(3, 4)
+	if m2 != m1 {
+		t.Fatal("same-shape checkout did not reuse the returned matrix")
+	}
+	for i, v := range m2.Data {
+		if v != 0 {
+			t.Fatalf("reused matrix not zeroed at %d: %v", i, v)
+		}
+	}
+	// A different shape must not alias the checked-out storage.
+	m3 := a.Mat(4, 3)
+	if m3 == m2 || &m3.Data[0] == &m2.Data[0] {
+		t.Fatal("different-shape checkout aliases live storage")
+	}
+}
+
+// TestArenaAliasingSafety: a matrix handed out while others are live must
+// never share storage with any of them — the free list only recycles what
+// was explicitly returned.
+func TestArenaAliasingSafety(t *testing.T) {
+	a := NewArena()
+	rng := rand.New(rand.NewSource(5))
+	live := map[*float64]bool{}
+	var out []*Dense
+	for i := 0; i < 200; i++ {
+		if len(out) > 0 && rng.Intn(2) == 0 {
+			k := rng.Intn(len(out))
+			m := out[k]
+			delete(live, &m.Data[0])
+			a.Put(m)
+			out = append(out[:k], out[k+1:]...)
+			continue
+		}
+		n := 1 + rng.Intn(4)
+		m := a.Mat(n, n)
+		if live[&m.Data[0]] {
+			t.Fatalf("iteration %d: checked-out matrix aliases a live one", i)
+		}
+		live[&m.Data[0]] = true
+		out = append(out, m)
+	}
+}
+
+func TestArenaPutPanicsOnDoubleReturn(t *testing.T) {
+	a := NewArena()
+	m := a.Mat(2, 2)
+	a.Put(m)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put did not panic")
+		}
+	}()
+	a.Put(m)
+}
+
+func TestArenaPutPanicsOnForeignMatrix(t *testing.T) {
+	a := NewArena()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put of a foreign matrix did not panic")
+		}
+	}()
+	a.Put(NewDense(2, 2))
+}
+
+func TestArenaVecReuse(t *testing.T) {
+	a := NewArena()
+	v := a.Vec(5)
+	v[3] = 9
+	a.PutVec(v)
+	w := a.Vec(5)
+	if &w[0] != &v[0] {
+		t.Fatal("same-length checkout did not reuse the returned vector")
+	}
+	for i, x := range w {
+		if x != 0 {
+			t.Fatalf("reused vector not zeroed at %d: %v", i, x)
+		}
+	}
+	// Zero-length vectors are untracked no-ops.
+	z := a.Vec(0)
+	a.PutVec(z)
+	// Double return must panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double PutVec did not panic")
+		}
+	}()
+	a.PutVec(w)
+	a.PutVec(w)
+}
+
+func TestArenaCholEigReuse(t *testing.T) {
+	a := NewArena()
+	spd := NewDenseFrom([][]float64{{4, 1}, {1, 3}})
+	cw := a.Chol(2)
+	if _, err := cw.Factor(spd, 1); err != nil {
+		t.Fatal(err)
+	}
+	a.PutChol(cw)
+	if got := a.Chol(2); got != cw {
+		t.Fatal("Chol(2) did not reuse the returned workspace")
+	}
+	ew := a.Eig(2)
+	if _, err := ew.Factor(spd, 1); err != nil {
+		t.Fatal(err)
+	}
+	a.PutEig(ew)
+	if got := a.Eig(2); got != ew {
+		t.Fatal("Eig(2) did not reuse the returned workspace")
+	}
+	// Factored at dimension 2, so the recycled workspace is keyed there: a
+	// different dimension must hand out a fresh one.
+	if got := a.Chol(5); got == cw {
+		t.Fatal("Chol(5) returned a workspace sized for dimension 2")
+	}
+}
+
+func TestArenaCGReuse(t *testing.T) {
+	a := NewArena()
+	w := a.CG()
+	w.ensure(4)
+	a.PutCG(w)
+	if got := a.CG(); got != w {
+		t.Fatal("CG() did not reuse the returned workspace")
+	}
+}
+
+// TestArenaSteadyStateZeroAlloc: after one warm-up cycle, a checkout/return
+// cycle over a fixed shape set allocates nothing — the property the solver
+// loops build on.
+func TestArenaSteadyStateZeroAlloc(t *testing.T) {
+	a := NewArena()
+	spd := Identity(8)
+	spd.Scale(3)
+	cycle := func() {
+		m := a.Mat(8, 8)
+		v := a.Vec(8)
+		c := a.Chol(8)
+		e := a.Eig(8)
+		g := a.CG()
+		// Factor both workspaces: the free lists key them by factored
+		// dimension, which is how the solver loops return them.
+		if _, err := c.Factor(spd, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Factor(spd, 1); err != nil {
+			t.Fatal(err)
+		}
+		a.Put(m)
+		a.PutVec(v)
+		a.PutChol(c)
+		a.PutEig(e)
+		a.PutCG(g)
+	}
+	cycle()
+	if allocs := testing.AllocsPerRun(10, cycle); allocs != 0 {
+		t.Fatalf("warm arena cycle: %v allocs/op, want 0", allocs)
+	}
+}

@@ -14,10 +14,16 @@
 //     solve: a job may request any chunk count, but at most poolSize
 //     goroutines ever run chunks at once, so service-level concurrency ×
 //     per-solve parallelism cannot oversubscribe the machine.
-//   - No deadlocks under saturation. Chunk submission never blocks: if no
-//     pool worker is free the caller runs the chunk inline, so nested
-//     parallel-for calls (a parallel kernel inside a parallel solve) always
-//     make progress.
+//   - No deadlocks under saturation. Job submission never blocks: if no
+//     pool worker is free the caller runs the remaining chunks inline, so
+//     nested parallel-for calls (a parallel kernel inside a parallel solve)
+//     always make progress.
+//   - Zero steady-state allocation. A dispatch borrows a job descriptor from
+//     a process-wide free list (a mutex-guarded stack, deliberately not a
+//     sync.Pool: GC never drains it, so allocs/op is deterministic) and
+//     chunks are claimed from an atomic counter — no per-chunk closures or
+//     range slices. For/ForChunked/ForTri allocate nothing beyond whatever
+//     closure the caller passes in.
 //
 // The pool size defaults to GOMAXPROCS and can be overridden with the
 // SDPFLOOR_WORKERS environment variable. Worker counts requested per call
@@ -32,16 +38,105 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 var (
 	initOnce sync.Once
 	poolSize int
-	tasks    chan func()
+	tasks    chan *job
 )
 
+// job is one parallel-for dispatch in flight. The caller and any pool
+// workers that picked the job up claim chunks from the shared atomic
+// counter; chunk boundaries are recomputed from (n, w, chunk) on demand so
+// the descriptor carries no per-chunk state.
+type job struct {
+	fn   func(lo, hi int)        // For / ForTri body (nil when fnc is set)
+	fnc  func(chunk, lo, hi int) // ForChunked body
+	n    int                     // index range (rows, for tri jobs)
+	w    int                     // chunk count
+	tri  bool                    // triangular-balanced boundaries
+	next int64                   // atomic: next unclaimed chunk
+
+	chunks  sync.WaitGroup // one count per chunk; Done as each completes
+	helpers sync.WaitGroup // one count per pool worker holding the job
+}
+
+// runChunks claims and executes chunks until none remain. Called by the
+// dispatching goroutine and by every pool worker that received the job.
+func (j *job) runChunks() {
+	for {
+		c := int(atomic.AddInt64(&j.next, 1)) - 1
+		if c >= j.w {
+			return
+		}
+		var lo, hi int
+		if j.tri {
+			lo, hi = triBound(j.n, j.w, c), triBound(j.n, j.w, c+1)
+		} else {
+			lo, hi = c*j.n/j.w, (c+1)*j.n/j.w
+		}
+		if j.fnc != nil {
+			j.fnc(c, lo, hi)
+		} else {
+			j.fn(lo, hi)
+		}
+		j.chunks.Done()
+	}
+}
+
+// jobFree is the process-wide descriptor free list. A plain mutex-guarded
+// stack rather than a sync.Pool: it grows to the peak number of concurrent
+// dispatches and is never drained by the GC, so allocation counts in the
+// steady state are exactly zero — which the alloc-gate CI check relies on.
+var jobFree struct {
+	sync.Mutex
+	list []*job
+}
+
+func getJob() *job {
+	jobFree.Lock()
+	if n := len(jobFree.list); n > 0 {
+		j := jobFree.list[n-1]
+		jobFree.list = jobFree.list[:n-1]
+		jobFree.Unlock()
+		return j
+	}
+	jobFree.Unlock()
+	return new(job)
+}
+
+func putJob(j *job) {
+	j.fn, j.fnc = nil, nil // do not retain caller closures
+	jobFree.Lock()
+	jobFree.list = append(jobFree.list, j)
+	jobFree.Unlock()
+}
+
+// dispatch runs a prepared job: it offers the job to idle pool workers
+// (never blocking — an unbuffered send only succeeds when a worker is
+// parked on the channel) and then helps drain chunks itself. On return all
+// chunks have completed and no other goroutine references the job.
+func (j *job) dispatch() {
+	setup()
+	atomic.StoreInt64(&j.next, 0)
+	j.chunks.Add(j.w)
+	for c := 1; c < j.w; c++ {
+		j.helpers.Add(1)
+		select {
+		case tasks <- j:
+		default:
+			j.helpers.Add(-1) // pool saturated: the caller will run it inline
+		}
+	}
+	j.runChunks()
+	j.chunks.Wait()
+	j.helpers.Wait() // workers must release the job before it is recycled
+}
+
 // setup starts the shared pool on first use. poolSize-1 background
-// goroutines are spawned (the caller of For/Do always executes one chunk
+// goroutines are spawned (the caller of For/Do always executes chunks
 // itself), with a floor of one so that single-CPU machines still exercise
 // real concurrency (and the race detector sees it).
 func setup() {
@@ -51,11 +146,12 @@ func setup() {
 		if bg < 1 {
 			bg = 1
 		}
-		tasks = make(chan func())
+		tasks = make(chan *job)
 		for i := 0; i < bg; i++ {
 			go func() {
-				for f := range tasks {
-					f()
+				for j := range tasks {
+					j.runChunks()
+					j.helpers.Done()
 				}
 			}()
 		}
@@ -103,7 +199,20 @@ func Workers(n int) int {
 // Sequential fallback: workers ≤ 1 or n < minPar runs fn(0, n) on the
 // calling goroutine — small problems skip the fork/join cost entirely.
 func For(workers, n, minPar int, fn func(lo, hi int)) {
-	ForChunked(workers, n, minPar, func(_, lo, hi int) { fn(lo, hi) })
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < minPar {
+		fn(0, n)
+		return
+	}
+	j := getJob()
+	j.fn, j.n, j.w, j.tri = fn, n, workers, false
+	j.dispatch()
+	putJob(j)
 }
 
 // ForChunked is For with the chunk index passed to fn — for callers that
@@ -120,23 +229,35 @@ func ForChunked(workers, n, minPar int, fn func(chunk, lo, hi int)) {
 		fn(0, 0, n)
 		return
 	}
-	setup()
-	var wg sync.WaitGroup
-	wg.Add(workers - 1)
-	for c := 1; c < workers; c++ {
-		c, lo, hi := c, c*n/workers, (c+1)*n/workers
-		f := func() {
-			defer wg.Done()
-			fn(c, lo, hi)
-		}
-		select {
-		case tasks <- f:
-		default:
-			f() // pool saturated: run inline, never block
-		}
+	j := getJob()
+	j.fnc, j.n, j.w, j.tri = fn, n, workers, false
+	j.dispatch()
+	putJob(j)
+}
+
+// ForTri splits the rows of a lower-triangular sweep (row k holding k+1
+// elements, m rows) into at most `workers` contiguous row ranges of roughly
+// equal element count and runs fn over each on the shared pool — the
+// zero-allocation replacement for TriRanges + Do in triangular kernels.
+// Boundaries depend only on (m, workers), computed per chunk in closed form.
+//
+// Sequential fallback: workers ≤ 1 or fewer than minPar total elements
+// (m(m+1)/2 < minPar) runs fn(0, m) on the calling goroutine.
+func ForTri(workers, m, minPar int, fn func(lo, hi int)) {
+	if m <= 0 {
+		return
 	}
-	fn(0, 0, n/workers)
-	wg.Wait()
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 || m*(m+1)/2 < minPar {
+		fn(0, m)
+		return
+	}
+	j := getJob()
+	j.fn, j.n, j.w, j.tri = fn, m, workers, true
+	j.dispatch()
+	putJob(j)
 }
 
 // Chunks returns the number of chunks ForChunked will use for (workers, n,
@@ -154,10 +275,10 @@ func Chunks(workers, n, minPar int) int {
 	return workers
 }
 
-// Do runs the given thunks concurrently on the shared pool (the first on the
-// calling goroutine) and returns when all have completed. Use it when the
-// work does not decompose into a flat index range — e.g. per-block
-// eigendecompositions or triangular row ranges of unequal length.
+// Do runs the given thunks concurrently on the shared pool and returns when
+// all have completed. Use it for one-off heterogeneous work that does not
+// decompose into a flat index range; hot loops should prefer For/ForTri,
+// which allocate nothing per call.
 func Do(thunks ...func()) {
 	switch len(thunks) {
 	case 0:
@@ -166,60 +287,52 @@ func Do(thunks ...func()) {
 		thunks[0]()
 		return
 	}
-	setup()
-	var wg sync.WaitGroup
-	wg.Add(len(thunks) - 1)
-	for _, f := range thunks[1:] {
-		f := f
-		g := func() {
-			defer wg.Done()
-			f()
-		}
-		select {
-		case tasks <- g:
-		default:
-			g()
-		}
-	}
-	thunks[0]()
-	wg.Wait()
+	ForChunked(len(thunks), len(thunks), 0, func(c, _, _ int) { thunks[c]() })
 }
 
-// TriRanges splits the rows of a lower-triangular sweep (row k holding k+1
-// elements, m rows, m(m+1)/2 elements total) into at most `workers` row
-// ranges of roughly equal element count, so chunk runtimes balance without
-// work stealing. Returns boundaries b with len(b) = chunks+1, b[0] = 0,
-// b[last] = m; chunk c covers rows [b[c], b[c+1]). Boundaries depend only on
-// (m, workers).
-func TriRanges(m, workers int) []int {
-	if workers < 1 {
-		workers = 1
+// triBound returns the row boundary before chunk c of a triangular sweep
+// split `workers` ways over m rows: the smallest k whose leading element
+// count k(k+1)/2 reaches c's proportional share. triBound(m, w, 0) = 0 and
+// triBound(m, w, w) = m; boundaries are non-decreasing in c and depend only
+// on (m, workers).
+func triBound(m, workers, c int) int {
+	if c <= 0 {
+		return 0
 	}
+	if c >= workers {
+		return m
+	}
+	total := m * (m + 1) / 2
+	target := c * total / workers
+	// Smallest k with k(k+1)/2 ≥ target; the float seed is corrected by
+	// integer comparison so the result is exact on every platform.
+	k := int((math.Sqrt(8*float64(target)+1) - 1) / 2)
+	for k > 0 && k*(k+1)/2 >= target {
+		k--
+	}
+	for k*(k+1)/2 < target {
+		k++
+	}
+	if k > m {
+		k = m
+	}
+	return k
+}
+
+// TriRanges returns the full boundary slice for a triangular sweep: b with
+// len(b) = chunks+1, b[0] = 0, b[last] = m; chunk c covers rows
+// [b[c], b[c+1]). It allocates; chunk-at-a-time callers should use ForTri,
+// which computes the same boundaries in closed form per chunk.
+func TriRanges(m, workers int) []int {
 	if workers > m {
 		workers = m
 	}
-	b := make([]int, 0, workers+1)
-	b = append(b, 0)
-	total := m * (m + 1) / 2
-	for c := 1; c < workers; c++ {
-		target := c * total / workers
-		// Smallest k with k(k+1)/2 ≥ target; the float seed is corrected by
-		// integer comparison so the result is exact on every platform.
-		k := int((math.Sqrt(8*float64(target)+1) - 1) / 2)
-		for k > 0 && k*(k+1)/2 >= target {
-			k--
-		}
-		for k*(k+1)/2 < target {
-			k++
-		}
-		if last := b[len(b)-1]; k < last {
-			k = last
-		}
-		if k > m {
-			k = m
-		}
-		b = append(b, k)
+	if workers < 1 {
+		workers = 1
 	}
-	b = append(b, m)
+	b := make([]int, workers+1)
+	for c := range b {
+		b[c] = triBound(m, workers, c)
+	}
 	return b
 }

@@ -2,6 +2,7 @@ package sdp
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -28,7 +29,8 @@ var benchScales = []struct {
 var benchSinkF float64
 
 // benchIPMState builds a solver state mid-iteration: a strictly feasible
-// random problem with X, S, and S⁻¹ populated, ready for formSchur.
+// random problem with the residuals, factorizations, and S⁻¹ populated,
+// ready for formSchur and the direction solves.
 func benchIPMState(b *testing.B, dim, m, workers int) *ipmState {
 	b.Helper()
 	rng := rand.New(rand.NewSource(int64(dim*1000 + m)))
@@ -36,15 +38,45 @@ func benchIPMState(b *testing.B, dim, m, workers int) *ipmState {
 	opt := IPMOptions{Workers: workers}
 	opt.setDefaults()
 	st := newIPMState(p, opt, nil)
-	for bidx := range st.s {
-		chol, err := linalg.NewCholesky(st.s[bidx])
-		if err != nil {
-			b.Fatal(err)
-		}
-		st.sinv[bidx] = chol.Inverse()
-		st.sinv[bidx].Symmetrize()
+	st.residuals()
+	if !st.factorIterates() {
+		b.Fatal("initial iterate not positive definite")
 	}
 	return st
+}
+
+// ipmFrozenStep runs one full predictor–corrector iteration worth of work —
+// residuals through the step safeguards — without updating the iterate, so
+// every round performs identical work on identical state. This is the IPM
+// inner loop the alloc gate holds at zero steady-state allocations.
+func ipmFrozenStep(st *ipmState) float64 {
+	st.residuals()
+	if !st.factorIterates() {
+		return math.NaN()
+	}
+	mu := st.innerXS() / st.nu
+	schur := st.formSchur()
+	sfac, _, err := factorSchur(st.schurW, schur, st.workers)
+	if err != nil {
+		return math.NaN()
+	}
+	st.prepXrdsinv()
+	st.solveDirection(sfac, st.aff, 0, mu, false)
+	apAff := st.maxStepPrimal(st.aff)
+	adAff := st.maxStepDual(st.aff)
+	muAff := st.innerXSAfter(st.aff, apAff, adAff) / st.nu
+	sigma := math.Pow(muAff/mu, 3)
+	if sigma > 1 {
+		sigma = 1
+	}
+	if sigma < 1e-8 {
+		sigma = 1e-8
+	}
+	st.buildCorrector(st.aff)
+	st.solveDirection(sfac, st.dir, sigma, mu, true)
+	ap := st.safeguardPrimal(st.dir, st.maxStepPrimal(st.dir))
+	ad := st.safeguardDual(st.dir, st.maxStepDual(st.dir))
+	return ap + ad
 }
 
 func BenchmarkFormSchur(b *testing.B) {
@@ -52,10 +84,56 @@ func BenchmarkFormSchur(b *testing.B) {
 		for _, w := range []int{1, 4} {
 			b.Run(fmt.Sprintf("%s/w%d", sc.name, w), func(b *testing.B) {
 				st := benchIPMState(b, sc.dim, sc.m, w)
+				st.formSchur() // warm the triangular-dispatch free list
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					benchSinkF = st.formSchur().At(0, 0)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkIPMInnerLoop measures one frozen predictor–corrector iteration.
+// The allocs/op column is the contract: 0 after warm-up, enforced by the CI
+// alloc gate and TestIPMInnerLoopZeroAlloc.
+func BenchmarkIPMInnerLoop(b *testing.B) {
+	for _, sc := range benchScales[:3] {
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/w%d", sc.name, w), func(b *testing.B) {
+				st := benchIPMState(b, sc.dim, sc.m, w)
+				ipmFrozenStep(st) // warm up the arena and dispatch state
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					benchSinkF = ipmFrozenStep(st)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkADMMProjection measures full ADMM iterations — CG y-update,
+// eigendecomposition, PSD projection, residuals — on a live state. Each
+// round does the complete per-iteration work (convergence is only checked,
+// never early-exited, inside iterate's caller). allocs/op must be 0.
+func BenchmarkADMMProjection(b *testing.B) {
+	for _, sc := range benchScales[:3] {
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/w%d", sc.name, w), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(int64(sc.dim)))
+				p := randomFeasibleSDP(rng, sc.dim, sc.m)
+				opt := ADMMOptions{Workers: w}
+				opt.setDefaults()
+				st := newADMMState(p, opt)
+				sol := &Solution{}
+				st.iterate(sol, 0, false) // warm up the arena and CG state
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					st.iterate(sol, i+1, false)
+					benchSinkF = sol.PrimalInfeas
 				}
 			})
 		}

@@ -68,6 +68,65 @@ func TestIPMDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestIPMDeterministicAcrossWorkersBlocked: the same contract on a PSD block
+// larger than the Cholesky blocking factor (64), so the panel-solve and
+// trailing-update paths of the blocked factorization — and the row-solve
+// kernels behind S⁻¹ and the step computation — are all exercised.
+func TestIPMDeterministicAcrossWorkersBlocked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("blocked-dimension determinism solve is slow in -short mode")
+	}
+	rng := rand.New(rand.NewSource(17))
+	p := randomFeasibleSDP(rng, 70, 90)
+	var ref [32]byte
+	for i, workers := range []int{1, 2, 8} {
+		var lines []string
+		logf := func(format string, args ...any) {
+			lines = append(lines, fmt.Sprintf(format, args...))
+		}
+		sol, err := SolveIPM(p, IPMOptions{Workers: workers, Logf: logf})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if sol.Status != StatusOptimal {
+			t.Fatalf("workers=%d: status %v", workers, sol.Status)
+		}
+		h := trajectoryHash(lines, sol)
+		if i == 0 {
+			ref = h
+		} else if h != ref {
+			t.Fatalf("workers=%d: trajectory diverged from workers=1 (hash %x vs %x)", workers, h, ref)
+		}
+	}
+}
+
+// TestADMMDeterministicAcrossWorkersBlocked: blocked-dimension coverage for
+// the first-order solver's eigenprojection and the arena-backed iterate.
+func TestADMMDeterministicAcrossWorkersBlocked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("blocked-dimension determinism solve is slow in -short mode")
+	}
+	rng := rand.New(rand.NewSource(19))
+	p := randomFeasibleSDP(rng, 70, 60)
+	var ref [32]byte
+	for i, workers := range []int{1, 2, 8} {
+		var lines []string
+		logf := func(format string, args ...any) {
+			lines = append(lines, fmt.Sprintf(format, args...))
+		}
+		sol, err := SolveADMM(p, ADMMOptions{Workers: workers, MaxIter: 200, Logf: logf})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		h := trajectoryHash(lines, sol)
+		if i == 0 {
+			ref = h
+		} else if h != ref {
+			t.Fatalf("workers=%d: trajectory diverged from workers=1 (hash %x vs %x)", workers, h, ref)
+		}
+	}
+}
+
 // TestADMMDeterministicAcrossWorkers: same contract for the first-order
 // solver, whose per-iteration eigenprojection uses the parallel kernels.
 func TestADMMDeterministicAcrossWorkers(t *testing.T) {
@@ -109,7 +168,7 @@ func TestFactorSchurNearSingular(t *testing.T) {
 	dmax := schur.At(m-1, m-1)
 	for _, workers := range []int{1, 4} {
 		s := schur.Clone()
-		fac, retries, err := factorSchur(s, workers)
+		fac, retries, err := factorSchur(&linalg.CholWork{}, s, workers)
 		if err != nil {
 			t.Fatalf("workers=%d: factorSchur failed on rank-1 PSD matrix: %v", workers, err)
 		}

@@ -42,6 +42,13 @@ type IPMOptions struct {
 	// constraint set is unchanged (see IPMReuse). Independent of the warm
 	// start: either can be used without the other.
 	Reuse *IPMReuse
+	// Arena, when non-nil, supplies the iteration-scoped scratch — matrices,
+	// factorization and eigendecomposition workspaces, direction storage —
+	// and receives all of it back when the solve returns. A convex-iteration
+	// driver that hands the same arena to every solve of a sequence makes
+	// the whole sequence allocation-free in the steady state. An arena must
+	// not be shared by concurrent solves. Nil allocates private scratch.
+	Arena *linalg.Arena
 	// Context, when non-nil, is checked at every iteration boundary; on
 	// cancellation or deadline the solver stops, returns the current iterate
 	// with StatusCancelled, and reports the context error.
@@ -70,7 +77,11 @@ func (o *IPMOptions) setDefaults() {
 	}
 }
 
-// ipmState carries the working variables of one solve.
+// ipmState carries the working variables of one solve. The iterate itself
+// (x, s, y, and the LP parts) is allocated plainly — it escapes into the
+// returned Solution — while everything iteration-scoped below the scratch
+// marker is checked out of the arena at construction and returned by
+// release(), so the iteration loop allocates nothing in the steady state.
 type ipmState struct {
 	p       *Problem
 	opt     IPMOptions
@@ -86,15 +97,40 @@ type ipmState struct {
 	xlp, slp []float64
 	y        []float64
 
-	b        []float64
-	bn, cn   float64
-	sinv     []*linalg.Dense
-	xchol    []*linalg.Cholesky
-	schol    []*linalg.Cholesky
+	b      []float64
+	bn, cn float64
+
+	// Iteration-scoped scratch (arena-owned).
+	arena    *linalg.Arena
 	rp       []float64
 	rd       []*linalg.Dense
 	rdlp     []float64
-	xrdsinvA []float64 // A(X Rd S⁻¹) cache
+	ax       []float64
+	sinv     []*linalg.Dense
+	xchol    []*linalg.Cholesky // views into xcholW, refreshed per iteration
+	schol    []*linalg.Cholesky
+	xcholW   []*linalg.CholWork
+	scholW   []*linalg.CholWork
+	tryCholW []*linalg.CholWork // step-safeguard trial factorizations
+	eigW     []*linalg.EigWork
+	schurW   *linalg.CholWork
+	schur    *linalg.Dense
+	xrdsinv  []*linalg.Dense // X Rd S⁻¹ cache, shared by predictor and corrector
+	corr     []*linalg.Dense // Mehrotra corrector ΔX_aff·ΔS_aff
+	corrSinv []*linalg.Dense
+	corrLP   []float64
+	tmp1     []*linalg.Dense
+	tmp2     []*linalg.Dense
+	rhs      []float64
+	aff, dir *direction
+	mm       linalg.MatMulWork
+
+	// Dispatch state for the bound parallel closures: the closures are
+	// created once at construction and read the fields below, so per-call
+	// dispatch allocates nothing.
+	schurFn, rhsFn func(lo, hi int)
+	dSigmaMu       float64
+	dUseCorr       bool
 }
 
 // SolveIPM solves the problem with a primal–dual interior-point method using
@@ -200,13 +236,11 @@ func newIPMState(p *Problem, opt IPMOptions, sym [][][]Entry) *ipmState {
 	}
 	st.x = make([]*linalg.Dense, st.nb)
 	st.s = make([]*linalg.Dense, st.nb)
-	st.rd = make([]*linalg.Dense, st.nb)
 	for bidx, d := range p.PSDDims {
 		st.x[bidx] = linalg.Identity(d)
 		st.x[bidx].Scale(xi)
 		st.s[bidx] = linalg.Identity(d)
 		st.s[bidx].Scale(eta)
-		st.rd[bidx] = linalg.NewDense(d, d)
 	}
 	st.xlp = make([]float64, p.LPDim)
 	st.slp = make([]float64, p.LPDim)
@@ -215,16 +249,84 @@ func newIPMState(p *Problem, opt IPMOptions, sym [][][]Entry) *ipmState {
 		st.slp[i] = eta
 	}
 	st.y = make([]float64, st.m)
-	st.rp = make([]float64, st.m)
-	st.rdlp = make([]float64, p.LPDim)
-	st.xrdsinvA = make([]float64, st.m)
+
+	// Arena-owned scratch: everything below is returned by release().
+	st.arena = opt.Arena
+	if st.arena == nil {
+		st.arena = linalg.NewArena()
+	}
+	a := st.arena
+	st.rd = make([]*linalg.Dense, st.nb)
 	st.sinv = make([]*linalg.Dense, st.nb)
 	st.xchol = make([]*linalg.Cholesky, st.nb)
 	st.schol = make([]*linalg.Cholesky, st.nb)
+	st.xcholW = make([]*linalg.CholWork, st.nb)
+	st.scholW = make([]*linalg.CholWork, st.nb)
+	st.tryCholW = make([]*linalg.CholWork, st.nb)
+	st.eigW = make([]*linalg.EigWork, st.nb)
+	st.xrdsinv = make([]*linalg.Dense, st.nb)
+	st.corr = make([]*linalg.Dense, st.nb)
+	st.corrSinv = make([]*linalg.Dense, st.nb)
+	st.tmp1 = make([]*linalg.Dense, st.nb)
+	st.tmp2 = make([]*linalg.Dense, st.nb)
+	for bidx, d := range p.PSDDims {
+		st.rd[bidx] = a.Mat(d, d)
+		st.sinv[bidx] = a.Mat(d, d)
+		st.xrdsinv[bidx] = a.Mat(d, d)
+		st.corr[bidx] = a.Mat(d, d)
+		st.corrSinv[bidx] = a.Mat(d, d)
+		st.tmp1[bidx] = a.Mat(d, d)
+		st.tmp2[bidx] = a.Mat(d, d)
+		st.xcholW[bidx] = a.Chol(d)
+		st.scholW[bidx] = a.Chol(d)
+		st.tryCholW[bidx] = a.Chol(d)
+		st.eigW[bidx] = a.Eig(d)
+	}
+	st.schurW = a.Chol(st.m)
+	st.schur = a.Mat(st.m, st.m)
+	st.rp = a.Vec(st.m)
+	st.ax = a.Vec(st.m)
+	st.rhs = a.Vec(st.m)
+	st.rdlp = a.Vec(p.LPDim)
+	st.corrLP = a.Vec(p.LPDim)
+	st.aff = st.newDirection()
+	st.dir = st.newDirection()
+	st.schurFn = st.schurRows
+	st.rhsFn = st.rhsRows
+
 	// Warm start, when requested: replaces the cold point just prepared,
 	// falling back to it automatically if the warmed iterate is unusable.
 	st.warm = st.tryWarmStart(xi, eta)
 	return st
+}
+
+// release returns every piece of iteration-scoped scratch to the arena. Run
+// exactly once, when the solve finishes; the next solve sharing the arena
+// checks the same buffers out again.
+func (st *ipmState) release() {
+	a := st.arena
+	for bidx := range st.rd {
+		a.Put(st.rd[bidx])
+		a.Put(st.sinv[bidx])
+		a.Put(st.xrdsinv[bidx])
+		a.Put(st.corr[bidx])
+		a.Put(st.corrSinv[bidx])
+		a.Put(st.tmp1[bidx])
+		a.Put(st.tmp2[bidx])
+		a.PutChol(st.xcholW[bidx])
+		a.PutChol(st.scholW[bidx])
+		a.PutChol(st.tryCholW[bidx])
+		a.PutEig(st.eigW[bidx])
+	}
+	a.PutChol(st.schurW)
+	a.Put(st.schur)
+	a.PutVec(st.rp)
+	a.PutVec(st.ax)
+	a.PutVec(st.rhs)
+	a.PutVec(st.rdlp)
+	a.PutVec(st.corrLP)
+	st.putDirection(st.aff)
+	st.putDirection(st.dir)
 }
 
 func constraintNorm(c *Constraint) float64 {
@@ -244,7 +346,9 @@ func constraintNorm(c *Constraint) float64 {
 	return math.Sqrt(s)
 }
 
-// direction holds one search direction over all blocks.
+// direction holds one search direction over all blocks. Its storage is
+// arena-owned (see newDirection/putDirection); the two directions the solver
+// needs live for the whole solve and are reused every iteration.
 type direction struct {
 	dx, ds     []*linalg.Dense
 	dxlp, dslp []float64
@@ -252,19 +356,32 @@ type direction struct {
 }
 
 func (st *ipmState) newDirection() *direction {
+	a := st.arena
 	d := &direction{
 		dx: make([]*linalg.Dense, st.nb), ds: make([]*linalg.Dense, st.nb),
-		dxlp: make([]float64, st.p.LPDim), dslp: make([]float64, st.p.LPDim),
-		dy: make([]float64, st.m),
+		dxlp: a.Vec(st.p.LPDim), dslp: a.Vec(st.p.LPDim),
+		dy: a.Vec(st.m),
 	}
 	for bidx, dim := range st.p.PSDDims {
-		d.dx[bidx] = linalg.NewDense(dim, dim)
-		d.ds[bidx] = linalg.NewDense(dim, dim)
+		d.dx[bidx] = a.Mat(dim, dim)
+		d.ds[bidx] = a.Mat(dim, dim)
 	}
 	return d
 }
 
+func (st *ipmState) putDirection(d *direction) {
+	a := st.arena
+	for bidx := range d.dx {
+		a.Put(d.dx[bidx])
+		a.Put(d.ds[bidx])
+	}
+	a.PutVec(d.dxlp)
+	a.PutVec(d.dslp)
+	a.PutVec(d.dy)
+}
+
 func (st *ipmState) run() *Solution {
+	defer st.release()
 	p, opt := st.p, st.opt
 	sol := &Solution{Status: StatusIterationLimit}
 	tracing := traceOn(opt.Trace)
@@ -304,23 +421,7 @@ func (st *ipmState) run() *Solution {
 			break
 		}
 		sol.Iterations = iter
-		// Residuals.
-		ax := make([]float64, st.m)
-		p.applyA(st.x, st.xlp, ax)
-		for k := range st.rp {
-			st.rp[k] = st.b[k] - ax[k]
-		}
-		p.applyAT(st.y, st.rd, st.rdlp)
-		for bidx := range st.rd {
-			// Rd = C − S − Aᵀ(y); applyAT stored Aᵀ(y), flip and add.
-			rd := st.rd[bidx]
-			rd.Scale(-1)
-			rd.AddScaled(1, p.C[bidx])
-			rd.AddScaled(-1, st.s[bidx])
-		}
-		for i := range st.rdlp {
-			st.rdlp[i] = p.CLP[i] - st.slp[i] - st.rdlp[i]
-		}
+		st.residuals()
 
 		gap := st.innerXS()
 		mu := gap / st.nu
@@ -338,35 +439,11 @@ func (st *ipmState) run() *Solution {
 			st.fill(sol, pobj, dobj, relP, relD, relG)
 			return sol
 		}
-		// nearOptimal downgrades a numerical stall close to convergence —
-		// interior-point iterations routinely lose positive definiteness in
-		// the last digits of an already-excellent iterate; callers get the
-		// near-optimal point rather than a failure.
-		nearOptimal := func() bool {
-			loose := 50 * opt.Tol
-			return relP < loose && relD < loose && relG < loose
-		}
 
 		// Factor X and S; compute S⁻¹.
-		ok := true
-		for bidx := range st.x {
-			var err error
-			st.xchol[bidx], err = linalg.NewCholeskyP(st.x[bidx], st.workers)
-			if err != nil {
-				ok = false
-				break
-			}
-			st.schol[bidx], err = linalg.NewCholeskyP(st.s[bidx], st.workers)
-			if err != nil {
-				ok = false
-				break
-			}
-			st.sinv[bidx] = st.schol[bidx].InverseP(st.workers)
-			st.sinv[bidx].Symmetrize()
-		}
-		if !ok {
+		if !st.factorIterates() {
 			sol.Status = StatusNumericalFailure
-			if nearOptimal() {
+			if st.nearOptimal(relP, relD, relG) {
 				sol.Status = StatusOptimal
 			}
 			st.fill(sol, pobj, dobj, relP, relD, relG)
@@ -375,10 +452,10 @@ func (st *ipmState) run() *Solution {
 
 		// Schur complement (shared by predictor and corrector).
 		schur := st.formSchur()
-		sfac, retries, err := factorSchur(schur, st.workers)
+		sfac, retries, err := factorSchur(st.schurW, schur, st.workers)
 		if err != nil {
 			sol.Status = StatusNumericalFailure
-			if nearOptimal() {
+			if st.nearOptimal(relP, relD, relG) {
 				sol.Status = StatusOptimal
 			}
 			st.fill(sol, pobj, dobj, relP, relD, relG)
@@ -386,14 +463,11 @@ func (st *ipmState) run() *Solution {
 		}
 
 		// A(X Rd S⁻¹) — reused by both solves this iteration.
-		xrdsinv := make([]*linalg.Dense, st.nb)
-		for bidx := range st.x {
-			xrdsinv[bidx] = linalg.MatMulP(linalg.MatMulP(st.x[bidx], st.rd[bidx], st.workers), st.sinv[bidx], st.workers)
-		}
+		st.prepXrdsinv()
 
 		// Predictor: σ = 0, no corrector term.
-		aff := st.newDirection()
-		st.solveDirection(sfac, aff, 0, mu, xrdsinv, nil, nil)
+		aff := st.aff
+		st.solveDirection(sfac, aff, 0, mu, false)
 		apAff := st.maxStepPrimal(aff)
 		adAff := st.maxStepDual(aff)
 
@@ -408,16 +482,9 @@ func (st *ipmState) run() *Solution {
 		}
 
 		// Corrector.
-		corr := make([]*linalg.Dense, st.nb)
-		for bidx := range corr {
-			corr[bidx] = linalg.MatMul(aff.dx[bidx], aff.ds[bidx])
-		}
-		corrLP := make([]float64, p.LPDim)
-		for i := range corrLP {
-			corrLP[i] = aff.dxlp[i] * aff.dslp[i]
-		}
-		dir := st.newDirection()
-		st.solveDirection(sfac, dir, sigma, mu, xrdsinv, corr, corrLP)
+		st.buildCorrector(aff)
+		dir := st.dir
+		st.solveDirection(sfac, dir, sigma, mu, true)
 
 		ap := st.maxStepPrimal(dir)
 		ad := st.maxStepDual(dir)
@@ -426,7 +493,7 @@ func (st *ipmState) run() *Solution {
 		ad = st.safeguardDual(dir, ad)
 		if ap < 1e-10 && ad < 1e-10 {
 			sol.Status = StatusNumericalFailure
-			if nearOptimal() {
+			if st.nearOptimal(relP, relD, relG) {
 				sol.Status = StatusOptimal
 			}
 			st.fill(sol, pobj, dobj, relP, relD, relG)
@@ -467,16 +534,86 @@ func (st *ipmState) run() *Solution {
 	// Iteration limit: report final residuals.
 	pobj := p.primalObjective(st.x, st.xlp)
 	dobj := linalg.Dot(st.b, st.y)
-	ax := make([]float64, st.m)
-	p.applyA(st.x, st.xlp, ax)
+	p.applyA(st.x, st.xlp, st.ax)
 	for k := range st.rp {
-		st.rp[k] = st.b[k] - ax[k]
+		st.rp[k] = st.b[k] - st.ax[k]
 	}
 	relP := linalg.Norm2(st.rp) / (1 + st.bn)
 	relD := st.dualResNorm() / (1 + st.cn)
 	relG := math.Abs(pobj-dobj) / (1 + math.Abs(pobj) + math.Abs(dobj))
 	st.fill(sol, pobj, dobj, relP, relD, relG)
 	return sol
+}
+
+// nearOptimal downgrades a numerical stall close to convergence —
+// interior-point iterations routinely lose positive definiteness in the last
+// digits of an already-excellent iterate; callers get the near-optimal point
+// rather than a failure.
+func (st *ipmState) nearOptimal(relP, relD, relG float64) bool {
+	loose := 50 * st.opt.Tol
+	return relP < loose && relD < loose && relG < loose
+}
+
+// residuals refreshes Ax, rp = b − Ax, Rd = C − S − Aᵀy, and the LP dual
+// residual at the current iterate.
+func (st *ipmState) residuals() {
+	p := st.p
+	p.applyA(st.x, st.xlp, st.ax)
+	for k := range st.rp {
+		st.rp[k] = st.b[k] - st.ax[k]
+	}
+	p.applyAT(st.y, st.rd, st.rdlp)
+	for bidx := range st.rd {
+		// Rd = C − S − Aᵀ(y); applyAT stored Aᵀ(y), flip and add.
+		rd := st.rd[bidx]
+		rd.Scale(-1)
+		rd.AddScaled(1, p.C[bidx])
+		rd.AddScaled(-1, st.s[bidx])
+	}
+	for i := range st.rdlp {
+		st.rdlp[i] = p.CLP[i] - st.slp[i] - st.rdlp[i]
+	}
+}
+
+// factorIterates refactors every X and S block into the recycled workspaces
+// and refreshes S⁻¹ in place; it reports false when a block has lost positive
+// definiteness.
+func (st *ipmState) factorIterates() bool {
+	for bidx := range st.x {
+		c, err := st.xcholW[bidx].Factor(st.x[bidx], st.workers)
+		if err != nil {
+			return false
+		}
+		st.xchol[bidx] = c
+		c, err = st.scholW[bidx].Factor(st.s[bidx], st.workers)
+		if err != nil {
+			return false
+		}
+		st.schol[bidx] = c
+		c.InverseInto(st.sinv[bidx], st.workers)
+		st.sinv[bidx].Symmetrize()
+	}
+	return true
+}
+
+// prepXrdsinv refreshes the per-block X Rd S⁻¹ product cache shared by the
+// predictor and corrector right-hand sides.
+func (st *ipmState) prepXrdsinv() {
+	for bidx := range st.x {
+		st.mm.MatMulInto(st.tmp1[bidx], st.x[bidx], st.rd[bidx], st.workers)
+		st.mm.MatMulInto(st.xrdsinv[bidx], st.tmp1[bidx], st.sinv[bidx], st.workers)
+	}
+}
+
+// buildCorrector fills the Mehrotra corrector terms ΔX_aff·ΔS_aff (and the
+// LP analogue) from the affine direction.
+func (st *ipmState) buildCorrector(aff *direction) {
+	for bidx := range st.corr {
+		st.mm.MatMulInto(st.corr[bidx], aff.dx[bidx], aff.ds[bidx], st.workers)
+	}
+	for i := range st.corrLP {
+		st.corrLP[i] = aff.dxlp[i] * aff.dslp[i]
+	}
 }
 
 func (st *ipmState) fill(sol *Solution, pobj, dobj, relP, relD, relG float64) {
@@ -501,14 +638,15 @@ func (st *ipmState) innerXS() float64 {
 	return g
 }
 
+// innerXSAfter evaluates ⟨X + αpΔX, S + αdΔS⟩ by bilinear expansion — four
+// inner products per block instead of two cloned-and-updated matrices.
 func (st *ipmState) innerXSAfter(d *direction, ap, ad float64) float64 {
 	g := 0.0
 	for bidx := range st.x {
-		x2 := st.x[bidx].Clone()
-		x2.AddScaled(ap, d.dx[bidx])
-		s2 := st.s[bidx].Clone()
-		s2.AddScaled(ad, d.ds[bidx])
-		g += linalg.InnerProd(x2, s2)
+		x, s := st.x[bidx], st.s[bidx]
+		dx, ds := d.dx[bidx], d.ds[bidx]
+		g += linalg.InnerProd(x, s) + ad*linalg.InnerProd(x, ds) +
+			ap*linalg.InnerProd(dx, s) + ap*ad*linalg.InnerProd(dx, ds)
 	}
 	for i := range st.xlp {
 		g += (st.xlp[i] + ap*d.dxlp[i]) * (st.slp[i] + ad*d.dslp[i])
@@ -526,22 +664,23 @@ func (st *ipmState) dualResNorm() float64 {
 	return math.Sqrt(s + f*f)
 }
 
-// factorSchur factors the Schur complement, retrying with a diagonal shift
-// when the factorization fails. The shift is recomputed from the *current*
-// diagonal before every retry: earlier attempts have already shifted the
-// matrix, so a bound captured once up front both understates what a later
-// attempt needs and — when taken from MaxAbs of the full matrix — overshoots
-// badly for Schur complements whose off-diagonal entries dwarf the diagonal.
-// On success the (possibly shifted) matrix remains in schur, and the
-// second return value reports how many shifted retries were needed (0 on a
-// clean factorization) — surfaced per iteration by the trace layer.
-func factorSchur(schur *linalg.Dense, workers int) (*linalg.Cholesky, int, error) {
+// factorSchur factors the Schur complement into the recycled workspace,
+// retrying with a diagonal shift when the factorization fails. The shift is
+// recomputed from the *current* diagonal before every retry: earlier attempts
+// have already shifted the matrix, so a bound captured once up front both
+// understates what a later attempt needs and — when taken from MaxAbs of the
+// full matrix — overshoots badly for Schur complements whose off-diagonal
+// entries dwarf the diagonal. On success the (possibly shifted) matrix
+// remains in schur, and the second return value reports how many shifted
+// retries were needed (0 on a clean factorization) — surfaced per iteration
+// by the trace layer.
+func factorSchur(w *linalg.CholWork, schur *linalg.Dense, workers int) (*linalg.Cholesky, int, error) {
 	m := schur.Rows
 	scale := 1e-13
 	var err error
 	for attempt := 0; attempt < 8; attempt++ {
 		var sfac *linalg.Cholesky
-		sfac, err = linalg.NewCholeskyP(schur, workers)
+		sfac, err = w.Factor(schur, workers)
 		if err == nil {
 			return sfac, attempt, nil
 		}
@@ -560,110 +699,70 @@ func factorSchur(schur *linalg.Dense, workers int) (*linalg.Cholesky, int, error
 	return nil, 8, err
 }
 
-// formSchur builds M_kl = Σ_blocks tr(A_k X A_l S⁻¹) + Σ_i a_ki a_li xᵢ/sᵢ.
-// With symmetric data the HKM Schur complement is symmetric positive
-// definite; only the lower triangle is computed and mirrored. Rows are split
-// across the worker pool in ranges balanced for the triangular pair count;
-// each element (and its mirror) is written by exactly one range and computed
-// in the sequential order, so the matrix is bitwise identical for every
-// worker count.
+// formSchur builds M_kl = Σ_blocks tr(A_k X A_l S⁻¹) + Σ_i a_ki a_li xᵢ/sᵢ
+// into the persistent st.schur. With symmetric data the HKM Schur complement
+// is symmetric positive definite; only the lower triangle is computed and
+// mirrored. Row k costs k+1 pair evaluations, so the row sweep is balanced
+// triangularly (parallel.ForTri); each element (and its mirror) is written by
+// exactly one chunk and computed in the sequential order, so the matrix is
+// bitwise identical for every worker count.
 func (st *ipmState) formSchur() *linalg.Dense {
-	m := st.m
-	schur := linalg.NewDense(m, m)
-	rows := func(klo, khi int) {
-		for k := klo; k < khi; k++ {
-			for l := 0; l <= k; l++ {
-				v := 0.0
-				for bidx := range st.x {
-					ek := st.sym[k]
-					el := st.sym[l]
-					if bidx >= len(ek) || bidx >= len(el) {
-						continue
-					}
-					xk, sk := st.x[bidx], st.sinv[bidx]
-					n := xk.Cols
-					for _, e := range el[bidx] {
-						for _, f := range ek[bidx] {
-							// tr(A_k X A_l S⁻¹) term: S⁻¹[e.J, f.I] · X[f.J, e.I]
-							v += e.V * f.V * sk.Data[e.J*n+f.I] * xk.Data[f.J*n+e.I]
-						}
-					}
-				}
-				// LP block.
-				for _, e := range st.p.Cons[k].LP {
-					for _, f := range st.p.Cons[l].LP {
-						if e.I == f.I {
-							v += e.V * f.V * st.xlp[e.I] / st.slp[e.I]
-						}
-					}
-				}
-				schur.Set(k, l, v)
-				schur.Set(l, k, v)
-			}
-		}
-	}
-	if st.workers <= 1 || m < 8 {
-		rows(0, m)
-		return schur
-	}
-	b := parallel.TriRanges(m, st.workers)
-	thunks := make([]func(), 0, len(b)-1)
-	for c := 0; c+1 < len(b); c++ {
-		lo, hi := b[c], b[c+1]
-		if lo < hi {
-			thunks = append(thunks, func() { rows(lo, hi) })
-		}
-	}
-	parallel.Do(thunks...)
-	return schur
+	parallel.ForTri(st.workers, st.m, 36, st.schurFn)
+	return st.schur
 }
 
-// solveDirection computes the search direction for centering parameter σ and
-// optional Mehrotra corrector term (corr = ΔX_aff·ΔS_aff per block).
-func (st *ipmState) solveDirection(sfac *linalg.Cholesky, d *direction, sigma, mu float64,
-	xrdsinv []*linalg.Dense, corr []*linalg.Dense, corrLP []float64) {
-
-	p := st.p
-	// Right-hand side: rp − A(σμS⁻¹ − X) + A(X Rd S⁻¹) + A(corr·S⁻¹), plus
-	// the LP analogues.
-	rhs := make([]float64, st.m)
-	corrSinv := make([]*linalg.Dense, st.nb)
-	for bidx := range st.x {
-		if corr != nil {
-			corrSinv[bidx] = linalg.MatMulP(corr[bidx], st.sinv[bidx], st.workers)
-		}
-	}
-	// Each rhs[k] only reads shared state, so the constraint sweep splits
-	// cleanly across the pool.
-	parallel.For(st.workers, st.m, 64, func(klo, khi int) {
-		for k := klo; k < khi; k++ {
-			v := st.rp[k]
-			for bidx, es := range st.sym[k] {
-				if len(es) == 0 {
+// schurRows computes rows [klo, khi) of the Schur complement.
+func (st *ipmState) schurRows(klo, khi int) {
+	schur := st.schur
+	for k := klo; k < khi; k++ {
+		for l := 0; l <= k; l++ {
+			v := 0.0
+			for bidx := range st.x {
+				ek := st.sym[k]
+				el := st.sym[l]
+				if bidx >= len(ek) || bidx >= len(el) {
 					continue
 				}
-				sinv, x := st.sinv[bidx], st.x[bidx]
-				n := x.Cols
-				for _, e := range es {
-					v -= e.V * (sigma*mu*sinv.Data[e.I*n+e.J] - x.Data[e.I*n+e.J])
-					v += e.V * xrdsinv[bidx].Data[e.I*n+e.J]
-					if corr != nil {
-						v += e.V * corrSinv[bidx].Data[e.I*n+e.J]
+				xk, sk := st.x[bidx], st.sinv[bidx]
+				n := xk.Cols
+				for _, e := range el[bidx] {
+					for _, f := range ek[bidx] {
+						// tr(A_k X A_l S⁻¹) term: S⁻¹[e.J, f.I] · X[f.J, e.I]
+						v += e.V * f.V * sk.Data[e.J*n+f.I] * xk.Data[f.J*n+e.I]
 					}
 				}
 			}
-			for _, e := range p.Cons[k].LP {
-				i := e.I
-				v -= e.V * (sigma*mu/st.slp[i] - st.xlp[i])
-				v += e.V * (st.xlp[i] / st.slp[i]) * st.rdlp[i]
-				if corrLP != nil {
-					v += e.V * corrLP[i] / st.slp[i]
+			// LP block.
+			for _, e := range st.p.Cons[k].LP {
+				for _, f := range st.p.Cons[l].LP {
+					if e.I == f.I {
+						v += e.V * f.V * st.xlp[e.I] / st.slp[e.I]
+					}
 				}
 			}
-			rhs[k] = v
+			schur.Set(k, l, v)
+			schur.Set(l, k, v)
 		}
-	})
-	copy(d.dy, rhs)
+	}
+}
+
+// solveDirection computes the search direction for centering parameter σ,
+// including the Mehrotra corrector terms (st.corr/st.corrLP, prepared by
+// buildCorrector) when useCorr is set.
+func (st *ipmState) solveDirection(sfac *linalg.Cholesky, d *direction, sigma, mu float64, useCorr bool) {
+	p := st.p
+	if useCorr {
+		for bidx := range st.corrSinv {
+			st.mm.MatMulInto(st.corrSinv[bidx], st.corr[bidx], st.sinv[bidx], st.workers)
+		}
+	}
+	// Right-hand side: rp − A(σμS⁻¹ − X) + A(X Rd S⁻¹) + A(corr·S⁻¹), plus
+	// the LP analogues. Each rhs[k] only reads shared state, so the
+	// constraint sweep splits cleanly across the pool.
+	st.dSigmaMu = sigma * mu
+	st.dUseCorr = useCorr
+	parallel.For(st.workers, st.m, 64, st.rhsFn)
+	copy(d.dy, st.rhs)
 	sfac.SolveVec(d.dy)
 
 	// ΔS = Rd − Aᵀ(Δy).
@@ -679,9 +778,11 @@ func (st *ipmState) solveDirection(sfac *linalg.Cholesky, d *direction, sigma, m
 
 	// ΔX = σμS⁻¹ − X − H(X ΔS S⁻¹ + corr S⁻¹).
 	for bidx := range d.dx {
-		t := linalg.MatMulP(linalg.MatMulP(st.x[bidx], d.ds[bidx], st.workers), st.sinv[bidx], st.workers)
-		if corr != nil {
-			t.AddScaled(1, corrSinv[bidx])
+		st.mm.MatMulInto(st.tmp1[bidx], st.x[bidx], d.ds[bidx], st.workers)
+		st.mm.MatMulInto(st.tmp2[bidx], st.tmp1[bidx], st.sinv[bidx], st.workers)
+		t := st.tmp2[bidx]
+		if useCorr {
+			t.AddScaled(1, st.corrSinv[bidx])
 		}
 		dx := d.dx[bidx]
 		dx.CopyFrom(st.sinv[bidx])
@@ -692,51 +793,68 @@ func (st *ipmState) solveDirection(sfac *linalg.Cholesky, d *direction, sigma, m
 	}
 	for i := range d.dxlp {
 		v := sigma*mu/st.slp[i] - st.xlp[i] - st.xlp[i]/st.slp[i]*d.dslp[i]
-		if corrLP != nil {
-			v -= corrLP[i] / st.slp[i]
+		if useCorr {
+			v -= st.corrLP[i] / st.slp[i]
 		}
 		d.dxlp[i] = v
 	}
 }
 
-// maxStepPSD returns the largest α such that P + α·ΔP ⪰ 0, using
-// λmin(L⁻¹ ΔP L⁻ᵀ) where P = LLᵀ. The triangular solves run one column per
-// pool task (each column is an independent forward substitution), and the
-// eigendecomposition uses the parallel reduction; both are bitwise
-// deterministic across worker counts.
-func maxStepPSD(chol *linalg.Cholesky, dp *linalg.Dense, workers int) float64 {
-	n := dp.Rows
-	// W = L⁻¹ ΔP: solve L W = ΔP column by column.
-	w := linalg.NewDense(n, n)
-	parallel.For(workers, n, 64, func(lo, hi int) {
-		col := make([]float64, n)
-		for j := lo; j < hi; j++ {
-			for i := 0; i < n; i++ {
-				col[i] = dp.At(i, j)
+// rhsRows fills st.rhs[klo:khi] for the current direction solve, reading the
+// dispatch fields dSigmaMu/dUseCorr set by solveDirection.
+func (st *ipmState) rhsRows(klo, khi int) {
+	p := st.p
+	sigmaMu, useCorr := st.dSigmaMu, st.dUseCorr
+	for k := klo; k < khi; k++ {
+		v := st.rp[k]
+		for bidx, es := range st.sym[k] {
+			if len(es) == 0 {
+				continue
 			}
-			chol.SolveLowerVec(col)
-			for i := 0; i < n; i++ {
-				w.Set(i, j, col[i])
+			sinv, x := st.sinv[bidx], st.x[bidx]
+			xrd := st.xrdsinv[bidx]
+			var cs *linalg.Dense
+			if useCorr {
+				cs = st.corrSinv[bidx]
 			}
-		}
-	})
-	// T = W L⁻ᵀ = (L⁻¹ Wᵀ)ᵀ.
-	wt := w.T()
-	t := linalg.NewDense(n, n)
-	parallel.For(workers, n, 64, func(lo, hi int) {
-		col := make([]float64, n)
-		for j := lo; j < hi; j++ {
-			for i := 0; i < n; i++ {
-				col[i] = wt.At(i, j)
-			}
-			chol.SolveLowerVec(col)
-			for i := 0; i < n; i++ {
-				t.Set(j, i, col[i]) // transpose back
+			n := x.Cols
+			for _, e := range es {
+				v -= e.V * (sigmaMu*sinv.Data[e.I*n+e.J] - x.Data[e.I*n+e.J])
+				v += e.V * xrd.Data[e.I*n+e.J]
+				if useCorr {
+					v += e.V * cs.Data[e.I*n+e.J]
+				}
 			}
 		}
-	})
-	t.Symmetrize()
-	eg, err := linalg.NewSymEigP(t, workers)
+		for _, e := range p.Cons[k].LP {
+			i := e.I
+			v -= e.V * (sigmaMu/st.slp[i] - st.xlp[i])
+			v += e.V * (st.xlp[i] / st.slp[i]) * st.rdlp[i]
+			if useCorr {
+				v += e.V * st.corrLP[i] / st.slp[i]
+			}
+		}
+		st.rhs[k] = v
+	}
+}
+
+// maxStepPSD returns the largest α such that P + α·ΔP ⪰ 0 for block bidx,
+// using λmin(L⁻¹ ΔP L⁻ᵀ) where P = LLᵀ. Both triangular solves run as
+// row-sweeps over contiguous storage (ΔP is symmetric, so its rows are its
+// columns), and the eigendecomposition reuses the block's workspace; every
+// step is bitwise deterministic across worker counts.
+func (st *ipmState) maxStepPSD(chol *linalg.Cholesky, dp *linalg.Dense, bidx int) float64 {
+	m1, m2 := st.tmp1[bidx], st.tmp2[bidx]
+	// m1 = Wᵀ where W = L⁻¹ ΔP: row j of ΔP is column j, so the row solve
+	// produces the columns of W as rows.
+	m1.CopyFrom(dp)
+	chol.ForwardSolveRows(m1, st.workers)
+	// T = W L⁻ᵀ, i.e. Tᵀ = L⁻¹ Wᵀ: the rows of m1ᵀ are the columns of Wᵀ;
+	// row-solving them yields the rows of T.
+	m1.TransposeInto(m2)
+	chol.ForwardSolveRows(m2, st.workers)
+	m2.Symmetrize()
+	eg, err := st.eigW[bidx].Factor(m2, st.workers)
 	if err != nil {
 		return 0
 	}
@@ -750,7 +868,7 @@ func maxStepPSD(chol *linalg.Cholesky, dp *linalg.Dense, workers int) float64 {
 func (st *ipmState) maxStepPrimal(d *direction) float64 {
 	a := math.Inf(1)
 	for bidx := range st.x {
-		if s := maxStepPSD(st.xchol[bidx], d.dx[bidx], st.workers); s < a {
+		if s := st.maxStepPSD(st.xchol[bidx], d.dx[bidx], bidx); s < a {
 			a = s
 		}
 	}
@@ -767,7 +885,7 @@ func (st *ipmState) maxStepPrimal(d *direction) float64 {
 func (st *ipmState) maxStepDual(d *direction) float64 {
 	a := math.Inf(1)
 	for bidx := range st.s {
-		if s := maxStepPSD(st.schol[bidx], d.ds[bidx], st.workers); s < a {
+		if s := st.maxStepPSD(st.schol[bidx], d.ds[bidx], bidx); s < a {
 			a = s
 		}
 	}
@@ -785,10 +903,11 @@ func (st *ipmState) safeguardPrimal(d *direction, a float64) float64 {
 	for try := 0; try < 30; try++ {
 		ok := true
 		for bidx := range st.x {
-			x2 := st.x[bidx].Clone()
+			x2 := st.tmp1[bidx]
+			x2.CopyFrom(st.x[bidx])
 			x2.AddScaled(a, d.dx[bidx])
 			x2.Symmetrize()
-			if !linalg.IsPosDefP(x2, st.workers) {
+			if _, err := st.tryCholW[bidx].Factor(x2, st.workers); err != nil {
 				ok = false
 				break
 			}
@@ -805,10 +924,11 @@ func (st *ipmState) safeguardDual(d *direction, a float64) float64 {
 	for try := 0; try < 30; try++ {
 		ok := true
 		for bidx := range st.s {
-			s2 := st.s[bidx].Clone()
+			s2 := st.tmp1[bidx]
+			s2.CopyFrom(st.s[bidx])
 			s2.AddScaled(a, d.ds[bidx])
 			s2.Symmetrize()
-			if !linalg.IsPosDefP(s2, st.workers) {
+			if _, err := st.tryCholW[bidx].Factor(s2, st.workers); err != nil {
 				ok = false
 				break
 			}
