@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint sdpvet race cover bench bench-baseline bench-allocs benchdiff fuzz-smoke integration clean
+.PHONY: build test check lint sdpvet vet-json race cover bench bench-baseline bench-allocs benchdiff fuzz-smoke integration clean
 
 build:
 	$(GO) build ./...
@@ -15,11 +15,16 @@ lint:
 	$(GO) vet ./...
 
 # sdpvet runs the repo's custom static analyzer (cmd/sdpvet): determinism,
-# cancellation, and parallel-safety invariants the compiler and -race
-# cannot check. See docs/LINTING.md for the analyzer catalogue and the
-# //sdpvet:ignore escape hatch.
+# cancellation, parallel-safety, resource, telemetry, and durability
+# invariants the compiler and -race cannot check. See docs/LINTING.md for
+# the analyzer catalogue and the //sdpvet:ignore escape hatch.
 sdpvet:
 	$(GO) run ./cmd/sdpvet ./...
+
+# vet-json prints sdpvet findings as a JSON array for editor and tooling
+# integration; exit status is the same as `make sdpvet`.
+vet-json:
+	$(GO) run ./cmd/sdpvet -json ./...
 
 # check is the gate CI and pre-commit should run: formatting, static
 # analysis (go vet + sdpvet), then the suite under the race detector.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -139,7 +140,10 @@ func TestCLI(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("corpus run: exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
 	}
-	for _, frag := range []string{"[detrand]", "[maprange]", "[floateq]", "[ctxloop]", "[parwrite]", "[sdpvet]"} {
+	for _, frag := range []string{
+		"[detrand]", "[maprange]", "[floateq]", "[ctxloop]", "[parwrite]", "[sdpvet]",
+		"[arenalease]", "[tracefinal]", "[hotalloc]", "[journalerr]",
+	} {
 		if !strings.Contains(out.String(), frag) {
 			t.Errorf("corpus output missing %s findings:\n%s", frag, out.String())
 		}
@@ -158,6 +162,39 @@ func TestCLI(t *testing.T) {
 	errOut.Reset()
 	if code := run([]string{"-analyzers", "bogus"}, &out, &errOut); code != 2 {
 		t.Errorf("unknown analyzer: exit %d, want 2", code)
+	}
+
+	// -json must emit a decodable array of findings with module-relative
+	// paths, and nothing else on stdout.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-C", filepath.Join("testdata", "src"), "-json", "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("-json run: exit %d, want 1\n%s%s", code, out.String(), errOut.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("-json run produced zero findings on the corpus")
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line <= 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("-json finding missing fields: %+v", f)
+		}
+		if filepath.IsAbs(f.File) {
+			t.Errorf("-json finding path not module-relative: %s", f.File)
+		}
+	}
+
+	// -github emits workflow commands alongside the human-readable lines.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-C", filepath.Join("testdata", "src"), "-github", "./internal/jobstore"}, &out, &errOut); code != 1 {
+		t.Fatalf("-github run: exit %d, want 1\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "::error file=internal/jobstore/journal.go,line=") {
+		t.Errorf("-github output missing ::error annotations:\n%s", out.String())
 	}
 
 	out.Reset()

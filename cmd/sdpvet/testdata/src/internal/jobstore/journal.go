@@ -1,0 +1,101 @@
+// Package jobstore is the corpus stand-in for the durability layer. Its
+// error-returning functions are exactly what journalerr tracks (by
+// package suffix), and the case functions below exercise every firing
+// and silent shape of the analyzer.
+package jobstore
+
+import "os"
+
+// Journal is the append-only write-ahead log.
+type Journal struct{ dirty bool }
+
+// Append appends one record.
+func (j *Journal) Append(rec []byte) error { j.dirty = true; return nil }
+
+// Sync flushes and fsyncs the journal.
+func (j *Journal) Sync() error { j.dirty = false; return nil }
+
+// Rotate starts a new segment.
+func (j *Journal) Rotate() error { return nil }
+
+// --- firing cases ---
+
+func appendDropped(j *Journal, rec []byte) {
+	j.Append(rec) // want journalerr
+}
+
+func appendBlank(j *Journal, rec []byte) {
+	_ = j.Append(rec) // want journalerr
+}
+
+func syncDeferred(j *Journal) {
+	defer j.Sync() // want journalerr
+}
+
+func rotateInGoroutine(j *Journal) {
+	go j.Rotate() // want journalerr
+}
+
+// appendHalfChecked reads the error on one branch only: the fast path
+// exits without ever looking at it.
+func appendHalfChecked(j *Journal, rec []byte, fast bool) error {
+	err := j.Append(rec) // want journalerr
+	if fast {
+		return nil
+	}
+	return err
+}
+
+// appendOverwritten keeps only the last iteration's error: every earlier
+// one is overwritten unread.
+func appendOverwritten(j *Journal, recs [][]byte) error {
+	var err error
+	for _, rec := range recs {
+		err = j.Append(rec) // want journalerr
+	}
+	return err
+}
+
+// renameDropped discards a tracked file primitive's error.
+func renameDropped(dir string) {
+	os.Rename(dir+"/segment.0", dir+"/segment.1") // want journalerr
+}
+
+// --- silent cases ---
+
+// removeChecked propagates a file primitive's error to the caller.
+func removeChecked(path string) error {
+	return os.Remove(path)
+}
+
+// appendChecked handles both calls: the first error is read on every
+// path, the second propagates to the caller as an expression.
+func appendChecked(j *Journal, rec []byte) error {
+	if err := j.Append(rec); err != nil {
+		return err
+	}
+	return j.Sync()
+}
+
+// appendLogged routes the error into a handler without returning it —
+// the degrade-to-memory shape.
+func appendLogged(j *Journal, rec []byte, logf func(string, ...any)) {
+	err := j.Append(rec)
+	if err != nil {
+		logf("append: %v", err)
+	}
+}
+
+// syncWrapped reads the error by wrapping it; the overwrite is fine
+// because the read happens first.
+func syncWrapped(j *Journal, check func(error) error) error {
+	err := j.Sync()
+	err = check(err)
+	return err
+}
+
+// --- waived case ---
+
+func appendWaived(j *Journal, rec []byte) {
+	_ = j.Append(rec) //sdpvet:ignore journalerr corpus demonstration of a reasoned waiver
+}

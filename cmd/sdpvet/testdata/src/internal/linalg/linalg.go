@@ -1,0 +1,57 @@
+// Package linalg is the corpus stand-in for the real dense kernels: just
+// enough surface for arenalease to resolve Arena checkouts and releases
+// by receiver type and package suffix, exactly as it does on the real
+// module.
+package linalg
+
+// Dense is a dense row-major matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewDense returns a zero r×c matrix.
+func NewDense(r, c int) *Dense {
+	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// CholWork, EigWork, and CGWork mirror the real factorization workspaces.
+type CholWork struct{ n int }
+type EigWork struct{ n int }
+type CGWork struct{ n int }
+
+// Arena is the shape-keyed free list the analyzer tracks leases against.
+type Arena struct{ outstanding int }
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// Mat checks out an r×c matrix.
+func (a *Arena) Mat(r, c int) *Dense { a.outstanding++; return NewDense(r, c) }
+
+// Vec checks out a vector of length n.
+func (a *Arena) Vec(n int) []float64 { a.outstanding++; return make([]float64, n) }
+
+// Chol checks out a Cholesky workspace.
+func (a *Arena) Chol(n int) *CholWork { a.outstanding++; return &CholWork{n: n} }
+
+// Eig checks out an eigendecomposition workspace.
+func (a *Arena) Eig(n int) *EigWork { a.outstanding++; return &EigWork{n: n} }
+
+// CG checks out a conjugate-gradient workspace.
+func (a *Arena) CG() *CGWork { a.outstanding++; return &CGWork{} }
+
+// Put returns a matrix.
+func (a *Arena) Put(m *Dense) { a.outstanding-- }
+
+// PutVec returns a vector.
+func (a *Arena) PutVec(v []float64) { a.outstanding-- }
+
+// PutChol returns a Cholesky workspace.
+func (a *Arena) PutChol(w *CholWork) { a.outstanding-- }
+
+// PutEig returns an eigendecomposition workspace.
+func (a *Arena) PutEig(w *EigWork) { a.outstanding-- }
+
+// PutCG returns a conjugate-gradient workspace.
+func (a *Arena) PutCG(w *CGWork) { a.outstanding-- }

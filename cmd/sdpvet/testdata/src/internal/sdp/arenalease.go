@@ -1,0 +1,166 @@
+package sdp
+
+import (
+	"errors"
+
+	"sdpvet.example/internal/linalg"
+)
+
+var errFail = errors.New("fail")
+
+// globalScratch makes a lease outlive its function — the escape case.
+var globalScratch *linalg.Dense
+
+// --- firing cases ---
+
+// leakEarlyReturn releases on the happy path but not on the error exit.
+func leakEarlyReturn(a *linalg.Arena, n int, fail bool) error {
+	m := a.Mat(n, n) // want arenalease
+	if fail {
+		return errFail
+	}
+	a.Put(m)
+	return nil
+}
+
+// leakNoRelease never releases at all.
+func leakNoRelease(a *linalg.Arena, n int) {
+	v := a.Vec(n) // want arenalease
+	v[0] = 1
+}
+
+// leakDiscarded drops the checkout on the floor.
+func leakDiscarded(a *linalg.Arena, n int) {
+	a.Mat(n, n) // want arenalease
+}
+
+// leakBlank binds the checkout to the blank identifier.
+func leakBlank(a *linalg.Arena, n int) {
+	_ = a.Vec(n) // want arenalease
+}
+
+// leakPanicPath releases on the normal exit but the panic path skips
+// the release; only a defer covers panics.
+func leakPanicPath(a *linalg.Arena, n int, bad bool) {
+	w := a.Chol(n) // want arenalease
+	if bad {
+		panic("corrupt factorization")
+	}
+	a.PutChol(w)
+}
+
+// leakReassigned overwrites the lease each iteration without releasing
+// the previous checkout; only the last one is ever returned.
+func leakReassigned(a *linalg.Arena, n, iters int) {
+	v := a.Vec(n) // want arenalease
+	for i := 0; i < iters; i++ {
+		v = a.Vec(n) // want arenalease
+	}
+	a.PutVec(v)
+}
+
+// escapeReturn hands the lease to the caller, who holds no arena.
+func escapeReturn(a *linalg.Arena, n int) *linalg.Dense {
+	m := a.Mat(n, n)
+	return m // want arenalease
+}
+
+// escapeDirectReturn returns the checkout without ever binding it.
+func escapeDirectReturn(a *linalg.Arena, n int) *linalg.Dense {
+	return a.Mat(n, n) // want arenalease
+}
+
+// escapeGlobal parks the lease in package state.
+func escapeGlobal(a *linalg.Arena, n int) {
+	m := a.Mat(n, n)
+	globalScratch = m // want arenalease
+}
+
+// escapeSend ships the lease across a channel.
+func escapeSend(a *linalg.Arena, n int, ch chan []float64) {
+	v := a.Vec(n)
+	ch <- v // want arenalease
+}
+
+// escapeGoroutine lets a goroutine capture the lease.
+func escapeGoroutine(a *linalg.Arena, n int) {
+	v := a.Vec(n)
+	go consume(v) // want arenalease
+}
+
+func consume(v []float64) { v[0] = 1 }
+
+// deferInLoop releases correctly but defers pile up until the function
+// returns — the checkout is held for the whole loop, not one iteration.
+func deferInLoop(a *linalg.Arena, n, iters int) {
+	for i := 0; i < iters; i++ {
+		v := a.Vec(n)
+		defer a.PutVec(v) // want arenalease
+		v[0] = float64(i)
+	}
+}
+
+// --- silent cases ---
+
+// releasedDeferred is the canonical shape: the deferred release covers
+// every exit, including the panic path.
+func releasedDeferred(a *linalg.Arena, n int, bad bool) {
+	m := a.Mat(n, n)
+	defer a.Put(m)
+	if bad {
+		panic("covered: the deferred release still runs")
+	}
+	m.Data[0] = 1
+}
+
+// releasedAllPaths releases explicitly on both exits.
+func releasedAllPaths(a *linalg.Arena, n int, fail bool) error {
+	v := a.Vec(n)
+	if fail {
+		a.PutVec(v)
+		return errFail
+	}
+	a.PutVec(v)
+	return nil
+}
+
+// releasedClosure releases through a deferred closure.
+func releasedClosure(a *linalg.Arena, n int) {
+	w := a.Eig(n)
+	defer func() {
+		a.PutEig(w)
+	}()
+	use(w)
+}
+
+func use(w *linalg.EigWork) {}
+
+// releasedCG covers the fifth checkout kind.
+func releasedCG(a *linalg.Arena) {
+	w := a.CG()
+	defer a.PutCG(w)
+}
+
+// transferToField moves ownership into a longer-lived structure whose
+// owner releases it; the analyzer treats the store as a transfer.
+type scratch struct{ m *linalg.Dense }
+
+func transferToField(a *linalg.Arena, st *scratch, n int) {
+	st.m = a.Mat(n, n)
+}
+
+// transferLocal hands the whole lease to another variable; tracking
+// follows the checkout, and the new owner releases it.
+func transferLocal(a *linalg.Arena, n int) {
+	v := a.Vec(n)
+	w := v
+	a.PutVec(w)
+}
+
+// --- waived case ---
+
+// waivedLeak parks a lease on purpose; the waiver records why.
+func waivedLeak(a *linalg.Arena, n int) {
+	v := a.Vec(n) //sdpvet:ignore arenalease corpus demonstration: lease intentionally parked for the process lifetime
+	v[0] = 1
+}

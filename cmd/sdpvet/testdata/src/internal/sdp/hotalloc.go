@@ -1,0 +1,104 @@
+package sdp
+
+import "fmt"
+
+// --- silent case ---
+
+// hotClean is the shape the annotation demands: arithmetic over
+// preallocated storage, nothing that touches the heap.
+//
+//sdpvet:hotpath
+func hotClean(dst, a, b []float64) {
+	for i := range dst {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// --- firing cases, one per construct ---
+
+//sdpvet:hotpath
+func hotMake(n int) []float64 {
+	return make([]float64, n) // want hotalloc
+}
+
+//sdpvet:hotpath
+func hotAppend(dst []float64, v float64) []float64 {
+	return append(dst, v) // want hotalloc
+}
+
+//sdpvet:hotpath
+func hotSliceLit(n int) float64 {
+	weights := []float64{0.5, 0.25, 0.25} // want hotalloc
+	return weights[n%3]
+}
+
+//sdpvet:hotpath
+func hotMapLit(k int) string {
+	names := map[int]string{0: "primal", 1: "dual"} // want hotalloc
+	return names[k%2]
+}
+
+type block struct{ n int }
+
+//sdpvet:hotpath
+func hotPointerLit(n int) *block {
+	return &block{n: n} // want hotalloc
+}
+
+//sdpvet:hotpath
+func hotFmt(iter int) {
+	fmt.Println("iter", iter) // want hotalloc
+}
+
+//sdpvet:hotpath
+func hotBoxing(logf func(string, ...any), mu float64) {
+	logf("mu=%v", mu) // want hotalloc
+}
+
+//sdpvet:hotpath
+func hotConcat(a, b string) string {
+	return a + b // want hotalloc
+}
+
+//sdpvet:hotpath
+func hotStringConv(bs []byte) string {
+	return string(bs) // want hotalloc
+}
+
+//sdpvet:hotpath
+func hotClosure(xs []float64) float64 {
+	square := func(x float64) float64 { return x * x } // want hotalloc
+	return square(xs[0])
+}
+
+type dispatch struct{ fn func() }
+
+func (d *dispatch) step() {}
+
+//sdpvet:hotpath
+func hotMethodValue(d *dispatch) {
+	d.fn = d.step // want hotalloc
+}
+
+//sdpvet:hotpath
+func hotSpawn(done chan struct{}) {
+	go waitOn(done) // want hotalloc
+}
+
+func waitOn(ch chan struct{}) { <-ch }
+
+// A marker outside a function doc comment is itself a finding.
+// want-next hotalloc
+//sdpvet:hotpath
+
+var notAFunction int
+
+// --- waived case ---
+
+// hotWaived shows an annotated function with a reasoned waiver for a
+// one-off allocation measured outside the gate.
+//
+//sdpvet:hotpath
+func hotWaived(n int) []float64 {
+	return make([]float64, n) //sdpvet:ignore hotalloc corpus demonstration: warm-up path measured outside the gate
+}

@@ -1,0 +1,95 @@
+package sdp
+
+import "sdpvet.example/internal/trace"
+
+// --- firing cases ---
+
+// startNoFinal opens a trace and never closes it.
+func startNoFinal(rec trace.Recorder, on bool) {
+	if on {
+		rec.Record(trace.Event{Solver: "ipm", Kind: "start"}) // want tracefinal
+	}
+}
+
+// finalNotDeferred emits the final inline, so the early return and any
+// panic skip it.
+func finalNotDeferred(rec trace.Recorder, iters int) {
+	rec.Record(trace.Event{Solver: "ipm", Kind: "start"})
+	for i := 0; i < iters; i++ {
+		if i > 3 {
+			return
+		}
+	}
+	rec.Record(trace.Event{Solver: "ipm", Kind: "final"}) // want tracefinal
+}
+
+// doubleFinal emits a final both deferred and inline: consumers see two.
+func doubleFinal(rec trace.Recorder) {
+	defer rec.Record(trace.Event{Solver: "admm", Kind: "final"})
+	rec.Record(trace.Event{Solver: "admm", Kind: "start"})
+	rec.Record(trace.Event{Solver: "admm", Kind: "final"}) // want tracefinal
+}
+
+// twoDeferredFinals registers the final twice.
+func twoDeferredFinals(rec trace.Recorder) {
+	defer rec.Record(trace.Event{Solver: "admm", Kind: "final"})
+	defer rec.Record(trace.Event{Solver: "admm", Kind: "final", Status: "again"}) // want tracefinal
+	rec.Record(trace.Event{Solver: "admm", Kind: "start"})
+}
+
+// startBeforeDefer emits the start before the final is registered: a
+// panic in between would leave the trace open.
+func startBeforeDefer(rec trace.Recorder) {
+	rec.Record(trace.Event{Solver: "ipm", Kind: "start"}) // want tracefinal
+	defer rec.Record(trace.Event{Solver: "ipm", Kind: "final"})
+}
+
+// deferredFinalInLoop registers one final per iteration, and none at all
+// when the loop runs zero times.
+func deferredFinalInLoop(rec trace.Recorder, n int) {
+	for i := 0; i < n; i++ {
+		defer rec.Record(trace.Event{Solver: "ipm", Kind: "final"}) // want tracefinal
+	}
+	rec.Record(trace.Event{Solver: "ipm", Kind: "start"}) // want tracefinal
+}
+
+// --- silent cases ---
+
+// tracedRun is the canonical contract: register the deferred final
+// first, then emit the start; iter events carry no pairing obligation.
+func tracedRun(rec trace.Recorder, iters int) {
+	status := "running"
+	if rec != nil && rec.Enabled() {
+		defer func() {
+			rec.Record(trace.Event{Solver: "ipm", Kind: "final", Status: status})
+		}()
+		rec.Record(trace.Event{Solver: "ipm", Kind: "start"})
+	}
+	for i := 0; i < iters; i++ {
+		if rec != nil && rec.Enabled() {
+			rec.Record(trace.Event{Solver: "ipm", Kind: "iter", Iter: i})
+		}
+		if i == 7 {
+			status = "early"
+			return
+		}
+	}
+	status = "done"
+}
+
+// goroutineTrace scopes the contract per function literal: the goroutine
+// body pairs its own start and final.
+func goroutineTrace(rec trace.Recorder) {
+	go func() {
+		defer rec.Record(trace.Event{Solver: "worker", Kind: "final"})
+		rec.Record(trace.Event{Solver: "worker", Kind: "start"})
+	}()
+}
+
+// --- waived case ---
+
+// waivedStart documents a start whose final is emitted by the caller.
+func waivedStart(rec trace.Recorder) {
+	//sdpvet:ignore tracefinal corpus demonstration: the final is emitted by the caller
+	rec.Record(trace.Event{Solver: "ipm", Kind: "start"})
+}

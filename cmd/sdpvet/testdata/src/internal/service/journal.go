@@ -1,0 +1,14 @@
+package service
+
+import "sdpvet.example/internal/jobstore"
+
+// persist drops the journal error on the floor — internal/service is
+// inside the journalerr scope, so the discard is a finding here too.
+func persist(j *jobstore.Journal, rec []byte) {
+	j.Append(rec) // want journalerr
+}
+
+// persistChecked propagates the error to the caller as an expression.
+func persistChecked(j *jobstore.Journal, rec []byte) error {
+	return j.Append(rec)
+}

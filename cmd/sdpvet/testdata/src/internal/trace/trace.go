@@ -1,0 +1,25 @@
+// Package trace is the corpus stand-in for the telemetry layer: the
+// Event type tracefinal recognizes by name, field, and package suffix.
+package trace
+
+// Field is one key/value datum of an event.
+type Field struct {
+	Key string
+	Val float64
+}
+
+// Event is one structured solver record.
+type Event struct {
+	TS     int64
+	Solver string
+	Kind   string
+	Iter   int
+	Status string
+	Fields []Field
+}
+
+// Recorder receives solver events.
+type Recorder interface {
+	Enabled() bool
+	Record(ev Event)
+}

@@ -404,6 +404,8 @@ func DirectionMatrix(z *linalg.Dense, n int) (*linalg.Dense, float64, error) {
 // DirectionMatrixP is DirectionMatrix with the eigendecomposition and the
 // W = UUᵀ product split across the worker pool. Bitwise identical to
 // DirectionMatrix for every worker count.
+//
+//sdpvet:hotpath
 func DirectionMatrixP(z *linalg.Dense, n, workers int) (*linalg.Dense, float64, error) {
 	eg, err := linalg.NewSymEigP(z, workers)
 	if err != nil {

@@ -279,7 +279,9 @@ func (j *Journal) compactLocked(next int, old []segment) error {
 			j.logf("jobstore: remove %s: %v", seg.path, err)
 		}
 	}
-	syncDir(j.opts.Dir)
+	if err := syncDir(j.opts.Dir); err != nil {
+		j.logf("jobstore: sync dir %s: %v", j.opts.Dir, err)
+	}
 
 	if j.f != nil {
 		j.f.Close()
@@ -325,13 +327,19 @@ func snapshotRecords(st *JobState) []Record {
 	return recs
 }
 
-// syncDir fsyncs a directory so file creation/deletion is durable; errors
-// are ignored (not all filesystems support it).
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+// syncDir fsyncs a directory so file creation/deletion is durable. The
+// error is reported rather than swallowed: not all filesystems support
+// directory fsync, so callers log it and carry on — but a real EIO here
+// means the rename/remove of a rotation may not survive a crash, and that
+// must reach the operator's log.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
 	}
+	err = d.Sync()
+	d.Close()
+	return err
 }
 
 // Append stamps (when TS is zero) and durably appends one record,

@@ -99,6 +99,8 @@ func (w *CholWork) dim() int {
 // per panel [k0, k1) it factorizes the diagonal block sequentially, solves
 // the panel below it (rows independent → parallel.For), and applies the
 // symmetric rank-nb trailing update (triangular row sweep → parallel.ForTri).
+//
+//sdpvet:hotpath
 func (c *Cholesky) factor(a *Dense, workers int) error {
 	n := a.Rows
 	l := c.L
@@ -111,8 +113,8 @@ func (c *Cholesky) factor(a *Dense, workers int) error {
 		}
 	}
 	if c.panelFn == nil {
-		c.panelFn = c.panelRows
-		c.trailFn = c.trailRows
+		c.panelFn = c.panelRows //sdpvet:ignore hotalloc bound once per workspace lifetime behind the nil guard; steady-state calls allocate nothing
+		c.trailFn = c.trailRows //sdpvet:ignore hotalloc bound once per workspace lifetime behind the nil guard; steady-state calls allocate nothing
 	}
 	for k0 := 0; k0 < n; k0 += cholBlock {
 		k1 := k0 + cholBlock
@@ -160,6 +162,8 @@ func (c *Cholesky) factor(a *Dense, workers int) error {
 
 // panelRows solves rows [k1+lo, k1+hi) of the current panel against the
 // freshly factorized diagonal block.
+//
+//sdpvet:hotpath
 func (c *Cholesky) panelRows(lo, hi int) {
 	l, k0, k1 := c.L, c.k0, c.k1
 	for i := k1 + lo; i < k1+hi; i++ {
@@ -176,6 +180,8 @@ func (c *Cholesky) panelRows(lo, hi int) {
 // Columns are fused four at a time over the shared pi stream; fusing does
 // not change any element's accumulation, so the update is bitwise identical
 // for every worker count.
+//
+//sdpvet:hotpath
 func (c *Cholesky) trailRows(lo, hi int) {
 	l, k0, k1 := c.L, c.k0, c.k1
 	for r := lo; r < hi; r++ {
@@ -201,6 +207,8 @@ func (c *Cholesky) trailRows(lo, hi int) {
 // differs in rounding from dotPrefix — fine for the trailing update, where
 // every element is produced by exactly this kernel (or the dotPrefix tail)
 // independent of worker count.
+//
+//sdpvet:hotpath
 func dotPrefix4(x, y0, y1, y2, y3 []float64) (float64, float64, float64, float64) {
 	n := len(x)
 	y0 = y0[:n]
@@ -233,6 +241,8 @@ func dotPrefix4(x, y0, y1, y2, y3 []float64) (float64, float64, float64, float64
 // dotPrefix is a 4-way unrolled dot product over equal-length slices — the
 // innermost loop of the blocked factorization and the triangular solves,
 // which dominates the interior-point solver's profile.
+//
+//sdpvet:hotpath
 func dotPrefix(x, y []float64) float64 {
 	n := len(x)
 	y = y[:n]
@@ -255,6 +265,8 @@ func dotPrefix(x, y []float64) float64 {
 // multiply-adds instead of 4) is worth ~30% on the blocked kernels. Each
 // output uses exactly the accumulator pattern of dotPrefix, so results are
 // bitwise identical to two separate dotPrefix calls.
+//
+//sdpvet:hotpath
 func dotPrefix2(x, y, z []float64) (float64, float64) {
 	n := len(x)
 	y = y[:n]
@@ -298,6 +310,8 @@ func (c *Cholesky) ensureLT() {
 
 // SolveVec solves A x = b in place using the factorization (forward then
 // backward substitution). b is overwritten with the solution and returned.
+//
+//sdpvet:hotpath
 func (c *Cholesky) SolveVec(b []float64) []float64 {
 	n := c.L.Rows
 	if len(b) != n {
@@ -323,13 +337,15 @@ func (c *Cholesky) SolveVec(b []float64) []float64 {
 // and solves L y = row in place, rows split across the worker pool. Each
 // row's substitution is a fixed sequence of contiguous dots, so the result
 // is bitwise identical for every worker count.
+//
+//sdpvet:hotpath
 func (c *Cholesky) ForwardSolveRows(m *Dense, workers int) {
 	n := c.L.Rows
 	if m.Cols != n {
 		panic("linalg: Cholesky ForwardSolveRows dimension mismatch")
 	}
 	if c.fwdFn == nil {
-		c.fwdFn = c.fwdRows
+		c.fwdFn = c.fwdRows //sdpvet:ignore hotalloc bound once per workspace lifetime behind the nil guard; steady-state calls allocate nothing
 	}
 	c.rsM = m
 	if workers > 1 && m.Rows*n*n >= minParFlops {
@@ -343,6 +359,8 @@ func (c *Cholesky) ForwardSolveRows(m *Dense, workers int) {
 // SolveRows applies A⁻¹ to every row of m in place (forward then backward
 // substitution per row, both over contiguous storage), rows split across
 // the worker pool. Bitwise identical for every worker count.
+//
+//sdpvet:hotpath
 func (c *Cholesky) SolveRows(m *Dense, workers int) {
 	n := c.L.Rows
 	if m.Cols != n {
@@ -350,7 +368,7 @@ func (c *Cholesky) SolveRows(m *Dense, workers int) {
 	}
 	c.ensureLT()
 	if c.bothFn == nil {
-		c.bothFn = c.bothRows
+		c.bothFn = c.bothRows //sdpvet:ignore hotalloc bound once per workspace lifetime behind the nil guard; steady-state calls allocate nothing
 	}
 	c.rsM = m
 	if workers > 1 && m.Rows*n*n >= minParFlops {
@@ -366,6 +384,7 @@ func (c *Cholesky) SolveRows(m *Dense, workers int) {
 // so pairing does not perturb a single bit of the result — regardless of
 // where a chunk boundary makes a pair start.
 
+//sdpvet:hotpath
 func (c *Cholesky) fwdRows(lo, hi int) {
 	l, m := c.L, c.rsM
 	n := l.Rows
@@ -388,6 +407,7 @@ func (c *Cholesky) fwdRows(lo, hi int) {
 	}
 }
 
+//sdpvet:hotpath
 func (c *Cholesky) bothRows(lo, hi int) {
 	l, lt, m := c.L, c.lt, c.rsM
 	n := l.Rows

@@ -143,6 +143,8 @@ func MatMul(a, b *Dense) *Dense {
 }
 
 // MatMulInto computes dst = a*b. dst must not alias a or b.
+//
+//sdpvet:hotpath
 func MatMulInto(dst, a, b *Dense) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("linalg: MatMulInto dimension mismatch")
@@ -175,6 +177,8 @@ func mulTileCols(k int) int {
 // (extra passes over a's rows and weaker bounds-check elimination), so the
 // cache-blocked variants live only where they pay: mulABtRows and the
 // blocked Cholesky.
+//
+//sdpvet:hotpath
 func matMulRows(dst, a, b *Dense, lo, hi int) {
 	k, p := a.Cols, b.Cols
 	for i := lo; i < hi; i++ {

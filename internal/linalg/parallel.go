@@ -92,6 +92,8 @@ func (w *MatMulWork) bind() {
 
 // MatMulInto computes dst = a·b through the recycled dispatch state.
 // Bitwise identical to MatMulIntoP for every worker count.
+//
+//sdpvet:hotpath
 func (w *MatMulWork) MatMulInto(dst, a, b *Dense, workers int) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("linalg: MatMulInto dimension mismatch")
@@ -108,6 +110,8 @@ func (w *MatMulWork) MatMulInto(dst, a, b *Dense, workers int) {
 
 // MulABtInto computes dst = a·bᵀ through the recycled dispatch state.
 // Bitwise identical to MulABtIntoP for every worker count.
+//
+//sdpvet:hotpath
 func (w *MatMulWork) MulABtInto(dst, a, b *Dense, workers int) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic("linalg: MulABtInto dimension mismatch")
@@ -126,6 +130,8 @@ func (w *MatMulWork) MulABtInto(dst, a, b *Dense, workers int) {
 // so the active b panel stays L1-resident across consecutive rows of a.
 // Each output element is still one sequential dot product, so the tiled
 // kernel is bitwise identical to the untiled one.
+//
+//sdpvet:hotpath
 func mulABtRows(dst, a, b *Dense, lo, hi int) {
 	tile := mulTileCols(a.Cols) // rows of b per panel: same cache budget
 	for j0 := 0; j0 < b.Rows; j0 += tile {

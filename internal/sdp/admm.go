@@ -205,6 +205,8 @@ func (st *admmState) release() {
 // iterate runs one ADMM iteration and reports whether the loop should stop
 // (convergence, numerical failure); it updates sol's status and residual
 // fields as the original inline loop did.
+//
+//sdpvet:hotpath
 func (st *admmState) iterate(sol *Solution, iter int, tracing bool) bool {
 	p, opt := st.p, st.opt
 	mu := st.mu
@@ -292,12 +294,14 @@ func (st *admmState) iterate(sol *Solution, iter int, tracing bool) bool {
 	relG := math.Abs(pobj-dobj) / (1 + math.Abs(pobj) + math.Abs(dobj))
 
 	if opt.Logf != nil && iter%50 == 0 {
+		//sdpvet:ignore hotalloc logging-only: Logf is nil in production and in the alloc-gated benchmarks
 		opt.Logf("admm iter %4d: pobj=%.6e dobj=%.6e pres=%.2e dres=%.2e mu=%.2e",
 			iter, pobj, dobj, pres, dres, mu)
 	}
 	if tracing {
 		opt.Trace.Record(trace.Event{
 			Solver: "admm", Kind: "iter", Iter: iter,
+			//sdpvet:ignore hotalloc tracing-only: guarded by Enabled(), disabled in the alloc-gated benchmarks
 			Fields: []trace.Field{
 				{Key: "pobj", Val: pobj},
 				{Key: "dobj", Val: dobj},

@@ -556,6 +556,8 @@ func (st *ipmState) nearOptimal(relP, relD, relG float64) bool {
 
 // residuals refreshes Ax, rp = b − Ax, Rd = C − S − Aᵀy, and the LP dual
 // residual at the current iterate.
+//
+//sdpvet:hotpath
 func (st *ipmState) residuals() {
 	p := st.p
 	p.applyA(st.x, st.xlp, st.ax)
@@ -578,6 +580,8 @@ func (st *ipmState) residuals() {
 // factorIterates refactors every X and S block into the recycled workspaces
 // and refreshes S⁻¹ in place; it reports false when a block has lost positive
 // definiteness.
+//
+//sdpvet:hotpath
 func (st *ipmState) factorIterates() bool {
 	for bidx := range st.x {
 		c, err := st.xcholW[bidx].Factor(st.x[bidx], st.workers)
@@ -598,6 +602,8 @@ func (st *ipmState) factorIterates() bool {
 
 // prepXrdsinv refreshes the per-block X Rd S⁻¹ product cache shared by the
 // predictor and corrector right-hand sides.
+//
+//sdpvet:hotpath
 func (st *ipmState) prepXrdsinv() {
 	for bidx := range st.x {
 		st.mm.MatMulInto(st.tmp1[bidx], st.x[bidx], st.rd[bidx], st.workers)
@@ -607,6 +613,8 @@ func (st *ipmState) prepXrdsinv() {
 
 // buildCorrector fills the Mehrotra corrector terms ΔX_aff·ΔS_aff (and the
 // LP analogue) from the affine direction.
+//
+//sdpvet:hotpath
 func (st *ipmState) buildCorrector(aff *direction) {
 	for bidx := range st.corr {
 		st.mm.MatMulInto(st.corr[bidx], aff.dx[bidx], aff.ds[bidx], st.workers)
@@ -630,6 +638,7 @@ func (st *ipmState) fill(sol *Solution, pobj, dobj, relP, relD, relG float64) {
 	sol.Gap = relG
 }
 
+//sdpvet:hotpath
 func (st *ipmState) innerXS() float64 {
 	g := linalg.Dot(st.xlp, st.slp)
 	for bidx := range st.x {
@@ -640,6 +649,8 @@ func (st *ipmState) innerXS() float64 {
 
 // innerXSAfter evaluates ⟨X + αpΔX, S + αdΔS⟩ by bilinear expansion — four
 // inner products per block instead of two cloned-and-updated matrices.
+//
+//sdpvet:hotpath
 func (st *ipmState) innerXSAfter(d *direction, ap, ad float64) float64 {
 	g := 0.0
 	for bidx := range st.x {
@@ -654,6 +665,7 @@ func (st *ipmState) innerXSAfter(d *direction, ap, ad float64) float64 {
 	return g
 }
 
+//sdpvet:hotpath
 func (st *ipmState) dualResNorm() float64 {
 	s := 0.0
 	for bidx := range st.rd {
@@ -674,6 +686,8 @@ func (st *ipmState) dualResNorm() float64 {
 // remains in schur, and the second return value reports how many shifted
 // retries were needed (0 on a clean factorization) — surfaced per iteration
 // by the trace layer.
+//
+//sdpvet:hotpath
 func factorSchur(w *linalg.CholWork, schur *linalg.Dense, workers int) (*linalg.Cholesky, int, error) {
 	m := schur.Rows
 	scale := 1e-13
@@ -706,12 +720,16 @@ func factorSchur(w *linalg.CholWork, schur *linalg.Dense, workers int) (*linalg.
 // triangularly (parallel.ForTri); each element (and its mirror) is written by
 // exactly one chunk and computed in the sequential order, so the matrix is
 // bitwise identical for every worker count.
+//
+//sdpvet:hotpath
 func (st *ipmState) formSchur() *linalg.Dense {
 	parallel.ForTri(st.workers, st.m, 36, st.schurFn)
 	return st.schur
 }
 
 // schurRows computes rows [klo, khi) of the Schur complement.
+//
+//sdpvet:hotpath
 func (st *ipmState) schurRows(klo, khi int) {
 	schur := st.schur
 	for k := klo; k < khi; k++ {
@@ -749,6 +767,8 @@ func (st *ipmState) schurRows(klo, khi int) {
 // solveDirection computes the search direction for centering parameter σ,
 // including the Mehrotra corrector terms (st.corr/st.corrLP, prepared by
 // buildCorrector) when useCorr is set.
+//
+//sdpvet:hotpath
 func (st *ipmState) solveDirection(sfac *linalg.Cholesky, d *direction, sigma, mu float64, useCorr bool) {
 	p := st.p
 	if useCorr {
@@ -802,6 +822,8 @@ func (st *ipmState) solveDirection(sfac *linalg.Cholesky, d *direction, sigma, m
 
 // rhsRows fills st.rhs[klo:khi] for the current direction solve, reading the
 // dispatch fields dSigmaMu/dUseCorr set by solveDirection.
+//
+//sdpvet:hotpath
 func (st *ipmState) rhsRows(klo, khi int) {
 	p := st.p
 	sigmaMu, useCorr := st.dSigmaMu, st.dUseCorr
@@ -843,6 +865,8 @@ func (st *ipmState) rhsRows(klo, khi int) {
 // row-sweeps over contiguous storage (ΔP is symmetric, so its rows are its
 // columns), and the eigendecomposition reuses the block's workspace; every
 // step is bitwise deterministic across worker counts.
+//
+//sdpvet:hotpath
 func (st *ipmState) maxStepPSD(chol *linalg.Cholesky, dp *linalg.Dense, bidx int) float64 {
 	m1, m2 := st.tmp1[bidx], st.tmp2[bidx]
 	// m1 = Wᵀ where W = L⁻¹ ΔP: row j of ΔP is column j, so the row solve
@@ -865,6 +889,7 @@ func (st *ipmState) maxStepPSD(chol *linalg.Cholesky, dp *linalg.Dense, bidx int
 	return -1 / lmin
 }
 
+//sdpvet:hotpath
 func (st *ipmState) maxStepPrimal(d *direction) float64 {
 	a := math.Inf(1)
 	for bidx := range st.x {
@@ -882,6 +907,7 @@ func (st *ipmState) maxStepPrimal(d *direction) float64 {
 	return math.Min(1, st.opt.Gamma*a)
 }
 
+//sdpvet:hotpath
 func (st *ipmState) maxStepDual(d *direction) float64 {
 	a := math.Inf(1)
 	for bidx := range st.s {
@@ -899,6 +925,7 @@ func (st *ipmState) maxStepDual(d *direction) float64 {
 	return math.Min(1, st.opt.Gamma*a)
 }
 
+//sdpvet:hotpath
 func (st *ipmState) safeguardPrimal(d *direction, a float64) float64 {
 	for try := 0; try < 30; try++ {
 		ok := true
@@ -920,6 +947,7 @@ func (st *ipmState) safeguardPrimal(d *direction, a float64) float64 {
 	return 0
 }
 
+//sdpvet:hotpath
 func (st *ipmState) safeguardDual(d *direction, a float64) float64 {
 	for try := 0; try < 30; try++ {
 		ok := true

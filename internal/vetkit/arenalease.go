@@ -1,0 +1,440 @@
+package vetkit
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ArenaLease enforces the linalg.Arena ownership contract on every
+// function that checks scratch out: a checkout bound to a local variable
+// must be released (Put/PutVec/PutChol/PutEig/PutCG) on every path to the
+// function exit — a deferred release counts, since defers run on panic
+// paths too — and the arena-owned value must not outlive its lease by
+// escaping the function (returned, sent on a channel, stored in a
+// package-level variable, or handed to a goroutine).
+//
+// The analysis is intraprocedural and ownership-transfer-aware: a
+// checkout assigned directly into a field or element (`st.rd[i] =
+// a.Mat(d, d)`) transfers the lease to the containing struct, whose
+// release discipline (typically a deferred release() method) is its own
+// function's business. Likewise, assigning a tracked local into a field
+// or another local moves responsibility to the new owner and ends
+// tracking. What cannot be waived away syntactically: a checkout whose
+// value is still lease-bound when some path reaches the exit.
+var ArenaLease = &Analyzer{
+	Name: "arenalease",
+	Doc:  "arena checkouts must be released on every path and must not escape their lease",
+	Run:  runArenaLease,
+}
+
+// linalgPkgSuffix identifies the linear-algebra package by path suffix, so
+// the analyzer fires for the real module and for test corpora alike.
+const linalgPkgSuffix = "internal/linalg"
+
+// arenaCheckouts maps each Arena checkout method to its release partner.
+var arenaCheckouts = map[string]string{
+	"Mat":  "Put",
+	"Vec":  "PutVec",
+	"Chol": "PutChol",
+	"Eig":  "PutEig",
+	"CG":   "PutCG",
+}
+
+var arenaReleases = map[string]bool{
+	"Put": true, "PutVec": true, "PutChol": true, "PutEig": true, "PutCG": true,
+}
+
+// arenaMethod resolves call to a method on linalg.Arena and returns its
+// name, or "" when the call is something else.
+func arenaMethod(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Name() != "Arena" || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), linalgPkgSuffix) {
+		return ""
+	}
+	return fn.Name()
+}
+
+func runArenaLease(cfg *Config, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, leaseScopes(pkg, fd.Body)...)
+		}
+	}
+	return diags
+}
+
+// leaseScopes analyzes body as one function scope, then each function
+// literal inside it as its own scope (a closure has its own exit paths).
+func leaseScopes(pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	diags := leaseScope(pkg, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			diags = append(diags, leaseScopes(pkg, lit.Body)...)
+			return false
+		}
+		return true
+	})
+	return diags
+}
+
+// lease is one tracked arena checkout: the call, the local it was bound
+// to, and the CFG node where the binding happens.
+type lease struct {
+	call   *ast.CallExpr
+	method string
+	obj    types.Object
+	stmt   ast.Node
+}
+
+func leaseScope(pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	info := pkg.Info
+
+	// Cheap pre-pass: no checkout in this scope's own statements, no work.
+	var calls []*ast.CallExpr
+	inspectOwn(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if m := arenaMethod(info, call); arenaCheckouts[m] != "" {
+				calls = append(calls, call)
+			}
+		}
+		return true
+	})
+	if len(calls) == 0 {
+		return nil
+	}
+
+	cfg := BuildCFG(body, info)
+	parents := buildParents(body)
+	var diags []Diagnostic
+	var tracked []lease
+
+	for _, call := range calls {
+		method := arenaMethod(info, call)
+		stmt := cfgNodeFor(cfg, parents, call)
+		switch parent := parents[skipParens(parents, call)].(type) {
+		case *ast.ExprStmt:
+			diags = append(diags, pkg.diag(call.Pos(), "arenalease",
+				"arena checkout "+method+" discarded: the value can never be released",
+				"bind the result and release it with "+arenaCheckouts[method]))
+		case *ast.ReturnStmt:
+			diags = append(diags, pkg.diag(call.Pos(), "arenalease",
+				"arena checkout "+method+" returned: the value escapes its lease",
+				"the caller cannot release what it does not know is arena-owned"))
+		case *ast.AssignStmt:
+			if obj, d := leaseBinding(pkg, info, parent, call, method); d != nil {
+				diags = append(diags, *d)
+			} else if obj != nil && stmt != nil {
+				tracked = append(tracked, lease{call: call, method: method, obj: obj, stmt: stmt})
+			}
+		case *ast.ValueSpec:
+			if obj := specBinding(info, parent, call); obj != nil && stmt != nil {
+				tracked = append(tracked, lease{call: call, method: method, obj: obj, stmt: stmt})
+			}
+		default:
+			// Checkout nested in a larger expression (argument to a call,
+			// struct literal field): ownership moves somewhere this
+			// intraprocedural analysis cannot follow. Leave it alone.
+		}
+	}
+
+	loopDeferReported := map[ast.Node]bool{}
+	for _, l := range tracked {
+		diags = append(diags, leaseEscapes(pkg, info, body, l)...)
+		classify := func(n ast.Node) NodeClass {
+			return classifyLeaseNode(pkg, info, parents, body, l, n, loopDeferReported, &diags)
+		}
+		if cfg.PathAvoiding(l.stmt, classify) {
+			diags = append(diags, pkg.diag(l.call.Pos(), "arenalease",
+				"arena checkout "+l.method+" bound to "+l.obj.Name()+" is not released on every path",
+				"release with "+arenaCheckouts[l.method]+" on all exits, or defer the release"))
+		}
+	}
+	return diags
+}
+
+// inspectOwn walks the scope's own nodes, skipping nested function
+// literals (they are separate scopes with separate exit paths).
+func inspectOwn(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n == nil {
+			return true
+		}
+		return fn(n)
+	})
+}
+
+// skipParens climbs past ParenExprs so the binding context of a
+// parenthesized checkout is still seen.
+func skipParens(parents map[ast.Node]ast.Node, n ast.Node) ast.Node {
+	for {
+		p, ok := parents[n].(*ast.ParenExpr)
+		if !ok {
+			return n
+		}
+		n = p
+	}
+}
+
+// leaseBinding classifies the LHS a checkout is assigned to: a plain
+// local yields a tracked object, the blank identifier is an immediate
+// leak, and a field/index store is an ownership transfer (untracked).
+func leaseBinding(pkg *Package, info *types.Info, as *ast.AssignStmt, call *ast.CallExpr, method string) (types.Object, *Diagnostic) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return nil, nil
+	}
+	for i, r := range as.Rhs {
+		if ast.Unparen(r) != call {
+			continue
+		}
+		switch l := ast.Unparen(as.Lhs[i]).(type) {
+		case *ast.Ident:
+			if l.Name == "_" {
+				d := pkg.diag(call.Pos(), "arenalease",
+					"arena checkout "+method+" assigned to _: the value can never be released",
+					"bind the result and release it with "+arenaCheckouts[method])
+				return nil, &d
+			}
+			obj := info.Defs[l]
+			if obj == nil {
+				obj = info.Uses[l]
+			}
+			if obj != nil && !isPkgLevel(obj) {
+				return obj, nil
+			}
+			if obj != nil {
+				// Checkout stored straight into a package-level variable:
+				// it outlives any lease this function could hold.
+				d := pkg.diag(call.Pos(), "arenalease",
+					"arena checkout "+method+" stored in package-level variable "+l.Name,
+					"arena-owned values must not outlive the function holding the lease")
+				return nil, &d
+			}
+		default:
+			// Field or index store: ownership transferred to the container.
+		}
+	}
+	return nil, nil
+}
+
+// specBinding handles `var v = a.Mat(...)` declarations.
+func specBinding(info *types.Info, spec *ast.ValueSpec, call *ast.CallExpr) types.Object {
+	if len(spec.Names) != len(spec.Values) {
+		return nil
+	}
+	for i, v := range spec.Values {
+		if ast.Unparen(v) != call {
+			continue
+		}
+		name := spec.Names[i]
+		if name.Name == "_" {
+			return nil
+		}
+		if obj := info.Defs[name]; obj != nil && !isPkgLevel(obj) {
+			return obj
+		}
+	}
+	return nil
+}
+
+// leaseEscapes reports use sites where the tracked value leaves the
+// function still lease-bound: returns, channel sends, stores whose root
+// is a package-level variable, and goroutine captures.
+func leaseEscapes(pkg *Package, info *types.Info, body *ast.BlockStmt, l lease) []Diagnostic {
+	var diags []Diagnostic
+	inspectOwn(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if usesObjValue(info, r, l.obj) {
+					diags = append(diags, pkg.diag(n.Pos(), "arenalease",
+						"arena-owned "+l.obj.Name()+" returned: the value escapes its lease",
+						"copy the data out or transfer ownership explicitly before returning"))
+					break
+				}
+			}
+		case *ast.SendStmt:
+			if usesObjValue(info, n.Value, l.obj) {
+				diags = append(diags, pkg.diag(n.Pos(), "arenalease",
+					"arena-owned "+l.obj.Name()+" sent on a channel: the value escapes its lease",
+					"the receiver cannot release what it does not know is arena-owned"))
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				break
+			}
+			for i, r := range n.Rhs {
+				if id, ok := ast.Unparen(r).(*ast.Ident); ok && info.Uses[id] == l.obj {
+					if root := rootIdent(n.Lhs[i]); root != nil {
+						if o := info.Uses[root]; o != nil && isPkgLevel(o) {
+							diags = append(diags, pkg.diag(n.Pos(), "arenalease",
+								"arena-owned "+l.obj.Name()+" stored under package-level variable "+root.Name,
+								"arena-owned values must not outlive the function holding the lease"))
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	// Goroutine captures: any use of the value inside a go statement's
+	// subtree (argument or closure body) hands the lease to a goroutine
+	// whose lifetime the function cannot bound.
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if usesObjValue(info, g.Call, l.obj) {
+			diags = append(diags, pkg.diag(g.Pos(), "arenalease",
+				"arena-owned "+l.obj.Name()+" captured by a goroutine: the value escapes its lease",
+				"release before spawning, or give the goroutine its own checkout"))
+		}
+		return false
+	})
+	return diags
+}
+
+// rootIdent returns the base identifier of an lvalue chain
+// (pkgvar.f[i].g -> pkgvar), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// classifyLeaseNode drives the leak search for one lease. Discharges
+// (release calls, deferred releases, ownership transfers, separately
+// diagnosed escapes) satisfy; a reassignment of the local before any
+// discharge loses the old value and violates.
+func classifyLeaseNode(pkg *Package, info *types.Info, parents map[ast.Node]ast.Node, body *ast.BlockStmt, l lease, n ast.Node, loopDeferReported map[ast.Node]bool, diags *[]Diagnostic) NodeClass {
+	if d, ok := n.(*ast.DeferStmt); ok {
+		if callReleases(info, d.Call, l.obj) {
+			if insideLoop(parents, d, body) && !loopDeferReported[d] {
+				loopDeferReported[d] = true
+				*diags = append(*diags, pkg.diag(d.Pos(), "arenalease",
+					"deferred release of "+l.obj.Name()+" inside a loop runs at function exit, not per iteration",
+					"release directly at the end of the loop body, or hoist the checkout out of the loop"))
+			}
+			return ClassSatisfy
+		}
+		return ClassNone
+	}
+	if releasesOutsideFuncLit(info, n, l.obj) {
+		return ClassSatisfy
+	}
+	switch n := n.(type) {
+	case *ast.ReturnStmt, *ast.SendStmt, *ast.GoStmt:
+		// Escapes end tracking here; leaseEscapes already diagnosed them.
+		if usesObjValue(info, n, l.obj) {
+			return ClassSatisfy
+		}
+	case *ast.AssignStmt:
+		// Ownership transfer: the whole value assigned to a new home
+		// (field, element, or another local) ends this lease's tracking.
+		for _, r := range n.Rhs {
+			if id, ok := ast.Unparen(r).(*ast.Ident); ok && info.Uses[id] == l.obj {
+				return ClassSatisfy
+			}
+		}
+		if assignsObj(info, n, l.obj) {
+			// The local is overwritten while still holding the lease: the
+			// old value can never be released.
+			return ClassViolate
+		}
+	}
+	return ClassNone
+}
+
+// callReleases reports whether the (possibly closure-wrapped) deferred
+// call releases obj: `defer a.Put(v)` directly, or `defer func() { ...
+// a.Put(v) ... }()` anywhere inside the closure.
+func callReleases(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	if releaseCall(info, call, obj) {
+		return true
+	}
+	lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if c, ok := n.(*ast.CallExpr); ok && releaseCall(info, c, obj) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// releasesOutsideFuncLit reports whether n contains a direct (non-closure)
+// release of obj.
+func releasesOutsideFuncLit(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(nd ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := nd.(*ast.FuncLit); ok {
+			return false
+		}
+		if c, ok := nd.(*ast.CallExpr); ok && releaseCall(info, c, obj) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// releaseCall reports whether call is Arena.Put*(obj).
+func releaseCall(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	if !arenaReleases[arenaMethod(info, call)] || len(call.Args) != 1 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}

@@ -1,0 +1,241 @@
+package vetkit
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc rejects allocating constructs in functions annotated
+// //sdpvet:hotpath — the per-iteration kernels whose zero-allocation
+// contract the benchdiff alloc gate enforces two CI stages later. The
+// analyzer makes that contract visible at the line that breaks it.
+//
+// Flagged constructs are purely syntactic: make and new, append (its cap
+// discipline cannot be proven here), map/slice composite literals and
+// &composite literals (heap-bound), fmt.* calls, arguments boxed into a
+// variadic ...interface{} parameter, string concatenation and
+// []byte/[]rune->string conversions, function literals (closure
+// allocation), bound-method values, and go statements. Calls into other
+// functions are deliberately NOT traced — cross-call allocation is the
+// alloc-gate benchmark's job; this analyzer keeps the annotated frame
+// itself clean, so the two gates stay complementary rather than
+// redundant.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "functions annotated //sdpvet:hotpath must not contain allocating constructs",
+	Run:  runHotAlloc,
+}
+
+// hotpathMarker annotates a function declaration (in its doc comment) as
+// an allocation-free hot path.
+const hotpathMarker = "//sdpvet:hotpath"
+
+func runHotAlloc(cfg *Config, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		annotated := map[*ast.CommentGroup]bool{}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !hasHotpathMarker(fd.Doc) {
+				continue
+			}
+			annotated[fd.Doc] = true
+			if fd.Body == nil {
+				diags = append(diags, pkg.diag(fd.Pos(), "hotalloc",
+					"//sdpvet:hotpath on a function with no body",
+					"the annotation only applies to functions defined here"))
+				continue
+			}
+			diags = append(diags, hotAllocBody(pkg, fd)...)
+		}
+		// A marker not attached to a function declaration silently checks
+		// nothing; that is always a mistake.
+		for _, cg := range f.Comments {
+			if annotated[cg] {
+				continue
+			}
+			for _, c := range cg.List {
+				if isHotpathMarker(c.Text) {
+					diags = append(diags, pkg.diag(c.Pos(), "hotalloc",
+						"stray //sdpvet:hotpath: not attached to a function declaration",
+						"place the marker in the doc comment of the function it annotates"))
+				}
+			}
+		}
+	}
+	return diags
+}
+
+func hasHotpathMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if isHotpathMarker(c.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+func isHotpathMarker(text string) bool {
+	rest, ok := strings.CutPrefix(text, hotpathMarker)
+	return ok && strings.TrimSpace(rest) == ""
+}
+
+// hotAllocBody walks the annotated function and flags every allocating
+// construct.
+func hotAllocBody(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	info := pkg.Info
+	parents := buildParents(fd)
+	var diags []Diagnostic
+	flag := func(n ast.Node, what, hint string) {
+		diags = append(diags, pkg.diag(n.Pos(), "hotalloc",
+			what+" in //sdpvet:hotpath function "+fd.Name.Name, hint))
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			flag(n, "function literal", "a closure allocates; hoist it or bind it once outside the hot path")
+			return false // the closure body is not on the hot path's own frame
+		case *ast.GoStmt:
+			flag(n, "go statement", "spawning a goroutine allocates; hot paths must not spawn")
+			return false
+		case *ast.CallExpr:
+			hotAllocCall(info, n, flag)
+			return true
+		case *ast.CompositeLit:
+			switch typeKindOf(info, n) {
+			case "map":
+				flag(n, "map literal", "allocates a map; hoist it into reused state")
+			case "slice":
+				flag(n, "slice literal", "allocates backing storage; hoist it into reused state")
+			}
+			return true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					flag(n, "&composite literal", "heap-allocates the value; reuse a preallocated one")
+				}
+			}
+			return true
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" && isStringType(info.TypeOf(n)) {
+				flag(n, "string concatenation", "allocates the result; hot paths must not build strings")
+			}
+			return true
+		case *ast.SelectorExpr:
+			// A method used as a value allocates the bound closure. A
+			// method being called does not.
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+				if call, ok := parents[n].(*ast.CallExpr); !ok || ast.Unparen(call.Fun) != ast.Expr(n) {
+					flag(n, "method value", "binding a method allocates a closure; bind it once outside the hot path")
+				}
+			}
+			return true
+		}
+		return true
+	})
+	return diags
+}
+
+// hotAllocCall flags allocating calls: builtins make/new/append, fmt.*,
+// string conversions from byte/rune slices, and interface boxing through
+// a variadic ...interface{} parameter.
+func hotAllocCall(info *types.Info, call *ast.CallExpr, flag func(ast.Node, string, string)) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				flag(call, "make", "allocates; check scratch out of reused state instead")
+			case "new":
+				flag(call, "new", "allocates; reuse a preallocated value")
+			case "append":
+				flag(call, "append", "may grow the backing array; write into preallocated storage")
+			}
+			return
+		}
+		// Conversion to string: string(b) for []byte/[]rune copies.
+		if tv, ok := info.Types[fun]; ok && tv.IsType() && isStringType(tv.Type) && len(call.Args) == 1 {
+			if isByteOrRuneSlice(info.TypeOf(call.Args[0])) {
+				flag(call, "string conversion", "string([]byte) and string([]rune) copy; keep the slice")
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			if p := fn.Pkg(); p != nil && p.Path() == "fmt" {
+				flag(call, "fmt."+fn.Name()+" call", "fmt boxes its arguments and allocates; hot paths must not format")
+				return
+			}
+		}
+	}
+	// Interface boxing through a variadic parameter: f(x, y) where the
+	// trailing parameter is ...interface{} boxes every non-interface
+	// argument. A spread call f(args...) passes an existing slice and is
+	// the caller's (pre-counted) allocation.
+	if call.Ellipsis.IsValid() {
+		return
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || !sig.Variadic() {
+		return
+	}
+	last := sig.Params().At(sig.Params().Len() - 1)
+	slice, ok := last.Type().(*types.Slice)
+	if !ok {
+		return
+	}
+	if _, ok := slice.Elem().Underlying().(*types.Interface); !ok {
+		return
+	}
+	fixed := sig.Params().Len() - 1
+	for i, a := range call.Args {
+		if i < fixed {
+			continue
+		}
+		if _, isIface := info.TypeOf(a).Underlying().(*types.Interface); !isIface {
+			flag(call, "variadic interface call", "each argument is boxed into an interface; hot paths must not take this call")
+			return
+		}
+	}
+}
+
+// typeKindOf classifies a composite literal's type as "map", "slice", or
+// "" (arrays and struct values need no heap allocation by themselves).
+func typeKindOf(info *types.Info, lit *ast.CompositeLit) string {
+	t := info.TypeOf(lit)
+	if t == nil {
+		return ""
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		return "map"
+	case *types.Slice:
+		return "slice"
+	}
+	return ""
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

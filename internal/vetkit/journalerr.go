@@ -1,0 +1,236 @@
+package vetkit
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// JournalErr enforces write-error discipline in the durability layer: in
+// the journal packages (internal/jobstore and internal/service), the
+// error result of every jobstore call — and, inside jobstore itself, of
+// the underlying file primitives (Sync, Flush, Rename, Remove) — must
+// flow into a handler on every path. Discarding one (`_ =`, a bare
+// expression statement, a deferred call whose result vanishes) or
+// assigning it to a variable some path never reads silently converts a
+// durability failure into data loss; the PR 6 degrade-to-memory design
+// requires every such error to reach a log or a metric.
+//
+// "Flows into a handler" means the assigned error variable is READ —
+// compared against nil, returned, wrapped, passed to a function — before
+// the function exits or the variable is overwritten. The read is found by
+// the CFG path search, so an `if err != nil` on one branch does not
+// excuse a sibling branch that exits without looking.
+var JournalErr = &Analyzer{
+	Name: "journalerr",
+	Doc:  "journal and WAL write errors must flow into a handler on every path",
+	Run:  runJournalErr,
+}
+
+// jobstorePkgSuffix identifies the durability package by path suffix, so
+// the analyzer fires for the real module and for test corpora alike.
+const jobstorePkgSuffix = "internal/jobstore"
+
+// journalFilePrimitives are the non-jobstore calls whose errors carry
+// durability inside jobstore: fsync, buffered flush, and the rename/
+// remove pair of journal rotation. (os.File).Close is deliberately
+// absent: `defer f.Close()` on a read path is idiomatic and harmless.
+var journalFilePrimitives = map[string]bool{
+	"(*os.File).Sync":       true,
+	"(*bufio.Writer).Flush": true,
+	"os.Rename":             true,
+	"os.Remove":             true,
+}
+
+func runJournalErr(cfg *Config, pkg *Package) []Diagnostic {
+	if !inList(relPath(pkg), cfg.JournalPkgs) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, journalScopes(pkg, fd.Body)...)
+		}
+	}
+	return diags
+}
+
+func journalScopes(pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	diags := journalScope(pkg, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			diags = append(diags, journalScopes(pkg, lit.Body)...)
+			return false
+		}
+		return true
+	})
+	return diags
+}
+
+// journalCall reports whether call is one whose error result this
+// analyzer tracks, returning a short label for diagnostics.
+func journalCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	var fn *types.Func
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = info.Uses[f].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = info.Uses[f.Sel].(*types.Func)
+	}
+	if fn == nil {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return "", false
+	}
+	if !isErrorType(sig.Results().At(sig.Results().Len() - 1).Type()) {
+		return "", false
+	}
+	if fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), jobstorePkgSuffix) {
+		return callLabel(fn), true
+	}
+	if journalFilePrimitives[fn.FullName()] {
+		return callLabel(fn), true
+	}
+	return "", false
+}
+
+func callLabel(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func journalScope(pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	info := pkg.Info
+
+	type site struct {
+		call  *ast.CallExpr
+		label string
+	}
+	var sites []site
+	inspectOwn(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if label, ok := journalCall(info, call); ok {
+				sites = append(sites, site{call: call, label: label})
+			}
+		}
+		return true
+	})
+	if len(sites) == 0 {
+		return nil
+	}
+
+	cfg := BuildCFG(body, info)
+	parents := buildParents(body)
+	var diags []Diagnostic
+
+	for _, s := range sites {
+		switch parent := parents[skipParens(parents, s.call)].(type) {
+		case *ast.ExprStmt:
+			diags = append(diags, pkg.diag(s.call.Pos(), "journalerr",
+				"error from "+s.label+" discarded",
+				"a dropped write error is silent data loss; check it or route it to the degrade handler"))
+		case *ast.DeferStmt:
+			if parent.Call == s.call {
+				diags = append(diags, pkg.diag(s.call.Pos(), "journalerr",
+					"error from deferred "+s.label+" discarded",
+					"defer a closure that checks the error instead"))
+			}
+		case *ast.GoStmt:
+			if parent.Call == s.call {
+				diags = append(diags, pkg.diag(s.call.Pos(), "journalerr",
+					"error from "+s.label+" discarded by go statement",
+					"run it in a closure that checks the error"))
+			}
+		case *ast.AssignStmt:
+			diags = append(diags, journalAssign(pkg, cfg, parents, parent, s.call, s.label)...)
+		default:
+			// Error flows onward as an expression: `return j.Append(x)`,
+			// `check(j.Append(x))`, `err != nil` — a handler by definition.
+		}
+	}
+	return diags
+}
+
+// journalAssign checks what the error result of a tracked call is
+// assigned to: the blank identifier is a discard; a local must be read on
+// every path before exit or overwrite.
+func journalAssign(pkg *Package, cfg *CFG, parents map[ast.Node]ast.Node, as *ast.AssignStmt, call *ast.CallExpr, label string) []Diagnostic {
+	info := pkg.Info
+	errLHS := errResultLHS(as, call)
+	if errLHS == nil {
+		return nil
+	}
+	id, ok := ast.Unparen(errLHS).(*ast.Ident)
+	if !ok {
+		// Error stored into a field/element: latched-error pattern (the
+		// JSONL recorder does this); its consumption is cross-function.
+		return nil
+	}
+	if id.Name == "_" {
+		return []Diagnostic{pkg.diag(call.Pos(), "journalerr",
+			"error from "+label+" assigned to _",
+			"a dropped write error is silent data loss; check it or route it to the degrade handler")}
+	}
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	if obj == nil {
+		return nil
+	}
+	stmt := cfgNodeFor(cfg, parents, call)
+	if stmt == nil {
+		return nil
+	}
+	classify := func(n ast.Node) NodeClass {
+		if usesObjValue(info, n, obj) {
+			return ClassSatisfy
+		}
+		if assignsObj(info, n, obj) {
+			return ClassViolate
+		}
+		return ClassNone
+	}
+	if cfg.PathAvoiding(stmt, classify) {
+		return []Diagnostic{pkg.diag(call.Pos(), "journalerr",
+			"error from "+label+" assigned to "+id.Name+" but not handled on every path",
+			"every path must read the error before exit or overwrite")}
+	}
+	return nil
+}
+
+// errResultLHS returns the LHS expression receiving the error result of
+// call within as, or nil.
+func errResultLHS(as *ast.AssignStmt, call *ast.CallExpr) ast.Expr {
+	// Tuple form: v, err := call(...)
+	if len(as.Rhs) == 1 && ast.Unparen(as.Rhs[0]) == call {
+		return as.Lhs[len(as.Lhs)-1]
+	}
+	// Paired form: a, b = f(), g()
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, r := range as.Rhs {
+			if ast.Unparen(r) == call {
+				return as.Lhs[i]
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package vetkit
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// TraceFinal enforces the deferred-final telemetry contract: a function
+// that emits a trace "start" event must emit exactly one "final" on every
+// exit path, including panics and cancellation. Intraprocedurally that
+// means the final must come from a defer — a directly emitted final is
+// skipped by any panic or early return after the start — and the defer
+// must be registered before any path can reach the start, or a panic in
+// between strands the run without its terminal record.
+//
+// The analyzer works per function scope: a function declaration and each
+// non-deferred function literal are separate scopes (a goroutine body
+// emits its own start/final pair); a deferred literal belongs to the
+// scope that registers it, which is exactly what makes its final cover
+// that scope's exits.
+var TraceFinal = &Analyzer{
+	Name: "tracefinal",
+	Doc:  "a trace start must be paired with exactly one deferred final covering every exit path",
+	Run:  runTraceFinal,
+}
+
+// tracePkgSuffix identifies the telemetry package by path suffix, so the
+// analyzer fires for the real module and for test corpora alike.
+const tracePkgSuffix = "internal/trace"
+
+// traceEventKind returns the constant Kind ("start", "iter", "final") of
+// a trace.Event composite literal, or "" when n is not one or its Kind is
+// not statically known.
+func traceEventKind(info *types.Info, n ast.Node) string {
+	lit, ok := n.(*ast.CompositeLit)
+	if !ok {
+		return ""
+	}
+	t := info.TypeOf(lit)
+	if t == nil {
+		return ""
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Name() != "Event" || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), tracePkgSuffix) {
+		return ""
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i, elt := range lit.Elts {
+		var val ast.Expr
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			id, ok := kv.Key.(*ast.Ident)
+			if !ok || id.Name != "Kind" {
+				continue
+			}
+			val = kv.Value
+		} else {
+			// Positional literal: match the field index.
+			if i >= st.NumFields() || st.Field(i).Name() != "Kind" {
+				continue
+			}
+			val = elt
+		}
+		tv, ok := info.Types[val]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return ""
+		}
+		return constant.StringVal(tv.Value)
+	}
+	return ""
+}
+
+func runTraceFinal(cfg *Config, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, traceScopes(pkg, fd.Body)...)
+		}
+	}
+	return diags
+}
+
+// traceScopes analyzes body as one scope, then recurses into every
+// non-deferred function literal. Deferred literals are analyzed as part
+// of this scope (their finals cover this scope's exits).
+func traceScopes(pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	diags := traceScope(pkg, body)
+	parents := buildParents(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		if !isDeferredLit(parents, lit) {
+			diags = append(diags, traceScopes(pkg, lit.Body)...)
+		}
+		return false
+	})
+	return diags
+}
+
+// isDeferredLit reports whether lit is the immediate callee of a defer
+// statement (`defer func() { ... }()`).
+func isDeferredLit(parents map[ast.Node]ast.Node, lit *ast.FuncLit) bool {
+	call, ok := parents[lit].(*ast.CallExpr)
+	if !ok || ast.Unparen(call.Fun) != ast.Expr(lit) {
+		return false
+	}
+	d, ok := parents[call].(*ast.DeferStmt)
+	return ok && d.Call == call
+}
+
+func traceScope(pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	info := pkg.Info
+	parents := buildParents(body)
+
+	// Collect the scope's own event literals: everything outside nested
+	// function literals, except that deferred literals of THIS scope count
+	// as own (that is where the deferred final lives).
+	var starts []*ast.CompositeLit
+	var directFinals []*ast.CompositeLit
+	var deferredFinals []*ast.DeferStmt
+	seenDefer := map[*ast.DeferStmt]bool{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && !isDeferredLit(parents, lit) {
+			// Non-deferred literal: a separate scope, analyzed by
+			// traceScopes. Deferred literals are descended into — their
+			// finals are this scope's deferred finals.
+			return false
+		}
+		switch traceEventKind(info, n) {
+		case "start":
+			starts = append(starts, n.(*ast.CompositeLit))
+			return false
+		case "final":
+			// `defer rec.Record(Event{final})` and finals inside deferred
+			// closures both resolve to their DeferStmt; anything else is a
+			// direct emission.
+			if d := deferOf(parents, n, body); d != nil {
+				if !seenDefer[d] {
+					seenDefer[d] = true
+					deferredFinals = append(deferredFinals, d)
+				}
+			} else {
+				directFinals = append(directFinals, n.(*ast.CompositeLit))
+			}
+			return false
+		}
+		return true
+	})
+
+	if len(starts) == 0 {
+		return nil
+	}
+
+	var diags []Diagnostic
+	switch {
+	case len(deferredFinals) == 0 && len(directFinals) == 0:
+		diags = append(diags, pkg.diag(starts[0].Pos(), "tracefinal",
+			"trace start is emitted but no final is emitted on any exit path",
+			"register `defer ...Record(trace.Event{Kind: \"final\", ...})` before the start"))
+	case len(deferredFinals) == 0:
+		diags = append(diags, pkg.diag(directFinals[0].Pos(), "tracefinal",
+			"trace final is not deferred: panic and early-return paths exit without it",
+			"move the final into a defer registered before the start"))
+	default:
+		for _, d := range deferredFinals[1:] {
+			diags = append(diags, pkg.diag(d.Pos(), "tracefinal",
+				"second deferred trace final: exits would emit more than one final",
+				"a run must emit exactly one final"))
+		}
+		for _, f := range directFinals {
+			diags = append(diags, pkg.diag(f.Pos(), "tracefinal",
+				"direct trace final alongside a deferred one: this exit emits two finals",
+				"let the deferred final cover every exit"))
+		}
+		cfg := BuildCFG(body, info)
+		deferNodes := map[ast.Node]bool{}
+		for _, d := range deferredFinals {
+			deferNodes[d] = true
+			if insideLoop(parents, d, body) {
+				diags = append(diags, pkg.diag(d.Pos(), "tracefinal",
+					"deferred trace final inside a loop: each iteration registers another final",
+					"register the deferred final once, outside the loop"))
+			}
+		}
+		isDeferNode := func(n ast.Node) NodeClass {
+			if deferNodes[n] {
+				return ClassSatisfy
+			}
+			return ClassNone
+		}
+		for _, s := range starts {
+			stmt := cfgNodeFor(cfg, parents, s)
+			if stmt == nil {
+				continue
+			}
+			if cfg.PathTo(stmt, isDeferNode) {
+				diags = append(diags, pkg.diag(s.Pos(), "tracefinal",
+					"trace start can be reached before the deferred final is registered",
+					"register the defer first: a panic after the start would exit without a final"))
+			}
+		}
+	}
+	return diags
+}
+
+// deferOf returns the DeferStmt enclosing n within body (via the defer's
+// call arguments or its immediate closure), or nil.
+func deferOf(parents map[ast.Node]ast.Node, n ast.Node, body *ast.BlockStmt) *ast.DeferStmt {
+	for p := parents[n]; p != nil && p != ast.Node(body); p = parents[p] {
+		if d, ok := p.(*ast.DeferStmt); ok {
+			return d
+		}
+	}
+	return nil
+}

@@ -11,6 +11,19 @@
 //   - Parallel safety: closures handed to the shared worker pool write
 //     only to disjoint elements, never to captured shared accumulators
 //     (parwrite).
+//   - Resource leases: every linalg.Arena checkout is released on every
+//     exit path and never escapes its lease (arenalease).
+//   - Telemetry pairing: a trace "start" is matched by exactly one
+//     deferred "final" covering panic and early-return exits (tracefinal).
+//   - Allocation-free hot paths: functions annotated //sdpvet:hotpath
+//     contain no allocating constructs (hotalloc).
+//   - Durability: journal/WAL write errors flow into a handler on every
+//     path (journalerr).
+//
+// The second generation of checks is path-sensitive: cfg.go builds an
+// intraprocedural control-flow graph from go/ast, and dataflow.go runs
+// must-reach and path-avoidance analyses over it. See docs/LINTING.md for
+// the "writing a dataflow analyzer" guide.
 //
 // The implementation deliberately uses only the standard library
 // (go/parser, go/ast, go/types, go/importer) — no x/tools — preserving
@@ -64,6 +77,9 @@ type Config struct {
 	// from an injected seeded *rand.Rand. Map iteration is forbidden here
 	// too: a seeded run must be bitwise reproducible.
 	SeededPkgs []string
+	// JournalPkgs form the durability layer: every journal/WAL write error
+	// must flow into a handler on every path (journalerr).
+	JournalPkgs []string
 }
 
 // DefaultConfig returns the package roles for this repository.
@@ -76,6 +92,9 @@ func DefaultConfig() *Config {
 		SeededPkgs: []string{
 			"internal/anneal", "internal/analytic", "internal/baseline",
 			"internal/cluster", "internal/gsrc",
+		},
+		JournalPkgs: []string{
+			"internal/jobstore", "internal/service",
 		},
 	}
 }
@@ -113,6 +132,10 @@ func Analyzers() []*Analyzer {
 		FloatEq,
 		CtxLoop,
 		ParWrite,
+		ArenaLease,
+		TraceFinal,
+		HotAlloc,
+		JournalErr,
 	}
 }
 
