@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint sdpvet vet-json race cover bench bench-baseline bench-allocs benchdiff fuzz-smoke integration clean
+.PHONY: build test check lint sdpvet vet-json race portfolio-race cover bench bench-baseline bench-allocs benchdiff fuzz-smoke integration clean
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,14 @@ check: lint sdpvet
 
 race:
 	$(GO) test -race -shuffle=on -short ./...
+
+# portfolio-race mirrors CI's portfolio determinism gate: every
+# portfolio/cancellation test twice, shuffled, under the race detector —
+# including the wall-clock scheduling acceptance test that -short skips.
+# A race winner or contender status that depends on scheduler jitter
+# fails here. See docs/PORTFOLIO.md.
+portfolio-race:
+	$(GO) test -race -shuffle=on -run 'Portfolio|Cancel' -count=2 ./...
 
 # cover prints the per-function coverage summary; report-only, no threshold.
 cover:

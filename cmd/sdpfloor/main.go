@@ -6,6 +6,8 @@
 //	sdpfloor -bench n10                 # builtin synthetic benchmark
 //	sdpfloor -dir bench/ -design n10    # GSRC .blocks/.nets/.pl on disk
 //	sdpfloor -bench n30 -method ar -aspect 2 -svg out.svg -v
+//	sdpfloor -bench n30 -method portfolio -timeout 30s        # tuned default race
+//	sdpfloor -bench n30 -portfolio sdp,sa -timeout 30s        # explicit contender race
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"sdpfloor"
 	"sdpfloor/internal/gsrc"
@@ -45,7 +48,9 @@ func main() {
 		bench      = flag.String("bench", "", "builtin benchmark name (n10, n30, n50, n100, n200, ami33, ami49)")
 		dir        = flag.String("dir", "", "directory with <design>.blocks/.nets/.pl files")
 		design     = flag.String("design", "", "design name inside -dir")
-		method     = flag.String("method", "sdp", "global method: sdp, sdp-hier, ar, pp, qp, sa, analytic")
+		method     = flag.String("method", "sdp", "global method: sdp, sdp-hier, ar, pp, qp, sa, analytic, portfolio")
+		contend    = flag.String("portfolio", "", "comma-separated contenders to race in priority order (implies -method portfolio); empty with -method portfolio uses the per-size tuning table")
+		tablePath  = flag.String("portfolio-table", "", "JSON tuning table for portfolio contender selection (default: built-in table)")
 		aspect     = flag.Float64("aspect", 1, "outline height:width ratio")
 		whitespace = flag.Float64("whitespace", 0.15, "outline whitespace fraction")
 		seed       = flag.Int64("seed", 1, "seed for stochastic methods")
@@ -76,9 +81,25 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if !validMethod(sdpfloor.Method(*method)) {
-		log.Printf("unknown -method %q (valid: %v)", *method, sdpfloor.Methods)
+	if *contend != "" {
+		*method = string(sdpfloor.MethodPortfolio)
+	}
+	if !validMethod(sdpfloor.Method(*method)) && sdpfloor.Method(*method) != sdpfloor.MethodPortfolio {
+		log.Printf("unknown -method %q (valid: %v, portfolio)", *method, sdpfloor.Methods)
 		os.Exit(2)
+	}
+	var contenders []sdpfloor.Method
+	for _, name := range strings.Split(*contend, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		m := sdpfloor.Method(name)
+		if !validMethod(m) {
+			log.Printf("-portfolio contender %q is not a solo method (valid: %v)", name, sdpfloor.Methods)
+			os.Exit(2)
+		}
+		contenders = append(contenders, m)
 	}
 	if *timeout < 0 {
 		log.Printf("-timeout must be positive")
@@ -108,6 +129,14 @@ func main() {
 		Method:           sdpfloor.Method(*method),
 		Seed:             *seed,
 		SkipEnhancements: *basic,
+	}
+	cfg.Portfolio.Contenders = contenders
+	if *tablePath != "" {
+		tbl, err := sdpfloor.LoadPortfolioTable(*tablePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Portfolio.Table = tbl
 	}
 	if *verbose {
 		cfg.Global.Logf = log.Printf
@@ -157,6 +186,12 @@ func main() {
 			log.Printf("partial: %d convex iterations, %d solver iterations, alpha %g, <W,Z> %.3g",
 				gr.Iterations, gr.SolverIterations, gr.AlphaFinal, gr.WZ)
 		}
+		if fp != nil && len(fp.Portfolio) > 0 {
+			log.Printf("partial: best contender %s", fp.Winner)
+			for _, r := range fp.Portfolio {
+				log.Printf("  %-9s %-11s hpwl %.1f", r.Name, r.Status, r.HPWL)
+			}
+		}
 		os.Exit(exitTimeout)
 	}
 	if err != nil {
@@ -180,6 +215,21 @@ func main() {
 	if gr := fp.GlobalResult; gr != nil {
 		fmt.Printf("convex-iteration: %d iterations, final alpha %g, rank-2 %v, <W,Z> %.3g\n",
 			gr.Iterations, gr.AlphaFinal, gr.RankOK, gr.WZ)
+	}
+	if len(fp.Portfolio) > 0 {
+		total := 0
+		for _, r := range fp.Portfolio {
+			total += r.Workers
+		}
+		fmt.Printf("portfolio: winner %s (%d contenders, %d workers split)\n",
+			fp.Winner, len(fp.Portfolio), total)
+		for _, r := range fp.Portfolio {
+			line := fmt.Sprintf("  %-9s %-11s", r.Name, r.Status)
+			if r.HPWL > 0 {
+				line += fmt.Sprintf(" hpwl %.1f", r.HPWL)
+			}
+			fmt.Println(line)
+		}
 	}
 
 	if *jsonOut != "" {

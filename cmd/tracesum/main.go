@@ -5,7 +5,9 @@
 // (runs, warm-started runs, iterations, wall time from the event
 // timestamps, terminal statuses), a warm-vs-cold iterations-to-converge
 // comparison when a solver has both kinds of run, and a convergence table
-// of each solver's most recent run.
+// of each solver's most recent run. Concurrent runs (portfolio contenders)
+// are paired with their own events via the run id, and every portfolio
+// race gets a winner/contender table.
 //
 // For a floorpland jobstore journal (a wal-*.jsonl segment from -data-dir)
 // it prints the per-job lifecycle instead: state, batch, replay count,
@@ -207,12 +209,33 @@ type solverAgg struct {
 	iters    int
 	wall     time.Duration
 	statuses []string // per closed run, in order
-	last     *solverRun
+	// open tracks in-flight runs keyed by the event's run id, so the
+	// interleaved streams of concurrent runs (portfolio contenders) pair
+	// each solver's events with the right start — never arrival order.
+	open    map[string]*solverRun
+	last    *solverRun // most recently started run, for the convergence table
+	lastRun string     // its run id ("" for solo traces)
 	// Warm-start accounting, from the "warm" field on final events (runs
 	// whose final lacks the field — older traces, the core loop — count in
 	// neither bucket). Iterations-to-converge come from the final's Iter.
 	warmRuns, coldRuns   int
 	warmIters, coldIters int
+}
+
+// contenderFinal is one portfolio contender's final event.
+type contenderFinal struct {
+	name     string
+	status   string
+	hpwl     float64
+	feasible bool
+}
+
+// raceSummary is one complete portfolio race: the contender finals followed
+// by the race-level final that names the winner.
+type raceSummary struct {
+	contenders []contenderFinal
+	status     string
+	winner     int
 }
 
 // run parses the JSONL trace from in and writes the summary to out. Only
@@ -225,23 +248,32 @@ func run(in io.Reader, out io.Writer, solver string, tail int) error {
 	var order []string
 	lineNo, events := 0, 0
 
+	var races []raceSummary
+	var pendingContenders []contenderFinal
+
 	aggOf := func(name string) *solverAgg {
 		a := aggs[name]
 		if a == nil {
-			a = &solverAgg{name: name}
+			a = &solverAgg{name: name, open: map[string]*solverRun{}}
 			aggs[name] = a
 			order = append(order, name)
 		}
 		return a
 	}
-	// openRun returns the solver's in-flight run, starting one when the
-	// trace lacks its "start" (a ring buffer may have dropped it).
-	openRun := func(a *solverAgg, ts int64) *solverRun {
-		if a.last == nil || a.last.status != "" {
-			a.last = &solverRun{startTS: ts, endTS: ts}
-			a.runs++
+	startRun := func(a *solverAgg, run string, ts int64) *solverRun {
+		r := &solverRun{startTS: ts, endTS: ts}
+		a.open[run] = r
+		a.last, a.lastRun = r, run
+		a.runs++
+		return r
+	}
+	// openRun returns the (solver, run)-keyed in-flight run, starting one
+	// when the trace lacks its "start" (a ring buffer may have dropped it).
+	openRun := func(a *solverAgg, run string, ts int64) *solverRun {
+		if r := a.open[run]; r != nil {
+			return r
 		}
-		return a.last
+		return startRun(a, run, ts)
 	}
 
 	for sc.Scan() {
@@ -261,15 +293,15 @@ func run(in io.Reader, out io.Writer, solver string, tail int) error {
 		a := aggOf(ev.Solver)
 		switch ev.Kind {
 		case trace.KindStart:
-			a.last = &solverRun{startTS: ev.TS, endTS: ev.TS}
-			a.runs++
+			startRun(a, ev.Run, ev.TS)
 		case trace.KindIter:
-			r := openRun(a, ev.TS)
+			r := openRun(a, ev.Run, ev.TS)
 			r.endTS = ev.TS
 			r.events = append(r.events, ev)
 			a.iters++
 		case trace.KindFinal:
-			r := openRun(a, ev.TS)
+			r := openRun(a, ev.Run, ev.TS)
+			delete(a.open, ev.Run)
 			r.endTS = ev.TS
 			r.status = ev.Status
 			if r.status == "" {
@@ -285,6 +317,23 @@ func run(in io.Reader, out io.Writer, solver string, tail int) error {
 				} else {
 					a.coldRuns++
 					a.coldIters += ev.Iter
+				}
+			}
+			if ev.Solver == "portfolio" {
+				if ev.Run != "" {
+					pendingContenders = append(pendingContenders, contenderFinal{
+						name:     ev.Run,
+						status:   ev.Status,
+						hpwl:     fieldOf(ev, "hpwl", 0),
+						feasible: fieldOf(ev, "feasible", 0) > 0.5,
+					})
+				} else {
+					races = append(races, raceSummary{
+						contenders: pendingContenders,
+						status:     ev.Status,
+						winner:     int(fieldOf(ev, "winner", -1)),
+					})
+					pendingContenders = nil
 				}
 			}
 		default:
@@ -323,6 +372,8 @@ func run(in io.Reader, out io.Writer, solver string, tail int) error {
 			a.name, aw, ac, (1-aw/ac)*100)
 	}
 
+	writeRaces(out, races)
+
 	for _, name := range order {
 		a := aggs[name]
 		if a.last == nil || len(a.last.events) == 0 {
@@ -333,11 +384,51 @@ func run(in io.Reader, out io.Writer, solver string, tail int) error {
 		if status == "" {
 			status = "unfinished"
 		}
+		label := a.name
+		if a.lastRun != "" {
+			label = fmt.Sprintf("%s (run %s)", a.name, a.lastRun)
+		}
 		fmt.Fprintf(out, "\n%s, last run: %d iterations, %s, %s\n",
-			a.name, len(r.events), status, fmtWall(r.wall()))
+			label, len(r.events), status, fmtWall(r.wall()))
 		writeConvergence(out, r.events, tail)
 	}
 	return nil
+}
+
+// writeRaces prints one winner/contender table per portfolio race found in
+// the trace.
+func writeRaces(out io.Writer, races []raceSummary) {
+	for _, race := range races {
+		winner := "-"
+		if race.winner >= 0 && race.winner < len(race.contenders) {
+			winner = race.contenders[race.winner].name
+		}
+		fmt.Fprintf(out, "\nportfolio race: winner %s (%s)\n", winner, race.status)
+		tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "contender\tstatus\thpwl\tfeasible\t")
+		for _, c := range race.contenders {
+			hpwl := "-"
+			if c.hpwl > 0 {
+				hpwl = fmt.Sprintf("%.1f", c.hpwl)
+			}
+			feas := "no"
+			if c.feasible {
+				feas = "yes"
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t\n", c.name, c.status, hpwl, feas)
+		}
+		tw.Flush()
+	}
+}
+
+// fieldOf reads a numeric event field, falling back to def when absent.
+func fieldOf(ev trace.Event, key string, def float64) float64 {
+	for _, f := range ev.Fields {
+		if f.Key == key {
+			return f.Val
+		}
+	}
+	return def
 }
 
 // writeConvergence prints the trailing iter events as a table whose columns

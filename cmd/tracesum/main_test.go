@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 
@@ -107,6 +108,64 @@ func TestRunEmptyInput(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "no events") {
 		t.Errorf("want 'no events', got %q", out.String())
+	}
+}
+
+// TestRunKeysInterleavedRunsBySolverAndRun: two concurrent runs of the
+// same solver (portfolio contenders) interleave their events; each event
+// must pair with the start carrying the same run id, not the most recent
+// arrival. The buggy arrival-order keying attributed both runs' iters to
+// run B and invented a third run for A's final.
+func TestRunKeysInterleavedRunsBySolverAndRun(t *testing.T) {
+	in := `{"ts":1,"solver":"ipm","run":"A","kind":"start","iter":0,"m":55}
+{"ts":2,"solver":"ipm","run":"B","kind":"start","iter":0,"m":55}
+{"ts":3,"solver":"ipm","run":"A","kind":"iter","iter":0,"mu":1.5}
+{"ts":4,"solver":"ipm","run":"B","kind":"iter","iter":0,"mu":1.2}
+{"ts":5,"solver":"ipm","run":"A","kind":"iter","iter":1,"mu":0.5}
+{"ts":6,"solver":"ipm","run":"B","kind":"final","iter":1,"status":"optimal"}
+{"ts":7,"solver":"ipm","run":"A","kind":"final","iter":2,"status":"cancelled"}
+`
+	var out strings.Builder
+	if err := run(strings.NewReader(in), &out, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !regexp.MustCompile(`ipm\s+2\s`).MatchString(got) {
+		t.Errorf("want exactly 2 ipm runs:\n%s", got)
+	}
+	if !strings.Contains(got, "optimal:1 cancelled:1") {
+		t.Errorf("statuses wrong:\n%s", got)
+	}
+	// The most recently started run (B) owns exactly its own iter event.
+	if !strings.Contains(got, "ipm (run B), last run: 1 iterations, optimal") {
+		t.Errorf("last-run attribution wrong:\n%s", got)
+	}
+}
+
+// TestRunPortfolioSection: a portfolio trace gets a winner/contender table.
+func TestRunPortfolioSection(t *testing.T) {
+	in := `{"solver":"portfolio","kind":"start","iter":0,"contenders":2,"workers":2}
+{"solver":"portfolio","run":"A","kind":"start","iter":0,"contender":0,"workers":1}
+{"solver":"portfolio","run":"B","kind":"start","iter":0,"contender":1,"workers":1}
+{"solver":"portfolio","run":"A","kind":"iter","iter":0,"contender":0,"complete":1,"feasible":1,"partial":0,"hpwl":100}
+{"solver":"portfolio","run":"B","kind":"iter","iter":1,"contender":1,"complete":0,"feasible":0,"partial":1,"hpwl":150}
+{"solver":"portfolio","run":"A","kind":"final","iter":0,"status":"won","contender":0,"feasible":1,"hpwl":100}
+{"solver":"portfolio","run":"B","kind":"final","iter":1,"status":"cancelled","contender":1,"feasible":0,"hpwl":150}
+{"solver":"portfolio","kind":"final","iter":2,"status":"won","winner":0,"hpwl":100,"feasible":1}
+`
+	var out strings.Builder
+	if err := run(strings.NewReader(in), &out, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "portfolio race: winner A (won)") {
+		t.Errorf("missing race header:\n%s", got)
+	}
+	if !regexp.MustCompile(`A\s+won\s+100\.0\s+yes`).MatchString(got) {
+		t.Errorf("winner row wrong:\n%s", got)
+	}
+	if !regexp.MustCompile(`B\s+cancelled\s+150\.0\s+no`).MatchString(got) {
+		t.Errorf("cancelled row wrong:\n%s", got)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"sdpfloor/internal/geom"
 	"sdpfloor/internal/netlist"
 	"sdpfloor/internal/optimize"
+	"sdpfloor/internal/trace"
 )
 
 // Options configure Solve.
@@ -43,6 +44,11 @@ type Options struct {
 	// every L-BFGS iteration; on cancellation Solve returns the centers at
 	// the last iterate together with the wrapped context error.
 	Context context.Context
+	// Trace, when non-nil and enabled, receives structured telemetry: one
+	// "analytic" iter record per multiplier round plus exactly one final
+	// on every exit path, and the nested "lbfgs" stream of each round's
+	// inner minimization. See internal/trace.
+	Trace trace.Recorder
 }
 
 func (o *Options) setDefaults(n int) {
@@ -119,6 +125,31 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 	gamma := opt.Gamma0 * math.Max(opt.Outline.W(), opt.Outline.H())
 	var cancelErr error
 	rounds := 0
+	hpwl := 0.0
+	tracing := opt.Trace != nil && opt.Trace.Enabled()
+	if tracing {
+		// Deferred — and registered before the start — so the completed
+		// ramp, a mid-ramp cancellation, and a panic all close the run
+		// with exactly one final.
+		defer func() {
+			status := "ok"
+			if cancelErr != nil {
+				status = "cancelled"
+			}
+			opt.Trace.Record(trace.Event{
+				Solver: "analytic", Kind: trace.KindFinal, Iter: rounds, Status: status,
+				Fields: []trace.Field{{Key: "hpwl", Val: hpwl}},
+			})
+		}()
+		opt.Trace.Record(trace.Event{
+			Solver: "analytic", Kind: trace.KindStart,
+			Fields: []trace.Field{
+				{Key: "n", Val: float64(n)},
+				{Key: "bins", Val: float64(opt.Bins)},
+				{Key: "rounds", Val: float64(opt.Rounds)},
+			},
+		})
+	}
 	for round := 0; round < opt.Rounds; round++ {
 		if opt.Context != nil {
 			if err := opt.Context.Err(); err != nil {
@@ -146,9 +177,19 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 			f += boundaryPenalty(nl, opt.Outline, x, g)
 			return f
 		}
-		res := optimize.Minimize(obj, xv, optimize.Options{MaxIter: opt.InnerIter, GradTol: 1e-7, Context: opt.Context})
+		res := optimize.Minimize(obj, xv, optimize.Options{MaxIter: opt.InnerIter, GradTol: 1e-7, Context: opt.Context, Trace: opt.Trace})
 		copy(xv, res.X)
 		rounds = round + 1
+		if tracing {
+			opt.Trace.Record(trace.Event{
+				Solver: "analytic", Kind: trace.KindIter, Iter: round,
+				Fields: []trace.Field{
+					{Key: "lambda", Val: lam},
+					{Key: "gamma", Val: gam},
+					{Key: "f", Val: res.F},
+				},
+			})
+		}
 		if res.Err != nil {
 			cancelErr = fmt.Errorf("analytic: cancelled in round %d: %w", round, res.Err)
 			break
@@ -163,7 +204,8 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 	for i := 0; i < n; i++ {
 		centers[i] = geom.Point{X: xv[2*i], Y: xv[2*i+1]}
 	}
-	return &Result{Centers: centers, HPWL: nl.HPWL(centers), Rounds: rounds}, cancelErr
+	hpwl = nl.HPWL(centers)
+	return &Result{Centers: centers, HPWL: hpwl, Rounds: rounds}, cancelErr
 }
 
 // lseHPWL evaluates the log-sum-exp smoothed HPWL and accumulates its

@@ -9,6 +9,7 @@ import (
 
 	"sdpfloor/internal/geom"
 	"sdpfloor/internal/netlist"
+	"sdpfloor/internal/trace"
 )
 
 // Options configure the simulated-annealing floorplanner.
@@ -44,6 +45,11 @@ type Options struct {
 	// cancellation Solve returns the best floorplan found so far together
 	// with the wrapped context error.
 	Context context.Context
+	// Trace, when non-nil and enabled, receives structured telemetry
+	// ("sa" events): one "iter" record per temperature step (temperature,
+	// current/best cost, accepted moves) and exactly one "final" record on
+	// every exit path. See internal/trace.
+	Trace trace.Recorder
 }
 
 func (o *Options) setDefaults(n int) {
@@ -104,7 +110,35 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 	best := st.snapshot()
 	bestCost := cost
 	accepted := 0
+	steps := 0
 	var cancelErr error
+	tracing := opt.Trace != nil && opt.Trace.Enabled()
+	if tracing {
+		// Deferred so the schedule running dry and mid-schedule
+		// cancellation both close the trace with one "sa" final.
+		defer func() {
+			status := "ok"
+			if cancelErr != nil {
+				status = "cancelled"
+			}
+			opt.Trace.Record(trace.Event{
+				Solver: "sa", Kind: trace.KindFinal, Iter: steps, Status: status,
+				Fields: []trace.Field{
+					{Key: "cost", Val: bestCost},
+					{Key: "accepted", Val: float64(accepted)},
+				},
+			})
+		}()
+		opt.Trace.Record(trace.Event{
+			Solver: "sa", Kind: trace.KindStart,
+			Fields: []trace.Field{
+				{Key: "n", Val: float64(n)},
+				{Key: "movesPerTemp", Val: float64(opt.MovesPerTemp)},
+				{Key: "coolingRate", Val: opt.CoolingRate},
+				{Key: "t0", Val: t0},
+			},
+		})
+	}
 	for temp := t0; temp > minTemp; temp *= opt.CoolingRate {
 		if opt.Context != nil {
 			if err := opt.Context.Err(); err != nil {
@@ -127,6 +161,18 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 				undo()
 			}
 		}
+		if tracing {
+			opt.Trace.Record(trace.Event{
+				Solver: "sa", Kind: trace.KindIter, Iter: steps,
+				Fields: []trace.Field{
+					{Key: "temp", Val: temp},
+					{Key: "cost", Val: cost},
+					{Key: "best", Val: bestCost},
+					{Key: "accepted", Val: float64(accepted)},
+				},
+			})
+		}
+		steps++
 	}
 	st.restore(best)
 	res := st.result()

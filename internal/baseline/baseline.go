@@ -18,6 +18,7 @@ import (
 	"sdpfloor/internal/linalg"
 	"sdpfloor/internal/netlist"
 	"sdpfloor/internal/optimize"
+	"sdpfloor/internal/trace"
 )
 
 // Result is a global floorplan produced by one of the baseline methods.
@@ -48,6 +49,7 @@ type AROptions struct {
 	Seed    int64           // RNG seed for the random restarts
 	MaxIter int             // L-BFGS iterations per start (default 300)
 	Context context.Context // optional cancellation, checked per L-BFGS iteration
+	Trace   trace.Recorder  // optional telemetry: "ar" start/iter-per-start/final plus nested "lbfgs"
 }
 
 func (o *AROptions) setDefaults() {
@@ -144,7 +146,7 @@ func ARObjective(nl *netlist.Netlist, sigma float64) optimize.Objective {
 // SolveAR minimizes the AR model with multi-start L-BFGS.
 func SolveAR(nl *netlist.Netlist, opt AROptions) (*Result, error) {
 	opt.setDefaults()
-	return solveSmooth(opt.Context, nl, ARObjective(nl, opt.Sigma), opt.Starts, opt.Seed, opt.MaxIter)
+	return solveSmooth(opt.Context, "ar", opt.Trace, nl, ARObjective(nl, opt.Sigma), opt.Starts, opt.Seed, opt.MaxIter)
 }
 
 // ---------------------------------------------------------------------------
@@ -156,6 +158,7 @@ type PPOptions struct {
 	Seed    int64
 	MaxIter int
 	Context context.Context // optional cancellation, checked per L-BFGS iteration
+	Trace   trace.Recorder  // optional telemetry: "pp" start/iter-per-start/final plus nested "lbfgs"
 }
 
 func (o *PPOptions) setDefaults() {
@@ -223,11 +226,17 @@ func PPObjective(nl *netlist.Netlist) optimize.Objective {
 // SolvePP minimizes the PP model with multi-start L-BFGS.
 func SolvePP(nl *netlist.Netlist, opt PPOptions) (*Result, error) {
 	opt.setDefaults()
-	return solveSmooth(opt.Context, nl, PPObjective(nl), opt.Starts, opt.Seed, opt.MaxIter)
+	return solveSmooth(opt.Context, "pp", opt.Trace, nl, PPObjective(nl), opt.Starts, opt.Seed, opt.MaxIter)
 }
 
 // ---------------------------------------------------------------------------
 // Quadratic placement (Section III-C)
+
+// QPOptions configure SolveQPOpts. The zero value matches SolveQP.
+type QPOptions struct {
+	Context context.Context // optional cancellation, checked around the factorization
+	Trace   trace.Recorder  // optional telemetry: one "qp" start/final pair
+}
 
 // SolveQP solves the quadratic placement of Eq. (5): per coordinate,
 // minimize ½xᵀCx + dᵀx with C the clique-model Laplacian plus pad anchors.
@@ -236,9 +245,47 @@ func SolvePP(nl *netlist.Netlist, opt PPOptions) (*Result, error) {
 // regularization is added so the solve still succeeds (returning exactly
 // that collapsed solution).
 func SolveQP(nl *netlist.Netlist) (*Result, error) {
+	return SolveQPOpts(nl, QPOptions{})
+}
+
+// SolveQPOpts is SolveQP with cancellation and tracing. The solve is one
+// Cholesky factorization; the context is checked before building the
+// system and again between factorizing and back-substituting, so a
+// cancelled solve returns a wrapped context error without a result.
+func SolveQPOpts(nl *netlist.Netlist, opt QPOptions) (result *Result, err error) {
 	n := nl.N()
 	if n == 0 {
 		return nil, errors.New("baseline: empty netlist")
+	}
+	if opt.Context != nil {
+		if cerr := opt.Context.Err(); cerr != nil {
+			return nil, fmt.Errorf("baseline: qp cancelled: %w", cerr)
+		}
+	}
+	if opt.Trace != nil && opt.Trace.Enabled() {
+		// Deferred — and registered before the start — so the
+		// singular-factorization, cancellation, and panic paths all close
+		// the trace alongside the success path.
+		defer func() {
+			status := "ok"
+			obj := 0.0
+			switch {
+			case err != nil && opt.Context != nil && opt.Context.Err() != nil:
+				status = "cancelled"
+			case err != nil:
+				status = "failed"
+			default:
+				obj = result.Objective
+			}
+			opt.Trace.Record(trace.Event{
+				Solver: "qp", Kind: trace.KindFinal, Iter: 1, Status: status,
+				Fields: []trace.Field{{Key: "obj", Val: obj}},
+			})
+		}()
+		opt.Trace.Record(trace.Event{
+			Solver: "qp", Kind: trace.KindStart,
+			Fields: []trace.Field{{Key: "n", Val: float64(n)}},
+		})
 	}
 	a := nl.Adjacency()
 	pa := nl.PadAdjacency()
@@ -270,6 +317,11 @@ func SolveQP(nl *netlist.Netlist) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opt.Context != nil {
+		if cerr := opt.Context.Err(); cerr != nil {
+			return nil, fmt.Errorf("baseline: qp cancelled: %w", cerr)
+		}
+	}
 	xs := fac.SolveVec(append([]float64(nil), rhsX...))
 	ys := fac.SolveVec(append([]float64(nil), rhsY...))
 	centers := make([]geom.Point, n)
@@ -284,13 +336,42 @@ func SolveQP(nl *netlist.Netlist) (*Result, error) {
 
 // solveSmooth runs multi-start L-BFGS: the first start is QP-seeded, the
 // rest are random within the pad bounding box (or a unit-area box when there
-// are no pads).
-func solveSmooth(ctx context.Context, nl *netlist.Netlist, obj optimize.Objective, starts int, seed int64, maxIter int) (*Result, error) {
+// are no pads). It emits one engine-level trace stream named solver ("ar"
+// or "pp") — start, one iter per restart, exactly one final — around the
+// nested per-start "lbfgs" streams.
+func solveSmooth(ctx context.Context, solver string, rec trace.Recorder, nl *netlist.Netlist, obj optimize.Objective, starts int, seed int64, maxIter int) (*Result, error) {
 	n := nl.N()
 	if n == 0 {
 		return nil, errors.New("baseline: empty netlist")
 	}
 	rng := rand.New(rand.NewSource(seed))
+	best := Result{Objective: math.Inf(1)}
+	var cancelErr error
+	tracing := rec != nil && rec.Enabled()
+	if tracing {
+		// Deferred — and registered before the start — so completion,
+		// cancellation, and panic paths alike close the run with exactly
+		// one final, carrying the best objective seen (Inf when
+		// cancellation preceded the first finished start).
+		defer func() {
+			status := "ok"
+			if cancelErr != nil {
+				status = "cancelled"
+			}
+			rec.Record(trace.Event{
+				Solver: solver, Kind: trace.KindFinal, Iter: best.Starts, Status: status,
+				Fields: []trace.Field{{Key: "obj", Val: best.Objective}},
+			})
+		}()
+		rec.Record(trace.Event{
+			Solver: solver, Kind: trace.KindStart,
+			Fields: []trace.Field{
+				{Key: "n", Val: float64(n)},
+				{Key: "starts", Val: float64(starts)},
+				{Key: "maxIter", Val: float64(maxIter)},
+			},
+		})
+	}
 
 	// Spread box for random starts.
 	var span geom.Rect
@@ -306,8 +387,6 @@ func solveSmooth(ctx context.Context, nl *netlist.Netlist, obj optimize.Objectiv
 		span = geom.Rect{MinX: -side, MinY: -side, MaxX: side, MaxY: side}
 	}
 
-	best := Result{Objective: math.Inf(1)}
-	var cancelErr error
 	for s := 0; s < starts; s++ {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
@@ -329,7 +408,7 @@ func solveSmooth(ctx context.Context, nl *netlist.Netlist, obj optimize.Objectiv
 				x0[2*i+1] = span.MinY + rng.Float64()*span.H()
 			}
 		}
-		res := optimize.Minimize(obj, x0, optimize.Options{MaxIter: maxIter, GradTol: 1e-6, Context: ctx})
+		res := optimize.Minimize(obj, x0, optimize.Options{MaxIter: maxIter, GradTol: 1e-6, Context: ctx, Trace: rec})
 		if res.F < best.Objective {
 			best.Objective = res.F
 			best.Centers = make([]geom.Point, n)
@@ -338,6 +417,15 @@ func solveSmooth(ctx context.Context, nl *netlist.Netlist, obj optimize.Objectiv
 			}
 		}
 		best.Starts = s + 1
+		if tracing {
+			rec.Record(trace.Event{
+				Solver: solver, Kind: trace.KindIter, Iter: s,
+				Fields: []trace.Field{
+					{Key: "f", Val: res.F},
+					{Key: "best", Val: best.Objective},
+				},
+			})
+		}
 		if res.Err != nil {
 			cancelErr = fmt.Errorf("baseline: cancelled in start %d: %w", s, res.Err)
 			break

@@ -20,6 +20,7 @@ import (
 	"sdpfloor/internal/core"
 	"sdpfloor/internal/geom"
 	"sdpfloor/internal/netlist"
+	"sdpfloor/internal/trace"
 )
 
 // Clustering assigns each module to one of K clusters.
@@ -185,6 +186,13 @@ type Options struct {
 	// Context, when non-nil, cancels the hierarchical solve: it is threaded
 	// into every level's SDP solve and checked between cluster refinements.
 	Context context.Context
+	// Trace, when non-nil and enabled, receives one top-level "hier" stream
+	// (start, one iter per refined cluster, exactly one final on every exit
+	// path) plus the nested "core"/"ipm"/"admm" streams of every level's
+	// SDP solves. Recursion levels do not open nested "hier" runs — the
+	// solves of one hierarchical job are strictly sequential, so the
+	// per-solver streams pair up without run ids.
+	Trace trace.Recorder
 }
 
 func (o *Options) setDefaults() {
@@ -207,7 +215,38 @@ type Result struct {
 
 // Solve runs the two-level flow: cluster → top-level SDP → per-cluster SDP
 // refinement with external connections projected as pseudo-pads.
-func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
+func Solve(nl *netlist.Netlist, opt Options) (result *Result, err error) {
+	if opt.Trace != nil && opt.Trace.Enabled() {
+		// The "hier" engine stream brackets the whole hierarchy (recursive
+		// levels run inside this span; see solve). Deferred so the
+		// top-level solve failing, a refinement failing, and cancellation
+		// all close the run with one final.
+		defer func() {
+			status := "ok"
+			refines := 0
+			switch {
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				status = "cancelled"
+			case err != nil:
+				status = "failed"
+			default:
+				refines = result.RefineSolves
+			}
+			opt.Trace.Record(trace.Event{
+				Solver: "hier", Kind: trace.KindFinal, Iter: refines, Status: status,
+				Fields: []trace.Field{{Key: "refines", Val: float64(refines)}},
+			})
+		}()
+		opt.Trace.Record(trace.Event{
+			Solver: "hier", Kind: trace.KindStart,
+			Fields: []trace.Field{{Key: "n", Val: float64(nl.N())}},
+		})
+	}
+	return solve(nl, opt, 0)
+}
+
+// solve is the recursion body; only depth 0 owns the "hier" trace span.
+func solve(nl *netlist.Netlist, opt Options, depth int) (*Result, error) {
 	n := nl.N()
 	if n == 0 {
 		return nil, errors.New("cluster: empty netlist")
@@ -242,6 +281,7 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 	topOpt.Outline = &o
 	topOpt.Logf = opt.Logf
 	topOpt.Context = opt.Context
+	topOpt.Trace = opt.Trace
 	top, err := core.Solve(coarse, topOpt)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: top-level solve: %w", err)
@@ -275,7 +315,7 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 		if len(ms) > 3*opt.TargetClusterSize {
 			subOpt := opt
 			subOpt.Outline = region
-			subRes, err := Solve(sub, subOpt)
+			subRes, err := solve(sub, subOpt, depth+1)
 			if err != nil {
 				return nil, fmt.Errorf("cluster: recursive refine of cluster %d: %w", c, err)
 			}
@@ -283,6 +323,7 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 			for li, m := range ms {
 				res.Centers[m] = subRes.Centers[li]
 			}
+			recordRefine(&opt, depth, c, len(ms), res.RefineSolves)
 			continue
 		}
 		refOpt := opt.Refine
@@ -298,6 +339,7 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 		}
 		refOpt.Outline = &region
 		refOpt.Context = opt.Context
+		refOpt.Trace = opt.Trace
 		subRes, err := core.Solve(sub, refOpt)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: refining cluster %d: %w", c, err)
@@ -306,8 +348,24 @@ func Solve(nl *netlist.Netlist, opt Options) (*Result, error) {
 		for li, m := range ms {
 			res.Centers[m] = subRes.Centers[li]
 		}
+		recordRefine(&opt, depth, c, len(ms), res.RefineSolves)
 	}
 	return res, nil
+}
+
+// recordRefine emits the top-level per-cluster "hier" iter event; recursion
+// levels stay silent on the hier stream (their SDP solves still trace).
+func recordRefine(opt *Options, depth, cluster, members, refines int) {
+	if depth != 0 || opt.Trace == nil || !opt.Trace.Enabled() {
+		return
+	}
+	opt.Trace.Record(trace.Event{
+		Solver: "hier", Kind: trace.KindIter, Iter: cluster,
+		Fields: []trace.Field{
+			{Key: "members", Val: float64(members)},
+			{Key: "refines", Val: float64(refines)},
+		},
+	})
 }
 
 // buildSubproblem extracts cluster c's members as a standalone netlist whose

@@ -369,6 +369,10 @@ func (b *builder) solveProblem(prob *sdp.Problem, pairs []pair) (*sdp.Solution, 
 			// Mu0 deliberately stays unset; see warmState's doc comment.
 			opt.X0, opt.S0 = x0, s0
 			opt.XLP0, opt.SLP0, opt.Y0 = xlp0, slp0, y0
+		} else if b.opt.ADMMMu0 > 0 {
+			// Cold solve: the tuned initial penalty is safe to apply here
+			// and only here (see Options.ADMMMu0).
+			opt.Mu0 = b.opt.ADMMMu0
 		}
 		sol, err = sdp.SolveADMM(prob, opt)
 	default:

@@ -99,6 +99,13 @@ type Options struct {
 
 	// Solver picks the sub-problem-1 SDP solver (default IPM).
 	Solver SolverKind
+	// ADMMMu0, when positive, seeds the ADMM penalty parameter μ on cold
+	// sub-problem solves (the portfolio tuning table's per-size knob). It
+	// is deliberately ignored on warm-started solves: re-seeding μ when
+	// resuming from a previous iterate stalls the solver on changed
+	// objectives (see warmState), so the tuned value applies only where a
+	// cold solve would otherwise use the solver default.
+	ADMMMu0 float64
 	// NoWarmStart disables the warm-start/solve-sequence reuse layer, i.e.
 	// warm starting is ON by default. When off-switched, every
 	// sub-problem-1 solve starts from the solver's cold initial point and

@@ -71,15 +71,18 @@ func (e Event) valid() bool {
 // the solve after a restart. Netlist holds the canonical JSON the service
 // hashes for the cache key, so replayed jobs keep their content address.
 type Spec struct {
-	Netlist    json.RawMessage `json:"netlist,omitempty"`
-	MinX       float64         `json:"minX"`
-	MinY       float64         `json:"minY"`
-	MaxX       float64         `json:"maxX"`
-	MaxY       float64         `json:"maxY"`
-	Method     string          `json:"method"`
-	Seed       int64           `json:"seed,omitempty"`
-	Basic      bool            `json:"basic,omitempty"`
-	TimeoutSec float64         `json:"timeoutSec,omitempty"`
+	Netlist json.RawMessage `json:"netlist,omitempty"`
+	MinX    float64         `json:"minX"`
+	MinY    float64         `json:"minY"`
+	MaxX    float64         `json:"maxX"`
+	MaxY    float64         `json:"maxY"`
+	Method  string          `json:"method"`
+	Seed    int64           `json:"seed,omitempty"`
+	Basic   bool            `json:"basic,omitempty"`
+	// Contenders is the explicit portfolio race list (method "portfolio"
+	// only); empty means the server's tuning table picks the set.
+	Contenders []string `json:"contenders,omitempty"`
+	TimeoutSec float64  `json:"timeoutSec,omitempty"`
 	// Key is the content-addressed cache key of the request, stored so a
 	// replayed "done" record can repopulate the result cache without
 	// re-hashing (and so compacted terminal records can drop the netlist).

@@ -39,6 +39,15 @@ func NewArena() *Arena {
 	}
 }
 
+// Leases returns the number of matrices and vectors currently checked out
+// and not yet returned. A solver that has fully unwound — normal exit,
+// cancellation, or panic recovery — must leave its arena at zero leases;
+// the portfolio race tests assert this for every cancelled contender
+// (complementing sdpvet's static arenalease analyzer with a runtime check).
+func (a *Arena) Leases() int {
+	return len(a.out) + len(a.vout)
+}
+
 // Mat checks out a zeroed r×c matrix, reusing a previously returned one of
 // the same shape when available.
 func (a *Arena) Mat(r, c int) *Dense {

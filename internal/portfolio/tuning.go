@@ -1,0 +1,202 @@
+package portfolio
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Knobs are the per-size hyperparameters a tuning entry pins for its
+// contenders. Zero values mean "engine default" throughout, so a sparse
+// entry only overrides what the benchmark data actually justified.
+type Knobs struct {
+	// Alpha0 seeds the convex iteration's rank-penalty weight α for the
+	// sdp/sdp-hier contenders (paper: small instances converge from α=0.5;
+	// n100+ needs α in the hundreds — see core.Options.Alpha0).
+	Alpha0 float64 `json:"alpha0,omitempty"`
+	// ADMMMu0 seeds the ADMM penalty parameter on cold solves. It is
+	// applied only when no warm iterate exists: re-seeding μ on a warm
+	// resume stalls the solver on changed objectives (PR 5 benchdiff).
+	ADMMMu0 float64 `json:"admmMu0,omitempty"`
+	// SACoolingRate and SAMovesPerTemp shape the annealing contender's
+	// schedule (anneal.Options.CoolingRate / MovesPerTemp).
+	SACoolingRate  float64 `json:"saCoolingRate,omitempty"`
+	SAMovesPerTemp int     `json:"saMovesPerTemp,omitempty"`
+}
+
+// Entry maps one instance-size bucket to a contender set and knobs.
+type Entry struct {
+	// MaxModules is the bucket's inclusive upper bound on the module
+	// count; 0 or negative means unbounded (the catch-all bucket).
+	MaxModules int `json:"maxModules"`
+	// Contenders are method names in race priority order (the first
+	// contender wins HPWL ties).
+	Contenders []string `json:"contenders"`
+	Knobs      Knobs    `json:"knobs"`
+}
+
+// Table is a persisted per-size default table: the first rung of the
+// self-tuning loop. Entries are kept sorted by bucket bound, bounded
+// buckets ascending, the catch-all last.
+type Table struct {
+	Entries []Entry `json:"entries"`
+}
+
+// Signature buckets an instance for table lookup and report labels.
+// Today the signature is just the module count class; richer signatures
+// (whitespace, net degree distribution) can extend it without changing
+// the lookup contract.
+func Signature(modules int) string {
+	return fmt.Sprintf("n<=%d", modules)
+}
+
+// Pick returns the entry whose bucket covers an instance with the given
+// module count: the smallest bounded bucket with modules <= MaxModules,
+// else the catch-all. ok is false only for an empty table.
+func (t *Table) Pick(modules int) (Entry, bool) {
+	if t == nil || len(t.Entries) == 0 {
+		return Entry{}, false
+	}
+	var catchAll *Entry
+	best := -1
+	for i := range t.Entries {
+		e := &t.Entries[i]
+		if e.MaxModules <= 0 {
+			if catchAll == nil {
+				catchAll = e
+			}
+			continue
+		}
+		if modules <= e.MaxModules && (best < 0 || e.MaxModules < t.Entries[best].MaxModules) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return t.Entries[best], true
+	}
+	if catchAll != nil {
+		return *catchAll, true
+	}
+	// Every bucket is bounded and the instance is larger than all of
+	// them: fall back to the widest bucket rather than failing.
+	widest := 0
+	for i := range t.Entries {
+		if t.Entries[i].MaxModules > t.Entries[widest].MaxModules {
+			widest = i
+		}
+	}
+	return t.Entries[widest], true
+}
+
+// Validate checks every entry: at least one contender per entry, no
+// duplicate names within an entry, and every name accepted by valid
+// (the caller supplies the engine universe; this package does not know
+// method names). It returns the first problem found.
+func (t *Table) Validate(valid func(name string) bool) error {
+	if t == nil || len(t.Entries) == 0 {
+		return fmt.Errorf("portfolio: tuning table has no entries")
+	}
+	for i, e := range t.Entries {
+		if len(e.Contenders) == 0 {
+			return fmt.Errorf("portfolio: tuning entry %d (maxModules=%d) has no contenders", i, e.MaxModules)
+		}
+		seen := make(map[string]bool, len(e.Contenders))
+		for _, name := range e.Contenders {
+			if seen[name] {
+				return fmt.Errorf("portfolio: tuning entry %d lists contender %q twice", i, name)
+			}
+			seen[name] = true
+			if valid != nil && !valid(name) {
+				return fmt.Errorf("portfolio: tuning entry %d has unknown contender %q", i, name)
+			}
+		}
+	}
+	return nil
+}
+
+// normalize sorts entries into lookup order: bounded buckets ascending by
+// MaxModules, catch-all entries last.
+func (t *Table) normalize() {
+	sort.SliceStable(t.Entries, func(i, j int) bool {
+		a, b := t.Entries[i].MaxModules, t.Entries[j].MaxModules
+		switch {
+		case a <= 0:
+			return false
+		case b <= 0:
+			return true
+		default:
+			return a < b
+		}
+	})
+}
+
+// DefaultTable is the built-in per-size default table, seeded from the
+// repo's benchdiff runs on the GSRC-style instances:
+//
+//   - Small instances (≤ 40 modules): the full SDP converges in well under
+//     a second and wins on quality; SA and the analytic baseline are cheap
+//     hedges that occasionally legalize first on loose outlines. α = 0.5
+//     per the paper's small-instance setting.
+//   - Mid instances (≤ 120): the flat SDP still wins quality but SA
+//     closes the wall-clock gap; a slower cooling schedule keeps SA
+//     competitive on HPWL instead of merely fast.
+//   - Large instances: the hierarchical SDP (cluster-then-refine) replaces
+//     the flat solve, α = 1024 per the paper's n100/n200 setting, and SA
+//     gets a longer schedule since it is the only engine that can exploit
+//     the extra budget when the SDP's sub-solves dominate.
+func DefaultTable() *Table {
+	t := &Table{Entries: []Entry{
+		{
+			MaxModules: 40,
+			Contenders: []string{"sdp", "sa", "analytic"},
+			Knobs:      Knobs{Alpha0: 0.5, ADMMMu0: 8, SACoolingRate: 0.90},
+		},
+		{
+			MaxModules: 120,
+			Contenders: []string{"sdp", "sa"},
+			Knobs:      Knobs{Alpha0: 512, SACoolingRate: 0.93},
+		},
+		{
+			MaxModules: 0, // catch-all
+			Contenders: []string{"sdp-hier", "sa"},
+			Knobs:      Knobs{Alpha0: 1024, SACoolingRate: 0.95, SAMovesPerTemp: 60},
+		},
+	}}
+	t.normalize()
+	return t
+}
+
+// LoadTable reads a tuning table from a JSON file (the format written by
+// SaveTable and shipped in results/portfolio_defaults.json), normalizes
+// the bucket order, and validates structure. Contender-name validation
+// against the engine universe is the caller's job (Validate).
+func LoadTable(path string) (*Table, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("portfolio: reading tuning table: %w", err)
+	}
+	var t Table
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("portfolio: parsing tuning table %s: %w", path, err)
+	}
+	t.normalize()
+	if err := t.Validate(nil); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// SaveTable writes the table as indented JSON, normalized, so saved
+// tables diff cleanly under version control.
+func SaveTable(path string, t *Table) error {
+	if err := t.Validate(nil); err != nil {
+		return err
+	}
+	t.normalize()
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return fmt.Errorf("portfolio: encoding tuning table: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

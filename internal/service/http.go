@@ -28,6 +28,9 @@ type jobRequestJSON struct {
 	Method     string        `json:"method,omitempty"`
 	Seed       int64         `json:"seed,omitempty"`
 	Basic      bool          `json:"basic,omitempty"`
+	// Contenders lists the solo methods a "portfolio" job races, in
+	// priority order; empty uses the server's per-size tuning table.
+	Contenders []string `json:"contenders,omitempty"`
 	// TimeoutSec bounds the solve; 0 uses the server default.
 	TimeoutSec float64 `json:"timeoutSec,omitempty"`
 }
@@ -259,11 +262,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req := &Request{
-		Netlist: nl,
-		Method:  sdpfloor.Method(in.Method),
-		Seed:    in.Seed,
-		Basic:   in.Basic,
-		Timeout: time.Duration(in.TimeoutSec * float64(time.Second)),
+		Netlist:    nl,
+		Method:     sdpfloor.Method(in.Method),
+		Seed:       in.Seed,
+		Basic:      in.Basic,
+		Contenders: in.Contenders,
+		Timeout:    time.Duration(in.TimeoutSec * float64(time.Second)),
 	}
 	if in.Outline != nil {
 		req.Outline = sdpfloor.Rect{MinX: in.Outline.MinX, MinY: in.Outline.MinY, MaxX: in.Outline.MaxX, MaxY: in.Outline.MaxY}
@@ -294,7 +298,10 @@ type batchRequestJSON struct {
 	Methods    []string        `json:"methods,omitempty"`
 	Seeds      []int64         `json:"seeds,omitempty"`
 	Basic      bool            `json:"basic,omitempty"`
-	TimeoutSec float64         `json:"timeoutSec,omitempty"`
+	// Contenders applies to any "portfolio" entry in Methods: those jobs
+	// race this contender list; empty uses the server's tuning table.
+	Contenders []string `json:"contenders,omitempty"`
+	TimeoutSec float64  `json:"timeoutSec,omitempty"`
 }
 
 // maxBatchJobs bounds one batch's fan-out; larger sweeps should be split
@@ -337,14 +344,18 @@ func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 	var reqs []*Request
 	for _, m := range methods {
 		for _, seed := range seeds {
-			reqs = append(reqs, &Request{
+			req := &Request{
 				Netlist: nl,
 				Outline: outline,
 				Method:  sdpfloor.Method(m),
 				Seed:    seed,
 				Basic:   in.Basic,
 				Timeout: time.Duration(in.TimeoutSec * float64(time.Second)),
-			})
+			}
+			if req.Method == sdpfloor.MethodPortfolio {
+				req.Contenders = in.Contenders
+			}
+			reqs = append(reqs, req)
 		}
 	}
 	st, err := s.SubmitBatch(reqs)

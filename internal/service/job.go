@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"strings"
 	"time"
 
 	"sdpfloor"
@@ -44,6 +45,10 @@ type Request struct {
 	Basic bool
 	// Timeout bounds the solve wall-clock; 0 uses the server default.
 	Timeout time.Duration
+	// Contenders lists the solo methods a portfolio job races, in priority
+	// order. Only valid with MethodPortfolio; empty selects the contender
+	// set from the server's per-size tuning table.
+	Contenders []string
 	// Batch is the batch ID this request belongs to; set by SubmitBatch
 	// and by journal replay, empty for standalone jobs.
 	Batch string
@@ -60,6 +65,10 @@ func (r *Request) Key() string {
 	r.Netlist.WriteJSON(h)
 	fmt.Fprintf(h, "outline %g %g %g %g\n", r.Outline.MinX, r.Outline.MinY, r.Outline.MaxX, r.Outline.MaxY)
 	fmt.Fprintf(h, "method %s seed %d basic %v\n", r.Method, r.Seed, r.Basic)
+	// Hashed only when present so every pre-portfolio key is unchanged.
+	if len(r.Contenders) > 0 {
+		fmt.Fprintf(h, "contenders %s\n", strings.Join(r.Contenders, ","))
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -70,6 +79,10 @@ type Result struct {
 	Rects    []rectJSON       `json:"rects"`
 	Centers  []pointJSON      `json:"centers"`
 	Global   *globalStatsJSON `json:"global,omitempty"`
+	// Winner and Portfolio report the race outcome of a portfolio job:
+	// which contender produced this result and how every contender fared.
+	Winner    string                     `json:"winner,omitempty"`
+	Portfolio []sdpfloor.PortfolioReport `json:"portfolio,omitempty"`
 }
 
 type rectJSON struct {
@@ -105,6 +118,8 @@ func newResult(nl *sdpfloor.Netlist, fp *sdpfloor.Floorplan) *Result {
 	for _, c := range fp.Centers {
 		res.Centers = append(res.Centers, pointJSON{X: c.X, Y: c.Y})
 	}
+	res.Winner = string(fp.Winner)
+	res.Portfolio = fp.Portfolio
 	if gr := fp.GlobalResult; gr != nil {
 		res.Global = &globalStatsJSON{
 			Iterations:       gr.Iterations,

@@ -32,6 +32,7 @@ func specFor(req *Request, key string) *jobstore.Spec {
 		Method:     string(req.Method),
 		Seed:       req.Seed,
 		Basic:      req.Basic,
+		Contenders: req.Contenders,
 		TimeoutSec: req.Timeout.Seconds(),
 		Key:        key,
 	}
@@ -54,13 +55,14 @@ func requestFromSpec(spec *jobstore.Spec, batch string) (*Request, error) {
 		return nil, fmt.Errorf("service: journal netlist: %w", err)
 	}
 	req := &Request{
-		Netlist: nl,
-		Outline: sdpfloor.Rect{MinX: spec.MinX, MinY: spec.MinY, MaxX: spec.MaxX, MaxY: spec.MaxY},
-		Method:  sdpfloor.Method(spec.Method),
-		Seed:    spec.Seed,
-		Basic:   spec.Basic,
-		Timeout: time.Duration(spec.TimeoutSec * float64(time.Second)),
-		Batch:   batch,
+		Netlist:    nl,
+		Outline:    sdpfloor.Rect{MinX: spec.MinX, MinY: spec.MinY, MaxX: spec.MaxX, MaxY: spec.MaxY},
+		Method:     sdpfloor.Method(spec.Method),
+		Seed:       spec.Seed,
+		Basic:      spec.Basic,
+		Contenders: spec.Contenders,
+		Timeout:    time.Duration(spec.TimeoutSec * float64(time.Second)),
+		Batch:      batch,
 	}
 	if req.Method == "" {
 		req.Method = sdpfloor.MethodSDP
@@ -228,6 +230,7 @@ func (s *Server) historyRequest(st *jobstore.JobState) *Request {
 		req.Method = sdpfloor.Method(st.Spec.Method)
 		req.Seed = st.Spec.Seed
 		req.Basic = st.Spec.Basic
+		req.Contenders = st.Spec.Contenders
 		req.Outline = sdpfloor.Rect{MinX: st.Spec.MinX, MinY: st.Spec.MinY, MaxX: st.Spec.MaxX, MaxY: st.Spec.MaxY}
 		if len(st.Spec.Netlist) > 0 {
 			if nl, err := sdpfloor.ReadNetlistJSON(bytes.NewReader(st.Spec.Netlist)); err == nil {

@@ -44,6 +44,10 @@ type Config struct {
 	// GET /v1/jobs/{id}/trace: the newest TraceDepth events are retained,
 	// older ones are dropped and counted (default 4096).
 	TraceDepth int
+	// PortfolioDefaults overrides the built-in per-size tuning table used
+	// by portfolio jobs that do not list explicit contenders. Nil keeps the
+	// built-in defaults.
+	PortfolioDefaults *sdpfloor.PortfolioTable
 	// Journal, when non-nil, makes the job table durable: every state
 	// transition is appended to the write-ahead journal, and Replay (the
 	// states jobstore.Open returned from the same journal) restores the
@@ -258,7 +262,10 @@ func (s *Server) validateRequest(req *Request) (string, error) {
 		req.Method = sdpfloor.MethodSDP
 	}
 	if !validMethod(req.Method) {
-		return "", fmt.Errorf("service: unknown method %q (valid: %v)", req.Method, sdpfloor.Methods)
+		return "", fmt.Errorf("service: unknown method %q (valid: %v, %s)", req.Method, sdpfloor.Methods, sdpfloor.MethodPortfolio)
+	}
+	if err := validateContenders(req); err != nil {
+		return "", err
 	}
 	if req.Timeout <= 0 {
 		req.Timeout = s.cfg.DefaultTimeout
@@ -485,6 +492,16 @@ func (s *Server) runJob(j *Job) {
 		SkipEnhancements: req.Basic,
 		Trace:            rec,
 	}
+	// Portfolio jobs race their contenders inside the per-solve worker
+	// budget: Race splits SolveWorkers across contenders (each gets at
+	// least one; the shared kernel pool bounds real parallelism), so a
+	// portfolio job consumes no more CPU than a solo one.
+	if req.Method == sdpfloor.MethodPortfolio {
+		for _, c := range req.Contenders {
+			cfg.Portfolio.Contenders = append(cfg.Portfolio.Contenders, sdpfloor.Method(c))
+		}
+		cfg.Portfolio.Table = s.cfg.PortfolioDefaults
+	}
 	cfg.Global.Workers = s.cfg.SolveWorkers
 	fp, err := s.placeFn(ctx, req.Netlist, cfg)
 
@@ -605,10 +622,36 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 func validMethod(m sdpfloor.Method) bool {
+	return m == sdpfloor.MethodPortfolio || soloMethod(m)
+}
+
+func soloMethod(m sdpfloor.Method) bool {
 	for _, v := range sdpfloor.Methods {
 		if m == v {
 			return true
 		}
 	}
 	return false
+}
+
+// validateContenders rejects malformed portfolio requests at submit time,
+// so a bad contender list answers 400 instead of a failed job.
+func validateContenders(req *Request) error {
+	if req.Method != sdpfloor.MethodPortfolio {
+		if len(req.Contenders) > 0 {
+			return fmt.Errorf("service: contenders require method %q", sdpfloor.MethodPortfolio)
+		}
+		return nil
+	}
+	seen := make(map[string]bool, len(req.Contenders))
+	for _, c := range req.Contenders {
+		if !soloMethod(sdpfloor.Method(c)) {
+			return fmt.Errorf("service: portfolio contender %q is not a solo method (valid: %v)", c, sdpfloor.Methods)
+		}
+		if seen[c] {
+			return fmt.Errorf("service: portfolio contender %q listed twice", c)
+		}
+		seen[c] = true
+	}
+	return nil
 }

@@ -69,14 +69,18 @@ func (j *JSONL) Err() error {
 
 // AppendJSON appends the deterministic JSONL form of ev (without the
 // trailing newline) to b and returns the extended slice. The "ts" key is
-// always first; "status" appears only when non-empty; fields follow in
-// their stored order. Non-finite field values are encoded as the strings
+// always first; "run" and "status" appear only when non-empty; fields
+// follow in their stored order. Non-finite field values are encoded as the strings
 // "NaN", "+Inf", and "-Inf" (bare NaN/Inf are not valid JSON).
 func AppendJSON(b []byte, ev Event) []byte {
 	b = append(b, `{"ts":`...)
 	b = strconv.AppendInt(b, ev.TS, 10)
 	b = append(b, `,"solver":`...)
 	b = strconv.AppendQuote(b, ev.Solver)
+	if ev.Run != "" {
+		b = append(b, `,"run":`...)
+		b = strconv.AppendQuote(b, ev.Run)
+	}
 	b = append(b, `,"kind":`...)
 	b = strconv.AppendQuote(b, ev.Kind)
 	b = append(b, `,"iter":`...)
@@ -239,6 +243,8 @@ func (p *lineParser) value(ev *Event, key string) error {
 		switch key {
 		case "solver":
 			ev.Solver = s
+		case "run":
+			ev.Run = s
 		case "kind":
 			ev.Kind = s
 		case "status":
@@ -280,7 +286,7 @@ func (p *lineParser) value(ev *Event, key string) error {
 			return fmt.Errorf("trace: bad iter %q: %w", tok, err)
 		}
 		ev.Iter = n
-	case "solver", "kind", "status":
+	case "solver", "run", "kind", "status":
 		return fmt.Errorf("trace: key %q needs a string value, got %q", key, tok)
 	default:
 		v, err := strconv.ParseFloat(tok, 64)

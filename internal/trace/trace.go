@@ -42,8 +42,15 @@ type Event struct {
 	// Recorder implementation, never by the solver, and is the only
 	// non-deterministic part of an event; StripTS removes it for diffing.
 	TS int64
-	// Solver identifies the emitting loop: "ipm", "admm", "core", "lbfgs".
+	// Solver identifies the emitting loop: "ipm", "admm", "core", "lbfgs",
+	// "ar", "pp", "qp", "sa", "analytic", "hier", "portfolio".
 	Solver string
+	// Run scopes the event to one concurrent run of its solver. Solvers
+	// leave it empty; a layer that multiplexes several solver trees into
+	// one recorder (the portfolio racer, one goroutine tree per contender)
+	// stamps it via WithRun so consumers can reassemble interleaved
+	// start/iter/final sequences per run instead of by arrival order.
+	Run string
 	// Kind is the record type: "start" (one per run), "iter" (one per
 	// completed iteration), "final" (exactly one per run, on every exit
 	// path including cancellation and numerical failure).
@@ -94,6 +101,33 @@ func Multi(rs ...Recorder) Recorder {
 		}
 	}
 	return out
+}
+
+// WithRun wraps r so every event passing through carries the given run id
+// (pre-existing run ids are preserved: an already-scoped event crossing a
+// second WithRun layer keeps its inner, more specific scope). The portfolio
+// racer wraps the job recorder once per contender, so the interleaved
+// streams of concurrent contenders stay separable downstream. A nil or
+// disabled r yields an equally disabled recorder.
+func WithRun(r Recorder, run string) Recorder {
+	if r == nil {
+		return Nop{}
+	}
+	return runScoped{r: r, run: run}
+}
+
+type runScoped struct {
+	r   Recorder
+	run string
+}
+
+func (s runScoped) Enabled() bool { return s.r.Enabled() }
+
+func (s runScoped) Record(ev Event) {
+	if ev.Run == "" {
+		ev.Run = s.run
+	}
+	s.r.Record(ev)
 }
 
 type multi []Recorder

@@ -256,3 +256,43 @@ func BenchmarkRingRecord(b *testing.B) {
 		r.Record(ev)
 	}
 }
+
+func TestRunFieldRoundTrip(t *testing.T) {
+	ev := Event{TS: 7, Solver: "ipm", Run: "sdp", Kind: "final", Iter: 4, Status: "optimal",
+		Fields: []Field{{Key: "relG", Val: 2}}}
+	line := AppendJSON(nil, ev)
+	want := `{"ts":7,"solver":"ipm","run":"sdp","kind":"final","iter":4,"status":"optimal","relG":2}`
+	if string(line) != want {
+		t.Fatalf("AppendJSON = %s, want %s", line, want)
+	}
+	got, err := ParseLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Run != "sdp" || got.Solver != "ipm" || got.Status != "optimal" {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	// Empty run serializes exactly as before the field existed.
+	ev.Run = ""
+	if s := string(AppendJSON(nil, ev)); strings.Contains(s, "run") {
+		t.Fatalf("empty run must be omitted, got %s", s)
+	}
+}
+
+func TestWithRunStampsAndPreserves(t *testing.T) {
+	r := NewRing(8)
+	wrapped := WithRun(r, "sa")
+	if !wrapped.Enabled() {
+		t.Fatal("WithRun over an enabled recorder must be enabled")
+	}
+	wrapped.Record(Event{Solver: "sa", Kind: "start"})
+	// An inner, more specific run id survives an outer WithRun layer.
+	WithRun(wrapped, "outer").Record(Event{Solver: "lbfgs", Kind: "final", Run: "inner"})
+	evs := r.Snapshot()
+	if len(evs) != 2 || evs[0].Run != "sa" || evs[1].Run != "inner" {
+		t.Fatalf("runs = %v", evs)
+	}
+	if WithRun(nil, "x").Enabled() {
+		t.Fatal("WithRun(nil) must be disabled")
+	}
+}

@@ -87,9 +87,17 @@ const (
 	MethodQP       Method = "qp"       // quadratic placement [13]
 	MethodSA       Method = "sa"       // Parquet-style simulated annealing [20]
 	MethodAnalytic Method = "analytic" // density-driven analytical [7]
+
+	// MethodPortfolio races several of the methods above concurrently under
+	// one deadline and returns the first legalized plan (see Config.Portfolio
+	// and docs/PORTFOLIO.md). It is deliberately NOT in Methods: that slice
+	// is the solo-engine universe portfolio contenders are drawn from, and
+	// it drives per-method comparisons (examples/compare, cmd/floorplot)
+	// where a racing meta-method would be self-referential.
+	MethodPortfolio Method = "portfolio"
 )
 
-// Methods lists all supported methods in evaluation order.
+// Methods lists all supported solo methods in evaluation order.
 var Methods = []Method{MethodSDP, MethodSDPHier, MethodAR, MethodPP, MethodQP, MethodSA, MethodAnalytic}
 
 // Config configures Place.
@@ -106,6 +114,11 @@ type Config struct {
 	// SkipEnhancements leaves the Section IV-B techniques off for
 	// MethodSDP (the "basic" algorithm; mostly useful for ablations).
 	SkipEnhancements bool
+	// Anneal tunes the simulated-annealing engine (MethodSA and the "sa"
+	// portfolio contender); zero values keep the annealer's defaults.
+	Anneal AnnealKnobs
+	// Portfolio configures MethodPortfolio (ignored for other methods).
+	Portfolio PortfolioConfig
 	// Trace, when non-nil and enabled, receives one structured event per
 	// solver iteration from every iterative stage of the run: the convex
 	// iteration ("core"), its SDP sub-problem solves ("ipm"/"admm"), and the
@@ -131,6 +144,12 @@ type Floorplan struct {
 	// GlobalResult carries the convex-iteration diagnostics (MethodSDP
 	// only).
 	GlobalResult *GlobalResult
+	// Winner names the engine that produced this floorplan (MethodPortfolio
+	// only; empty otherwise).
+	Winner Method
+	// Portfolio carries the per-contender race outcomes (MethodPortfolio
+	// only), in contender priority order.
+	Portfolio []PortfolioReport
 }
 
 // Place runs a global floorplanning method and the shared legalizer end to
@@ -185,13 +204,14 @@ func PlaceContext(ctx context.Context, nl *Netlist, cfg Config) (*Floorplan, err
 			Top:     cfg.Global,
 			Logf:    cfg.Global.Logf,
 			Context: ctx,
+			Trace:   cfg.Global.Trace,
 		})
 		if err != nil {
 			return nil, err
 		}
 		fp.Global = res.Centers
 	case MethodAR:
-		res, err := baseline.SolveAR(nl, baseline.AROptions{Seed: cfg.Seed, Context: ctx})
+		res, err := baseline.SolveAR(nl, baseline.AROptions{Seed: cfg.Seed, Context: ctx, Trace: cfg.Global.Trace})
 		if res != nil {
 			fp.Global = res.Centers
 		}
@@ -199,7 +219,7 @@ func PlaceContext(ctx context.Context, nl *Netlist, cfg Config) (*Floorplan, err
 			return partialOrNil(fp, err), err
 		}
 	case MethodPP:
-		res, err := baseline.SolvePP(nl, baseline.PPOptions{Seed: cfg.Seed, Context: ctx})
+		res, err := baseline.SolvePP(nl, baseline.PPOptions{Seed: cfg.Seed, Context: ctx, Trace: cfg.Global.Trace})
 		if res != nil {
 			fp.Global = res.Centers
 		}
@@ -207,13 +227,19 @@ func PlaceContext(ctx context.Context, nl *Netlist, cfg Config) (*Floorplan, err
 			return partialOrNil(fp, err), err
 		}
 	case MethodQP:
-		res, err := baseline.SolveQP(nl)
+		// QP is a single closed-form solve: no meaningful partial exists, so
+		// cancellation and failure both return nil.
+		res, err := baseline.SolveQPOpts(nl, baseline.QPOptions{Context: ctx, Trace: cfg.Global.Trace})
 		if err != nil {
 			return nil, err
 		}
 		fp.Global = res.Centers
 	case MethodSA:
-		res, err := anneal.Solve(nl, anneal.Options{Outline: cfg.Outline, Seed: cfg.Seed, Context: ctx})
+		res, err := anneal.Solve(nl, anneal.Options{
+			Outline: cfg.Outline, Seed: cfg.Seed, Context: ctx,
+			MovesPerTemp: cfg.Anneal.MovesPerTemp, CoolingRate: cfg.Anneal.CoolingRate,
+			MinTemp: cfg.Anneal.MinTemp, Trace: cfg.Global.Trace,
+		})
 		if res != nil {
 			// SA already produces a legal floorplan; no legalization needed.
 			fp.Global = res.Centers
@@ -227,13 +253,17 @@ func PlaceContext(ctx context.Context, nl *Netlist, cfg Config) (*Floorplan, err
 		}
 		return fp, nil
 	case MethodAnalytic:
-		res, err := analytic.Solve(nl, analytic.Options{Outline: cfg.Outline, Seed: cfg.Seed, Context: ctx})
+		res, err := analytic.Solve(nl, analytic.Options{Outline: cfg.Outline, Seed: cfg.Seed, Context: ctx, Trace: cfg.Global.Trace})
 		if res != nil {
 			fp.Global = res.Centers
 		}
 		if err != nil {
 			return partialOrNil(fp, err), err
 		}
+	case MethodPortfolio:
+		// The race legalizes inside each contender; it never falls through
+		// to the shared legalize step below.
+		return placePortfolio(ctx, nl, cfg)
 	default:
 		return nil, fmt.Errorf("sdpfloor: unknown method %q", cfg.Method)
 	}
