@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint sdpvet vet-json race portfolio-race cover bench bench-baseline bench-allocs benchdiff fuzz-smoke integration clean
+.PHONY: build test check lint sdpvet vet-json race portfolio-race cover bench bench-baseline bench-allocs benchdiff fuzz-smoke eco integration clean
 
 build:
 	$(GO) build ./...
@@ -74,14 +74,22 @@ benchdiff:
 	$(GO) run ./cmd/benchdiff run -o BENCH_current.json
 	$(GO) run ./cmd/benchdiff compare -baseline BENCH_baseline.json -current BENCH_current.json
 
-# fuzz-smoke gives each GSRC-parser fuzz target a short native-fuzzing run
-# (Go can only fuzz one target per invocation). The seeds always run under
-# plain `make test`; this adds coverage-guided exploration on top.
+# fuzz-smoke gives each format-parser fuzz target a short native-fuzzing
+# run (Go can only fuzz one target per invocation). The seeds always run
+# under plain `make test`; this adds coverage-guided exploration on top.
 FUZZTIME ?= 30s
 fuzz-smoke:
 	$(GO) test ./internal/gsrc/ -run '^$$' -fuzz FuzzParseBlocks -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/gsrc/ -run '^$$' -fuzz FuzzParseNets -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/gsrc/ -run '^$$' -fuzz FuzzParsePl -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mcnc/ -run '^$$' -fuzz FuzzParseMCNC -fuzztime $(FUZZTIME)
+
+# eco is CI's incremental-floorplanning gate: the differential/metamorphic
+# ECO oracle, the MCNC corpus, and the service's ECO chain tests, twice
+# under the race detector with shuffled order (warm-start reuse must not
+# depend on test order or scheduling).
+eco:
+	$(GO) test -race -count=2 -shuffle=on -run 'ECO|MCNC|Incremental' ./...
 
 # integration builds the real floorpland binary, starts it with -data-dir,
 # submits a batch, SIGKILLs the daemon mid-solve, restarts it on the same

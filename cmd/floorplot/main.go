@@ -5,6 +5,7 @@
 //
 //	floorplot -bench n10 -out plots/              # all methods
 //	floorplot -bench n30 -method sdp -out plots/  # one method
+//	floorplot -dir bench/ -design ami33 -out plots/  # on-disk GSRC or MCNC YAL
 package main
 
 import (
@@ -24,6 +25,8 @@ func main() {
 
 	var (
 		bench      = flag.String("bench", "n10", "builtin benchmark name")
+		dir        = flag.String("dir", "", "directory with a GSRC or MCNC YAL design (overrides -bench)")
+		design     = flag.String("design", "", "design name inside -dir")
 		method     = flag.String("method", "", "single method (default: all)")
 		aspect     = flag.Float64("aspect", 1, "outline height:width ratio")
 		whitespace = flag.Float64("whitespace", 0.15, "outline whitespace fraction")
@@ -32,9 +35,22 @@ func main() {
 	)
 	flag.Parse()
 
-	d, err := sdpfloor.LoadBenchmark(*bench, *aspect, *whitespace)
+	var d *sdpfloor.Design
+	var err error
+	label := *bench
+	if *dir != "" {
+		if *design == "" {
+			log.Fatal("-dir needs -design")
+		}
+		d, err = sdpfloor.LoadDesignDir(*dir, *design, *aspect, *whitespace)
+	} else {
+		d, err = sdpfloor.LoadBenchmark(*bench, *aspect, *whitespace)
+	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *dir != "" {
+		label = d.Name
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
@@ -60,7 +76,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", m, err)
 		}
-		path := filepath.Join(*out, fmt.Sprintf("%s-%s.svg", *bench, m))
+		path := filepath.Join(*out, fmt.Sprintf("%s-%s.svg", label, m))
 		f, err := os.Create(path)
 		if err != nil {
 			log.Fatal(err)

@@ -5,9 +5,12 @@
 //
 //	sdpfloor -bench n10                 # builtin synthetic benchmark
 //	sdpfloor -dir bench/ -design n10    # GSRC .blocks/.nets/.pl on disk
+//	sdpfloor -dir bench/ -design ami33  # MCNC YAL (ami33.yal) — format is sniffed
 //	sdpfloor -bench n30 -method ar -aspect 2 -svg out.svg -v
 //	sdpfloor -bench n30 -method portfolio -timeout 30s        # tuned default race
 //	sdpfloor -bench n30 -portfolio sdp,sa -timeout 30s        # explicit contender race
+//	sdpfloor -bench n30 -out-pl prev.pl                       # save warm-start centers
+//	sdpfloor -bench n30 -eco delta.json -prev prev.pl         # incremental (ECO) re-solve
 package main
 
 import (
@@ -19,10 +22,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 
 	"sdpfloor"
-	"sdpfloor/internal/gsrc"
 	"sdpfloor/internal/svg"
 	"sdpfloor/internal/trace"
 	"sdpfloor/internal/version"
@@ -60,6 +63,9 @@ func main() {
 		svgOut     = flag.String("svg", "", "write the legalized floorplan as SVG to this path")
 		traceOut   = flag.String("trace", "", "write per-iteration solver telemetry as JSONL to this path (see docs/TRACING.md)")
 		timeout    = flag.Duration("timeout", 0, "abort the solve after this long (0 = no limit); exits with status 3")
+		ecoPath    = flag.String("eco", "", "ECO delta JSON: apply it to the input and re-solve warm from -prev (sdp only)")
+		prevPl     = flag.String("prev", "", "previous placement ('name x y' lines, e.g. from -out-pl) seeding the -eco re-solve")
+		outPl      = flag.String("out-pl", "", "write the global module centers as 'name x y' lines (feeds a later -prev)")
 		verbose    = flag.Bool("v", false, "log solver progress")
 		showVer    = flag.Bool("version", false, "print the build stamp and exit")
 	)
@@ -105,6 +111,14 @@ func main() {
 		log.Printf("-timeout must be positive")
 		os.Exit(2)
 	}
+	if (*ecoPath != "") != (*prevPl != "") {
+		log.Printf("-eco and -prev must be given together")
+		os.Exit(2)
+	}
+	if *ecoPath != "" && sdpfloor.Method(*method) != sdpfloor.MethodSDP {
+		log.Printf("-eco supports only -method sdp (warm re-entry needs the SDP prior)")
+		os.Exit(2)
+	}
 
 	var d *sdpfloor.Design
 	var err error
@@ -112,10 +126,9 @@ func main() {
 	case *bench != "":
 		d, err = sdpfloor.LoadBenchmark(*bench, *aspect, *whitespace)
 	case *dir != "":
-		d, err = gsrc.ReadDesign(*dir, *design)
-		if err == nil && d.Outline.W() <= 0 {
-			d.Outline = sdpfloor.OutlineFor(d.Netlist, *aspect, *whitespace)
-		}
+		// LoadDesignDir sniffs the format: MCNC YAL (<design>.yal or a
+		// MODULE-leading file) or the GSRC bookshelf triple.
+		d, err = sdpfloor.LoadDesignDir(*dir, *design, *aspect, *whitespace)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -175,7 +188,12 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	fp, err := sdpfloor.PlaceContext(ctx, d.Netlist, cfg)
+	var fp *sdpfloor.Floorplan
+	if *ecoPath != "" {
+		fp, err = runECO(ctx, d, *ecoPath, *prevPl, cfg)
+	} else {
+		fp, err = sdpfloor.PlaceContext(ctx, d.Netlist, cfg)
+	}
 	closeTrace()
 	if errors.Is(err, context.DeadlineExceeded) {
 		// The solver returns its last iterate as a partial result; report
@@ -216,6 +234,9 @@ func main() {
 		fmt.Printf("convex-iteration: %d iterations, final alpha %g, rank-2 %v, <W,Z> %.3g\n",
 			gr.Iterations, gr.AlphaFinal, gr.RankOK, gr.WZ)
 	}
+	if inc := fp.Incremental; inc != nil {
+		fmt.Printf("eco      : reused %d previous centers, seeded %d new modules\n", inc.Reused, inc.Seeded)
+	}
 	if len(fp.Portfolio) > 0 {
 		total := 0
 		for _, r := range fp.Portfolio {
@@ -230,6 +251,13 @@ func main() {
 			}
 			fmt.Println(line)
 		}
+	}
+
+	if *outPl != "" {
+		if err := writePlacement(*outPl, d, fp); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pl       : %s\n", *outPl)
 	}
 
 	if *jsonOut != "" {
@@ -285,4 +313,84 @@ func main() {
 		}
 		fmt.Printf("svg      : %s\n", *svgOut)
 	}
+}
+
+// runECO reads the delta and previous placement, applies the delta to the
+// loaded netlist, and re-solves warm. The design is updated to the mutated
+// netlist so every downstream report (-json, -svg, -out-pl) describes the
+// post-ECO instance.
+func runECO(ctx context.Context, d *sdpfloor.Design, ecoPath, prevPath string, cfg sdpfloor.Config) (*sdpfloor.Floorplan, error) {
+	ef, err := os.Open(ecoPath)
+	if err != nil {
+		return nil, err
+	}
+	delta, err := sdpfloor.ReadDeltaJSON(bufio.NewReader(ef))
+	ef.Close()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", ecoPath, err)
+	}
+	prev, err := readPlacement(prevPath)
+	if err != nil {
+		return nil, err
+	}
+	mutated, err := delta.Apply(d.Netlist)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", ecoPath, err)
+	}
+	d.Netlist = mutated
+	return sdpfloor.ResolveSeeded(ctx, mutated, prev, 0, cfg)
+}
+
+// readPlacement parses 'name x y' lines (comments, bookshelf banners, and
+// trailing tokens like FIXED are tolerated) into named centers.
+func readPlacement(path string) ([]sdpfloor.NamedPoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []sdpfloor.NamedPoint
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") ||
+			strings.HasPrefix(line, "UCLA") || strings.HasPrefix(line, "UCSC") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("%s: placement line %q needs 'name x y'", path, line)
+		}
+		x, err1 := strconv.ParseFloat(fields[1], 64)
+		y, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("%s: bad coordinates in %q", path, line)
+		}
+		out = append(out, sdpfloor.NamedPoint{Name: fields[0], X: x, Y: y})
+	}
+	return out, sc.Err()
+}
+
+// writePlacement emits the global (pre-legalization) centers as 'name x y'
+// lines in shortest-round-trip float form — the warm-start food for a later
+// -eco run (the SDP's own converged iterate re-enters the convex iteration
+// far better than the legalizer's snapped rectangles).
+func writePlacement(path string, d *sdpfloor.Design, fp *sdpfloor.Floorplan) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "# sdpfloor global centers for %s\n", d.Name)
+	for i, m := range d.Netlist.Modules {
+		p := fp.Global[i]
+		fmt.Fprintf(w, "%s %s %s\n", m.Name,
+			strconv.FormatFloat(p.X, 'g', -1, 64), strconv.FormatFloat(p.Y, 'g', -1, 64))
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,58 @@
+package sdpfloor
+
+import "testing"
+
+// TestN30EcoChain measures the headline incremental-flow experiment for
+// EXPERIMENTS.md: a chain of ECO deltas applied to n30, each re-solved warm
+// from the previous floorplan, against cold re-solves of the same mutated
+// netlists. The chain must stay feasible, every link must report its reuse,
+// and over the whole chain the warm path must cost fewer total solver
+// iterations than the cold path.
+//
+// The name deliberately avoids the CI `eco` job's -run pattern: this is a
+// tier-1-only experiment (n30 is ~10× an n10 solve), skipped under -short.
+func TestN30EcoChain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n30 ECO chain is a tier-1 experiment")
+	}
+	design, err := LoadBenchmark("n30", 1, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Outline: design.Outline, Global: GlobalOptions{AlphaMaxDoublings: 6}}
+	fp, err := Place(design.Netlist, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := design.Netlist
+	ecoIters, coldIters := 0, 0
+	for link, seed := range []int64{101, 102, 103, 104} {
+		d := GenerateDelta(nl, seed, 4)
+		next, mut, err := Resolve(nl, fp, d, cfg)
+		if err != nil {
+			t.Fatalf("link %d: resolve: %v", link, err)
+		}
+		if !next.Feasible {
+			t.Errorf("link %d: ECO re-solve infeasible", link)
+		}
+		if next.Incremental == nil || next.Incremental.Reused == 0 {
+			t.Fatalf("link %d: missing incremental report: %+v", link, next.Incremental)
+		}
+		cold, err := Place(mut, cfg)
+		if err != nil {
+			t.Fatalf("link %d: cold solve: %v", link, err)
+		}
+		rel := (next.HPWL - cold.HPWL) / cold.HPWL
+		t.Logf("link %d (seed %d, n=%d): eco %d iters vs cold %d, HPWL %+.2f%% vs cold, reused %d seeded %d",
+			link, seed, mut.N(), next.GlobalResult.SolverIterations, cold.GlobalResult.SolverIterations,
+			100*rel, next.Incremental.Reused, next.Incremental.Seeded)
+		ecoIters += next.GlobalResult.SolverIterations
+		coldIters += cold.GlobalResult.SolverIterations
+		nl, fp = mut, next
+	}
+	t.Logf("n30 chain totals: eco %d vs cold %d solver iterations (%.1f%% saved)",
+		ecoIters, coldIters, 100*(1-float64(ecoIters)/float64(coldIters)))
+	if ecoIters >= coldIters {
+		t.Errorf("warm chain spent %d solver iterations, cold %d — no saving", ecoIters, coldIters)
+	}
+}

@@ -1,0 +1,110 @@
+package sdpfloor
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"sdpfloor/internal/trace"
+)
+
+// TestECOMetamorphicRelabelCommutes — relabel-then-ECO must equal
+// ECO-then-relabel exactly. GenerateDelta picks modules by index, so
+// generating the delta from the relabeled netlist IS the relabeled delta;
+// the whole pipeline below it works on indices, so the re-solve's HPWL and
+// its trace stream (modulo timestamps) must be bitwise identical to the
+// unrenamed run's.
+func TestECOMetamorphicRelabelCommutes(t *testing.T) {
+	run := func(rename bool) (float64, []string) {
+		d, err := LoadBenchmark("n10", 1, 0.15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rename {
+			n := len(d.Netlist.Modules)
+			for i := range d.Netlist.Modules {
+				d.Netlist.Modules[i].Name = fmt.Sprintf("blk%02d", (i+1)%n)
+			}
+		}
+		cfg := metamorphicConfig(d.Outline)
+		prev, err := Place(d.Netlist, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta := GenerateDelta(d.Netlist, 11, 4)
+		var buf bytes.Buffer
+		cfg.Trace = trace.NewJSONL(&buf)
+		fp, _, err := Resolve(d.Netlist, prev, delta, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		for i := range lines {
+			lines[i] = trace.StripTS(lines[i])
+		}
+		return fp.HPWL, lines
+	}
+
+	baseHPWL, baseTrace := run(false)
+	relHPWL, relTrace := run(true)
+	if math.Float64bits(baseHPWL) != math.Float64bits(relHPWL) {
+		t.Errorf("ECO HPWL changed under relabeling: %g -> %g", baseHPWL, relHPWL)
+	}
+	if len(baseTrace) != len(relTrace) {
+		t.Fatalf("ECO trace length changed under relabeling: %d -> %d lines", len(baseTrace), len(relTrace))
+	}
+	for i := range baseTrace {
+		if baseTrace[i] != relTrace[i] {
+			t.Fatalf("ECO trace line %d changed under relabeling:\nbase %s\nrelabeled %s",
+				i, baseTrace[i], relTrace[i])
+		}
+	}
+}
+
+// TestECOMetamorphicDeltaInverse — resolving a delta and then its inverse
+// returns to the original problem instance, so the final floorplan's HPWL
+// must land near the original solve's. The round trip re-enters the convex
+// iteration twice from perturbed priors, so the law carries a tolerance
+// (the iteration is a heuristic and basin drift in either direction is
+// expected), not bitwise equality.
+func TestECOMetamorphicDeltaInverse(t *testing.T) {
+	d, err := LoadBenchmark("n10", 1, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := metamorphicConfig(d.Outline)
+	orig, err := Place(d.Netlist, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		delta := GenerateDelta(d.Netlist, seed, 3)
+		inv, err := delta.Inverse(d.Netlist)
+		if err != nil {
+			t.Fatalf("seed %d: inverse: %v", seed, err)
+		}
+		mid, mut, err := Resolve(d.Netlist, orig, delta, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: resolve delta: %v", seed, err)
+		}
+		back, restored, err := Resolve(mut, mid, inv, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: resolve inverse: %v", seed, err)
+		}
+		// The restored netlist models the original instance (the netlist-level
+		// round trip is pinned exactly in internal/netlist); here the law under
+		// test is that the SOLUTION returns too.
+		if restored.N() != d.Netlist.N() {
+			t.Fatalf("seed %d: inverse did not restore the module count: %d vs %d",
+				seed, restored.N(), d.Netlist.N())
+		}
+		rel := math.Abs(back.HPWL-orig.HPWL) / orig.HPWL
+		t.Logf("seed %d: orig HPWL %.1f, after delta+inverse %.1f (%.2f%%)",
+			seed, orig.HPWL, back.HPWL, 100*rel)
+		if rel > 0.10 {
+			t.Errorf("seed %d: delta+inverse drifted %.1f%% from the original HPWL", seed, 100*rel)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package sdpfloor
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"sdpfloor/internal/core"
+	"sdpfloor/internal/trace"
+)
+
+// ecoDifferentialConfig is the pinned configuration of the ECO
+// differential oracle: few enough α rounds to keep the suite fast, default
+// convex-iteration depth so warm entry has iterations to save, and (for
+// ADMM) a bounded inner budget so the first-order tail cannot dominate the
+// suite's wall time. Solver trajectories are deterministic for a fixed
+// config, so the oracle's thresholds are stable run to run.
+func ecoDifferentialConfig(outline Rect, solver core.SolverKind) Config {
+	cfg := Config{Outline: outline, Global: GlobalOptions{AlphaMaxDoublings: 6}}
+	if solver == core.SolverADMM {
+		cfg.Global.Solver = core.SolverADMM
+		cfg.Global.SolverMaxIter = 800
+	}
+	return cfg
+}
+
+// runECODifferential is the differential oracle: for each mutation seed,
+// re-solve the mutated netlist twice — warm from the previous solution via
+// Resolve, and cold from scratch — and compare. The contract:
+//
+//   - quality: warm HPWL tracks cold HPWL. Per seed the convex iteration's
+//     basin sensitivity allows noticeable drift in either direction, so the
+//     oracle bounds each seed loosely and the MEAN tightly: averaged over
+//     the seeds, ECO must land within 1% of cold (it is usually better).
+//   - cost: the warm re-solves must spend measurably fewer total
+//     sub-problem solver iterations than the cold ones, and the report's
+//     SolverItersSaved must be wired to the diagnostics.
+func runECODifferential(t *testing.T, solver core.SolverKind, seeds []int64) {
+	design, err := LoadBenchmark("n10", 1, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ecoDifferentialConfig(design.Outline, solver)
+	prev, err := Place(design.Netlist, cfg)
+	if err != nil {
+		t.Fatalf("previous solve: %v", err)
+	}
+	ecoIters, coldIters := 0, 0
+	meanRel := 0.0
+	for _, seed := range seeds {
+		d := GenerateDelta(design.Netlist, seed, 3)
+		fp, mut, err := Resolve(design.Netlist, prev, d, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: resolve: %v", seed, err)
+		}
+		cold, err := Place(mut, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: cold solve: %v", seed, err)
+		}
+		rel := (fp.HPWL - cold.HPWL) / cold.HPWL
+		meanRel += rel / float64(len(seeds))
+		// Per-seed guard: a warm entry must never be catastrophically worse
+		// than cold (the mean check below is the tight one).
+		if rel > 0.15 {
+			t.Errorf("seed %d: ECO HPWL %.1f is %+.1f%% vs cold %.1f", seed, fp.HPWL, 100*rel, cold.HPWL)
+		}
+		if fp.Incremental == nil {
+			t.Fatalf("seed %d: no incremental report", seed)
+		}
+		if fp.Incremental.Reused == 0 || fp.Incremental.Reused+fp.Incremental.Seeded != mut.N() {
+			t.Errorf("seed %d: report reused=%d seeded=%d does not cover %d modules",
+				seed, fp.Incremental.Reused, fp.Incremental.Seeded, mut.N())
+		}
+		wantSaved := prev.GlobalResult.SolverIterations - fp.GlobalResult.SolverIterations
+		if fp.Incremental.SolverItersSaved != wantSaved {
+			t.Errorf("seed %d: SolverItersSaved = %d, want %d", seed, fp.Incremental.SolverItersSaved, wantSaved)
+		}
+		if fp.GlobalResult.WarmStarts == 0 {
+			t.Errorf("seed %d: warm re-solve consumed no warm starts", seed)
+		}
+		ecoIters += fp.GlobalResult.SolverIterations
+		coldIters += cold.GlobalResult.SolverIterations
+		t.Logf("seed %d: eco %d iters, cold %d iters, HPWL %+.2f%% (reused %d, seeded %d)",
+			seed, fp.GlobalResult.SolverIterations, cold.GlobalResult.SolverIterations,
+			100*rel, fp.Incremental.Reused, fp.Incremental.Seeded)
+	}
+	if meanRel > 0.01 {
+		t.Errorf("mean ECO-vs-cold HPWL drift %+.2f%% exceeds 1%%", 100*meanRel)
+	}
+	if ecoIters >= coldIters {
+		t.Errorf("ECO total solver iterations %d not fewer than cold %d", ecoIters, coldIters)
+	}
+	t.Logf("totals: eco %d vs cold %d solver iterations (%.1f%% saved), mean HPWL drift %+.2f%%",
+		ecoIters, coldIters, 100*(1-float64(ecoIters)/float64(coldIters)), 100*meanRel)
+}
+
+func TestECODifferentialIPM(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if testing.Short() {
+		seeds = seeds[:4]
+	}
+	runECODifferential(t, core.SolverIPM, seeds)
+}
+
+func TestECODifferentialADMM(t *testing.T) {
+	// Six seeds keep the first-order leg inside the suite's time budget;
+	// together with the IPM leg the oracle covers 16 seeded mutations.
+	seeds := []int64{1, 2, 3, 4, 5, 6}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	runECODifferential(t, core.SolverADMM, seeds)
+}
+
+// TestECOEmptyDeltaBitwise — the empty delta is the identity: Resolve must
+// return a bitwise-identical floorplan (asserted on Float64bits) without
+// running the solver or emitting a single trace event.
+func TestECOEmptyDeltaBitwise(t *testing.T) {
+	design, err := LoadBenchmark("n10", 1, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := metamorphicConfig(design.Outline)
+	prev, err := Place(design.Netlist, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := trace.NewRing(64)
+	cfg.Trace = ring
+	fp, mut, err := Resolve(design.Netlist, prev, Delta{}, cfg)
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	if mut != design.Netlist {
+		t.Error("empty delta returned a different netlist")
+	}
+	if got := len(ring.Snapshot()); got != 0 {
+		t.Errorf("empty delta emitted %d trace events, want 0", got)
+	}
+	if math.Float64bits(fp.HPWL) != math.Float64bits(prev.HPWL) {
+		t.Errorf("HPWL differs bitwise: %x vs %x", math.Float64bits(fp.HPWL), math.Float64bits(prev.HPWL))
+	}
+	bitsEqPts := func(what string, a, b []Point) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s: length %d vs %d", what, len(a), len(b))
+		}
+		for i := range a {
+			if math.Float64bits(a[i].X) != math.Float64bits(b[i].X) ||
+				math.Float64bits(a[i].Y) != math.Float64bits(b[i].Y) {
+				t.Fatalf("%s[%d] differs bitwise: %+v vs %+v", what, i, a[i], b[i])
+			}
+		}
+	}
+	bitsEqPts("centers", fp.Centers, prev.Centers)
+	bitsEqPts("global", fp.Global, prev.Global)
+	for i := range fp.Rects {
+		a, b := fp.Rects[i], prev.Rects[i]
+		if math.Float64bits(a.MinX) != math.Float64bits(b.MinX) ||
+			math.Float64bits(a.MinY) != math.Float64bits(b.MinY) ||
+			math.Float64bits(a.MaxX) != math.Float64bits(b.MaxX) ||
+			math.Float64bits(a.MaxY) != math.Float64bits(b.MaxY) {
+			t.Fatalf("rect %d differs bitwise", i)
+		}
+	}
+	if fp.Incremental == nil || fp.Incremental.Reused != design.Netlist.N() || fp.Incremental.Seeded != 0 {
+		t.Fatalf("empty-delta report = %+v, want all modules reused", fp.Incremental)
+	}
+	if fp.Incremental.SolverItersSaved != prev.GlobalResult.SolverIterations {
+		t.Errorf("empty delta saved %d iters, want the previous solve's %d",
+			fp.Incremental.SolverItersSaved, prev.GlobalResult.SolverIterations)
+	}
+	// The copy must be detached: mutating it cannot corrupt prev.
+	fp.Centers[0].X += 1
+	if fp.Centers[0].X == prev.Centers[0].X {
+		t.Error("empty-delta result aliases the previous floorplan")
+	}
+}
+
+// TestECOCancellationHygieneResolve mirrors the PR 9 cancellation sweep for
+// the ECO entry: a trace-triggered cancel mid-re-solve must yield a wrapped
+// context error, a partial result carrying the last iterate, and exactly
+// one "core" engine final event.
+func TestECOCancellationHygieneResolve(t *testing.T) {
+	design, err := LoadBenchmark("n10", 1, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := metamorphicConfig(design.Outline)
+	prev, err := Place(design.Netlist, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := GenerateDelta(design.Netlist, 7, 3)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ring := trace.NewRing(4096)
+	rec := &cancelOnEvent{inner: ring, solver: "core", kind: trace.KindIter, cancel: cancel}
+	cfg.Trace = rec
+
+	start := time.Now()
+	fp, mut, err := ResolveContext(ctx, design.Netlist, prev, d, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("resolve returned after %s, cancellation is not bounded", elapsed)
+	}
+	if mut == nil || mut.N() == 0 {
+		t.Fatal("cancelled resolve lost the mutated netlist")
+	}
+	if fp == nil || len(fp.Global) != mut.N() {
+		t.Fatalf("cancelled resolve did not keep the partial iterate: %+v", fp)
+	}
+	if fp.Incremental == nil {
+		t.Error("cancelled resolve lost the incremental report")
+	}
+	// Every span well-paired, exactly one engine final (the same contract
+	// TestCancellationHygieneAllMethods pins for cold solves).
+	open := map[string]bool{}
+	finals := map[string]int{}
+	for _, ev := range ring.Snapshot() {
+		key := ev.Solver + "\x00" + ev.Run
+		switch ev.Kind {
+		case trace.KindStart:
+			if open[key] {
+				t.Fatalf("stream %q: start while a span is already open", key)
+			}
+			open[key] = true
+		case trace.KindFinal:
+			if !open[key] {
+				t.Fatalf("stream %q: final without an open span", key)
+			}
+			open[key] = false
+			finals[key]++
+		}
+	}
+	for key, isOpen := range open {
+		if isOpen {
+			t.Fatalf("stream %q: span left open after cancellation", key)
+		}
+	}
+	if n := finals["core\x00"]; n != 1 {
+		t.Fatalf("engine stream has %d final events, want exactly 1 (%v)", n, describeFinals(finals))
+	}
+}
+
+// TestECOPriorRejectsMismatch — the low-level prior is validated: a prior
+// of the wrong length or with non-finite centers must be rejected rather
+// than silently ignored.
+func TestECOPriorRejectsMismatch(t *testing.T) {
+	nl, out := smallNL(t)
+	cfg := metamorphicConfig(out)
+	cfg.Global.Prior = &Prior{Centers: make([]Point, nl.N()+1)}
+	if _, err := Place(nl, cfg); err == nil {
+		t.Fatal("length-mismatched prior accepted")
+	}
+	bad := make([]Point, nl.N())
+	bad[0].X = math.NaN()
+	cfg.Global.Prior = &Prior{Centers: bad}
+	if _, err := Place(nl, cfg); err == nil {
+		t.Fatal("NaN prior accepted")
+	}
+	// Resolve refuses non-SDP methods outright.
+	prevFp := &Floorplan{Global: make([]Point, nl.N())}
+	cfg = metamorphicConfig(out)
+	cfg.Method = MethodSA
+	if _, _, err := Resolve(nl, prevFp, GenerateDelta(nl, 1, 2), cfg); err == nil {
+		t.Fatal("Resolve accepted a non-SDP method")
+	}
+	// And a previous floorplan that does not cover the netlist.
+	cfg = metamorphicConfig(out)
+	if _, _, err := Resolve(nl, &Floorplan{}, Delta{}, cfg); err == nil {
+		t.Fatal("Resolve accepted an empty previous floorplan")
+	}
+}

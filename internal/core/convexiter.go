@@ -64,6 +64,11 @@ func Solve(nl *netlist.Netlist, opt Options) (res *Result, err error) {
 	if n == 0 {
 		return nil, errors.New("core: empty netlist")
 	}
+	if opt.Prior != nil {
+		if err := opt.Prior.validate(n); err != nil {
+			return nil, err
+		}
+	}
 	if traceOn(opt.Trace) {
 		// Deferred so every return — success, cancellation (partial
 		// result), and sub-problem failure — closes the trace with one
@@ -92,13 +97,17 @@ func Solve(nl *netlist.Netlist, opt Options) (res *Result, err error) {
 			}
 			opt.Trace.Record(ev)
 		}()
+		startFields := []trace.Field{
+			{Key: "n", Val: float64(n)},
+			{Key: "maxIter", Val: float64(opt.MaxIter)},
+			{Key: "maxDoublings", Val: float64(opt.AlphaMaxDoublings)},
+		}
+		if opt.Prior != nil {
+			startFields = append(startFields, trace.Field{Key: "prior", Val: 1})
+		}
 		opt.Trace.Record(trace.Event{
 			Solver: "core", Kind: "start",
-			Fields: []trace.Field{
-				{Key: "n", Val: float64(n)},
-				{Key: "maxIter", Val: float64(opt.MaxIter)},
-				{Key: "maxDoublings", Val: float64(opt.AlphaMaxDoublings)},
-			},
+			Fields: startFields,
 		})
 	}
 	bld := newBuilder(nl, &opt)
@@ -129,6 +138,27 @@ func Solve(nl *netlist.Netlist, opt Options) (res *Result, err error) {
 	var z *linalg.Dense
 	var centers []geom.Point
 	var sol *sdp.Solution
+
+	if opt.Prior != nil {
+		// ECO warm entry: start the iteration at the prior placement. The
+		// rank-2 lift is exactly feasible for the identity block, so W's
+		// Ky-Fan seed and the adaptive-B centers both see the prior from
+		// iteration 1; the synthetic warm record lets the first
+		// sub-problem solve skip its cold start.
+		centers = append([]geom.Point(nil), opt.Prior.Centers...)
+		zp := priorZ(centers)
+		if wp, _, werr := DirectionMatrixP(zp, n, opt.Workers); werr == nil {
+			w = wp
+		}
+		if opt.LazyConstraints {
+			viol := bld.violatedPairs(zp, havePairs, 4*bld.n)
+			for _, pr := range viol {
+				havePairs[pr] = true
+			}
+			pairs = append(pairs, viol...)
+		}
+		bld.seedWarmFromPrior(zp, pairs)
+	}
 
 	alpha := opt.Alpha0
 	if alpha == 0 {

@@ -106,6 +106,15 @@ type Options struct {
 	// objectives (see warmState), so the tuned value applies only where a
 	// cold solve would otherwise use the solver default.
 	ADMMMu0 float64
+	// Prior, when non-nil, seeds the convex iteration from an external
+	// previous solution (incremental / ECO re-floorplanning): the iterate,
+	// direction matrix, adaptive-B centers, lazy working set, and the
+	// first sub-problem's warm start all begin at the prior placement
+	// instead of cold. See the Prior type (prior.go). The prior must have
+	// exactly one center per module; Solve rejects mismatches. Ignored
+	// when NoWarmStart is set, except for the iterate/direction-matrix
+	// seeding, which involves no solver state.
+	Prior *Prior
 	// NoWarmStart disables the warm-start/solve-sequence reuse layer, i.e.
 	// warm starting is ON by default. When off-switched, every
 	// sub-problem-1 solve starts from the solver's cold initial point and

@@ -46,6 +46,12 @@ type Event string
 // on replay.
 const (
 	EventSubmitted Event = "submitted"
+	// EventEco is the submitted-equivalent for incremental (ECO) jobs
+	// derived from a finished parent via PATCH /v1/jobs/{id}. Its spec is
+	// self-contained — the post-delta netlist plus the warm-start prior
+	// (Spec.Eco) — so an ECO chain replays after a crash even when the
+	// parent's own records have been compacted away.
+	EventEco       Event = "eco"
 	EventStarted   Event = "started"
 	EventProgress  Event = "progress" // periodic checkpoint (solver iterations so far)
 	EventDone      Event = "done"
@@ -61,7 +67,7 @@ func (e Event) Terminal() bool {
 // valid reports whether e is a known record kind.
 func (e Event) valid() bool {
 	switch e {
-	case EventSubmitted, EventStarted, EventProgress, EventDone, EventFailed, EventCancelled:
+	case EventSubmitted, EventEco, EventStarted, EventProgress, EventDone, EventFailed, EventCancelled:
 		return true
 	}
 	return false
@@ -87,6 +93,34 @@ type Spec struct {
 	// replayed "done" record can repopulate the result cache without
 	// re-hashing (and so compacted terminal records can drop the netlist).
 	Key string `json:"key,omitempty"`
+	// Eco rides on incremental (ECO) jobs: provenance plus the warm-start
+	// prior. Netlist above already holds the post-delta netlist, so an ECO
+	// record replays without its parent.
+	Eco *EcoSpec `json:"eco,omitempty"`
+}
+
+// EcoSpec is the durable form of an incremental re-solve: the parent job,
+// the delta that produced the spec's (post-delta) netlist, and the prior
+// placement the convex iteration is seeded from.
+type EcoSpec struct {
+	Parent string `json:"parent"`
+	// Delta is the canonical JSON of the applied delta, kept for
+	// provenance and for the cache-key extension.
+	Delta json.RawMessage `json:"delta,omitempty"`
+	// DeltaHash is sha256 of the canonical delta JSON.
+	DeltaHash string `json:"deltaHash,omitempty"`
+	// Prev is the by-name prior placement (the parent's pre-legalization
+	// SDP centers when available).
+	Prev []EcoPoint `json:"prev,omitempty"`
+	// PrevIters is the parent solve's total sub-problem solver iterations.
+	PrevIters int `json:"prevIters,omitempty"`
+}
+
+// EcoPoint is one by-name prior center in an EcoSpec.
+type EcoPoint struct {
+	Name string  `json:"name"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
 }
 
 // Record is one journal line. Field order is the serialization order
@@ -212,12 +246,12 @@ func (r *Reducer) Apply(rec Record) {
 		}
 	}
 	switch rec.Event {
-	case EventSubmitted:
+	case EventSubmitted, EventEco:
 		if st.Submitted == 0 || rec.TS < st.Submitted {
 			st.Submitted = rec.TS
 		}
 		if st.Event == "" {
-			st.Event = EventSubmitted
+			st.Event = rec.Event
 		}
 	case EventStarted:
 		if rec.TS > st.Started {

@@ -308,8 +308,12 @@ func snapshotRecords(st *JobState) []Record {
 		lite.Netlist = nil
 		spec = &lite
 	}
+	ev := EventSubmitted
+	if spec != nil && spec.Eco != nil {
+		ev = EventEco
+	}
 	recs := []Record{{
-		TS: st.Submitted, Job: st.ID, Event: EventSubmitted,
+		TS: st.Submitted, Job: st.ID, Event: ev,
 		Batch: st.Batch, Replays: st.Replays, Spec: spec,
 	}}
 	if st.Started > 0 {

@@ -1,0 +1,196 @@
+package mcnc
+
+import (
+	"fmt"
+	"math"
+
+	"sdpfloor/internal/geom"
+	"sdpfloor/internal/netlist"
+)
+
+// ToNetlist converts a parsed YAL design into the solver's netlist model
+// and the parent outline. Each GENERAL instance becomes a soft module whose
+// MinArea and MaxAspect come from the definition's bounding box (the paper's
+// soft-block model); PAD instances become pads at their definition's
+// position; pins sharing a signal name form a net (signals reaching fewer
+// than two endpoints contribute nothing to wirelength and are dropped, as
+// in the gsrc reader). A PLACEMENT row pins its module.
+func ToNetlist(d *Design) (*netlist.Netlist, geom.Rect, error) {
+	defs := make(map[string]*Module, len(d.Modules))
+	for i := range d.Modules {
+		defs[d.Modules[i].Name] = &d.Modules[i]
+	}
+	nl := &netlist.Netlist{}
+	modIdx := make(map[string]int)
+	padIdx := make(map[string]int)
+	for _, in := range d.Instances {
+		m := defs[in.Module]
+		switch m.Type {
+		case TypeGeneral:
+			bb := m.BBox()
+			w, h := bb.W(), bb.H()
+			if w <= 0 || h <= 0 {
+				return nil, geom.Rect{}, fmt.Errorf("mcnc: module %q has a degenerate bounding box %gx%g", in.Module, w, h)
+			}
+			ar := w / h
+			if ar < 1 {
+				ar = 1 / ar
+			}
+			modIdx[in.Name] = len(nl.Modules)
+			nl.Modules = append(nl.Modules, netlist.Module{
+				Name:      in.Name,
+				MinArea:   w * h,
+				MaxAspect: math.Max(ar, 1),
+			})
+		case TypePad:
+			bb := m.BBox()
+			padIdx[in.Name] = len(nl.Pads)
+			nl.Pads = append(nl.Pads, netlist.Pad{Name: in.Name, Pos: bb.Center()})
+		default:
+			return nil, geom.Rect{}, fmt.Errorf("mcnc: instance %q instantiates %s module %q", in.Name, m.Type, in.Module)
+		}
+	}
+	for _, pl := range d.Placed {
+		i := modIdx[pl.Instance]
+		nl.Modules[i].Fixed = true
+		nl.Modules[i].FixedPos = pl.Pos
+	}
+	// Nets: signals in order of first appearance across the instance rows
+	// (deterministic — no map iteration order involved).
+	sigIdx := make(map[string]int)
+	var nets []netlist.Net
+	for _, in := range d.Instances {
+		for _, s := range in.Signals {
+			j, ok := sigIdx[s]
+			if !ok {
+				j = len(nets)
+				sigIdx[s] = j
+				nets = append(nets, netlist.Net{Name: s, Weight: 1})
+			}
+			if mi, isMod := modIdx[in.Name]; isMod {
+				if !containsInt(nets[j].Modules, mi) {
+					nets[j].Modules = append(nets[j].Modules, mi)
+				}
+			} else if pi, isPad := padIdx[in.Name]; isPad {
+				if !containsInt(nets[j].Pads, pi) {
+					nets[j].Pads = append(nets[j].Pads, pi)
+				}
+			}
+		}
+	}
+	for _, e := range nets {
+		if len(e.Modules)+len(e.Pads) >= 2 {
+			nl.Nets = append(nl.Nets, e)
+		}
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, geom.Rect{}, fmt.Errorf("mcnc: %w", err)
+	}
+	return nl, d.OutlineRect(), nil
+}
+
+// FromNetlist renders a netlist as a YAL design: every module becomes a
+// GENERAL definition shaped as its maximum-aspect rectangle (w = √(area·k),
+// h = area/w) with one center pin per incident net, every pad a PAD
+// definition at its position, and the parent NETWORK wires them by net
+// name. Unnamed or duplicated net names get synthetic "n<i>" signals so the
+// wiring stays unambiguous. Fixed modules emit PLACEMENT rows. The produced
+// design survives Write→Parse→ToNetlist with the identical wirelength
+// model (module parameters and net pin positions are preserved bit for bit
+// up to the w·h = area rounding of the rectangle realization).
+func FromNetlist(name string, nl *netlist.Netlist, outline geom.Rect) (*Design, error) {
+	if name == "" {
+		name = "design"
+	}
+	used := make(map[string]bool, len(nl.Modules)+len(nl.Pads))
+	for _, m := range nl.Modules {
+		if m.Name == "" || used[m.Name] {
+			return nil, fmt.Errorf("mcnc: module name %q empty or duplicated", m.Name)
+		}
+		used[m.Name] = true
+	}
+	for _, p := range nl.Pads {
+		if p.Name == "" || used[p.Name] {
+			return nil, fmt.Errorf("mcnc: pad name %q empty or duplicated", p.Name)
+		}
+		used[p.Name] = true
+	}
+	// One signal per net, unique across nets (and distinct from instance
+	// names, which YAL keeps in a separate namespace anyway).
+	sigs := make([]string, len(nl.Nets))
+	sigUsed := make(map[string]bool, len(nl.Nets))
+	for i, e := range nl.Nets {
+		s := e.Name
+		if s == "" || sigUsed[s] {
+			s = fmt.Sprintf("n%d", i)
+		}
+		for sigUsed[s] {
+			s = "x" + s
+		}
+		sigUsed[s] = true
+		sigs[i] = s
+	}
+	incident := make([][]int, len(nl.Modules))
+	padNets := make([][]int, len(nl.Pads))
+	for j, e := range nl.Nets {
+		for _, m := range e.Modules {
+			incident[m] = append(incident[m], j)
+		}
+		for _, p := range e.Pads {
+			padNets[p] = append(padNets[p], j)
+		}
+	}
+	d := &Design{Name: name}
+	if outline.W() > 0 && outline.H() > 0 {
+		d.Outline = []geom.Point{
+			{X: outline.MinX, Y: outline.MinY},
+			{X: outline.MaxX, Y: outline.MinY},
+			{X: outline.MaxX, Y: outline.MaxY},
+			{X: outline.MinX, Y: outline.MaxY},
+		}
+	}
+	for i, m := range nl.Modules {
+		w := math.Sqrt(m.MinArea * m.MaxAspect)
+		h := m.MinArea / w
+		def := Module{
+			Name: m.Name,
+			Type: TypeGeneral,
+			Dims: []geom.Point{{X: 0, Y: 0}, {X: w, Y: 0}, {X: w, Y: h}, {X: 0, Y: h}},
+		}
+		sigList := make([]string, 0, len(incident[i]))
+		for k, j := range incident[i] {
+			def.Pins = append(def.Pins, Pin{
+				Name: fmt.Sprintf("p%d", k), Class: "B", Pos: geom.Point{X: w / 2, Y: h / 2},
+			})
+			sigList = append(sigList, sigs[j])
+		}
+		d.Modules = append(d.Modules, def)
+		d.Instances = append(d.Instances, Instance{Name: m.Name, Module: m.Name, Signals: sigList})
+		if m.Fixed {
+			d.Placed = append(d.Placed, Placement{Instance: m.Name, Pos: m.FixedPos})
+		}
+	}
+	for i, p := range nl.Pads {
+		if len(padNets[i]) == 0 {
+			continue // a pad on no net carries no information for the model
+		}
+		def := Module{Name: p.Name, Type: TypePad, Dims: []geom.Point{p.Pos}}
+		sigList := make([]string, 0, len(padNets[i]))
+		for k, j := range padNets[i] {
+			def.Pins = append(def.Pins, Pin{Name: fmt.Sprintf("p%d", k), Class: "B", Pos: geom.Point{}})
+			sigList = append(sigList, sigs[j])
+		}
+		d.Modules = append(d.Modules, def)
+		d.Instances = append(d.Instances, Instance{Name: p.Name, Module: p.Name, Signals: sigList})
+	}
+	return d, nil
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

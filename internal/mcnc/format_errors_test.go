@@ -1,0 +1,120 @@
+package mcnc
+
+import (
+	"strings"
+	"testing"
+)
+
+// The YAL parser must reject malformed input with errors, never panics,
+// and every structural cross-reference — module names, instance names,
+// signal arity, placement targets — must be validated.
+
+const tinyYAL = `MODULE blk;
+TYPE GENERAL;
+DIMENSIONS 0 0 2 0 2 1 0 1;
+IOLIST;
+p0 B 1 0.5;
+ENDIOLIST;
+ENDMODULE;
+MODULE io1;
+TYPE PAD;
+DIMENSIONS 0 5;
+IOLIST;
+p0 B 0 0;
+ENDIOLIST;
+ENDMODULE;
+MODULE top;
+TYPE PARENT;
+DIMENSIONS 0 0 10 10;
+NETWORK;
+u1 blk s0;
+u2 io1 s0;
+ENDNETWORK;
+PLACEMENT;
+u1 3 4;
+ENDPLACEMENT;
+ENDMODULE;
+`
+
+func TestParseAcceptsTinyDesign(t *testing.T) {
+	d, err := Parse(strings.NewReader(tinyYAL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "top" || len(d.Modules) != 2 || len(d.Instances) != 2 || len(d.Placed) != 1 {
+		t.Fatalf("parsed %+v", d)
+	}
+	nl, outline, err := ToNetlist(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.N() != 1 || len(nl.Pads) != 1 || len(nl.Nets) != 1 {
+		t.Fatalf("converted %+v", nl)
+	}
+	if !nl.Modules[0].Fixed || nl.Modules[0].FixedPos.X != 3 || nl.Modules[0].FixedPos.Y != 4 {
+		t.Fatalf("placement lost: %+v", nl.Modules[0])
+	}
+	if outline.W() != 10 || outline.H() != 10 {
+		t.Fatalf("outline %+v", outline)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	mut := func(old, new string) string { return strings.Replace(tinyYAL, old, new, 1) }
+	cases := map[string]string{
+		"statement outside module":  "TYPE GENERAL;\n" + tinyYAL,
+		"missing semicolon at EOF":  strings.TrimSuffix(tinyYAL, ";\n") + "\n",
+		"missing ENDMODULE":         strings.Replace(tinyYAL, "ENDMODULE;", "", 1),
+		"duplicate module":          mut("MODULE io1;", "MODULE blk;"),
+		"unknown TYPE":              mut("TYPE GENERAL;", "TYPE SOFT;"),
+		"module without TYPE":       mut("TYPE GENERAL;\n", ""),
+		"second PARENT":             mut("TYPE PAD;", "TYPE PARENT;"),
+		"no PARENT":                 mut("TYPE PARENT;", "TYPE GENERAL;"),
+		"odd coordinate count":      mut("DIMENSIONS 0 0 2 0 2 1 0 1;", "DIMENSIONS 0 0 2;"),
+		"bad coordinate":            mut("DIMENSIONS 0 0 2 0 2 1 0 1;", "DIMENSIONS 0 0 two 0;"),
+		"bad pin line":              mut("p0 B 1 0.5;", "p0 B 1;"),
+		"bad pin coordinates":       mut("p0 B 1 0.5;", "p0 B one half;"),
+		"unterminated IOLIST":       mut("ENDIOLIST;\nENDMODULE;\nMODULE io1;", "ENDMODULE;\nMODULE io1;"),
+		"NETWORK outside parent":    mut("ENDIOLIST;\nENDMODULE;\nMODULE io1;", "ENDIOLIST;\nNETWORK;\nENDNETWORK;\nENDMODULE;\nMODULE io1;"),
+		"PLACEMENT outside parent":  mut("ENDIOLIST;\nENDMODULE;\nMODULE io1;", "ENDIOLIST;\nPLACEMENT;\nENDPLACEMENT;\nENDMODULE;\nMODULE io1;"),
+		"parent IOLIST":             mut("NETWORK;", "IOLIST;\nq B 0 0;\nENDIOLIST;\nNETWORK;"),
+		"bad NETWORK row":           mut("u1 blk s0;", "u1;"),
+		"unknown instance module":   mut("u1 blk s0;", "u1 ghost s0;"),
+		"duplicate instance":        mut("u2 io1 s0;", "u1 io1 s0;"),
+		"signal arity mismatch":     mut("u1 blk s0;", "u1 blk s0 s1;"),
+		"bad PLACEMENT row":         mut("u1 3 4;", "u1 3;"),
+		"bad placement coordinates": mut("u1 3 4;", "u1 east west;"),
+		"placement of unknown inst": mut("u1 3 4;", "ghost 3 4;"),
+		"placement of a pad":        mut("u1 3 4;", "u2 3 4;"),
+		"duplicate placement":       mut("u1 3 4;", "u1 3 4;\nu1 5 6;"),
+	}
+	for name, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Parse accepted malformed input", name)
+		}
+	}
+}
+
+func TestToNetlistRejectsDegenerate(t *testing.T) {
+	in := strings.Replace(tinyYAL, "DIMENSIONS 0 0 2 0 2 1 0 1;", "DIMENSIONS 0 0 2 0;", 1)
+	d, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ToNetlist(d); err == nil {
+		t.Fatal("ToNetlist accepted a zero-height module")
+	}
+}
+
+func TestFromNetlistRejectsUnnamed(t *testing.T) {
+	nl := randomYALNL(1)
+	nl.Modules[0].Name = ""
+	if _, err := FromNetlist("x", nl, nl2Outline()); err == nil {
+		t.Fatal("FromNetlist accepted an unnamed module")
+	}
+	nl = randomYALNL(1)
+	nl.Modules[1].Name = nl.Modules[0].Name
+	if _, err := FromNetlist("x", nl, nl2Outline()); err == nil {
+		t.Fatal("FromNetlist accepted duplicate module names")
+	}
+}

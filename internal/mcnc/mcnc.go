@@ -1,0 +1,330 @@
+// Package mcnc reads and writes MCNC floorplanning workloads in a YAL
+// subset. The classic MCNC suites (ami33, ami49, apte, hp, xerox) are
+// distributed as YAL: a list of MODULE definitions — blocks with polygon
+// DIMENSIONS and an IOLIST of pins — closed by one PARENT module whose
+// NETWORK section instantiates the blocks and wires them by signal name.
+//
+// The subset implemented here keeps that structure with three documented
+// simplifications:
+//
+//   - pads are MODULE definitions with TYPE PAD (a single DIMENSIONS
+//     point, their position) instantiated in the NETWORK like blocks, so a
+//     pad can join any number of signals;
+//   - the PARENT carries no IOLIST (pads own their positions);
+//   - an optional PLACEMENT section in the PARENT pins instances to fixed
+//     positions (the ECO/pre-placed extension).
+//
+// Statements are terminated by ';' and may span lines; '#' starts a line
+// comment. Every numeric field is written with the shortest representation
+// that parses back to identical bits, so parse→write→parse is the identity
+// on canonical files.
+package mcnc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"sdpfloor/internal/geom"
+)
+
+// Design is a parsed YAL workload: block/pad definitions plus the parent's
+// instantiation, wiring, and optional placement.
+type Design struct {
+	Name      string   // the PARENT module's name
+	Modules   []Module // GENERAL and PAD definitions, in file order
+	Outline   []geom.Point
+	Instances []Instance
+	Placed    []Placement
+}
+
+// Module is one MODULE definition.
+type Module struct {
+	Name string
+	Type string // "GENERAL" or "PAD"
+	Dims []geom.Point
+	Pins []Pin
+}
+
+// Pin is one IOLIST entry: a named pin with a signal class and a position
+// in the module's local frame.
+type Pin struct {
+	Name  string
+	Class string // e.g. "B" (bidirectional), "PI", "PO"
+	Pos   geom.Point
+}
+
+// Instance is one NETWORK row: an instance of a defined module with one
+// signal per pin of the definition. Pins sharing a signal name across
+// instances form a net.
+type Instance struct {
+	Name    string
+	Module  string
+	Signals []string
+}
+
+// Placement pins one instance at a fixed position (outline frame).
+type Placement struct {
+	Instance string
+	Pos      geom.Point
+}
+
+// Module types accepted by the parser.
+const (
+	TypeGeneral = "GENERAL"
+	TypeParent  = "PARENT"
+	TypePad     = "PAD"
+)
+
+// BBox returns the bounding box of the module's DIMENSIONS polygon.
+func (m *Module) BBox() geom.Rect {
+	var bb geom.BBox
+	for _, p := range m.Dims {
+		bb.Extend(p)
+	}
+	return bb.Rect()
+}
+
+// OutlineRect returns the bounding box of the parent's DIMENSIONS.
+func (d *Design) OutlineRect() geom.Rect {
+	var bb geom.BBox
+	for _, p := range d.Outline {
+		bb.Extend(p)
+	}
+	return bb.Rect()
+}
+
+// Parse reads a YAL design. Structural problems — duplicate or unknown
+// names, signal/pin arity mismatches, a missing or repeated PARENT,
+// unterminated modules — are errors, never panics.
+func Parse(r io.Reader) (*Design, error) {
+	stmts, err := statements(r)
+	if err != nil {
+		return nil, err
+	}
+	d := &Design{}
+	defs := map[string]int{} // module name → index in d.Modules
+	haveParent := false
+
+	var cur *Module // module being defined (nil outside MODULE)
+	curParent := false
+	section := "" // "", "IOLIST", "NETWORK", "PLACEMENT"
+
+	for _, st := range stmts {
+		f := strings.Fields(st)
+		if len(f) == 0 {
+			continue
+		}
+		kw := strings.ToUpper(f[0])
+		if cur == nil && !curParent {
+			if kw != "MODULE" {
+				return nil, fmt.Errorf("mcnc: statement %q outside MODULE", st)
+			}
+			if len(f) != 2 {
+				return nil, fmt.Errorf("mcnc: bad MODULE statement %q", st)
+			}
+			if _, dup := defs[f[1]]; dup || (haveParent && f[1] == d.Name) {
+				return nil, fmt.Errorf("mcnc: duplicate module %q", f[1])
+			}
+			cur = &Module{Name: f[1]}
+			continue
+		}
+		switch section {
+		case "IOLIST":
+			if kw == "ENDIOLIST" {
+				section = ""
+				continue
+			}
+			if len(f) != 4 {
+				return nil, fmt.Errorf("mcnc: bad IOLIST pin %q", st)
+			}
+			x, err1 := strconv.ParseFloat(f[2], 64)
+			y, err2 := strconv.ParseFloat(f[3], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("mcnc: bad pin coordinates in %q", st)
+			}
+			cur.Pins = append(cur.Pins, Pin{Name: f[0], Class: f[1], Pos: geom.Point{X: x, Y: y}})
+			continue
+		case "NETWORK":
+			if kw == "ENDNETWORK" {
+				section = ""
+				continue
+			}
+			if len(f) < 2 {
+				return nil, fmt.Errorf("mcnc: bad NETWORK row %q", st)
+			}
+			d.Instances = append(d.Instances, Instance{Name: f[0], Module: f[1], Signals: f[2:]})
+			continue
+		case "PLACEMENT":
+			if kw == "ENDPLACEMENT" {
+				section = ""
+				continue
+			}
+			if len(f) != 3 {
+				return nil, fmt.Errorf("mcnc: bad PLACEMENT row %q", st)
+			}
+			x, err1 := strconv.ParseFloat(f[1], 64)
+			y, err2 := strconv.ParseFloat(f[2], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("mcnc: bad placement coordinates in %q", st)
+			}
+			d.Placed = append(d.Placed, Placement{Instance: f[0], Pos: geom.Point{X: x, Y: y}})
+			continue
+		}
+		switch kw {
+		case "TYPE":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("mcnc: bad TYPE statement %q", st)
+			}
+			switch typ := strings.ToUpper(f[1]); typ {
+			case TypeGeneral, TypePad:
+				if curParent {
+					return nil, fmt.Errorf("mcnc: module %q: TYPE after PARENT", d.Name)
+				}
+				cur.Type = typ
+			case TypeParent:
+				if haveParent {
+					return nil, fmt.Errorf("mcnc: second PARENT module %q", cur.Name)
+				}
+				haveParent, curParent = true, true
+				d.Name = cur.Name
+				cur = nil
+			default:
+				return nil, fmt.Errorf("mcnc: unknown module TYPE %q", f[1])
+			}
+		case "DIMENSIONS":
+			pts, err := parsePoints(f[1:])
+			if err != nil {
+				return nil, fmt.Errorf("mcnc: %w in %q", err, st)
+			}
+			if curParent {
+				d.Outline = pts
+			} else {
+				cur.Dims = pts
+			}
+		case "IOLIST":
+			if curParent {
+				return nil, fmt.Errorf("mcnc: parent module %q: IOLIST is not supported in this subset (pads are TYPE PAD modules)", d.Name)
+			}
+			section = "IOLIST"
+		case "NETWORK":
+			if !curParent {
+				return nil, fmt.Errorf("mcnc: NETWORK outside the PARENT module")
+			}
+			section = "NETWORK"
+		case "PLACEMENT":
+			if !curParent {
+				return nil, fmt.Errorf("mcnc: PLACEMENT outside the PARENT module")
+			}
+			section = "PLACEMENT"
+		case "ENDMODULE":
+			if section != "" {
+				return nil, fmt.Errorf("mcnc: %s not closed before ENDMODULE", section)
+			}
+			if curParent {
+				curParent = false
+				continue
+			}
+			if cur.Type == "" {
+				return nil, fmt.Errorf("mcnc: module %q has no TYPE", cur.Name)
+			}
+			defs[cur.Name] = len(d.Modules)
+			d.Modules = append(d.Modules, *cur)
+			cur = nil
+		default:
+			return nil, fmt.Errorf("mcnc: unexpected statement %q", st)
+		}
+	}
+	if cur != nil || curParent {
+		return nil, fmt.Errorf("mcnc: missing ENDMODULE at end of input")
+	}
+	if section != "" {
+		return nil, fmt.Errorf("mcnc: unterminated %s section", section)
+	}
+	if !haveParent {
+		return nil, fmt.Errorf("mcnc: no PARENT module")
+	}
+	return d, d.check(defs)
+}
+
+// check validates cross-references after a structurally clean parse.
+func (d *Design) check(defs map[string]int) error {
+	insts := make(map[string]int, len(d.Instances))
+	for i, in := range d.Instances {
+		mi, ok := defs[in.Module]
+		if !ok {
+			return fmt.Errorf("mcnc: instance %q references unknown module %q", in.Name, in.Module)
+		}
+		if _, dup := insts[in.Name]; dup {
+			return fmt.Errorf("mcnc: duplicate instance %q", in.Name)
+		}
+		insts[in.Name] = i
+		if want := len(d.Modules[mi].Pins); len(in.Signals) != want {
+			return fmt.Errorf("mcnc: instance %q carries %d signals for module %q's %d pins",
+				in.Name, len(in.Signals), in.Module, want)
+		}
+	}
+	seen := make(map[string]bool, len(d.Placed))
+	for _, pl := range d.Placed {
+		i, ok := insts[pl.Instance]
+		if !ok {
+			return fmt.Errorf("mcnc: placement of unknown instance %q", pl.Instance)
+		}
+		if d.Modules[defs[d.Instances[i].Module]].Type == TypePad {
+			return fmt.Errorf("mcnc: placement of pad instance %q (pads carry their own position)", pl.Instance)
+		}
+		if seen[pl.Instance] {
+			return fmt.Errorf("mcnc: duplicate placement of instance %q", pl.Instance)
+		}
+		seen[pl.Instance] = true
+	}
+	return nil
+}
+
+// statements splits the input into ';'-terminated statements, stripping
+// '#' line comments. Trailing non-blank input without a ';' is an error.
+func statements(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var b strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	parts := strings.Split(b.String(), ";")
+	last := parts[len(parts)-1]
+	if strings.TrimSpace(last) != "" {
+		return nil, fmt.Errorf("mcnc: trailing input %q without ';'", strings.TrimSpace(last))
+	}
+	out := parts[:len(parts)-1]
+	for i := range out {
+		out[i] = strings.TrimSpace(out[i])
+	}
+	return out, nil
+}
+
+// parsePoints parses an even-length coordinate list into points.
+func parsePoints(fields []string) ([]geom.Point, error) {
+	if len(fields) == 0 || len(fields)%2 != 0 {
+		return nil, fmt.Errorf("coordinate list needs an even, positive count, got %d", len(fields))
+	}
+	pts := make([]geom.Point, 0, len(fields)/2)
+	for i := 0; i < len(fields); i += 2 {
+		x, err1 := strconv.ParseFloat(fields[i], 64)
+		y, err2 := strconv.ParseFloat(fields[i+1], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad coordinate pair %q %q", fields[i], fields[i+1])
+		}
+		pts = append(pts, geom.Point{X: x, Y: y})
+	}
+	return pts, nil
+}

@@ -1,0 +1,176 @@
+package mcnc
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sdpfloor/internal/geom"
+	"sdpfloor/internal/gsrc"
+	"sdpfloor/internal/netlist"
+)
+
+// -update regenerates the golden fixtures from the synthetic generator.
+var update = flag.Bool("update", false, "rewrite testdata golden files")
+
+// goldenDesign reproduces exactly what the committed fixtures hold: the
+// synthetic MCNC-statistics benchmark rendered into YAL. The fixtures are
+// therefore self-verifying — parse, conversion, and writer must all agree
+// with the generator bit for bit.
+func goldenDesign(t *testing.T, name string) (*Design, *netlist.Netlist, geom.Rect) {
+	t.Helper()
+	src, err := gsrc.Builtin(name, 1, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := FromNetlist(name, src.Netlist, src.Outline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, src.Netlist, src.Outline
+}
+
+// TestGoldenCorpus pins the committed ami33/ami49 fixtures: byte-identical
+// to the generator's rendering, parse→write is the identity on them, and
+// the parsed design converts to a netlist that models the same problem as
+// the source (same module parameters, same wirelength function).
+func TestGoldenCorpus(t *testing.T) {
+	for _, name := range []string{"ami33", "ami49"} {
+		t.Run(name, func(t *testing.T) {
+			d, srcNL, srcOutline := goldenDesign(t, name)
+			var want bytes.Buffer
+			if err := Write(&want, d); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", name+".yal")
+			if *update {
+				if err := os.WriteFile(path, want.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want.Bytes()) {
+				t.Fatalf("%s is stale against the generator — run go test ./internal/mcnc -update", path)
+			}
+
+			// Lossless round trip: parse → write reproduces the bytes, parse →
+			// write → parse reproduces the Design.
+			parsed, err := Parse(bytes.NewReader(got))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			var again bytes.Buffer
+			if err := Write(&again, parsed); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(again.Bytes(), got) {
+				t.Fatal("parse→write is not the identity on the fixture")
+			}
+			reparsed, err := Parse(&again)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(parsed, reparsed) {
+				t.Fatal("write→parse changed the design")
+			}
+
+			// Model equivalence with the source netlist.
+			nl, outline, err := ToNetlist(parsed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if outline != srcOutline {
+				t.Fatalf("outline %+v, want %+v", outline, srcOutline)
+			}
+			assertModelEquivalent(t, srcNL, nl)
+		})
+	}
+}
+
+// assertModelEquivalent checks that b models the same optimization problem
+// as a: same modules with the same parameters (areas survive only up to the
+// w·h=area rectangle rounding, so compare to 1e-12 relative), and the same
+// wirelength function — identical HPWL on a deterministic random placement.
+func assertModelEquivalent(t *testing.T, a, b *netlist.Netlist) {
+	t.Helper()
+	if a.N() != b.N() {
+		t.Fatalf("module count %d vs %d", a.N(), b.N())
+	}
+	for i, ma := range a.Modules {
+		mb := b.Modules[i]
+		if ma.Name != mb.Name || ma.Fixed != mb.Fixed || ma.FixedPos != mb.FixedPos {
+			t.Fatalf("module %d differs: %+v vs %+v", i, ma, mb)
+		}
+		if relDiff(ma.MinArea, mb.MinArea) > 1e-12 || relDiff(ma.MaxAspect, mb.MaxAspect) > 1e-12 {
+			t.Fatalf("module %q parameters drifted: %+v vs %+v", ma.Name, ma, mb)
+		}
+	}
+	rng := rand.New(rand.NewSource(77))
+	pts := make([]geom.Point, a.N())
+	for i := range pts {
+		pts[i] = geom.Point{X: 100 * rng.Float64(), Y: 100 * rng.Float64()}
+	}
+	ha, hb := a.HPWL(pts), b.HPWL(pts)
+	if relDiff(ha, hb) > 1e-9 {
+		t.Fatalf("HPWL differs on the same placement: %g vs %g", ha, hb)
+	}
+}
+
+func relDiff(x, y float64) float64 {
+	return math.Abs(x-y) / math.Max(1, math.Abs(x))
+}
+
+// TestPlacementRoundTrip — fixed modules survive netlist→YAL→netlist with
+// bitwise positions, and multi-net pads (one pad on two signals) keep every
+// connection.
+func TestPlacementRoundTrip(t *testing.T) {
+	src := &netlist.Netlist{
+		Modules: []netlist.Module{
+			{Name: "a", MinArea: 4, MaxAspect: 2},
+			{Name: "b", MinArea: 2, MaxAspect: 3},
+			{Name: "c", MinArea: 1.5, MaxAspect: 1.25, Fixed: true, FixedPos: geom.Point{X: 0.3125, Y: 7.25}},
+		},
+		Pads: []netlist.Pad{{Name: "P1", Pos: geom.Point{X: 0, Y: 2.5}}},
+		Nets: []netlist.Net{
+			{Name: "s0", Weight: 1, Modules: []int{0, 1}, Pads: []int{0}},
+			{Name: "s1", Weight: 1, Modules: []int{1, 2}, Pads: []int{0}},
+		},
+	}
+	d, err := FromNetlist("tiny", src, geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, buf.String())
+	}
+	nl, outline, err := ToNetlist(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outline != (geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}) {
+		t.Fatalf("outline %+v", outline)
+	}
+	if !nl.Modules[2].Fixed || nl.Modules[2].FixedPos != src.Modules[2].FixedPos {
+		t.Fatalf("fixed placement lost: %+v", nl.Modules[2])
+	}
+	if len(nl.Pads) != 1 || nl.Pads[0].Pos != src.Pads[0].Pos {
+		t.Fatalf("pad lost: %+v", nl.Pads)
+	}
+	if len(nl.Nets) != 2 || len(nl.Nets[0].Pads) != 1 || len(nl.Nets[1].Pads) != 1 {
+		t.Fatalf("multi-net pad connections lost: %+v", nl.Nets)
+	}
+	assertModelEquivalent(t, src, nl)
+}

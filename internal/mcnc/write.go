@@ -1,0 +1,83 @@
+package mcnc
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"sdpfloor/internal/geom"
+)
+
+// Write emits the design in the canonical form Parse accepts, one statement
+// per line, floats in shortest-round-trip form: parsing what Write produced
+// reproduces the Design exactly, and writing a parsed canonical file
+// reproduces it byte for byte (the golden-corpus invariant).
+func Write(w io.Writer, d *Design) error {
+	ew := &errWriter{w: w}
+	for i := range d.Modules {
+		m := &d.Modules[i]
+		ew.printf("MODULE %s;\n", m.Name)
+		ew.printf("TYPE %s;\n", m.Type)
+		writeDims(ew, m.Dims)
+		if len(m.Pins) > 0 {
+			ew.printf("IOLIST;\n")
+			for _, p := range m.Pins {
+				ew.printf("%s %s %s %s;\n", p.Name, p.Class, fmtF(p.Pos.X), fmtF(p.Pos.Y))
+			}
+			ew.printf("ENDIOLIST;\n")
+		}
+		ew.printf("ENDMODULE;\n\n")
+	}
+	ew.printf("MODULE %s;\n", d.Name)
+	ew.printf("TYPE PARENT;\n")
+	writeDims(ew, d.Outline)
+	if len(d.Instances) > 0 {
+		ew.printf("NETWORK;\n")
+		for _, in := range d.Instances {
+			ew.printf("%s %s", in.Name, in.Module)
+			for _, s := range in.Signals {
+				ew.printf(" %s", s)
+			}
+			ew.printf(";\n")
+		}
+		ew.printf("ENDNETWORK;\n")
+	}
+	if len(d.Placed) > 0 {
+		ew.printf("PLACEMENT;\n")
+		for _, pl := range d.Placed {
+			ew.printf("%s %s %s;\n", pl.Instance, fmtF(pl.Pos.X), fmtF(pl.Pos.Y))
+		}
+		ew.printf("ENDPLACEMENT;\n")
+	}
+	ew.printf("ENDMODULE;\n")
+	return ew.err
+}
+
+func writeDims(ew *errWriter, pts []geom.Point) {
+	if len(pts) == 0 {
+		return
+	}
+	ew.printf("DIMENSIONS")
+	for _, p := range pts {
+		ew.printf(" %s %s", fmtF(p.X), fmtF(p.Y))
+	}
+	ew.printf(";\n")
+}
+
+// fmtF renders a float with the shortest representation that parses back to
+// the identical bits (same policy as the gsrc writer).
+func fmtF(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...interface{}) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

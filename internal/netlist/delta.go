@@ -1,0 +1,390 @@
+package netlist
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Delta describes an ECO (engineering change order) against a netlist: a
+// small, named edit — add/remove/resize modules, add/remove nets, move
+// pre-placed blocks — that maps one floorplanning instance onto a close
+// sibling. Every reference is by name, like the netlist JSON schema, so a
+// delta survives module reordering and relabeling commutes with applying
+// it (the metamorphic suite asserts this).
+//
+// Apply executes the edit groups in struct-field order:
+//
+//	RemoveNets → RemoveModules → ResizeModules → MoveModules →
+//	AddModules → AddNets
+//
+// so removals may reference only original names and additions may
+// reference surviving or newly added ones. Removing a module drops its pin
+// from every net; a net left with fewer than two pins is dropped with it.
+type Delta struct {
+	// RemoveNets deletes every net carrying one of these names.
+	RemoveNets []string `json:"removeNets,omitempty"`
+	// RemoveModules deletes modules by name, cascading into their nets.
+	RemoveModules []string `json:"removeModules,omitempty"`
+	// ResizeModules adjusts MinArea/MaxAspect of existing modules.
+	ResizeModules []DeltaResize `json:"resizeModules,omitempty"`
+	// MoveModules repositions pre-placed (Fixed) modules.
+	MoveModules []DeltaMove `json:"moveModules,omitempty"`
+	// AddModules appends new modules (same schema as the netlist JSON).
+	AddModules []DeltaModule `json:"addModules,omitempty"`
+	// AddNets appends new nets over surviving and added names.
+	AddNets []DeltaNet `json:"addNets,omitempty"`
+}
+
+// DeltaModule is one added module, in the by-name JSON schema
+// (MaxAspect 0 defaults to 3, like netlist JSON).
+type DeltaModule struct {
+	Name      string      `json:"name"`
+	MinArea   float64     `json:"minArea"`
+	MaxAspect float64     `json:"maxAspect,omitempty"`
+	Fixed     *[2]float64 `json:"fixed,omitempty"` // center when pre-placed
+}
+
+// DeltaResize adjusts one module's shape constraints; a zero field keeps
+// the current value.
+type DeltaResize struct {
+	Name      string  `json:"name"`
+	MinArea   float64 `json:"minArea,omitempty"`
+	MaxAspect float64 `json:"maxAspect,omitempty"`
+}
+
+// DeltaMove repositions one pre-placed module's center.
+type DeltaMove struct {
+	Name string     `json:"name"`
+	Pos  [2]float64 `json:"pos"`
+}
+
+// DeltaNet is one added net (Weight 0 defaults to 1, like netlist JSON).
+type DeltaNet struct {
+	Name    string   `json:"name"`
+	Weight  float64  `json:"weight,omitempty"`
+	Modules []string `json:"modules"`
+	Pads    []string `json:"pads,omitempty"`
+}
+
+// Empty reports whether the delta contains no edits at all.
+func (d Delta) Empty() bool {
+	return len(d.RemoveNets) == 0 && len(d.RemoveModules) == 0 &&
+		len(d.ResizeModules) == 0 && len(d.MoveModules) == 0 &&
+		len(d.AddModules) == 0 && len(d.AddNets) == 0
+}
+
+// Hash returns the sha256 of the delta's canonical JSON — the component
+// the service mixes into its content-addressed cache key for ECO jobs.
+func (d Delta) Hash() string {
+	b, err := json.Marshal(d)
+	if err != nil {
+		// Delta is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("netlist: marshal delta: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// ReadDeltaJSON parses a delta from JSON, rejecting unknown fields.
+func ReadDeltaJSON(r io.Reader) (Delta, error) {
+	var d Delta
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return Delta{}, fmt.Errorf("netlist: delta json: %w", err)
+	}
+	return d, nil
+}
+
+// WriteJSON serializes the delta (indented, stable field order).
+func (d Delta) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// Apply executes the delta against nl and returns the mutated netlist as a
+// new value (nl is never modified). Unknown names, duplicate additions,
+// and moves of non-fixed modules are errors; the result is validated
+// before being returned.
+func (d Delta) Apply(nl *Netlist) (*Netlist, error) {
+	out := &Netlist{
+		Modules: append([]Module(nil), nl.Modules...),
+		Pads:    append([]Pad(nil), nl.Pads...),
+	}
+	for _, e := range nl.Nets {
+		out.Nets = append(out.Nets, Net{
+			Name: e.Name, Weight: e.Weight,
+			Modules: append([]int(nil), e.Modules...),
+			Pads:    append([]int(nil), e.Pads...),
+		})
+	}
+
+	// 1. Remove nets by name (all nets carrying the name).
+	if len(d.RemoveNets) > 0 {
+		doomed := make(map[string]bool, len(d.RemoveNets))
+		for _, name := range d.RemoveNets {
+			doomed[name] = true
+		}
+		hit := make(map[string]bool, len(doomed))
+		kept := out.Nets[:0]
+		for _, e := range out.Nets {
+			if e.Name != "" && doomed[e.Name] {
+				hit[e.Name] = true
+				continue
+			}
+			kept = append(kept, e)
+		}
+		out.Nets = kept
+		for _, name := range d.RemoveNets {
+			if !hit[name] {
+				return nil, fmt.Errorf("netlist: delta removes unknown net %q", name)
+			}
+		}
+	}
+
+	// 2. Remove modules, cascading their pins out of every net.
+	if len(d.RemoveModules) > 0 {
+		idx := moduleIndex(out)
+		doomed := make(map[int]bool, len(d.RemoveModules))
+		for _, name := range d.RemoveModules {
+			i, ok := idx[name]
+			if !ok {
+				return nil, fmt.Errorf("netlist: delta removes unknown module %q", name)
+			}
+			if doomed[i] {
+				return nil, fmt.Errorf("netlist: delta removes module %q twice", name)
+			}
+			doomed[i] = true
+		}
+		remap := make([]int, len(out.Modules))
+		kept := out.Modules[:0]
+		for i, m := range out.Modules {
+			if doomed[i] {
+				remap[i] = -1
+				continue
+			}
+			remap[i] = len(kept)
+			kept = append(kept, m)
+		}
+		out.Modules = kept
+		nets := out.Nets[:0]
+		for _, e := range out.Nets {
+			pins := e.Modules[:0]
+			for _, m := range e.Modules {
+				if remap[m] >= 0 {
+					pins = append(pins, remap[m])
+				}
+			}
+			e.Modules = pins
+			if len(e.Modules)+len(e.Pads) < 2 {
+				continue // net collapsed with its modules
+			}
+			nets = append(nets, e)
+		}
+		out.Nets = nets
+	}
+
+	// 3. Resize.
+	if len(d.ResizeModules) > 0 {
+		idx := moduleIndex(out)
+		for _, rs := range d.ResizeModules {
+			i, ok := idx[rs.Name]
+			if !ok {
+				return nil, fmt.Errorf("netlist: delta resizes unknown module %q", rs.Name)
+			}
+			if rs.MinArea > 0 {
+				out.Modules[i].MinArea = rs.MinArea
+			}
+			if rs.MaxAspect > 0 {
+				out.Modules[i].MaxAspect = rs.MaxAspect
+			}
+		}
+	}
+
+	// 4. Move pre-placed blocks.
+	if len(d.MoveModules) > 0 {
+		idx := moduleIndex(out)
+		for _, mv := range d.MoveModules {
+			i, ok := idx[mv.Name]
+			if !ok {
+				return nil, fmt.Errorf("netlist: delta moves unknown module %q", mv.Name)
+			}
+			if !out.Modules[i].Fixed {
+				return nil, fmt.Errorf("netlist: delta moves module %q, which is not pre-placed", mv.Name)
+			}
+			out.Modules[i].FixedPos.X = mv.Pos[0]
+			out.Modules[i].FixedPos.Y = mv.Pos[1]
+		}
+	}
+
+	// 5. Add modules.
+	if len(d.AddModules) > 0 {
+		idx := moduleIndex(out)
+		for _, am := range d.AddModules {
+			if _, dup := idx[am.Name]; dup {
+				return nil, fmt.Errorf("netlist: delta adds duplicate module %q", am.Name)
+			}
+			m := Module{Name: am.Name, MinArea: am.MinArea, MaxAspect: am.MaxAspect}
+			if m.MaxAspect == 0 {
+				m.MaxAspect = 3
+			}
+			if am.Fixed != nil {
+				m.Fixed = true
+				m.FixedPos.X = am.Fixed[0]
+				m.FixedPos.Y = am.Fixed[1]
+			}
+			idx[am.Name] = len(out.Modules)
+			out.Modules = append(out.Modules, m)
+		}
+	}
+
+	// 6. Add nets.
+	if len(d.AddNets) > 0 {
+		midx := moduleIndex(out)
+		pidx := make(map[string]int, len(out.Pads))
+		for i, p := range out.Pads {
+			pidx[p.Name] = i
+		}
+		for _, an := range d.AddNets {
+			e := Net{Name: an.Name, Weight: an.Weight}
+			if e.Weight == 0 {
+				e.Weight = 1
+			}
+			for _, name := range an.Modules {
+				i, ok := midx[name]
+				if !ok {
+					return nil, fmt.Errorf("netlist: delta net %q references unknown module %q", an.Name, name)
+				}
+				e.Modules = append(e.Modules, i)
+			}
+			for _, name := range an.Pads {
+				i, ok := pidx[name]
+				if !ok {
+					return nil, fmt.Errorf("netlist: delta net %q references unknown pad %q", an.Name, name)
+				}
+				e.Pads = append(e.Pads, i)
+			}
+			out.Nets = append(out.Nets, e)
+		}
+	}
+
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("netlist: delta produces invalid netlist: %w", err)
+	}
+	return out, nil
+}
+
+// Inverse derives the delta that undoes d, given the netlist d was applied
+// to. Applying d then its inverse reproduces orig up to ordering (restored
+// modules and nets are re-appended, not spliced back into their original
+// slots) — the problem modeled is identical, which the metamorphic
+// delta+inverse law relies on. Nets touched by a module removal must carry
+// names (a cascaded anonymous net cannot be re-added by name).
+func (d Delta) Inverse(orig *Netlist) (Delta, error) {
+	idx := moduleIndex(orig)
+	var inv Delta
+
+	// Additions reverse to removals.
+	for _, am := range d.AddModules {
+		inv.RemoveModules = append(inv.RemoveModules, am.Name)
+	}
+	for _, an := range d.AddNets {
+		inv.RemoveNets = append(inv.RemoveNets, an.Name)
+	}
+
+	// Resizes and moves restore the original values.
+	for _, rs := range d.ResizeModules {
+		i, ok := idx[rs.Name]
+		if !ok {
+			return Delta{}, fmt.Errorf("netlist: inverse: unknown resized module %q", rs.Name)
+		}
+		m := orig.Modules[i]
+		inv.ResizeModules = append(inv.ResizeModules, DeltaResize{
+			Name: rs.Name, MinArea: m.MinArea, MaxAspect: m.MaxAspect,
+		})
+	}
+	for _, mv := range d.MoveModules {
+		i, ok := idx[mv.Name]
+		if !ok {
+			return Delta{}, fmt.Errorf("netlist: inverse: unknown moved module %q", mv.Name)
+		}
+		m := orig.Modules[i]
+		inv.MoveModules = append(inv.MoveModules, DeltaMove{
+			Name: mv.Name, Pos: [2]float64{m.FixedPos.X, m.FixedPos.Y},
+		})
+	}
+
+	// Removed modules come back with their original definitions, and every
+	// original net they touched is restored in full: a touched net that
+	// survived d (still ≥ 2 pins) is first removed by name, then re-added;
+	// one that collapsed is simply re-added.
+	removed := make(map[int]bool, len(d.RemoveModules))
+	for _, name := range d.RemoveModules {
+		i, ok := idx[name]
+		if !ok {
+			return Delta{}, fmt.Errorf("netlist: inverse: unknown removed module %q", name)
+		}
+		removed[i] = true
+		m := orig.Modules[i]
+		am := DeltaModule{Name: m.Name, MinArea: m.MinArea, MaxAspect: m.MaxAspect}
+		if m.Fixed {
+			am.Fixed = &[2]float64{m.FixedPos.X, m.FixedPos.Y}
+		}
+		inv.AddModules = append(inv.AddModules, am)
+	}
+	explicitlyRemoved := make(map[string]bool, len(d.RemoveNets))
+	for _, name := range d.RemoveNets {
+		explicitlyRemoved[name] = true
+	}
+	restored := make(map[string]bool)
+	for _, e := range orig.Nets {
+		touched := false
+		surviving := len(e.Pads)
+		for _, m := range e.Modules {
+			if removed[m] {
+				touched = true
+			} else {
+				surviving++
+			}
+		}
+		restore := explicitlyRemoved[e.Name] || touched
+		if !restore {
+			continue
+		}
+		if e.Name == "" {
+			return Delta{}, fmt.Errorf("netlist: inverse: unnamed net touched by removal of a module cannot be restored")
+		}
+		if touched && !explicitlyRemoved[e.Name] && surviving >= 2 && !restored[e.Name] {
+			// The diminished net survived in the mutated netlist; clear it
+			// before re-adding the full original.
+			inv.RemoveNets = append(inv.RemoveNets, e.Name)
+		}
+		if restored[e.Name] {
+			return Delta{}, fmt.Errorf("netlist: inverse: duplicate net name %q among restored nets", e.Name)
+		}
+		restored[e.Name] = true
+		dn := DeltaNet{Name: e.Name, Weight: e.Weight}
+		for _, m := range e.Modules {
+			dn.Modules = append(dn.Modules, orig.Modules[m].Name)
+		}
+		for _, p := range e.Pads {
+			dn.Pads = append(dn.Pads, orig.Pads[p].Name)
+		}
+		inv.AddNets = append(inv.AddNets, dn)
+	}
+	return inv, nil
+}
+
+// moduleIndex maps module names to indices (last occurrence wins; netlists
+// built through the JSON reader or Apply have unique names).
+func moduleIndex(nl *Netlist) map[string]int {
+	idx := make(map[string]int, len(nl.Modules))
+	for i, m := range nl.Modules {
+		idx[m.Name] = i
+	}
+	return idx
+}

@@ -1,0 +1,291 @@
+package netlist
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sdpfloor/internal/geom"
+)
+
+// deltaTestNL builds a small named netlist with a pad and a fixed module.
+func deltaTestNL() *Netlist {
+	return &Netlist{
+		Modules: []Module{
+			{Name: "a", MinArea: 4, MaxAspect: 2},
+			{Name: "b", MinArea: 2, MaxAspect: 3},
+			{Name: "c", MinArea: 1, MaxAspect: 3},
+			{Name: "d", MinArea: 3, MaxAspect: 2, Fixed: true, FixedPos: geom.Point{X: 1, Y: 2}},
+		},
+		Pads: []Pad{{Name: "p0", Pos: geom.Point{X: 0, Y: 0}}},
+		Nets: []Net{
+			{Name: "n0", Weight: 1, Modules: []int{0, 1}},
+			{Name: "n1", Weight: 2, Modules: []int{1, 2, 3}},
+			{Name: "n2", Weight: 1, Modules: []int{2}, Pads: []int{0}},
+		},
+	}
+}
+
+func TestDeltaApplyKinds(t *testing.T) {
+	nl := deltaTestNL()
+	d := Delta{
+		RemoveNets:    []string{"n0"},
+		RemoveModules: []string{"c"},
+		ResizeModules: []DeltaResize{{Name: "a", MinArea: 8}},
+		MoveModules:   []DeltaMove{{Name: "d", Pos: [2]float64{5, 6}}},
+		AddModules:    []DeltaModule{{Name: "e", MinArea: 2}},
+		AddNets:       []DeltaNet{{Name: "ne", Modules: []string{"e", "a"}, Pads: []string{"p0"}}},
+	}
+	out, err := d.Apply(nl)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if got := len(out.Modules); got != 4 {
+		t.Fatalf("modules = %d, want 4 (a b d e)", got)
+	}
+	if out.Modules[0].MinArea != 8 {
+		t.Errorf("resize lost: a.MinArea = %g", out.Modules[0].MinArea)
+	}
+	if pos := out.Modules[2].FixedPos; pos.X != 5 || pos.Y != 6 {
+		t.Errorf("move lost: d at %+v", pos)
+	}
+	// n0 removed by name; n1 lost pin c but keeps b,d; n2 collapsed with c.
+	if got := len(out.Nets); got != 2 {
+		t.Fatalf("nets = %d, want 2 (n1 ne): %+v", got, out.Nets)
+	}
+	if out.Nets[0].Name != "n1" || len(out.Nets[0].Modules) != 2 {
+		t.Errorf("cascade wrong: %+v", out.Nets[0])
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	// The input is untouched.
+	if !reflect.DeepEqual(nl, deltaTestNL()) {
+		t.Error("Apply mutated its input")
+	}
+}
+
+func TestDeltaApplyErrors(t *testing.T) {
+	nl := deltaTestNL()
+	cases := map[string]Delta{
+		"unknown net":      {RemoveNets: []string{"nope"}},
+		"unknown module":   {RemoveModules: []string{"nope"}},
+		"double remove":    {RemoveModules: []string{"a", "a"}},
+		"unknown resize":   {ResizeModules: []DeltaResize{{Name: "nope", MinArea: 1}}},
+		"move non-fixed":   {MoveModules: []DeltaMove{{Name: "a", Pos: [2]float64{0, 0}}}},
+		"duplicate add":    {AddModules: []DeltaModule{{Name: "a", MinArea: 1}}},
+		"net unknown pin":  {AddNets: []DeltaNet{{Name: "x", Modules: []string{"a", "nope"}}}},
+		"net single pin":   {AddNets: []DeltaNet{{Name: "x", Modules: []string{"a"}}}},
+		"nonpositive area": {AddModules: []DeltaModule{{Name: "z", MinArea: 0}}},
+	}
+	for name, d := range cases {
+		if _, err := d.Apply(nl); err == nil {
+			t.Errorf("%s: Apply accepted invalid delta", name)
+		}
+	}
+}
+
+// TestDeltaInverseRoundTrip: applying a generated delta and then its
+// inverse reproduces a netlist that models the same problem (same modules
+// by name with identical parameters, same net multiset by name).
+func TestDeltaInverseRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		nl := randomDeltaNL(seed)
+		d := GenerateDelta(nl, seed, 4)
+		mut, err := d.Apply(nl)
+		if err != nil {
+			t.Fatalf("seed %d: apply: %v", seed, err)
+		}
+		inv, err := d.Inverse(nl)
+		if err != nil {
+			t.Fatalf("seed %d: inverse: %v", seed, err)
+		}
+		back, err := inv.Apply(mut)
+		if err != nil {
+			t.Fatalf("seed %d: apply inverse: %v", seed, err)
+		}
+		assertSameInstance(t, seed, nl, back)
+	}
+}
+
+// TestGenerateDeltaDeterministic: the same (nl, seed, nops) yields the
+// same delta, and different seeds yield different ones.
+func TestGenerateDeltaDeterministic(t *testing.T) {
+	nl := randomDeltaNL(3)
+	d1 := GenerateDelta(nl, 42, 5)
+	d2 := GenerateDelta(nl, 42, 5)
+	if !reflect.DeepEqual(d1, d2) {
+		t.Fatalf("same seed, different deltas:\n%+v\n%+v", d1, d2)
+	}
+	d3 := GenerateDelta(nl, 43, 5)
+	if reflect.DeepEqual(d1, d3) {
+		t.Fatal("different seeds produced identical deltas")
+	}
+	if d1.Empty() {
+		t.Fatal("generator produced an empty delta")
+	}
+}
+
+func TestDeltaJSONRoundTrip(t *testing.T) {
+	nl := randomDeltaNL(5)
+	d := GenerateDelta(nl, 7, 5)
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadDeltaJSON(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !reflect.DeepEqual(d, got) {
+		t.Fatalf("round trip changed delta:\n%+v\n%+v", d, got)
+	}
+	if _, err := ReadDeltaJSON(bytes.NewBufferString(`{"bogus": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if d.Hash() == (Delta{}).Hash() {
+		t.Fatal("hash ignores content")
+	}
+}
+
+func TestSeedFromPrior(t *testing.T) {
+	nl := deltaTestNL()
+	prev := []NamedPoint{{Name: "a", X: 1, Y: 1}, {Name: "b", X: 3, Y: 1}, {Name: "d", X: 1, Y: 2}}
+	// c has no prior; its only positioned neighbors via n1 (b, d) and n2
+	// (pad p0 at origin) pull it to a weighted centroid.
+	centers, reused, seeded := SeedFromPrior(nl, prev, geom.Point{X: 9, Y: 9})
+	if reused != 3 || seeded != 1 {
+		t.Fatalf("reused=%d seeded=%d, want 3/1", reused, seeded)
+	}
+	if centers[0] != (geom.Point{X: 1, Y: 1}) || centers[1] != (geom.Point{X: 3, Y: 1}) {
+		t.Fatalf("prior centers not reused: %+v", centers[:2])
+	}
+	if centers[3] != (geom.Point{X: 1, Y: 2}) {
+		t.Fatalf("fixed module not at FixedPos: %+v", centers[3])
+	}
+	c := centers[2]
+	if c.X <= 0 || c.X >= 3 || c.Y < 0 || c.Y > 2 {
+		t.Fatalf("centroid seed out of neighbor hull: %+v", c)
+	}
+	// No positioned neighbor at all → fallback.
+	lone := &Netlist{Modules: []Module{
+		{Name: "x", MinArea: 1, MaxAspect: 2},
+		{Name: "y", MinArea: 1, MaxAspect: 2},
+	}, Nets: []Net{{Name: "n", Weight: 1, Modules: []int{0, 1}}}}
+	centers, reused, seeded = SeedFromPrior(lone, nil, geom.Point{X: 9, Y: 9})
+	if reused != 0 || seeded != 2 {
+		t.Fatalf("lone: reused=%d seeded=%d", reused, seeded)
+	}
+	if centers[0] != (geom.Point{X: 9, Y: 9}) {
+		t.Fatalf("fallback not used: %+v", centers[0])
+	}
+}
+
+// randomDeltaNL builds a random valid netlist with named modules and nets,
+// mirroring the core property-test generator but at netlist level.
+func randomDeltaNL(seed int64) *Netlist {
+	rng := rand.New(rand.NewSource(seed))
+	n := 8 + rng.Intn(8)
+	nl := &Netlist{}
+	for i := 0; i < n; i++ {
+		m := Module{
+			Name:      "m" + string(rune('a'+i%26)) + string(rune('0'+i/26)),
+			MinArea:   0.5 + 4*rng.Float64(),
+			MaxAspect: 1 + 2*rng.Float64(),
+		}
+		if i == 0 {
+			m.Fixed = true
+			m.FixedPos = geom.Point{X: 1 + rng.Float64(), Y: 1 + rng.Float64()}
+		}
+		nl.Modules = append(nl.Modules, m)
+	}
+	nl.Pads = []Pad{{Name: "pad0", Pos: geom.Point{X: 0, Y: 0}}}
+	nets := 2 * n
+	for e := 0; e < nets; e++ {
+		d := 2 + rng.Intn(3)
+		seen := map[int]bool{}
+		var mods []int
+		for len(mods) < d {
+			i := rng.Intn(n)
+			if !seen[i] {
+				seen[i] = true
+				mods = append(mods, i)
+			}
+		}
+		net := Net{Name: "n" + itoa(e), Weight: 1 + rng.Float64(), Modules: mods}
+		if rng.Intn(5) == 0 {
+			net.Pads = []int{0}
+		}
+		nl.Nets = append(nl.Nets, net)
+	}
+	return nl
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+// assertSameInstance checks that two netlists model the same problem:
+// identical module sets by name (area/aspect/fixedness bitwise) and
+// identical net multisets by name (weight + pin name sets).
+func assertSameInstance(t *testing.T, seed int64, a, b *Netlist) {
+	t.Helper()
+	if len(a.Modules) != len(b.Modules) {
+		t.Fatalf("seed %d: module count %d vs %d", seed, len(a.Modules), len(b.Modules))
+	}
+	bi := moduleIndex(b)
+	for _, m := range a.Modules {
+		j, ok := bi[m.Name]
+		if !ok {
+			t.Fatalf("seed %d: module %q missing after round trip", seed, m.Name)
+		}
+		mb := b.Modules[j]
+		if m.MinArea != mb.MinArea || m.MaxAspect != mb.MaxAspect || m.Fixed != mb.Fixed || m.FixedPos != mb.FixedPos {
+			t.Fatalf("seed %d: module %q differs: %+v vs %+v", seed, m.Name, m, mb)
+		}
+	}
+	netKey := func(nl *Netlist, e Net) string {
+		k := e.Name + "|" + itoa(int(e.Weight*1e6)) + "|"
+		var names []string
+		for _, m := range e.Modules {
+			names = append(names, nl.Modules[m].Name)
+		}
+		for _, p := range e.Pads {
+			names = append(names, "pad:"+nl.Pads[p].Name)
+		}
+		sortStrings(names)
+		for _, s := range names {
+			k += s + ","
+		}
+		return k
+	}
+	counts := map[string]int{}
+	for _, e := range a.Nets {
+		counts[netKey(a, e)]++
+	}
+	for _, e := range b.Nets {
+		counts[netKey(b, e)]--
+	}
+	for k, c := range counts {
+		if c != 0 {
+			t.Fatalf("seed %d: net multiset differs at %q (%+d)", seed, k, c)
+		}
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenerateDelta derives a reproducible ECO delta for nl from a seed — the
+// shared mutation generator behind the differential, metamorphic, and fuzz
+// ECO suites. The delta mixes the classic ECO edit kinds:
+//
+//   - grow: a new module, connected to 1–3 surviving modules by a new net
+//   - shrink: removal of a non-fixed module (cascading into its nets)
+//   - resize: a surviving module's area scaled into [0.6, 1.6]×
+//   - rewire: a uniquely named net replaced by one over different pins
+//   - move: a pre-placed module nudged (only when nl has fixed modules)
+//
+// nops bounds the number of edits (at least one is always produced), and
+// the generated delta is guaranteed to Apply cleanly: removals never
+// invalidate later additions because the generator partitions the module
+// set into removed and surviving names up front. The same (nl, seed, nops)
+// always yields the same delta.
+func GenerateDelta(nl *Netlist, seed int64, nops int) Delta {
+	rng := rand.New(rand.NewSource(seed))
+	if nops < 1 {
+		nops = 1
+	}
+	var d Delta
+	n := nl.N()
+
+	// Partition: pick removals first so every other op can avoid them.
+	maxRemove := n/4 - 1
+	if maxRemove > nops/2 {
+		maxRemove = nops / 2
+	}
+	removed := make(map[int]bool)
+	if maxRemove > 0 {
+		k := 1 + rng.Intn(maxRemove)
+		for len(removed) < k {
+			i := rng.Intn(n)
+			if nl.Modules[i].Fixed || removed[i] {
+				continue
+			}
+			removed[i] = true
+			d.RemoveModules = append(d.RemoveModules, nl.Modules[i].Name)
+		}
+	}
+	var survivors []int
+	var fixed []int
+	for i, m := range nl.Modules {
+		if removed[i] {
+			continue
+		}
+		survivors = append(survivors, i)
+		if m.Fixed {
+			fixed = append(fixed, i)
+		}
+	}
+	pick := func() int { return survivors[rng.Intn(len(survivors))] }
+	meanArea := nl.TotalArea() / float64(n)
+
+	// Nets whose names are unique are safe to rewire by name.
+	nameCount := make(map[string]int, len(nl.Nets))
+	for _, e := range nl.Nets {
+		if e.Name != "" {
+			nameCount[e.Name]++
+		}
+	}
+
+	budget := nops - len(d.RemoveModules)
+	for op := 0; op < budget; op++ {
+		switch kind := rng.Intn(4); {
+		case kind == 0: // grow
+			name := fmt.Sprintf("eco%d_m%d", seed, op)
+			d.AddModules = append(d.AddModules, DeltaModule{
+				Name:      name,
+				MinArea:   meanArea * (0.5 + rng.Float64()),
+				MaxAspect: 1.5 + 1.5*rng.Float64(),
+			})
+			pins := []string{name}
+			for t := 1 + rng.Intn(3); t > 0; t-- {
+				pins = append(pins, nl.Modules[pick()].Name)
+			}
+			d.AddNets = append(d.AddNets, DeltaNet{
+				Name: fmt.Sprintf("eco%d_n%d", seed, op), Weight: 1, Modules: dedupNames(pins),
+			})
+		case kind == 1: // resize
+			i := pick()
+			d.ResizeModules = append(d.ResizeModules, DeltaResize{
+				Name:    nl.Modules[i].Name,
+				MinArea: nl.Modules[i].MinArea * (0.6 + rng.Float64()),
+			})
+		case kind == 2 && len(fixed) > 0: // move
+			i := fixed[rng.Intn(len(fixed))]
+			m := nl.Modules[i]
+			d.MoveModules = append(d.MoveModules, DeltaMove{
+				Name: m.Name,
+				Pos: [2]float64{
+					m.FixedPos.X * (0.9 + 0.2*rng.Float64()),
+					m.FixedPos.Y * (0.9 + 0.2*rng.Float64()),
+				},
+			})
+		default: // rewire
+			j := rewirableNet(nl, rng, nameCount, removed)
+			if j < 0 {
+				// No net qualifies; degrade to a resize so the op count holds.
+				i := pick()
+				d.ResizeModules = append(d.ResizeModules, DeltaResize{
+					Name:    nl.Modules[i].Name,
+					MinArea: nl.Modules[i].MinArea * (0.6 + rng.Float64()),
+				})
+				continue
+			}
+			e := nl.Nets[j]
+			nameCount[e.Name]++ // a net is rewired at most once per delta
+			d.RemoveNets = append(d.RemoveNets, e.Name)
+			pins := make([]string, 0, len(e.Modules))
+			for range e.Modules {
+				pins = append(pins, nl.Modules[pick()].Name)
+			}
+			pins = dedupNames(pins)
+			for len(pins) < 2 {
+				pins = dedupNames(append(pins, nl.Modules[pick()].Name))
+			}
+			d.AddNets = append(d.AddNets, DeltaNet{
+				Name: fmt.Sprintf("eco%d_rw%d", seed, op), Weight: e.Weight, Modules: pins,
+			})
+		}
+	}
+	if d.Empty() {
+		i := pick()
+		d.ResizeModules = append(d.ResizeModules, DeltaResize{
+			Name:    nl.Modules[i].Name,
+			MinArea: nl.Modules[i].MinArea * 1.25,
+		})
+	}
+	return d
+}
+
+// rewirableNet picks a net that is removable by name (unique, not yet
+// rewired) and free of pads and removed modules, or -1 when none exists.
+func rewirableNet(nl *Netlist, rng *rand.Rand, nameCount map[string]int, removed map[int]bool) int {
+	var cands []int
+	for j, e := range nl.Nets {
+		if e.Name == "" || nameCount[e.Name] != 1 || len(e.Pads) > 0 {
+			continue
+		}
+		ok := true
+		for _, m := range e.Modules {
+			if removed[m] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			cands = append(cands, j)
+		}
+	}
+	if len(cands) == 0 {
+		return -1
+	}
+	return cands[rng.Intn(len(cands))]
+}
+
+// dedupNames removes duplicates preserving first-seen order.
+func dedupNames(names []string) []string {
+	seen := make(map[string]bool, len(names))
+	out := names[:0]
+	for _, s := range names {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package netlist
+
+import "sdpfloor/internal/geom"
+
+// NamedPoint pairs a module name with a center position — the portable,
+// order-independent form of a previous placement (the service journals ECO
+// priors in exactly this shape).
+type NamedPoint struct {
+	Name string  `json:"name"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+}
+
+// SeedFromPrior maps a previous placement onto nl's module set and returns
+// one prior center per module plus the reuse accounting the incremental
+// report surfaces:
+//
+//   - a module whose name appears in prev keeps its previous center
+//     (counted in reused); pre-placed modules always sit at their fixed
+//     position,
+//   - a new module is seeded at the weighted centroid of its net
+//     neighbors' known positions — previously placed modules and pads —
+//     so an added block enters the iteration amid the logic it connects
+//     to (counted in seeded),
+//   - a new module with no positioned neighbor falls back to fallback
+//     (typically the outline center).
+//
+// The result is deterministic: only slices are iterated, and prev entries
+// are consulted through name lookups (last entry wins on duplicates).
+func SeedFromPrior(nl *Netlist, prev []NamedPoint, fallback geom.Point) (centers []geom.Point, reused, seeded int) {
+	prior := make(map[string]geom.Point, len(prev))
+	for _, p := range prev {
+		prior[p.Name] = geom.Point{X: p.X, Y: p.Y}
+	}
+	n := nl.N()
+	centers = make([]geom.Point, n)
+	known := make([]bool, n)
+	for i, m := range nl.Modules {
+		switch {
+		case m.Fixed:
+			centers[i] = m.FixedPos
+			known[i] = true
+			if _, ok := prior[m.Name]; ok {
+				reused++
+			} else {
+				seeded++
+			}
+		default:
+			if c, ok := prior[m.Name]; ok {
+				centers[i] = c
+				known[i] = true
+				reused++
+			}
+		}
+	}
+	// Weighted neighbor centroids for the new modules, from first-pass
+	// positions only (so the seed of one new module never depends on the
+	// seed of another and the pass is order-independent).
+	var sumW []float64
+	var sum []geom.Point
+	for _, e := range nl.Nets {
+		if e.Weight <= 0 {
+			continue
+		}
+		needs := false
+		for _, m := range e.Modules {
+			if !known[m] {
+				needs = true
+				break
+			}
+		}
+		if !needs {
+			continue
+		}
+		var cw float64
+		var cp geom.Point
+		for _, m := range e.Modules {
+			if known[m] {
+				cw += e.Weight
+				cp = cp.Add(centers[m].Scale(e.Weight))
+			}
+		}
+		for _, p := range e.Pads {
+			cw += e.Weight
+			cp = cp.Add(nl.Pads[p].Pos.Scale(e.Weight))
+		}
+		if cw <= 0 {
+			continue
+		}
+		if sumW == nil {
+			sumW = make([]float64, n)
+			sum = make([]geom.Point, n)
+		}
+		for _, m := range e.Modules {
+			if !known[m] {
+				sumW[m] += cw
+				sum[m] = sum[m].Add(cp)
+			}
+		}
+	}
+	for i := range centers {
+		if known[i] {
+			continue
+		}
+		if sumW != nil && sumW[i] > 0 {
+			centers[i] = sum[i].Scale(1 / sumW[i])
+		} else {
+			centers[i] = fallback
+		}
+		seeded++
+	}
+	return centers, reused, seeded
+}

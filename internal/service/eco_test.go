@@ -1,0 +1,417 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sdpfloor"
+	"sdpfloor/internal/jobstore"
+)
+
+// fakeSolvedFloorplan is fakeFloorplan plus the SDP-stage artifacts an ECO
+// chain consumes: pre-legalization global centers (deliberately distinct
+// from the legalized centers, so tests can tell which one seeded the next
+// link) and solver diagnostics.
+func fakeSolvedFloorplan(nl *sdpfloor.Netlist, solverIters int) *sdpfloor.Floorplan {
+	fp := fakeFloorplan(nl)
+	for i := 0; i < nl.N(); i++ {
+		fp.Global = append(fp.Global, sdpfloor.Point{X: float64(i) + 0.5, Y: 0.25})
+	}
+	fp.GlobalResult = &sdpfloor.GlobalResult{Iterations: 3, SolverIterations: solverIters, RankOK: true}
+	return fp
+}
+
+// postJob submits nl via POST /v1/jobs and returns the decoded status.
+func postJob(t *testing.T, ts *httptest.Server, nl *sdpfloor.Netlist, seed int64) Status {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := nl.WriteJSON(&buf); err != nil {
+		t.Fatalf("encode netlist: %v", err)
+	}
+	body := fmt.Sprintf(`{"netlist": %s, "method": "sdp", "seed": %d}`, buf.String(), seed)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/jobs: status %d", resp.StatusCode)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode status: %v", err)
+	}
+	return st
+}
+
+// patchECO issues PATCH /v1/jobs/{id} with the given delta body and returns
+// the raw response (caller closes).
+func patchECO(t *testing.T, ts *httptest.Server, id, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPatch, ts.URL+"/v1/jobs/"+id, strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("build PATCH: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("PATCH /v1/jobs/%s: %v", id, err)
+	}
+	return resp
+}
+
+func getResult(t *testing.T, ts *httptest.Server, id string) *Result {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatalf("GET result: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET result %s: status %d", id, resp.StatusCode)
+	}
+	res := &Result{}
+	if err := json.NewDecoder(resp.Body).Decode(res); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	return res
+}
+
+// TestECOPatchLifecycle drives the full PATCH /v1/jobs/{id} flow over HTTP:
+// submit a base job, apply a delta, and verify the ECO job is seeded warm
+// from the parent's pre-legalization global centers (not the legalized
+// ones), reports its reuse accounting, and hits the cache on an identical
+// re-submission.
+func TestECOPatchLifecycle(t *testing.T) {
+	const baseIters = 400
+	var mu sync.Mutex
+	var priors [][]sdpfloor.Point // cfg.Global.Prior.Centers per solve
+	solves := 0
+	s := newTestServer(t, Config{Workers: 1},
+		func(ctx context.Context, nl *sdpfloor.Netlist, c sdpfloor.Config) (*sdpfloor.Floorplan, error) {
+			mu.Lock()
+			solves++
+			if c.Global.Prior != nil {
+				priors = append(priors, append([]sdpfloor.Point(nil), c.Global.Prior.Centers...))
+			} else {
+				priors = append(priors, nil)
+			}
+			mu.Unlock()
+			iters := baseIters
+			if c.Global.Prior != nil {
+				iters = baseIters / 4 // the warm start "saves" iterations
+			}
+			return fakeSolvedFloorplan(nl, iters), nil
+		})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	nl := testNetlist(4)
+	base := postJob(t, ts, nl, 7)
+	waitState(t, s, base.ID, StateDone)
+
+	// The base result must expose the global centers ECO seeds from.
+	baseRes := getResult(t, ts, base.ID)
+	if len(baseRes.GlobalCenters) != nl.N() {
+		t.Fatalf("base result carries %d global centers, want %d", len(baseRes.GlobalCenters), nl.N())
+	}
+
+	const delta = `{"delta": {"addModules": [{"name": "mx", "minArea": 1}],
+		"addNets": [{"name": "ex", "modules": ["mx", "m0"]}]}}`
+	resp := patchECO(t, ts, base.ID, delta)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("PATCH: status %d, want 202", resp.StatusCode)
+	}
+	var eco Status
+	if err := json.NewDecoder(resp.Body).Decode(&eco); err != nil {
+		t.Fatalf("decode ECO status: %v", err)
+	}
+	resp.Body.Close()
+	if eco.EcoOf != base.ID {
+		t.Fatalf("ECO job reports ecoOf %q, want %q", eco.EcoOf, base.ID)
+	}
+	if eco.Modules != nl.N()+1 {
+		t.Fatalf("ECO job solves %d modules, want %d (post-delta)", eco.Modules, nl.N()+1)
+	}
+	waitState(t, s, eco.ID, StateDone)
+
+	ecoRes := getResult(t, ts, eco.ID)
+	if ecoRes.Eco == nil {
+		t.Fatalf("ECO result carries no eco report")
+	}
+	if ecoRes.Eco.Reused != nl.N() || ecoRes.Eco.Seeded != 1 {
+		t.Fatalf("eco report reused=%d seeded=%d, want %d/1", ecoRes.Eco.Reused, ecoRes.Eco.Seeded, nl.N())
+	}
+	if want := baseIters - baseIters/4; ecoRes.Eco.SolverItersSaved != want {
+		t.Fatalf("eco report solverItersSaved=%d, want %d", ecoRes.Eco.SolverItersSaved, want)
+	}
+
+	// The warm prior must be the parent's GLOBAL centers (Y=0.25 in the
+	// fake), not the legalized ones (Y=0.5) — the empirical core of the
+	// incremental design.
+	mu.Lock()
+	var ecoPrior []sdpfloor.Point
+	for _, p := range priors {
+		if p != nil {
+			ecoPrior = p
+		}
+	}
+	mu.Unlock()
+	if ecoPrior == nil {
+		t.Fatalf("ECO solve saw no prior")
+	}
+	if len(ecoPrior) != nl.N()+1 {
+		t.Fatalf("prior covers %d modules, want %d", len(ecoPrior), nl.N()+1)
+	}
+	for i := 0; i < nl.N(); i++ {
+		if ecoPrior[i].Y != 0.25 {
+			t.Fatalf("prior[%d] = %+v, want the parent's global center (Y=0.25)", i, ecoPrior[i])
+		}
+	}
+	// The added module's seed is its net neighbor m0's prior position.
+	if got, want := ecoPrior[nl.N()], ecoPrior[0]; got != want {
+		t.Fatalf("new module seeded at %+v, want neighbor centroid %+v", got, want)
+	}
+
+	// An identical PATCH is a cache hit: same parent, same delta, same
+	// prior → same content address. No new solve runs.
+	mu.Lock()
+	solvesBefore := solves
+	mu.Unlock()
+	resp = patchECO(t, ts, base.ID, delta)
+	var eco2 Status
+	if err := json.NewDecoder(resp.Body).Decode(&eco2); err != nil {
+		t.Fatalf("decode repeat status: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !eco2.FromCache {
+		t.Fatalf("repeat PATCH: status %d fromCache %v, want 200 true", resp.StatusCode, eco2.FromCache)
+	}
+	mu.Lock()
+	if solves != solvesBefore {
+		t.Fatalf("repeat PATCH ran %d extra solves", solves-solvesBefore)
+	}
+	mu.Unlock()
+}
+
+// TestECOPatchErrors pins the PATCH error surface: unknown parent → 404,
+// parent not done → 409, malformed/empty/inapplicable delta → 400.
+func TestECOPatchErrors(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	s := newTestServer(t, Config{Workers: 1},
+		func(ctx context.Context, nl *sdpfloor.Netlist, c sdpfloor.Config) (*sdpfloor.Floorplan, error) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return fakeSolvedFloorplan(nl, 10), nil
+		})
+	t.Cleanup(func() { once.Do(func() { close(release) }) })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	check := func(id, body string, wantStatus int, wantCode string) {
+		t.Helper()
+		resp := patchECO(t, ts, id, body)
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("PATCH %s: status %d, want %d", id, resp.StatusCode, wantStatus)
+		}
+		var e errorJSON
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("decode error envelope: %v", err)
+		}
+		if e.Error.Code != wantCode {
+			t.Fatalf("PATCH %s: code %q, want %q", id, e.Error.Code, wantCode)
+		}
+	}
+
+	const okDelta = `{"delta": {"addModules": [{"name": "mx", "minArea": 1}]}}`
+	check("job-999999", okDelta, http.StatusNotFound, codeNotFound)
+
+	running := postJob(t, ts, testNetlist(3), 1)
+	waitState(t, s, running.ID, StateRunning)
+	check(running.ID, okDelta, http.StatusConflict, codeConflict)
+
+	once.Do(func() { close(release) })
+	waitState(t, s, running.ID, StateDone)
+	check(running.ID, `{"delta": `, http.StatusBadRequest, codeBadRequest)
+	check(running.ID, `{}`, http.StatusBadRequest, codeBadRequest)
+	check(running.ID, `{"delta": {}}`, http.StatusBadRequest, codeBadRequest)
+	check(running.ID, `{"delta": {"removeModules": ["ghost"]}}`, http.StatusBadRequest, codeBadRequest)
+	check(running.ID, `{"delta": {"bogusField": 1}}`, http.StatusBadRequest, codeBadRequest)
+}
+
+// TestECOChainCrashReplayExactlyOnce is the durability acceptance test for
+// incremental jobs: build an ECO chain (base → eco1 → eco2), crash the
+// daemon while eco2 is mid-solve, restart on the same journal, and verify
+// the interrupted ECO link replays exactly once — with its post-delta
+// netlist, its warm prior, and its parent linkage all restored from the
+// journal, no parent re-run.
+func TestECOChainCrashReplayExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	j1, states := openTestJournal(t, dir)
+	if len(states) != 0 {
+		t.Fatalf("fresh journal replayed %d states", len(states))
+	}
+
+	// solvesByN counts solves keyed by module count — base solves 4, eco1
+	// solves 5, eco2 solves 6 — so exactly-once is checkable per link.
+	var mu sync.Mutex
+	solvesByN := map[int]int{}
+	sawPriorByN := map[int]bool{}
+	countSolve := func(nl *sdpfloor.Netlist, c sdpfloor.Config) {
+		mu.Lock()
+		solvesByN[nl.N()]++
+		if c.Global.Prior != nil {
+			sawPriorByN[nl.N()] = true
+		}
+		mu.Unlock()
+	}
+
+	s1 := newServer(Config{Workers: 1, QueueDepth: 16, Journal: j1, Replay: states},
+		func(ctx context.Context, nl *sdpfloor.Netlist, c sdpfloor.Config) (*sdpfloor.Floorplan, error) {
+			countSolve(nl, c)
+			if nl.N() >= 6 { // eco2: the "long" solve the crash interrupts
+				<-ctx.Done()
+				return nil, ctx.Err()
+			}
+			return fakeSolvedFloorplan(nl, 100), nil
+		})
+
+	base, err := s1.Submit(testRequest(4, 3))
+	if err != nil {
+		t.Fatalf("submit base: %v", err)
+	}
+	waitState(t, s1, base.ID, StateDone)
+
+	eco1, err := s1.SubmitECO(base.ID, sdpfloor.Delta{
+		AddModules: []sdpfloor.DeltaModule{{Name: "x1", MinArea: 1}},
+		AddNets:    []sdpfloor.DeltaNet{{Name: "ex1", Modules: []string{"x1", "m0"}}},
+	}, time.Minute)
+	if err != nil {
+		t.Fatalf("submit eco1: %v", err)
+	}
+	waitState(t, s1, eco1.ID, StateDone)
+
+	eco2, err := s1.SubmitECO(eco1.ID, sdpfloor.Delta{
+		AddModules: []sdpfloor.DeltaModule{{Name: "x2", MinArea: 1}},
+		AddNets:    []sdpfloor.DeltaNet{{Name: "ex2", Modules: []string{"x2", "x1"}}},
+	}, time.Minute)
+	if err != nil {
+		t.Fatalf("submit eco2: %v", err)
+	}
+	waitState(t, s1, eco2.ID, StateRunning)
+
+	// Crash: journal handle dies first (kill -9 under fsync=always), then
+	// the process "exits".
+	if err := j1.Close(); err != nil {
+		t.Fatalf("close journal: %v", err)
+	}
+	s1.Close()
+
+	j2, states2 := openTestJournal(t, dir)
+	defer j2.Close()
+	var interrupted *jobstore.JobState
+	for _, st := range states2 {
+		if st.Interrupted() {
+			if interrupted != nil {
+				t.Fatalf("more than one interrupted job after crash")
+			}
+			interrupted = st
+		}
+	}
+	if interrupted == nil || interrupted.ID != eco2.ID {
+		t.Fatalf("interrupted job = %+v, want %s", interrupted, eco2.ID)
+	}
+	if interrupted.Event != jobstore.EventStarted && interrupted.Event != jobstore.EventProgress {
+		t.Fatalf("interrupted ECO job's newest event is %q", interrupted.Event)
+	}
+	if interrupted.Spec == nil || interrupted.Spec.Eco == nil {
+		t.Fatalf("interrupted ECO job lost its eco spec")
+	}
+	if interrupted.Spec.Eco.Parent != eco1.ID {
+		t.Fatalf("replayed eco spec parent = %q, want %q", interrupted.Spec.Eco.Parent, eco1.ID)
+	}
+	if got := len(interrupted.Spec.Eco.Prev); got != 5 {
+		t.Fatalf("replayed eco spec carries %d prior points, want 5", got)
+	}
+
+	mu.Lock()
+	pre := map[int]int{4: solvesByN[4], 5: solvesByN[5], 6: solvesByN[6]}
+	mu.Unlock()
+
+	s2 := newServer(Config{Workers: 1, QueueDepth: 16, Journal: j2, Replay: states2},
+		func(ctx context.Context, nl *sdpfloor.Netlist, c sdpfloor.Config) (*sdpfloor.Floorplan, error) {
+			countSolve(nl, c)
+			return fakeSolvedFloorplan(nl, 50), nil
+		})
+	defer s2.Close()
+
+	waitState(t, s2, eco2.ID, StateDone)
+	st2, err := s2.Status(eco2.ID)
+	if err != nil {
+		t.Fatalf("status after replay: %v", err)
+	}
+	if st2.EcoOf != eco1.ID {
+		t.Fatalf("replayed job reports ecoOf %q, want %q", st2.EcoOf, eco1.ID)
+	}
+	if st2.Replays != 1 {
+		t.Fatalf("replayed job reports %d replays, want 1", st2.Replays)
+	}
+
+	mu.Lock()
+	// Exactly-once per link: base and eco1 never re-ran, eco2 ran once more.
+	if solvesByN[4] != pre[4] || solvesByN[5] != pre[5] {
+		mu.Unlock()
+		t.Fatalf("finished chain links re-ran after restart: base %d→%d, eco1 %d→%d",
+			pre[4], solvesByN[4], pre[5], solvesByN[5])
+	}
+	if solvesByN[6] != pre[6]+1 {
+		mu.Unlock()
+		t.Fatalf("interrupted ECO link solved %d times after restart, want %d", solvesByN[6], pre[6]+1)
+	}
+	// The replayed solve was warm: the journal restored the prior.
+	if !sawPriorByN[6] {
+		mu.Unlock()
+		t.Fatalf("replayed ECO solve ran cold (no prior)")
+	}
+	mu.Unlock()
+
+	// Finished ECO results survived: eco1's result (with its eco report) is
+	// served from restored history.
+	res, rst, err := s2.Result(eco1.ID)
+	if err != nil || rst.State != StateDone || res == nil {
+		t.Fatalf("eco1 after restart: res=%v state=%v err=%v", res, rst.State, err)
+	}
+	if res.Eco == nil || res.Eco.Reused != 4 || res.Eco.Seeded != 1 {
+		t.Fatalf("eco1 restored report = %+v, want reused 4 seeded 1", res.Eco)
+	}
+
+	// The chain extends across the restart: a third link on the replayed
+	// eco2 still works.
+	eco3, err := s2.SubmitECO(eco2.ID, sdpfloor.Delta{
+		RemoveModules: []string{"x1"},
+	}, time.Minute)
+	if err != nil {
+		t.Fatalf("submit eco3 after restart: %v", err)
+	}
+	waitState(t, s2, eco3.ID, StateDone)
+	res3, _, err := s2.Result(eco3.ID)
+	if err != nil || res3 == nil || res3.Eco == nil {
+		t.Fatalf("eco3 result: %v err=%v", res3, err)
+	}
+	if res3.Eco.Reused != 5 || res3.Eco.Seeded != 0 {
+		t.Fatalf("eco3 report = %+v, want reused 5 seeded 0", res3.Eco)
+	}
+}

@@ -108,6 +108,10 @@ func (s *Server) retryAfterSeconds() int {
 //	POST   /v1/jobs           submit a job (JSON body; 202, or 200 on cache hit)
 //	GET    /v1/jobs           list all jobs
 //	GET    /v1/jobs/{id}      job status
+//	PATCH  /v1/jobs/{id}      submit an incremental (ECO) re-solve: the body's
+//	                          delta is applied to the done job {id}'s netlist
+//	                          and solved warm from its solution (202; 409
+//	                          until the parent is done)
 //	GET    /v1/jobs/{id}/result  result of a done job (409 while unfinished)
 //	GET    /v1/jobs/{id}/trace   captured solver telemetry as JSONL
 //	                          (?follow=1 streams live until the job finishes)
@@ -126,6 +130,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("PATCH /v1/jobs/{id}", s.handleEco)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
@@ -278,6 +283,54 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	st, err := s.Submit(req)
 	if err != nil {
 		s.writeSubmitError(w, err)
+		return
+	}
+	code := http.StatusAccepted
+	if st.FromCache {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+// ecoRequestJSON is the wire form of PATCH /v1/jobs/{id}: an ECO delta in
+// the delta JSON schema (see docs/INCREMENTAL.md) applied to job {id}.
+type ecoRequestJSON struct {
+	Delta json.RawMessage `json:"delta"`
+	// TimeoutSec bounds the re-solve; 0 uses the server default.
+	TimeoutSec float64 `json:"timeoutSec,omitempty"`
+}
+
+// handleEco submits an incremental re-solve derived from a finished job.
+// The parent must be done (409 otherwise); the delta must parse and apply
+// against the parent's netlist (400 otherwise). The response is the new
+// job's status — ECO jobs are ordinary jobs from here on (status, result,
+// trace, cancel all work), with Status.EcoOf naming the parent.
+func (s *Server) handleEco(w http.ResponseWriter, r *http.Request) {
+	var in ecoRequestJSON
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(&in); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(in.Delta) == 0 {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "missing delta")
+		return
+	}
+	d, err := sdpfloor.ReadDeltaJSON(bytes.NewReader(in.Delta))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		return
+	}
+	st, err := s.SubmitECO(r.PathValue("id"), d, time.Duration(in.TimeoutSec*float64(time.Second)))
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrNotFound):
+			writeError(w, http.StatusNotFound, codeNotFound, err.Error())
+		case errors.Is(err, ErrParentNotDone):
+			writeError(w, http.StatusConflict, codeConflict, err.Error())
+		default:
+			s.writeSubmitError(w, err)
+		}
 		return
 	}
 	code := http.StatusAccepted

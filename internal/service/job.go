@@ -3,6 +3,7 @@ package service
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -52,6 +53,29 @@ type Request struct {
 	// Batch is the batch ID this request belongs to; set by SubmitBatch
 	// and by journal replay, empty for standalone jobs.
 	Batch string
+	// Eco, when non-nil, marks an incremental (ECO) re-solve: Netlist is
+	// already the post-delta netlist, and the solve is seeded warm from
+	// Eco.Prev. Set by SubmitECO and by journal replay.
+	Eco *EcoRequest
+}
+
+// EcoRequest carries the incremental re-solve context of a PATCH
+// /v1/jobs/{id} job: provenance (parent, delta) plus the warm-start prior.
+type EcoRequest struct {
+	// Parent is the finished job the delta was applied against.
+	Parent string
+	// DeltaJSON is the canonical JSON of the applied delta (journaled so
+	// ECO chains replay after a crash without their parents).
+	DeltaJSON json.RawMessage
+	// DeltaHash is sha256 of DeltaJSON, mixed into the cache key.
+	DeltaHash string
+	// Prev is the prior placement — the parent's pre-legalization SDP
+	// centers when available, which re-converge in fewer iterations than
+	// the legalized rectangles.
+	Prev []sdpfloor.NamedPoint
+	// PrevIters is the parent solve's total sub-problem solver iterations,
+	// feeding Result.Eco.SolverItersSaved.
+	PrevIters int
 }
 
 // Key returns the content-addressed cache key: a hash over every field that
@@ -69,6 +93,15 @@ func (r *Request) Key() string {
 	if len(r.Contenders) > 0 {
 		fmt.Fprintf(h, "contenders %s\n", strings.Join(r.Contenders, ","))
 	}
+	// ECO extension, hashed only when present so every non-ECO key is
+	// unchanged. The prior determines the warm-start trajectory (and so
+	// the bitwise result); the delta hash records the edit's identity.
+	if r.Eco != nil {
+		fmt.Fprintf(h, "eco delta %s\n", r.Eco.DeltaHash)
+		for _, p := range r.Eco.Prev {
+			fmt.Fprintf(h, "prior %s %g %g\n", p.Name, p.X, p.Y)
+		}
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -83,6 +116,12 @@ type Result struct {
 	// which contender produced this result and how every contender fared.
 	Winner    string                     `json:"winner,omitempty"`
 	Portfolio []sdpfloor.PortfolioReport `json:"portfolio,omitempty"`
+	// GlobalCenters are the pre-legalization SDP-stage centers (MethodSDP
+	// only). ECO re-solves seed from these — the converged SDP iterate is
+	// far closer to a fixed point than the legalized rectangles.
+	GlobalCenters []pointJSON `json:"globalCenters,omitempty"`
+	// Eco reports warm-start reuse on incremental (ECO) jobs.
+	Eco *sdpfloor.Incremental `json:"eco,omitempty"`
 }
 
 type rectJSON struct {
@@ -118,6 +157,10 @@ func newResult(nl *sdpfloor.Netlist, fp *sdpfloor.Floorplan) *Result {
 	for _, c := range fp.Centers {
 		res.Centers = append(res.Centers, pointJSON{X: c.X, Y: c.Y})
 	}
+	for _, c := range fp.Global {
+		res.GlobalCenters = append(res.GlobalCenters, pointJSON{X: c.X, Y: c.Y})
+	}
+	res.Eco = fp.Incremental
 	res.Winner = string(fp.Winner)
 	res.Portfolio = fp.Portfolio
 	if gr := fp.GlobalResult; gr != nil {
@@ -177,6 +220,8 @@ type Status struct {
 	CacheKey    string `json:"cacheKey"`
 	// Batch is the owning batch ID for jobs submitted via POST /v1/batches.
 	Batch string `json:"batch,omitempty"`
+	// EcoOf is the parent job an incremental (ECO) job was derived from.
+	EcoOf string `json:"ecoOf,omitempty"`
 	// Replays counts crash-recovery re-runs of this job.
 	Replays int `json:"replays,omitempty"`
 }
@@ -194,6 +239,9 @@ func (j *Job) statusLocked(now time.Time) Status {
 		CacheKey:  j.key,
 		Batch:     j.req.Batch,
 		Replays:   j.replays,
+	}
+	if j.req.Eco != nil {
+		st.EcoOf = j.req.Eco.Parent
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -40,7 +40,36 @@ func specFor(req *Request, key string) *jobstore.Spec {
 	if err := req.Netlist.WriteJSON(&buf); err == nil {
 		spec.Netlist = json.RawMessage(buf.Bytes())
 	}
+	if req.Eco != nil {
+		eco := &jobstore.EcoSpec{
+			Parent:    req.Eco.Parent,
+			Delta:     req.Eco.DeltaJSON,
+			DeltaHash: req.Eco.DeltaHash,
+			PrevIters: req.Eco.PrevIters,
+		}
+		for _, p := range req.Eco.Prev {
+			eco.Prev = append(eco.Prev, jobstore.EcoPoint{Name: p.Name, X: p.X, Y: p.Y})
+		}
+		spec.Eco = eco
+	}
 	return spec
+}
+
+// ecoFromSpec rebuilds the in-memory ECO context from its durable form.
+func ecoFromSpec(spec *jobstore.EcoSpec) *EcoRequest {
+	if spec == nil {
+		return nil
+	}
+	eco := &EcoRequest{
+		Parent:    spec.Parent,
+		DeltaJSON: spec.Delta,
+		DeltaHash: spec.DeltaHash,
+		PrevIters: spec.PrevIters,
+	}
+	for _, p := range spec.Prev {
+		eco.Prev = append(eco.Prev, sdpfloor.NamedPoint{Name: p.Name, X: p.X, Y: p.Y})
+	}
+	return eco
 }
 
 // requestFromSpec rebuilds a runnable request from a journal spec; it fails
@@ -63,6 +92,7 @@ func requestFromSpec(spec *jobstore.Spec, batch string) (*Request, error) {
 		Contenders: spec.Contenders,
 		Timeout:    time.Duration(spec.TimeoutSec * float64(time.Second)),
 		Batch:      batch,
+		Eco:        ecoFromSpec(spec.Eco),
 	}
 	if req.Method == "" {
 		req.Method = sdpfloor.MethodSDP
@@ -93,9 +123,13 @@ func (s *Server) journalSubmittedLocked(j *Job) {
 	if s.journal == nil {
 		return
 	}
+	ev := jobstore.EventSubmitted
+	if j.req.Eco != nil {
+		ev = jobstore.EventEco
+	}
 	s.journalAppend(jobstore.Record{
 		Job:     j.id,
-		Event:   jobstore.EventSubmitted,
+		Event:   ev,
 		Batch:   j.req.Batch,
 		Replays: j.replays,
 		Spec:    specFor(j.req, j.key),
@@ -176,8 +210,12 @@ func (s *Server) restore(states []*jobstore.JobState) {
 			s.registerReplayedLocked(j, st.Batch)
 			// Re-state the submission with the bumped replay count so the
 			// journal's newest fact about the job reflects this enqueue.
+			ev := jobstore.EventSubmitted
+			if st.Spec != nil && st.Spec.Eco != nil {
+				ev = jobstore.EventEco
+			}
 			s.journalAppend(jobstore.Record{
-				Job: j.id, Event: jobstore.EventSubmitted,
+				Job: j.id, Event: ev,
 				Batch: st.Batch, Replays: j.replays, Spec: st.Spec,
 			})
 			s.queue <- j // capacity reserved in New for every interrupted job
@@ -227,6 +265,7 @@ func (s *Server) restore(states []*jobstore.JobState) {
 func (s *Server) historyRequest(st *jobstore.JobState) *Request {
 	req := &Request{Netlist: &sdpfloor.Netlist{}, Batch: st.Batch}
 	if st.Spec != nil {
+		req.Eco = ecoFromSpec(st.Spec.Eco)
 		req.Method = sdpfloor.Method(st.Spec.Method)
 		req.Seed = st.Spec.Seed
 		req.Basic = st.Spec.Basic

@@ -9,6 +9,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -17,7 +18,9 @@ import (
 	"time"
 
 	"sdpfloor"
+	"sdpfloor/internal/core"
 	"sdpfloor/internal/jobstore"
+	"sdpfloor/internal/netlist"
 	"sdpfloor/internal/trace"
 )
 
@@ -126,6 +129,9 @@ var (
 	ErrQueueFull = errors.New("service: queue full")
 	ErrClosed    = errors.New("service: server closed")
 	ErrNotFound  = errors.New("service: no such job")
+	// ErrParentNotDone rejects an ECO submission whose parent job has not
+	// finished successfully (PATCH answers 409 until GET result would 200).
+	ErrParentNotDone = errors.New("service: ECO parent job is not done")
 )
 
 // New starts a server with cfg.Workers solver goroutines. When cfg.Journal
@@ -267,6 +273,9 @@ func (s *Server) validateRequest(req *Request) (string, error) {
 	if err := validateContenders(req); err != nil {
 		return "", err
 	}
+	if req.Eco != nil && req.Method != sdpfloor.MethodSDP {
+		return "", fmt.Errorf("service: ECO re-solve supports only method %q, got %q", sdpfloor.MethodSDP, req.Method)
+	}
 	if req.Timeout <= 0 {
 		req.Timeout = s.cfg.DefaultTimeout
 	}
@@ -318,6 +327,79 @@ func (s *Server) Submit(req *Request) (Status, error) {
 	s.metrics.JobsSubmitted.Add(1)
 	s.logf("service: job %s queued (%s, n=%d, timeout=%s)", st.ID, req.Method, req.Netlist.N(), req.Timeout)
 	return st, nil
+}
+
+// SubmitECO validates and enqueues an incremental (ECO) re-solve: the
+// delta is applied to the parent job's netlist, and the new job is seeded
+// warm from the parent's solution (pre-legalization SDP centers when the
+// result carries them, legalized centers otherwise). The parent must be
+// done; a delta that does not apply to the parent's netlist is rejected.
+// The ECO job is a first-class job — its journal record carries the
+// post-delta netlist and the prior, so an ECO chain replays after a crash
+// without re-running any parent.
+func (s *Server) SubmitECO(parentID string, d sdpfloor.Delta, timeout time.Duration) (Status, error) {
+	if d.Empty() {
+		return Status{}, errors.New("service: empty ECO delta")
+	}
+	canon, err := json.Marshal(d)
+	if err != nil {
+		return Status{}, fmt.Errorf("service: encode delta: %w", err)
+	}
+
+	s.mu.Lock()
+	parent, ok := s.jobs[parentID]
+	if !ok {
+		s.mu.Unlock()
+		return Status{}, fmt.Errorf("%w: %s", ErrNotFound, parentID)
+	}
+	if parent.state != StateDone || parent.result == nil {
+		state := parent.state
+		s.mu.Unlock()
+		return Status{}, fmt.Errorf("%w: job %s is %s", ErrParentNotDone, parentID, state)
+	}
+	parentNL := parent.req.Netlist
+	parentRes := parent.result
+	outline := parent.req.Outline
+	seed := parent.req.Seed
+	s.mu.Unlock()
+
+	if parentNL == nil || parentNL.N() == 0 {
+		return Status{}, fmt.Errorf("service: parent job %s has no netlist (compacted from the journal); re-submit it first", parentID)
+	}
+	centers := parentRes.GlobalCenters
+	if len(centers) != parentNL.N() {
+		centers = parentRes.Centers
+	}
+	if len(centers) != parentNL.N() {
+		return Status{}, fmt.Errorf("service: parent job %s result carries no usable centers", parentID)
+	}
+	prev := make([]sdpfloor.NamedPoint, parentNL.N())
+	for i, m := range parentNL.Modules {
+		prev[i] = sdpfloor.NamedPoint{Name: m.Name, X: centers[i].X, Y: centers[i].Y}
+	}
+	mutated, err := d.Apply(parentNL)
+	if err != nil {
+		return Status{}, fmt.Errorf("service: %w", err)
+	}
+	prevIters := 0
+	if parentRes.Global != nil {
+		prevIters = parentRes.Global.SolverIterations
+	}
+	req := &Request{
+		Netlist: mutated,
+		Outline: outline,
+		Method:  sdpfloor.MethodSDP,
+		Seed:    seed,
+		Timeout: timeout,
+		Eco: &EcoRequest{
+			Parent:    parentID,
+			DeltaJSON: canon,
+			DeltaHash: d.Hash(),
+			Prev:      prev,
+			PrevIters: prevIters,
+		},
+	}
+	return s.Submit(req)
 }
 
 // finishFromCacheLocked registers a job and completes it immediately from a
@@ -503,6 +585,16 @@ func (s *Server) runJob(j *Job) {
 		cfg.Portfolio.Table = s.cfg.PortfolioDefaults
 	}
 	cfg.Global.Workers = s.cfg.SolveWorkers
+	// ECO jobs enter the convex iteration warm: the journaled prior maps
+	// onto the post-delta netlist (surviving modules keep their centers,
+	// new ones seed at their net neighbors' centroid). Installed here, not
+	// in placeFn, so test stubs and crash replays see identical wiring.
+	var ecoReused, ecoSeeded int
+	if req.Eco != nil {
+		var seeds []sdpfloor.Point
+		seeds, ecoReused, ecoSeeded = netlist.SeedFromPrior(req.Netlist, req.Eco.Prev, req.Outline.Center())
+		cfg.Global.Prior = &core.Prior{Centers: seeds}
+	}
 	fp, err := s.placeFn(ctx, req.Netlist, cfg)
 
 	now := time.Now()
@@ -513,6 +605,13 @@ func (s *Server) runJob(j *Job) {
 	switch {
 	case err == nil:
 		j.state = StateDone
+		if req.Eco != nil {
+			inc := &sdpfloor.Incremental{Reused: ecoReused, Seeded: ecoSeeded}
+			if fp.GlobalResult != nil && req.Eco.PrevIters > 0 {
+				inc.SolverItersSaved = req.Eco.PrevIters - fp.GlobalResult.SolverIterations
+			}
+			fp.Incremental = inc
+		}
 		j.result = newResult(req.Netlist, fp)
 	case s.draining.Load() && s.journal != nil && !j.cancelAsked && errors.Is(err, context.Canceled):
 		// Drain deadline cancelled the base context mid-solve. The journal

@@ -27,11 +27,15 @@
 package sdpfloor
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"sdpfloor/internal/analytic"
 	"sdpfloor/internal/anneal"
@@ -41,6 +45,7 @@ import (
 	"sdpfloor/internal/geom"
 	"sdpfloor/internal/gsrc"
 	"sdpfloor/internal/legalize"
+	"sdpfloor/internal/mcnc"
 	"sdpfloor/internal/netlist"
 	"sdpfloor/internal/trace"
 )
@@ -150,6 +155,9 @@ type Floorplan struct {
 	// Portfolio carries the per-contender race outcomes (MethodPortfolio
 	// only), in contender priority order.
 	Portfolio []PortfolioReport
+	// Incremental reports previous-solution reuse (ECO re-solves through
+	// Resolve/ResolveSeeded only; nil otherwise).
+	Incremental *Incremental
 }
 
 // Place runs a global floorplanning method and the shared legalizer end to
@@ -335,6 +343,79 @@ func LegalizeSOCP(nl *Netlist, centers []Point, outline Rect) (*LegalFloorplan, 
 // aspect (1 or 2 in the paper) and whitespace fraction (0 → 15%).
 func LoadBenchmark(name string, aspect, whitespace float64) (*Design, error) {
 	return gsrc.Builtin(name, aspect, whitespace)
+}
+
+// LoadDesignDir reads a benchmark from disk with format sniffing: when
+// <dir>/<name>.yal exists (or name itself ends in ".yal", or <dir>/<name>
+// is a file whose first statement token is MODULE), the design is parsed as
+// MCNC YAL via internal/mcnc; otherwise as the GSRC bookshelf triple
+// <name>.blocks/.nets/.pl. A missing or degenerate outline falls back to
+// OutlineFor with the given aspect and whitespace.
+func LoadDesignDir(dir, name string, aspect, whitespace float64) (*Design, error) {
+	if path, ok := sniffYAL(dir, name); ok {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		yd, err := mcnc.Parse(bufio.NewReader(f))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		nl, outline, err := mcnc.ToNetlist(yd)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if outline.W() <= 0 || outline.H() <= 0 {
+			outline = OutlineFor(nl, aspect, whitespace)
+		}
+		return &Design{Name: strings.TrimSuffix(name, ".yal"), Netlist: nl, Outline: outline}, nil
+	}
+	d, err := gsrc.ReadDesign(dir, name)
+	if err != nil {
+		return nil, err
+	}
+	if d.Outline.W() <= 0 || d.Outline.H() <= 0 {
+		d.Outline = OutlineFor(d.Netlist, aspect, whitespace)
+	}
+	return d, nil
+}
+
+// sniffYAL decides whether (dir, name) points at a YAL file and returns its
+// path. The checks, in order: an explicit .yal suffix on name, a sibling
+// <name>.yal file, and finally a content sniff of <dir>/<name> for a
+// leading MODULE keyword.
+func sniffYAL(dir, name string) (string, bool) {
+	if strings.HasSuffix(name, ".yal") {
+		return filepath.Join(dir, name), true
+	}
+	if p := filepath.Join(dir, name+".yal"); fileExists(p) {
+		return p, true
+	}
+	p := filepath.Join(dir, name)
+	if !fileExists(p) {
+		return "", false
+	}
+	head := make([]byte, 512)
+	f, err := os.Open(p)
+	if err != nil {
+		return "", false
+	}
+	n, _ := f.Read(head)
+	f.Close()
+	for _, line := range strings.Split(string(head[:n]), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return p, strings.HasPrefix(strings.ToUpper(line), "MODULE ")
+	}
+	return "", false
+}
+
+func fileExists(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && !st.IsDir()
 }
 
 // PlaceIncremental re-floorplans after an engineering change order (ECO):
